@@ -1,0 +1,181 @@
+"""Python bindings for the Orpheus inference framework.
+
+The paper provides Python bindings so Orpheus can be embedded in other
+experimental workflows; this module is the reproduction's equivalent, a thin
+ctypes wrapper over the `orpheus-capi` cdylib.
+
+Build the library first::
+
+    cargo build --release -p orpheus-capi
+
+Then::
+
+    import orpheus
+    engine = orpheus.Engine("orpheus", threads=1)
+    network = engine.load_onnx(open("model.onnx", "rb").read())
+    probs = network.run([0.0] * network.input_size)
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import platform
+from typing import List, Sequence
+
+_STATUS_MESSAGES = {
+    0: "ok",
+    1: "null argument",
+    2: "invalid argument",
+    3: "engine configuration error",
+    4: "model load error",
+    5: "execution error",
+}
+
+
+class OrpheusError(RuntimeError):
+    """Raised when a C-ABI call reports a non-zero status."""
+
+
+def _default_library_path() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(here))
+    name = {
+        "Darwin": "liborpheus_capi.dylib",
+        "Windows": "orpheus_capi.dll",
+    }.get(platform.system(), "liborpheus_capi.so")
+    return os.path.join(root, "target", "release", name)
+
+
+def _load(path: str | None = None) -> ctypes.CDLL:
+    lib = ctypes.CDLL(path or os.environ.get("ORPHEUS_CAPI", _default_library_path()))
+    lib.orpheus_engine_new.restype = ctypes.c_int32
+    lib.orpheus_engine_new.argtypes = [
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_void_p),
+    ]
+    lib.orpheus_engine_free.argtypes = [ctypes.c_void_p]
+    lib.orpheus_engine_load_onnx.restype = ctypes.c_int32
+    lib.orpheus_engine_load_onnx.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_void_p),
+    ]
+    lib.orpheus_network_free.argtypes = [ctypes.c_void_p]
+    lib.orpheus_network_num_layers.restype = ctypes.c_size_t
+    lib.orpheus_network_num_layers.argtypes = [ctypes.c_void_p]
+    lib.orpheus_network_input_dims.restype = ctypes.c_int32
+    lib.orpheus_network_input_dims.argtypes = [
+        ctypes.c_void_p,
+        ctypes.POINTER(ctypes.c_size_t),
+    ]
+    lib.orpheus_network_run.restype = ctypes.c_int32
+    lib.orpheus_network_run.argtypes = [
+        ctypes.c_void_p,
+        ctypes.POINTER(ctypes.c_float),
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_float),
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_size_t),
+    ]
+    lib.orpheus_last_error_message.restype = ctypes.c_size_t
+    lib.orpheus_last_error_message.argtypes = [ctypes.c_char_p, ctypes.c_size_t]
+    return lib
+
+
+def _check(lib: ctypes.CDLL, status: int) -> None:
+    if status == 0:
+        return
+    buf = ctypes.create_string_buffer(512)
+    lib.orpheus_last_error_message(buf, len(buf))
+    detail = buf.value.decode("utf-8", "replace")
+    kind = _STATUS_MESSAGES.get(status, f"status {status}")
+    raise OrpheusError(f"{kind}: {detail}" if detail else kind)
+
+
+class Network:
+    """A loaded, executable model."""
+
+    def __init__(self, lib: ctypes.CDLL, handle: ctypes.c_void_p):
+        self._lib = lib
+        self._handle = handle
+
+    @property
+    def num_layers(self) -> int:
+        return self._lib.orpheus_network_num_layers(self._handle)
+
+    @property
+    def input_dims(self) -> List[int]:
+        dims = (ctypes.c_size_t * 4)()
+        _check(self._lib, self._lib.orpheus_network_input_dims(self._handle, dims))
+        return list(dims)
+
+    @property
+    def input_size(self) -> int:
+        n = 1
+        for d in self.input_dims:
+            n *= d
+        return n
+
+    def run(self, image: Sequence[float], max_outputs: int = 4096) -> List[float]:
+        """Runs one inference on a flat NCHW float sequence."""
+        arr = (ctypes.c_float * len(image))(*image)
+        out = (ctypes.c_float * max_outputs)()
+        written = ctypes.c_size_t()
+        _check(
+            self._lib,
+            self._lib.orpheus_network_run(
+                self._handle, arr, len(image), out, max_outputs, ctypes.byref(written)
+            ),
+        )
+        return list(out[: written.value])
+
+    def close(self) -> None:
+        if self._handle:
+            self._lib.orpheus_network_free(self._handle)
+            self._handle = None
+
+    def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Engine:
+    """Model loader configured with a framework personality."""
+
+    def __init__(self, personality: str = "orpheus", threads: int = 1,
+                 library: str | None = None):
+        self._lib = _load(library)
+        handle = ctypes.c_void_p()
+        _check(
+            self._lib,
+            self._lib.orpheus_engine_new(
+                personality.encode("utf-8"), threads, ctypes.byref(handle)
+            ),
+        )
+        self._handle = handle
+
+    def load_onnx(self, model_bytes: bytes) -> Network:
+        handle = ctypes.c_void_p()
+        _check(
+            self._lib,
+            self._lib.orpheus_engine_load_onnx(
+                self._handle, model_bytes, len(model_bytes), ctypes.byref(handle)
+            ),
+        )
+        return Network(self._lib, handle)
+
+    def close(self) -> None:
+        if self._handle:
+            self._lib.orpheus_engine_free(self._handle)
+            self._handle = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,25 @@
+//! Simulated third-party vendor backends.
+//!
+//! The paper advertises "easy integration of third party backends like Intel
+//! DNNL or Arm Compute Library". Those libraries cannot ship inside this
+//! reproduction, so this crate provides two *simulated vendor libraries*
+//! whose API styles deliberately mimic the real ones:
+//!
+//! * [`vnnl`] — "Vendor Neural Network Library", a DNNL-style C API:
+//!   descriptor structs, opaque primitive handles, status codes.
+//! * [`vcl`] — "Vendor Compute Library", an ACL-style object API:
+//!   configure-then-run lifecycle with explicit validation.
+//!
+//! Both compute real convolutions (they are validated against the Orpheus
+//! reference implementation in this crate's tests), but through foreign
+//! calling conventions — so the Orpheus core's third-party integration layer
+//! has something genuinely third-party-shaped to wrap. The safe wrappers
+//! ([`VnnlConv`], [`VclConv`]) are what the core's `third_party` layer
+//! module adapts into `Layer` implementations.
+
+pub mod vcl;
+pub mod vnnl;
+
+mod wrappers;
+
+pub use wrappers::{BackendError, VclConv, VnnlConv};

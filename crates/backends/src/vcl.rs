@@ -1,0 +1,324 @@
+//! VCL — an ACL-style object API for convolution.
+//!
+//! Arm Compute Library functions follow a `validate → configure → run`
+//! lifecycle with tensor-info objects describing each operand; this module
+//! mimics that shape. Internally the engine runs a direct convolution with
+//! register tiling over output channels (a different implementation family
+//! from both Orpheus's packed GEMM and VNNL's blocked-GEMM path, as real
+//! vendor libraries differ).
+
+use std::fmt;
+
+/// Describes one NCHW tensor operand (shape only; VCL is f32-only here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorInfo {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl TensorInfo {
+    /// Creates a tensor descriptor.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        TensorInfo { n, c, h, w }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Convolution hyper-parameters (ACL's `PadStrideInfo` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PadStrideInfo {
+    /// Horizontal stride.
+    pub stride_x: usize,
+    /// Vertical stride.
+    pub stride_y: usize,
+    /// Left/right padding.
+    pub pad_x: usize,
+    /// Top/bottom padding.
+    pub pad_y: usize,
+}
+
+/// Error from `validate`/`configure`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VclError(String);
+
+impl fmt::Display for VclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcl: {}", self.0)
+    }
+}
+
+impl std::error::Error for VclError {}
+
+/// A convolution function object, ACL-style: construct, `configure` once,
+/// `run` many times.
+#[derive(Debug, Default)]
+pub struct VclConvolutionLayer {
+    state: Option<Configured>,
+}
+
+#[derive(Debug)]
+struct Configured {
+    src: TensorInfo,
+    weights_oihw: Vec<f32>,
+    kernel_h: usize,
+    kernel_w: usize,
+    out_c: usize,
+    info: PadStrideInfo,
+    dst: TensorInfo,
+}
+
+impl VclConvolutionLayer {
+    /// Creates an unconfigured layer.
+    pub fn new() -> Self {
+        VclConvolutionLayer::default()
+    }
+
+    /// Checks whether a configuration is valid without committing to it
+    /// (ACL's static `validate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VclError`] describing the first invalid operand.
+    pub fn validate(
+        src: &TensorInfo,
+        weights: &TensorInfo,
+        dst: &TensorInfo,
+        info: &PadStrideInfo,
+    ) -> Result<(), VclError> {
+        if info.stride_x == 0 || info.stride_y == 0 {
+            return Err(VclError("zero stride".into()));
+        }
+        if weights.n == 0 || weights.c != src.c {
+            return Err(VclError(format!(
+                "weights expect {} input channels, source has {}",
+                weights.c, src.c
+            )));
+        }
+        let (oh, ow) = output_hw(src, weights, info);
+        if dst.n != src.n || dst.c != weights.n || dst.h != oh || dst.w != ow {
+            return Err(VclError(format!(
+                "destination {dst:?} does not match computed [{}, {}, {oh}, {ow}]",
+                src.n, weights.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// Configures the layer: shapes are frozen and weights are copied in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VclError`] when validation fails or the weight buffer does
+    /// not match its descriptor.
+    pub fn configure(
+        &mut self,
+        src: TensorInfo,
+        weights_info: TensorInfo,
+        weights_oihw: &[f32],
+        dst: TensorInfo,
+        info: PadStrideInfo,
+    ) -> Result<(), VclError> {
+        Self::validate(&src, &weights_info, &dst, &info)?;
+        if weights_oihw.len() != weights_info.len() {
+            return Err(VclError(format!(
+                "weight buffer has {} values, descriptor implies {}",
+                weights_oihw.len(),
+                weights_info.len()
+            )));
+        }
+        self.state = Some(Configured {
+            src,
+            weights_oihw: weights_oihw.to_vec(),
+            kernel_h: weights_info.h,
+            kernel_w: weights_info.w,
+            out_c: weights_info.n,
+            info,
+            dst,
+        });
+        Ok(())
+    }
+
+    /// Output tensor descriptor after configuration.
+    pub fn output_info(&self) -> Option<TensorInfo> {
+        self.state.as_ref().map(|s| s.dst)
+    }
+
+    /// Runs the convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VclError`] if the layer is unconfigured or buffers are
+    /// undersized.
+    pub fn run(&self, src: &[f32], dst: &mut [f32]) -> Result<(), VclError> {
+        let s = self
+            .state
+            .as_ref()
+            .ok_or_else(|| VclError("run before configure".into()))?;
+        if src.len() < s.src.len() || dst.len() < s.dst.len() {
+            return Err(VclError("operand buffer too small".into()));
+        }
+        // Direct convolution, register-tiled over output channels.
+        const TILE: usize = 4;
+        let (n, ci, ih, iw) = (s.src.n, s.src.c, s.src.h, s.src.w);
+        let (co, oh, ow) = (s.out_c, s.dst.h, s.dst.w);
+        debug_assert_eq!(co, s.dst.c);
+        let (kh, kw) = (s.kernel_h, s.kernel_w);
+        for img in 0..n {
+            let src_img = &src[img * ci * ih * iw..][..ci * ih * iw];
+            let dst_img = &mut dst[img * co * oh * ow..][..co * oh * ow];
+            for oc0 in (0..co).step_by(TILE) {
+                let tc = TILE.min(co - oc0);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = [0.0f32; TILE];
+                        for ic in 0..ci {
+                            let plane = &src_img[ic * ih * iw..][..ih * iw];
+                            for ky in 0..kh {
+                                let iy = (oy * s.info.stride_y + ky) as isize
+                                    - s.info.pad_y as isize;
+                                if iy < 0 || iy >= ih as isize {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * s.info.stride_x + kx) as isize
+                                        - s.info.pad_x as isize;
+                                    if ix < 0 || ix >= iw as isize {
+                                        continue;
+                                    }
+                                    let v = plane[iy as usize * iw + ix as usize];
+                                    for (t, a) in acc.iter_mut().take(tc).enumerate() {
+                                        let widx = (((oc0 + t) * ci + ic) * kh + ky) * kw + kx;
+                                        *a += v * s.weights_oihw[widx];
+                                    }
+                                }
+                            }
+                        }
+                        for (t, &a) in acc.iter().take(tc).enumerate() {
+                            dst_img[(oc0 + t) * oh * ow + oy * ow + ox] = a;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Output spatial dims for a source/weight/info triple.
+pub fn output_hw(src: &TensorInfo, weights: &TensorInfo, info: &PadStrideInfo) -> (usize, usize) {
+    let oh = (src.h + 2 * info.pad_y).saturating_sub(weights.h) / info.stride_y + 1;
+    let ow = (src.w + 2 * info.pad_x).saturating_sub(weights.w) / info.stride_x + 1;
+    (oh, ow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stride1() -> PadStrideInfo {
+        PadStrideInfo {
+            stride_x: 1,
+            stride_y: 1,
+            pad_x: 0,
+            pad_y: 0,
+        }
+    }
+
+    #[test]
+    fn configure_then_run_identity() {
+        let mut layer = VclConvolutionLayer::new();
+        layer
+            .configure(
+                TensorInfo::new(1, 1, 2, 2),
+                TensorInfo::new(1, 1, 1, 1),
+                &[3.0],
+                TensorInfo::new(1, 1, 2, 2),
+                stride1(),
+            )
+            .unwrap();
+        let mut dst = [0.0; 4];
+        layer.run(&[1.0, 2.0, 3.0, 4.0], &mut dst).unwrap();
+        assert_eq!(dst, [3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn run_before_configure_errors() {
+        let layer = VclConvolutionLayer::new();
+        let mut dst = [0.0; 1];
+        assert!(layer.run(&[0.0], &mut dst).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_channel_mismatch() {
+        let err = VclConvolutionLayer::validate(
+            &TensorInfo::new(1, 3, 4, 4),
+            &TensorInfo::new(8, 2, 3, 3), // expects 2 channels, src has 3
+            &TensorInfo::new(1, 8, 2, 2),
+            &stride1(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("channels"));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_destination() {
+        let err = VclConvolutionLayer::validate(
+            &TensorInfo::new(1, 1, 4, 4),
+            &TensorInfo::new(2, 1, 3, 3),
+            &TensorInfo::new(1, 2, 4, 4), // should be 2x2
+            &stride1(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("destination"));
+    }
+
+    #[test]
+    fn ragged_channel_tile() {
+        // 5 output channels exercises the partial TILE=4 tile.
+        let mut layer = VclConvolutionLayer::new();
+        let weights: Vec<f32> = (0..5).map(|i| i as f32 + 1.0).collect();
+        layer
+            .configure(
+                TensorInfo::new(1, 1, 1, 1),
+                TensorInfo::new(5, 1, 1, 1),
+                &weights,
+                TensorInfo::new(1, 5, 1, 1),
+                stride1(),
+            )
+            .unwrap();
+        let mut dst = [0.0; 5];
+        layer.run(&[2.0], &mut dst).unwrap();
+        assert_eq!(dst, [2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn output_info_reflects_configuration() {
+        let mut layer = VclConvolutionLayer::new();
+        assert!(layer.output_info().is_none());
+        layer
+            .configure(
+                TensorInfo::new(1, 1, 5, 5),
+                TensorInfo::new(2, 1, 3, 3),
+                &[0.0; 18],
+                TensorInfo::new(1, 2, 3, 3),
+                stride1(),
+            )
+            .unwrap();
+        assert_eq!(layer.output_info(), Some(TensorInfo::new(1, 2, 3, 3)));
+    }
+}

@@ -1,0 +1,271 @@
+//! VNNL — a DNNL-style C API for convolution and inner product.
+//!
+//! Everything here follows C library conventions on purpose: plain-old-data
+//! descriptor structs, integer status codes, create/execute/destroy
+//! lifecycle around an opaque primitive handle. Internally the engine runs
+//! im2col + blocked GEMM (a plausible vendor implementation choice, distinct
+//! from Orpheus's packed GEMM).
+
+use orpheus_gemm::{gemm, im2col, GemmKernel, Im2colParams};
+
+/// Status code returned by every VNNL entry point.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VnnlStatus {
+    /// The call succeeded.
+    Success = 0,
+    /// A descriptor field is invalid (zero extent, bad group count...).
+    BadDescriptor = 1,
+    /// A buffer is too small for the descriptor's geometry.
+    BadBuffer = 2,
+    /// The handle has already been destroyed.
+    DeadHandle = 3,
+}
+
+/// Convolution descriptor (POD, C layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VnnlConvDesc {
+    /// Input channels.
+    pub in_channels: u32,
+    /// Output channels.
+    pub out_channels: u32,
+    /// Kernel height.
+    pub kernel_h: u32,
+    /// Kernel width.
+    pub kernel_w: u32,
+    /// Vertical stride.
+    pub stride_h: u32,
+    /// Horizontal stride.
+    pub stride_w: u32,
+    /// Padding (top/bottom).
+    pub pad_h: u32,
+    /// Padding (left/right).
+    pub pad_w: u32,
+    /// Channel groups.
+    pub groups: u32,
+}
+
+impl VnnlConvDesc {
+    fn valid(&self) -> bool {
+        let nz = [
+            self.in_channels,
+            self.out_channels,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride_h,
+            self.stride_w,
+            self.groups,
+        ];
+        nz.iter().all(|&x| x > 0)
+            && self.in_channels.is_multiple_of(self.groups)
+            && self.out_channels.is_multiple_of(self.groups)
+    }
+}
+
+/// Opaque convolution primitive. Holds the descriptor and a private copy of
+/// the weights (vendor libraries own their packed weights).
+#[derive(Debug)]
+pub struct VnnlConvPrimitive {
+    desc: VnnlConvDesc,
+    weights: Vec<f32>,
+    alive: bool,
+}
+
+/// Creates a convolution primitive.
+///
+/// `weights` must hold `out_channels * in_channels/groups * kh * kw` values
+/// in OIHW order. Returns the primitive via the `out` parameter, C-style.
+pub fn vnnl_conv_create(
+    desc: &VnnlConvDesc,
+    weights: &[f32],
+    out: &mut Option<VnnlConvPrimitive>,
+) -> VnnlStatus {
+    if !desc.valid() {
+        return VnnlStatus::BadDescriptor;
+    }
+    let expected = (desc.out_channels * (desc.in_channels / desc.groups) * desc.kernel_h
+        * desc.kernel_w) as usize;
+    if weights.len() != expected {
+        return VnnlStatus::BadBuffer;
+    }
+    *out = Some(VnnlConvPrimitive {
+        desc: *desc,
+        weights: weights.to_vec(),
+        alive: true,
+    });
+    VnnlStatus::Success
+}
+
+/// Output spatial size for an input of `h x w`.
+pub fn vnnl_conv_output_dims(desc: &VnnlConvDesc, h: u32, w: u32) -> (u32, u32) {
+    let oh = (h + 2 * desc.pad_h).saturating_sub(desc.kernel_h) / desc.stride_h + 1;
+    let ow = (w + 2 * desc.pad_w).saturating_sub(desc.kernel_w) / desc.stride_w + 1;
+    (oh, ow)
+}
+
+/// Executes the primitive on one NCHW image batch.
+///
+/// `src` is `[n, in_c, h, w]` flattened; `dst` must hold
+/// `n * out_c * oh * ow` values and is fully overwritten.
+pub fn vnnl_conv_execute(
+    prim: &VnnlConvPrimitive,
+    n: u32,
+    h: u32,
+    w: u32,
+    src: &[f32],
+    dst: &mut [f32],
+) -> VnnlStatus {
+    if !prim.alive {
+        return VnnlStatus::DeadHandle;
+    }
+    let d = &prim.desc;
+    let (oh, ow) = vnnl_conv_output_dims(d, h, w);
+    let (n, h, w) = (n as usize, h as usize, w as usize);
+    let (ci, co, g) = (d.in_channels as usize, d.out_channels as usize, d.groups as usize);
+    let (oh, ow) = (oh as usize, ow as usize);
+    if src.len() < n * ci * h * w || dst.len() < n * co * oh * ow {
+        return VnnlStatus::BadBuffer;
+    }
+    let cig = ci / g;
+    let cog = co / g;
+    let params = Im2colParams {
+        channels: cig,
+        height: h,
+        width: w,
+        kernel_h: d.kernel_h as usize,
+        kernel_w: d.kernel_w as usize,
+        stride_h: d.stride_h as usize,
+        stride_w: d.stride_w as usize,
+        pad_h: d.pad_h as usize,
+        pad_w: d.pad_w as usize,
+        dilation_h: 1,
+        dilation_w: 1,
+    };
+    let k = params.matrix_rows();
+    let cols = oh * ow;
+    let mut col_buf = vec![0.0f32; k * cols];
+    for img in 0..n {
+        for grp in 0..g {
+            let src_group = &src[img * ci * h * w + grp * cig * h * w..][..cig * h * w];
+            im2col(&params, src_group, &mut col_buf);
+            let w_group = &prim.weights[grp * cog * k..(grp + 1) * cog * k];
+            let dst_group = &mut dst[img * co * oh * ow + grp * cog * cols..][..cog * cols];
+            gemm(
+                GemmKernel::Blocked,
+                cog,
+                cols,
+                k,
+                w_group,
+                k,
+                &col_buf,
+                cols,
+                dst_group,
+                cols,
+                0.0,
+            );
+        }
+    }
+    VnnlStatus::Success
+}
+
+/// Destroys a primitive. Further executions return [`VnnlStatus::DeadHandle`].
+pub fn vnnl_conv_destroy(prim: &mut VnnlConvPrimitive) -> VnnlStatus {
+    if !prim.alive {
+        return VnnlStatus::DeadHandle;
+    }
+    prim.alive = false;
+    prim.weights = Vec::new();
+    VnnlStatus::Success
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc_1x1(c: u32) -> VnnlConvDesc {
+        VnnlConvDesc {
+            in_channels: c,
+            out_channels: c,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride_h: 1,
+            stride_w: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 1,
+        }
+    }
+
+    #[test]
+    fn create_execute_destroy_lifecycle() {
+        let desc = desc_1x1(1);
+        let mut prim = None;
+        assert_eq!(vnnl_conv_create(&desc, &[2.0], &mut prim), VnnlStatus::Success);
+        let mut prim = prim.unwrap();
+        let src = [1.0, 2.0, 3.0, 4.0];
+        let mut dst = [0.0; 4];
+        assert_eq!(
+            vnnl_conv_execute(&prim, 1, 2, 2, &src, &mut dst),
+            VnnlStatus::Success
+        );
+        assert_eq!(dst, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(vnnl_conv_destroy(&mut prim), VnnlStatus::Success);
+        assert_eq!(
+            vnnl_conv_execute(&prim, 1, 2, 2, &src, &mut dst),
+            VnnlStatus::DeadHandle
+        );
+        assert_eq!(vnnl_conv_destroy(&mut prim), VnnlStatus::DeadHandle);
+    }
+
+    #[test]
+    fn rejects_bad_descriptor() {
+        let mut desc = desc_1x1(4);
+        desc.groups = 3; // 4 % 3 != 0
+        let mut prim = None;
+        assert_eq!(
+            vnnl_conv_create(&desc, &[0.0; 16], &mut prim),
+            VnnlStatus::BadDescriptor
+        );
+        assert!(prim.is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_weight_count() {
+        let desc = desc_1x1(2);
+        let mut prim = None;
+        assert_eq!(
+            vnnl_conv_create(&desc, &[0.0; 3], &mut prim),
+            VnnlStatus::BadBuffer
+        );
+    }
+
+    #[test]
+    fn rejects_undersized_buffers() {
+        let desc = desc_1x1(1);
+        let mut prim = None;
+        vnnl_conv_create(&desc, &[1.0], &mut prim);
+        let prim = prim.unwrap();
+        let mut dst = [0.0; 1];
+        assert_eq!(
+            vnnl_conv_execute(&prim, 1, 2, 2, &[0.0; 4], &mut dst),
+            VnnlStatus::BadBuffer
+        );
+    }
+
+    #[test]
+    fn output_dims_formula() {
+        let desc = VnnlConvDesc {
+            in_channels: 3,
+            out_channels: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride_h: 2,
+            stride_w: 2,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+        };
+        assert_eq!(vnnl_conv_output_dims(&desc, 224, 224), (112, 112));
+    }
+}

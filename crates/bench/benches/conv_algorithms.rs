@@ -1,0 +1,56 @@
+//! Ablation: convolution algorithm crossover.
+//!
+//! The paper's core performance claim is geometric: "Orpheus uses GEMM
+//! convolution, which pays off for big matrices, and TVM uses ... spatial
+//! pack" — so GEMM wins the big models and spatial pack the small ones.
+//! This bench sweeps layer sizes from small-model to big-model scale and
+//! measures every applicable algorithm, locating the crossover that makes
+//! Figure 2 come out the way it does. Winograd is included as the
+//! extension-algorithm data point.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orpheus_bench::pseudo;
+use orpheus_gemm::GemmKernel;
+use orpheus_ops::conv::{Conv2d, Conv2dParams, ConvAlgorithm};
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+use std::hint::black_box;
+
+fn conv_algorithms(c: &mut Criterion) {
+    let pool = ThreadPool::single();
+    // (label, channels in/out, spatial) from small (WRN) to big (ResNet).
+    let layers = [
+        ("small_16x32", 16, 32, 32),
+        ("small_32x16", 32, 32, 16),
+        ("mid_64x28", 64, 64, 28),
+        ("big_128x28", 128, 128, 28),
+        ("big_256x14", 256, 256, 14),
+    ];
+    for (label, ci, co, hw) in layers {
+        let params = Conv2dParams::square(ci, co, 3).with_padding(1, 1);
+        let weight = Tensor::from_vec(
+            pseudo(params.weight_dims().iter().product(), 3),
+            &params.weight_dims(),
+        )
+        .unwrap();
+        let input = Tensor::from_vec(pseudo(ci * hw * hw, 4), &[1, ci, hw, hw]).unwrap();
+        let mut group = c.benchmark_group(format!("conv/{label}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(params.flops(hw, hw)));
+        for algo in [
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed),
+            ConvAlgorithm::SpatialPack,
+            ConvAlgorithm::Winograd,
+            ConvAlgorithm::Direct,
+        ] {
+            let conv = Conv2d::new(params, weight.clone(), None, algo).unwrap();
+            group.bench_function(algo.to_string(), |b| {
+                b.iter(|| black_box(conv.run(&input, &pool).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, conv_algorithms);
+criterion_main!(benches);

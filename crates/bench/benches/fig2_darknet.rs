@@ -1,0 +1,29 @@
+//! EXP-F2a — the paper's DarkNet prose claim: "only the ResNet models were
+//! available and had inference time measured in seconds (e.g. ~3s for
+//! ResNet-18)". Benchmarks `darknet-sim` (naive direct convolution) against
+//! Orpheus on the ResNets; the reproduction criterion is an
+//! order-of-magnitude gap, not the absolute seconds (different CPU).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orpheus::Personality;
+use orpheus_bench::{bench_scale, load_network};
+use orpheus_models::ModelKind;
+use std::hint::black_box;
+
+fn fig2_darknet(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!("fig2_darknet/{:?}", bench_scale()));
+    group.sample_size(10);
+    for model in [ModelKind::ResNet18, ModelKind::ResNet50] {
+        for personality in [Personality::DarknetSim, Personality::Orpheus] {
+            let (network, input) = load_network(personality, model, 1);
+            group.bench_function(
+                format!("{}/{}", model.name(), personality.models_framework()),
+                |b| b.iter(|| black_box(network.run(&input).expect("inference succeeds"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_darknet);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! EXP-F2 — the paper's **Figure 2**: single-thread inference time for the
+//! five models under each framework personality (Orpheus, TVM, PyTorch).
+//!
+//! DarkNet is covered by the separate `fig2_darknet` bench (the paper
+//! reports it in prose, ResNets only); TF-Lite is excluded exactly as in
+//! the paper — this bench asserts that the exclusion reproduces (the
+//! `tflite-sim` engine refuses a 1-thread configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orpheus::{Engine, Personality};
+use orpheus_bench::{bench_scale, load_network};
+use orpheus_models::ModelKind;
+use std::hint::black_box;
+
+fn fig2(c: &mut Criterion) {
+    // EXP-F2c: TF-Lite's exclusion must hold before we measure the rest.
+    let max = orpheus_threads::ThreadPool::max_hardware().num_threads();
+    if max != 1 {
+        assert!(
+            Engine::with_personality(Personality::TfliteSim, 1).is_err(),
+            "tflite-sim must refuse single-thread runs"
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("fig2/{:?}", bench_scale()));
+    group.sample_size(10);
+    for model in ModelKind::FIGURE2 {
+        for personality in [
+            Personality::Orpheus,
+            Personality::TvmSim,
+            Personality::PytorchSim,
+        ] {
+            let (network, input) = load_network(personality, model, 1);
+            group.bench_function(
+                format!("{}/{}", model.name(), personality.models_framework()),
+                |b| b.iter(|| black_box(network.run(&input).expect("inference succeeds"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

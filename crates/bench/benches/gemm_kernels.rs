@@ -1,0 +1,40 @@
+//! Ablation: GEMM kernel tiers (naive vs blocked vs packed micro-kernel).
+//!
+//! The gap between tiers is what separates the `pytorch-sim` and `orpheus`
+//! personalities on GEMM-convolution models; this bench quantifies it on
+//! GEMM shapes taken from real layers (a WRN block, a ResNet block, and the
+//! ResNet-50 classifier).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orpheus_bench::pseudo;
+use orpheus_gemm::{gemm, gemm_flops, GemmKernel};
+use std::hint::black_box;
+
+fn gemm_kernels(c: &mut Criterion) {
+    // (m, n, k) from real conv lowerings: co x (oh*ow) x (ci*kh*kw).
+    let shapes = [
+        ("wrn_block_32", 32, 1024, 144),      // 32ch 3x3 on 32x32
+        ("resnet_block_64", 64, 784, 576),    // 64ch 3x3 on 28x28
+        ("classifier_1000", 1000, 1, 2048),   // ResNet-50 FC
+    ];
+    for (name, m, n, k) in shapes {
+        let a = pseudo(m * k, 1);
+        let b = pseudo(k * n, 2);
+        let mut out = vec![0.0f32; m * n];
+        let mut group = c.benchmark_group(format!("gemm/{name}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(gemm_flops(m, n, k)));
+        for kernel in GemmKernel::ALL {
+            group.bench_function(kernel.to_string(), |bench| {
+                bench.iter(|| {
+                    gemm(kernel, m, n, k, &a, k, &b, n, &mut out, n, 0.0);
+                    black_box(out[0]);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, gemm_kernels);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: graph simplification (BN folding + activation fusion +
+//! identity elimination) on vs off.
+//!
+//! Measures end-to-end inference with and without the standard pass
+//! pipeline — the quantified value of the paper's "apply simplifications to
+//! the computation graph" contribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orpheus::Engine;
+use orpheus_bench::bench_scale;
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_tensor::Tensor;
+use std::hint::black_box;
+
+fn graph_simplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_simplify");
+    group.sample_size(10);
+    for model in [ModelKind::Wrn40_2, ModelKind::ResNet18, ModelKind::MobileNetV1] {
+        let hw = bench_scale().input_hw(model);
+        let graph = build_model_with_input(model, hw, hw);
+        let input = Tensor::full(&[1, 3, hw, hw], 0.5);
+        for (label, simplify) in [("simplified", true), ("plain", false)] {
+            let network = Engine::new(1)
+                .unwrap()
+                .with_simplification(simplify)
+                .load(graph.clone())
+                .unwrap();
+            group.bench_function(format!("{}/{label}", model.name()), |b| {
+                b.iter(|| black_box(network.run(&input).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, graph_simplify);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: implementation-selection policy (fixed vs heuristic vs
+//! auto-tune).
+//!
+//! Runtime selection is the paper's headline design feature. This bench
+//! measures what the selector buys: a fixed GEMM everywhere vs the size
+//! heuristic vs measured auto-tuning, on one small-layer model (WRN-40-2,
+//! where spatial pack should be chosen) and one big-layer model (ResNet-18,
+//! where GEMM should be kept).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orpheus::{Engine, SelectionPolicy};
+use orpheus_bench::bench_scale;
+use orpheus_gemm::GemmKernel;
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_ops::conv::ConvAlgorithm;
+use orpheus_tensor::Tensor;
+use std::hint::black_box;
+
+fn selection_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_policy");
+    group.sample_size(10);
+    let policies: [(&str, SelectionPolicy); 4] = [
+        (
+            "fixed-gemm",
+            SelectionPolicy::Fixed(ConvAlgorithm::Im2colGemm(GemmKernel::Packed)),
+        ),
+        (
+            "fixed-spatial-pack",
+            SelectionPolicy::Fixed(ConvAlgorithm::SpatialPack),
+        ),
+        ("heuristic", SelectionPolicy::Heuristic),
+        ("auto-tune", SelectionPolicy::AutoTune { trials: 2 }),
+    ];
+    for model in [ModelKind::Wrn40_2, ModelKind::ResNet18] {
+        let hw = bench_scale().input_hw(model);
+        let graph = build_model_with_input(model, hw, hw);
+        let input = Tensor::full(&[1, 3, hw, hw], 0.5);
+        for (label, policy) in policies {
+            // Loading (including any auto-tune measurement) happens once,
+            // outside the timed region — tuning is a deploy-time cost.
+            let network = Engine::new(1)
+                .unwrap()
+                .with_policy(policy)
+                .load(graph.clone())
+                .unwrap();
+            group.bench_function(format!("{}/{label}", model.name()), |b| {
+                b.iter(|| black_box(network.run(&input).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_policy);
+criterion_main!(benches);

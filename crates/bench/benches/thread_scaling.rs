@@ -1,0 +1,52 @@
+//! Ablation: thread scaling of the OpenMP-substitute pool.
+//!
+//! The paper measures one thread; this bench documents how the data-parallel
+//! decomposition behaves as threads increase. On a single-core host (the
+//! container this reproduction was validated in) the expected result is
+//! *no* speedup with mild oversubscription overhead — the bench exists so
+//! the same harness produces the scaling curve on multi-core hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orpheus_bench::pseudo;
+use orpheus_gemm::{gemm_flops, gemm_parallel, GemmKernel};
+use orpheus_threads::ThreadPool;
+use std::hint::black_box;
+
+fn thread_scaling(c: &mut Criterion) {
+    let (m, n, k) = (256, 784, 576); // a mid-size conv lowering
+    let a = pseudo(m * k, 1);
+    let b = pseudo(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+    let max = ThreadPool::max_hardware().num_threads();
+    let mut group = c.benchmark_group("thread_scaling/gemm_256x784x576");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(gemm_flops(m, n, k)));
+    let mut threads = 1;
+    while threads <= max.max(2) {
+        let pool = ThreadPool::new(threads).unwrap();
+        group.bench_function(format!("threads_{threads}"), |bench| {
+            bench.iter(|| {
+                gemm_parallel(
+                    GemmKernel::Packed,
+                    &pool,
+                    m,
+                    n,
+                    k,
+                    &a,
+                    k,
+                    &b,
+                    n,
+                    &mut out,
+                    n,
+                    0.0,
+                );
+                black_box(out[0]);
+            })
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, thread_scaling);
+criterion_main!(benches);

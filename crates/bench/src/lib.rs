@@ -1,0 +1,49 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Every bench target regenerates one artifact of the paper (see the
+//! experiment index in DESIGN.md). Model-level benches run at
+//! [`bench_scale`]'s reduced input sizes by default so a full `cargo bench`
+//! finishes in minutes on one core; set `ORPHEUS_BENCH_FULL=1` for the
+//! paper-faithful 224/299 inputs. The headline full-size numbers recorded in
+//! EXPERIMENTS.md come from `orpheus-cli figure2` (same measurement code,
+//! no Criterion sampling overhead).
+
+use orpheus::{Engine, Network, Personality};
+use orpheus_cli::InputScale;
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_tensor::Tensor;
+
+/// The input scale benches run at (env-controlled).
+pub fn bench_scale() -> InputScale {
+    if std::env::var("ORPHEUS_BENCH_FULL").is_ok() {
+        InputScale::Full
+    } else {
+        InputScale::Quick
+    }
+}
+
+/// Loads `model` under `personality` at the bench scale, returning the
+/// network and a matching input tensor.
+pub fn load_network(
+    personality: Personality,
+    model: ModelKind,
+    threads: usize,
+) -> (Network, Tensor) {
+    let hw = bench_scale().input_hw(model);
+    let engine = Engine::with_personality(personality, threads)
+        .expect("bench engine configuration is valid");
+    let graph = build_model_with_input(model, hw, hw);
+    let network = engine.load(graph).expect("zoo model lowers");
+    let input = Tensor::full(&[1, 3, hw, hw], 0.5);
+    (network, input)
+}
+
+/// Deterministic pseudo-random buffer for kernel benches.
+pub fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 ^ seed).wrapping_mul(0x9e3779b97f4a7c15);
+            ((x >> 34) as f32 / (1u64 << 30) as f32) - 1.0
+        })
+        .collect()
+}

@@ -1,0 +1,293 @@
+//! `orpheus-cli` — the experiment runner binary.
+//!
+//! ```text
+//! orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b]
+//!                     [--include-darknet] [--csv]
+//! orpheus-cli table1 [--measured]
+//! orpheus-cli layers --model M [--personality P] [--hw N]
+//! orpheus-cli depthwise [--hw N]
+//! orpheus-cli simplify --model M [--hw N] [--repeats N]
+//! orpheus-cli inspect --model M
+//! orpheus-cli sweep [--channels a,b] [--hws a,b] [--k N] [--stride N]
+//! orpheus-cli policy --model M [--hw N] [--repeats N]
+//! orpheus-cli export --model M --out FILE.onnx
+//! ```
+
+use std::process::ExitCode;
+
+use orpheus::Personality;
+use orpheus_cli::{
+    profile_model, run_depthwise_ablation, run_figure2, run_layer_profile, run_layer_sweep,
+    run_simplify_ablation, run_table1, Figure2Config, InputScale,
+};
+use orpheus_graph::passes::PassManager;
+use orpheus_models::{build_model, ModelKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b] [--include-darknet] [--csv]
+  orpheus-cli table1 [--measured]
+  orpheus-cli layers --model M [--personality P] [--hw N]
+  orpheus-cli depthwise [--hw N]
+  orpheus-cli simplify --model M [--hw N] [--repeats N]
+  orpheus-cli inspect --model M
+  orpheus-cli sweep [--channels a,b] [--hws a,b] [--k N] [--stride N]
+  orpheus-cli export --model M --out FILE.onnx
+  orpheus-cli policy --model M [--hw N] [--repeats N]
+  orpheus-cli validate (--model M | --onnx FILE) [--hw N]";
+
+/// Tiny `--flag value` argument scanner.
+struct Args<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} expects an integer, got {v:?}")),
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let args = Args { args: &argv[1..] };
+    match command.as_str() {
+        "figure2" => {
+            let models = match args.value("--models") {
+                None => ModelKind::FIGURE2.to_vec(),
+                Some(list) => list
+                    .split(',')
+                    .map(|name| {
+                        ModelKind::from_name(name).ok_or_else(|| format!("unknown model {name:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            let config = Figure2Config {
+                scale: if args.flag("--quick") {
+                    InputScale::Quick
+                } else {
+                    InputScale::Full
+                },
+                repeats: args.usize_or("--repeats", 3)?,
+                threads: args.usize_or("--threads", 1)?,
+                models,
+                include_darknet: args.flag("--include-darknet"),
+            };
+            let result = run_figure2(&config).map_err(|e| e.to_string())?;
+            if args.flag("--csv") {
+                print!("{}", result.to_csv());
+            } else {
+                println!(
+                    "Figure 2 reproduction: inference time, {} thread(s), scale = {:?}",
+                    config.threads, config.scale
+                );
+                print!("{}", result.render());
+            }
+            Ok(())
+        }
+        "table1" => {
+            let text = run_table1(args.flag("--measured")).map_err(|e| e.to_string())?;
+            println!("Table I reproduction: framework feature comparison (1-3)");
+            print!("{text}");
+            Ok(())
+        }
+        "layers" => {
+            let model = required_model(&args)?;
+            let personality = match args.value("--personality") {
+                None => Personality::Orpheus,
+                Some(p) => {
+                    Personality::from_name(p).ok_or_else(|| format!("unknown personality {p:?}"))?
+                }
+            };
+            let hw = args.usize_or("--hw", InputScale::Quick.input_hw(model))?;
+            let threads = args.usize_or("--threads", 1)?;
+            let text = run_layer_profile(personality, model, hw, threads)
+                .map_err(|e| e.to_string())?;
+            println!("per-layer profile: {model} under {personality} at {hw}x{hw}");
+            print!("{text}");
+            if let Some(path) = args.value("--trace") {
+                let profile = profile_model(personality, model, hw, threads)
+                    .map_err(|e| e.to_string())?;
+                std::fs::write(path, profile.to_chrome_trace())
+                    .map_err(|e| format!("writing {path:?}: {e}"))?;
+                println!("chrome trace written to {path} (open in chrome://tracing)");
+            }
+            Ok(())
+        }
+        "depthwise" => {
+            let hw = args.usize_or("--hw", 224)?;
+            let report = run_depthwise_ablation(hw, args.usize_or("--threads", 1)?)
+                .map_err(|e| e.to_string())?;
+            println!("MobileNetV1 depthwise layers at {hw}x{hw} input (13 layers, 1 pass):");
+            println!(
+                "  dedicated depthwise kernel (Orpheus/TVM): {:8.2} ms",
+                report.orpheus_depthwise_ms
+            );
+            println!(
+                "  generic im2col+GEMM path (PyTorch):       {:8.2} ms",
+                report.pytorch_depthwise_ms
+            );
+            println!("  slowdown: {:.1}x", report.slowdown);
+            Ok(())
+        }
+        "simplify" => {
+            let model = required_model(&args)?;
+            let hw = args.usize_or("--hw", InputScale::Quick.input_hw(model))?;
+            let report = run_simplify_ablation(model, hw, args.usize_or("--repeats", 3)?)
+                .map_err(|e| e.to_string())?;
+            println!("graph simplification ablation: {model} at {hw}x{hw}");
+            println!(
+                "  layers: {} -> {}",
+                report.layers_plain, report.layers_simplified
+            );
+            println!(
+                "  time:   {:.2} ms -> {:.2} ms ({:.2}x)",
+                report.plain_ms,
+                report.simplified_ms,
+                report.plain_ms / report.simplified_ms.max(1e-9)
+            );
+            Ok(())
+        }
+        "inspect" => {
+            let model = required_model(&args)?;
+            let mut graph = build_model(model);
+            println!("before simplification: {} nodes", graph.nodes().len());
+            PassManager::standard()
+                .run_to_fixpoint(&mut graph)
+                .map_err(|e| e.to_string())?;
+            println!("after simplification:  {} nodes", graph.nodes().len());
+            print!("{}", graph.render());
+            Ok(())
+        }
+        "sweep" => {
+            let parse_list = |name: &str, default: &[usize]| -> Result<Vec<usize>, String> {
+                match args.value(name) {
+                    None => Ok(default.to_vec()),
+                    Some(list) => list
+                        .split(',')
+                        .map(|v| v.parse().map_err(|_| format!("bad {name} entry {v:?}")))
+                        .collect(),
+                }
+            };
+            let channels = parse_list("--channels", &[16, 64, 256])?;
+            let hws = parse_list("--hws", &[8, 16, 32, 56])?;
+            let csv = run_layer_sweep(
+                &channels,
+                &hws,
+                args.usize_or("--k", 3)?,
+                args.usize_or("--stride", 1)?,
+                args.usize_or("--threads", 1)?,
+            )
+            .map_err(|e| e.to_string())?;
+            print!("{csv}");
+            Ok(())
+        }
+        "policy" => {
+            let model = required_model(&args)?;
+            let hw = args.usize_or("--hw", InputScale::Full.input_hw(model))?;
+            let rows = orpheus_cli::run_policy_comparison(
+                model,
+                hw,
+                args.usize_or("--repeats", 3)?,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("selection-policy comparison: {model} at {hw}x{hw}, 1 thread");
+            for (label, millis) in rows {
+                println!("  {label:<28} {millis:>9.2} ms");
+            }
+            Ok(())
+        }
+        "validate" => {
+            let hw_default;
+            let graph = if let Some(path) = args.value("--onnx") {
+                let bytes =
+                    std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+                let g = orpheus_onnx::import_model(&bytes).map_err(|e| e.to_string())?;
+                hw_default = g.inputs().first().map(|i| i.dims[2]).unwrap_or(32);
+                g
+            } else {
+                let model = required_model(&args)?;
+                hw_default = InputScale::Quick.input_hw(model);
+                let hw = args.usize_or("--hw", hw_default)?;
+                orpheus_models::build_model_with_input(model, hw, hw)
+            };
+            let dims = graph
+                .inputs()
+                .first()
+                .map(|i| i.dims.clone())
+                .ok_or_else(|| "model has no input".to_string())?;
+            let _ = hw_default;
+            let input = orpheus_tensor::Tensor::from_fn(&dims, |i| {
+                ((i * 31 % 97) as f32 / 97.0) - 0.5
+            });
+            let rows = orpheus_cli::run_backend_validation(&graph, &input)
+                .map_err(|e| e.to_string())?;
+            println!("backend validation vs orpheus reference ({} configs):", rows.len());
+            let mut failures = 0;
+            for row in &rows {
+                println!(
+                    "  {:<40} {}  (max |err| {:.2e})",
+                    row.label,
+                    if row.ok { "PASS" } else { "FAIL" },
+                    row.max_abs
+                );
+                if !row.ok {
+                    failures += 1;
+                }
+            }
+            if failures > 0 {
+                return Err(format!("{failures} backend(s) failed validation"));
+            }
+            Ok(())
+        }
+        "export" => {
+            let model = required_model(&args)?;
+            let out = args
+                .value("--out")
+                .ok_or_else(|| "--out is required".to_string())?;
+            let graph = build_model(model);
+            let bytes = orpheus_onnx::export_model(&graph).map_err(|e| e.to_string())?;
+            std::fs::write(out, &bytes).map_err(|e| format!("writing {out:?}: {e}"))?;
+            println!("wrote {} ({} bytes, {} nodes)", out, bytes.len(), graph.nodes().len());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn required_model(args: &Args) -> Result<ModelKind, String> {
+    let name = args
+        .value("--model")
+        .ok_or_else(|| "--model is required".to_string())?;
+    ModelKind::from_name(name).ok_or_else(|| format!("unknown model {name:?}"))
+}

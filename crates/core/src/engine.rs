@@ -1,0 +1,446 @@
+//! The engine (model loading) and network (execution) types.
+
+use std::time::Instant;
+
+use orpheus_graph::{passes::PassManager, Graph};
+use orpheus_onnx::import_model;
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+use crate::error::EngineError;
+use crate::lower::{lower, Plan};
+use crate::memory::MemoryTracker;
+use crate::personality::{Personality, ThreadPolicy};
+use crate::profile::{LayerTiming, Profile};
+use crate::selection::SelectionPolicy;
+
+/// Which simulated vendor library convolution layers are routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VendorBackend {
+    /// VNNL (DNNL-style).
+    Vnnl,
+    /// VCL (ACL-style).
+    Vcl,
+}
+
+/// Model loader: holds the execution configuration (threads, personality,
+/// selection policy, simplification) and lowers graphs into [`Network`]s.
+#[derive(Debug)]
+pub struct Engine {
+    pool: ThreadPool,
+    personality: Personality,
+    policy: SelectionPolicy,
+    simplify: bool,
+    vendor: Option<VendorBackend>,
+}
+
+impl Engine {
+    /// Creates an engine with the Orpheus personality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for a zero thread count.
+    pub fn new(threads: usize) -> Result<Self, EngineError> {
+        Engine::with_personality(Personality::Orpheus, threads)
+    }
+
+    /// Creates an engine configured as a framework personality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for a zero thread count, or when the
+    /// personality's thread policy rejects `threads` — notably `tflite-sim`
+    /// only accepts the maximum hardware thread count, reproducing the
+    /// paper's reason for excluding TF-Lite from its single-thread Figure 2.
+    pub fn with_personality(personality: Personality, threads: usize) -> Result<Self, EngineError> {
+        let pool = ThreadPool::new(threads)
+            .map_err(|e| EngineError::Config(e.to_string()))?;
+        if personality.thread_policy() == ThreadPolicy::MaxOnly {
+            let max = ThreadPool::max_hardware().num_threads();
+            if threads != max {
+                return Err(EngineError::Config(format!(
+                    "{personality} always selects the maximum number of threads \
+                     ({max}); requested {threads}"
+                )));
+            }
+        }
+        Ok(Engine {
+            pool,
+            policy: personality.conv_policy(),
+            simplify: personality.simplifies_graph(),
+            personality,
+            vendor: None,
+        })
+    }
+
+    /// Overrides the convolution selection policy (e.g. heuristic or
+    /// auto-tune instead of the personality's fixed algorithm).
+    pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables graph simplification (the `graph_simplify`
+    /// ablation knob).
+    pub fn with_simplification(mut self, simplify: bool) -> Self {
+        self.simplify = simplify;
+        self
+    }
+
+    /// Routes plain convolutions to a simulated vendor backend.
+    pub fn with_vendor_backend(mut self, vendor: VendorBackend) -> Self {
+        self.vendor = Some(vendor);
+        self
+    }
+
+    /// The engine's thread pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// The configured personality.
+    pub fn personality(&self) -> Personality {
+        self.personality
+    }
+
+    /// The active selection policy.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// The vendor routing, if any.
+    pub fn vendor_backend(&self) -> Option<VendorBackend> {
+        self.vendor
+    }
+
+    /// Whether graphs are simplified before lowering.
+    pub fn simplifies(&self) -> bool {
+        self.simplify
+    }
+
+    /// Loads a graph: simplify (per configuration), select implementations,
+    /// and lower to an executable network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation and lowering failures.
+    pub fn load(&self, mut graph: Graph) -> Result<Network, EngineError> {
+        if self.simplify {
+            PassManager::standard().run_to_fixpoint(&mut graph)?;
+        }
+        let plan = lower(self, &graph)?;
+        Ok(Network {
+            name: graph.name.clone(),
+            plan,
+            pool: self.pool.clone(),
+        })
+    }
+
+    /// Loads a model from ONNX bytes (the paper's import path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ONNX parsing errors and [`Engine::load`] failures.
+    pub fn load_onnx(&self, bytes: &[u8]) -> Result<Network, EngineError> {
+        let graph = import_model(bytes)?;
+        self.load(graph)
+    }
+}
+
+/// An executable network: the lowered plan plus the thread pool it runs on.
+#[derive(Debug)]
+pub struct Network {
+    name: String,
+    plan: Plan,
+    pool: ThreadPool,
+}
+
+impl Network {
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of executable layers.
+    pub fn num_layers(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    /// The expected input dims.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.plan.input_dims
+    }
+
+    /// Total FLOPs per inference (convolutions + dense layers).
+    pub fn flops(&self) -> u64 {
+        self.plan.steps.iter().map(|s| s.layer.flops()).sum()
+    }
+
+    /// One line per layer: name, op, selected implementation.
+    pub fn describe(&self) -> String {
+        let mut out = format!("network {} ({} layers)\n", self.name, self.num_layers());
+        for step in &self.plan.steps {
+            out.push_str(&format!(
+                "  {:<30} {:<12} {}\n",
+                step.layer.name(),
+                step.layer.op_name(),
+                step.layer.implementation()
+            ));
+        }
+        out
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Execution`] if the input dims do not match the
+    /// loaded model, or if a layer fails.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, EngineError> {
+        self.execute(input, false).map(|(t, _)| t)
+    }
+
+    /// Runs one inference, returning per-layer timings and memory stats.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::run`].
+    pub fn run_profiled(&self, input: &Tensor) -> Result<(Tensor, Profile), EngineError> {
+        let (out, profile) = self.execute(input, true)?;
+        Ok((out, profile.expect("profiled run returns a profile")))
+    }
+
+    fn execute(
+        &self,
+        input: &Tensor,
+        profiled: bool,
+    ) -> Result<(Tensor, Option<Profile>), EngineError> {
+        if input.dims() != self.plan.input_dims {
+            return Err(EngineError::Execution(format!(
+                "input dims {:?} do not match model input {:?}",
+                input.dims(),
+                self.plan.input_dims
+            )));
+        }
+        let start = Instant::now();
+        let mut slots: Vec<Option<Tensor>> = (0..self.plan.num_slots).map(|_| None).collect();
+        let mut tracker = MemoryTracker::new();
+        tracker.allocate(input.len() * 4);
+        slots[self.plan.input_slot] = Some(input.clone());
+        let mut timings = if profiled {
+            Vec::with_capacity(self.plan.steps.len())
+        } else {
+            Vec::new()
+        };
+
+        for (step_idx, step) in self.plan.steps.iter().enumerate() {
+            let inputs: Vec<&Tensor> = step
+                .inputs
+                .iter()
+                .map(|&s| {
+                    slots[s].as_ref().ok_or_else(|| {
+                        EngineError::Execution(format!(
+                            "layer {:?} reads slot {s} before it is produced",
+                            step.layer.name()
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let layer_start = Instant::now();
+            let output = step.layer.run(&inputs, &self.pool)?;
+            if profiled {
+                timings.push(LayerTiming {
+                    name: step.layer.name().to_string(),
+                    op: step.layer.op_name().to_string(),
+                    implementation: step.layer.implementation(),
+                    duration: layer_start.elapsed(),
+                    flops: step.layer.flops(),
+                });
+            }
+            tracker.allocate(output.len() * 4);
+            slots[step.output] = Some(output);
+            // Liveness-driven reclamation: free every slot whose final
+            // consumer was this step.
+            for (slot_idx, &last) in self.plan.last_use.iter().enumerate() {
+                if last == step_idx && slot_idx != self.plan.output_slot {
+                    if let Some(t) = slots[slot_idx].take() {
+                        tracker.free_early(t.len() * 4);
+                    }
+                }
+            }
+        }
+
+        let output = slots[self.plan.output_slot]
+            .take()
+            .ok_or_else(|| EngineError::Execution("output slot empty after run".into()))?;
+        let profile = profiled.then(|| Profile {
+            timings,
+            total: start.elapsed(),
+            memory: tracker.finish(),
+        });
+        Ok((output, profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_models::{build_model, ModelKind};
+
+    #[test]
+    fn zero_threads_rejected() {
+        assert!(matches!(Engine::new(0), Err(EngineError::Config(_))));
+    }
+
+    #[test]
+    fn tflite_sim_rejects_non_max_threads() {
+        let max = ThreadPool::max_hardware().num_threads();
+        // On a 1-core host max == 1, so ask for max+1 to trigger the error.
+        let err = Engine::with_personality(Personality::TfliteSim, max + 1).unwrap_err();
+        assert!(err.to_string().contains("maximum number of threads"));
+        assert!(Engine::with_personality(Personality::TfliteSim, max).is_ok());
+    }
+
+    #[test]
+    fn tiny_cnn_runs_end_to_end() {
+        let engine = Engine::new(1).unwrap();
+        let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
+        let input = Tensor::ones(&[1, 3, 8, 8]);
+        let out = network.run(&input).unwrap();
+        assert_eq!(out.dims(), &[1, 4]);
+        // Softmax output sums to 1.
+        assert!((out.sum() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn simplification_shrinks_plan() {
+        let graph = build_model(ModelKind::TinyCnn);
+        let plain = Engine::new(1)
+            .unwrap()
+            .with_simplification(false)
+            .load(graph.clone())
+            .unwrap();
+        let simplified = Engine::new(1).unwrap().load(graph).unwrap();
+        assert!(
+            simplified.num_layers() < plain.num_layers(),
+            "{} !< {}",
+            simplified.num_layers(),
+            plain.num_layers()
+        );
+    }
+
+    #[test]
+    fn simplified_and_plain_agree_numerically() {
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| (i % 7) as f32 * 0.1);
+        let plain = Engine::new(1)
+            .unwrap()
+            .with_simplification(false)
+            .load(graph.clone())
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let simplified = Engine::new(1).unwrap().load(graph).unwrap().run(&input).unwrap();
+        let r = orpheus_tensor::allclose(&simplified, &plain, 1e-3, 1e-4);
+        assert!(r.ok, "simplification changed results: {r:?}");
+    }
+
+    #[test]
+    fn personalities_agree_numerically() {
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 13) % 11) as f32 * 0.05);
+        let reference = Engine::with_personality(Personality::Orpheus, 1)
+            .unwrap()
+            .load(graph.clone())
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        for p in [
+            Personality::TvmSim,
+            Personality::PytorchSim,
+            Personality::DarknetSim,
+        ] {
+            let out = Engine::with_personality(p, 1)
+                .unwrap()
+                .load(graph.clone())
+                .unwrap()
+                .run(&input)
+                .unwrap();
+            let r = orpheus_tensor::allclose(&out, &reference, 1e-3, 1e-4);
+            assert!(r.ok, "{p} disagrees: {r:?}");
+        }
+    }
+
+    #[test]
+    fn profiled_run_reports_every_layer() {
+        let engine = Engine::new(1).unwrap();
+        let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
+        let input = Tensor::ones(&[1, 3, 8, 8]);
+        let (_, profile) = network.run_profiled(&input).unwrap();
+        assert_eq!(profile.timings.len(), network.num_layers());
+        assert!(profile.total.as_nanos() > 0);
+        assert!(profile.memory.peak_bytes > 0);
+        assert!(profile.memory.tensors_freed_early > 0);
+    }
+
+    #[test]
+    fn wrong_input_dims_rejected() {
+        let engine = Engine::new(1).unwrap();
+        let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
+        assert!(network.run(&Tensor::ones(&[1, 3, 9, 9])).is_err());
+    }
+
+    #[test]
+    fn onnx_round_trip_through_engine() {
+        let graph = build_model(ModelKind::TinyCnn);
+        let bytes = orpheus_onnx::export_model(&graph).unwrap();
+        let engine = Engine::new(1).unwrap();
+        let network = engine.load_onnx(&bytes).unwrap();
+        let direct = engine.load(graph).unwrap();
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| (i % 5) as f32 * 0.2);
+        let a = network.run(&input).unwrap();
+        let b = direct.run(&input).unwrap();
+        let r = orpheus_tensor::allclose(&a, &b, 1e-4, 1e-5);
+        assert!(r.ok, "onnx round trip changed results: {r:?}");
+    }
+
+    #[test]
+    fn vendor_backends_agree_with_native() {
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 7) % 9) as f32 * 0.1);
+        let native = Engine::new(1).unwrap().load(graph.clone()).unwrap().run(&input).unwrap();
+        for vendor in [VendorBackend::Vnnl, VendorBackend::Vcl] {
+            let net = Engine::new(1)
+                .unwrap()
+                .with_vendor_backend(vendor)
+                .load(graph.clone())
+                .unwrap();
+            assert!(
+                net.describe().contains("vendor:"),
+                "vendor layer not selected:\n{}",
+                net.describe()
+            );
+            let out = net.run(&input).unwrap();
+            let r = orpheus_tensor::allclose(&out, &native, 1e-3, 1e-4);
+            assert!(r.ok, "{vendor:?} disagrees: {r:?}");
+        }
+    }
+
+    #[test]
+    fn network_flops_positive_for_conv_nets() {
+        let engine = Engine::new(1).unwrap();
+        let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
+        assert!(network.flops() > 0);
+        assert!(network.describe().contains("Conv"));
+    }
+
+    #[test]
+    fn auto_tune_policy_loads_and_runs() {
+        let engine = Engine::new(1)
+            .unwrap()
+            .with_policy(SelectionPolicy::AutoTune { trials: 1 });
+        let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
+        let out = network.run(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
+        assert_eq!(out.dims(), &[1, 4]);
+    }
+}

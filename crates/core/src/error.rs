@@ -1,0 +1,93 @@
+//! Engine-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use orpheus_graph::GraphError;
+use orpheus_onnx::OnnxError;
+use orpheus_ops::OpError;
+
+/// Error raised while loading or executing a network.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The input graph is invalid.
+    Graph(GraphError),
+    /// ONNX parsing failed.
+    Onnx(OnnxError),
+    /// An operator rejected its configuration or inputs.
+    Op(OpError),
+    /// Lowering could not translate a node into a layer.
+    Lowering {
+        /// The node that failed.
+        node: String,
+        /// Why.
+        reason: String,
+    },
+    /// The engine configuration is invalid (e.g. tflite-sim with 1 thread).
+    Config(String),
+    /// Execution failed (bad input shape, missing feed...).
+    Execution(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Graph(e) => write!(f, "{e}"),
+            EngineError::Onnx(e) => write!(f, "{e}"),
+            EngineError::Op(e) => write!(f, "{e}"),
+            EngineError::Lowering { node, reason } => {
+                write!(f, "cannot lower node {node:?}: {reason}")
+            }
+            EngineError::Config(msg) => write!(f, "engine configuration error: {msg}"),
+            EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Graph(e) => Some(e),
+            EngineError::Onnx(e) => Some(e),
+            EngineError::Op(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl From<OnnxError> for EngineError {
+    fn from(e: OnnxError) -> Self {
+        EngineError::Onnx(e)
+    }
+}
+
+impl From<OpError> for EngineError {
+    fn from(e: OpError) -> Self {
+        EngineError::Op(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: EngineError = GraphError::Cycle.into();
+        assert!(Error::source(&e).is_some());
+        let e: EngineError = OpError::InvalidParams("x".into()).into();
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

@@ -1,0 +1,99 @@
+//! The first-class layer abstraction.
+
+use std::fmt;
+
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+use crate::error::EngineError;
+
+/// A runnable network layer — the paper's "first class citizen".
+///
+/// A `Layer` owns its weights and any implementation-specific pre-packed
+/// state; what varies between implementations of the same operator is hidden
+/// behind this trait, which is exactly what lets Orpheus swap algorithms at
+/// runtime without touching the execution engine.
+///
+/// The trait is object-safe: the execution plan stores `Box<dyn Layer>`.
+pub trait Layer: fmt::Debug + Send + Sync {
+    /// Instance name (usually the graph node name).
+    fn name(&self) -> &str;
+
+    /// Operator family, e.g. `"Conv"`, `"Dense"`, `"MaxPool"`.
+    fn op_name(&self) -> &str;
+
+    /// Human-readable description of the selected implementation,
+    /// e.g. `"im2col-gemm(packed)"` or `"vendor:vnnl"`.
+    fn implementation(&self) -> String;
+
+    /// Executes the layer.
+    ///
+    /// `inputs` are the activation tensors in graph-input order (weights are
+    /// layer state, not inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when input shapes do not match the layer.
+    fn run(&self, inputs: &[&Tensor], pool: &ThreadPool) -> Result<Tensor, EngineError>;
+
+    /// Floating-point operations per invocation (0 when unknown or
+    /// negligible); used by the profiler to report effective GFLOP/s.
+    fn flops(&self) -> u64 {
+        0
+    }
+}
+
+/// Checks the arity of a layer's inputs — shared helper for implementations.
+pub(crate) fn expect_inputs<'a>(
+    layer: &str,
+    inputs: &'a [&'a Tensor],
+    expected: usize,
+) -> Result<&'a [&'a Tensor], EngineError> {
+    if inputs.len() != expected {
+        return Err(EngineError::Execution(format!(
+            "layer {layer:?} expects {expected} inputs, got {}",
+            inputs.len()
+        )));
+    }
+    Ok(inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Doubler;
+    impl Layer for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn op_name(&self) -> &str {
+            "Scale"
+        }
+        fn implementation(&self) -> String {
+            "map".into()
+        }
+        fn run(&self, inputs: &[&Tensor], _pool: &ThreadPool) -> Result<Tensor, EngineError> {
+            let inputs = expect_inputs(self.name(), inputs, 1)?;
+            Ok(inputs[0].map(|x| x * 2.0))
+        }
+    }
+
+    #[test]
+    fn layer_trait_is_object_safe() {
+        let layer: Box<dyn Layer> = Box::new(Doubler);
+        let t = Tensor::ones(&[2]);
+        let out = layer.run(&[&t], &ThreadPool::single()).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, 2.0]);
+        assert_eq!(layer.flops(), 0);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let layer = Doubler;
+        let t = Tensor::ones(&[1]);
+        assert!(layer.run(&[&t, &t], &ThreadPool::single()).is_err());
+        assert!(layer.run(&[], &ThreadPool::single()).is_err());
+    }
+}

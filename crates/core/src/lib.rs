@@ -1,0 +1,68 @@
+//! # Orpheus — a deep learning inference framework for systems research
+//!
+//! Rust reproduction of *"Orpheus: A New Deep Learning Framework for Easy
+//! Deployment and Evaluation of Edge Inference"* (Gibson & Cano, ISPASS
+//! 2020). The framework's design goal, quoting the paper, is to
+//! *"transparently support experimentation with alternative backends"*:
+//! layers are first-class citizens with multiple implementations selected at
+//! runtime.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  ONNX bytes ──► orpheus-onnx ──► orpheus-graph ──► simplification passes
+//!                                                        │
+//!                                   Engine::load ◄───────┘
+//!                                        │  (lowering + implementation selection)
+//!                                        ▼
+//!                                    Network (executable plan)
+//!                                        │  run / run_profiled
+//!                                        ▼
+//!                                  output + per-layer Profile
+//! ```
+//!
+//! * [`Layer`] — the first-class layer trait; implementations live in
+//!   [`layers`] and wrap the algorithm menagerie of `orpheus-ops` plus the
+//!   simulated vendor backends of `orpheus-backends`.
+//! * [`SelectionPolicy`] — how the engine picks an implementation per layer:
+//!   fixed, size-heuristic, or measure-and-choose auto-tuning.
+//! * [`Personality`] — framework personalities (`orpheus`, `tvm-sim`,
+//!   `pytorch-sim`, `darknet-sim`, `tflite-sim`) that configure the engine to
+//!   model the baselines of the paper's Figure 2 and Table I.
+//! * [`Engine`] / [`Network`] — model loading and execution with per-layer
+//!   profiling and liveness-based memory management.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use orpheus::{Engine, Personality};
+//! use orpheus_models::{build_model, ModelKind};
+//! use orpheus_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = Engine::with_personality(Personality::Orpheus, 1)?;
+//! let network = engine.load(build_model(ModelKind::TinyCnn))?;
+//! let input = Tensor::ones(&[1, 3, 8, 8]);
+//! let probs = network.run(&input)?;
+//! assert_eq!(probs.dims(), &[1, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+mod error;
+mod layer;
+pub mod layers;
+mod lower;
+mod memory;
+mod personality;
+mod profile;
+mod selection;
+
+pub use engine::{Engine, Network, VendorBackend};
+pub use error::EngineError;
+pub use layer::Layer;
+pub use memory::MemoryStats;
+pub use personality::{Capability, Personality, ThreadPolicy, CAPABILITY_CRITERIA};
+pub use profile::{LayerTiming, Profile};
+pub use selection::SelectionPolicy;

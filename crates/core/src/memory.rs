@@ -1,0 +1,73 @@
+//! Activation-memory accounting.
+//!
+//! The executor frees each intermediate tensor immediately after its last
+//! consumer runs (liveness computed at lowering time). On edge devices —
+//! the paper's deployment target — activation memory is often the binding
+//! constraint, so the executor reports what this policy achieved. The
+//! `memory_planner` bench compares it against keep-everything execution.
+
+/// Statistics from one network run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Peak bytes of live activation tensors.
+    pub peak_bytes: usize,
+    /// Sum of all activation bytes ever allocated during the run.
+    pub total_allocated_bytes: usize,
+    /// Tensors dropped before the end of the run thanks to liveness
+    /// analysis.
+    pub tensors_freed_early: usize,
+}
+
+/// Tracks live-tensor bytes during execution.
+#[derive(Debug, Default)]
+pub(crate) struct MemoryTracker {
+    current: usize,
+    stats: MemoryStats,
+}
+
+impl MemoryTracker {
+    pub(crate) fn new() -> Self {
+        MemoryTracker::default()
+    }
+
+    /// Records a tensor of `bytes` coming alive.
+    pub(crate) fn allocate(&mut self, bytes: usize) {
+        self.current += bytes;
+        self.stats.total_allocated_bytes += bytes;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.current);
+    }
+
+    /// Records a tensor of `bytes` being dropped before run end.
+    pub(crate) fn free_early(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+        self.stats.tensors_freed_early += 1;
+    }
+
+    /// Final statistics.
+    pub(crate) fn finish(self) -> MemoryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut t = MemoryTracker::new();
+        t.allocate(100);
+        t.allocate(50);
+        t.free_early(100);
+        t.allocate(20);
+        let stats = t.finish();
+        assert_eq!(stats.peak_bytes, 150);
+        assert_eq!(stats.total_allocated_bytes, 170);
+        assert_eq!(stats.tensors_freed_early, 1);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        assert_eq!(MemoryStats::default().peak_bytes, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Runtime implementation selection.
+//!
+//! "In Orpheus, layers are treated as first class citizens, and have
+//! multiple implementations which are selected at runtime." This module is
+//! the selector. Three policies are provided, forming the
+//! `selection_policy` ablation axis:
+//!
+//! * [`SelectionPolicy::Fixed`] — one algorithm for every convolution (what
+//!   each framework personality pins);
+//! * [`SelectionPolicy::Heuristic`] — the paper's "GEMM pays off for big
+//!   matrices" observation refined by measurement on this reproduction's
+//!   kernels: GEMM unless the reduction is too shallow to feed the packed
+//!   micro-kernel, a dedicated kernel for depthwise;
+//! * [`SelectionPolicy::AutoTune`] — measure each candidate on the layer's
+//!   real shape and keep the fastest (TVM's approach, in miniature).
+
+use std::time::Instant;
+
+use orpheus_ops::conv::{Conv2d, Conv2dParams, ConvAlgorithm};
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+/// How the engine chooses a convolution implementation per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum SelectionPolicy {
+    /// Always use this algorithm (depthwise layers fall back to
+    /// `DepthwiseDirect` when the algorithm cannot run them).
+    Fixed(ConvAlgorithm),
+    /// Choose by layer geometry.
+    #[default]
+    Heuristic,
+    /// Benchmark each candidate on the layer's real shape; keep the fastest.
+    AutoTune {
+        /// Timed trials per candidate (after one warm-up run).
+        trials: usize,
+    },
+}
+
+
+impl SelectionPolicy {
+    /// Selects an algorithm for a convolution of `params` on an input of
+    /// spatial size `(h, w)`.
+    pub fn select(&self, params: &Conv2dParams, h: usize, w: usize, pool: &ThreadPool) -> ConvAlgorithm {
+        let chosen = match *self {
+            SelectionPolicy::Fixed(algo) => algo,
+            SelectionPolicy::Heuristic => heuristic(params, h, w),
+            SelectionPolicy::AutoTune { trials } => auto_tune(params, h, w, pool, trials.max(1)),
+        };
+        // Guarantee applicability regardless of policy.
+        if chosen.supports(params) {
+            chosen
+        } else if params.is_depthwise() {
+            ConvAlgorithm::DepthwiseDirect
+        } else {
+            ConvAlgorithm::default()
+        }
+    }
+}
+
+/// Geometry rule calibrated against the `orpheus-cli sweep` measurements on
+/// this reproduction's kernels (see EXPERIMENTS.md).
+///
+/// The deciding quantity is the GEMM *reduction depth* `K = ci·kh·kw`: the
+/// packed micro-kernel needs enough accumulation per output tile to amortize
+/// its panel packing, so shallow layers (RGB stems, 16-channel CIFAR layers)
+/// run faster under direct spatial packing. This refines the paper's "GEMM
+/// pays off for big matrices" observation with the measured crossover.
+fn heuristic(params: &Conv2dParams, _h: usize, _w: usize) -> ConvAlgorithm {
+    if params.is_depthwise() {
+        return ConvAlgorithm::DepthwiseDirect;
+    }
+    if params.groups > 1 {
+        return ConvAlgorithm::default();
+    }
+    // Pointwise stride-1 convolutions have no im2col cost at all.
+    let pointwise = params.kernel_h == 1
+        && params.kernel_w == 1
+        && params.stride_h == 1
+        && params.stride_w == 1;
+    if pointwise {
+        return ConvAlgorithm::default();
+    }
+    let k = (params.in_channels / params.groups) * params.kernel_h * params.kernel_w;
+    // Shallow reductions starve the packed micro-kernel: `orpheus-cli sweep`
+    // measures ~6 GFLOP/s at k = 144 (16-channel 3x3, or an RGB stem) vs
+    // ~16 GFLOP/s for spatial packing, with the crossover near k ≈ 300;
+    // beyond it GEMM wins at every feature-map size measured.
+    const MIN_GEMM_DEPTH: usize = 300;
+    if k < MIN_GEMM_DEPTH {
+        ConvAlgorithm::SpatialPack
+    } else {
+        ConvAlgorithm::default()
+    }
+}
+
+/// Candidate set for auto-tuning a given geometry.
+pub(crate) fn candidates(params: &Conv2dParams) -> Vec<ConvAlgorithm> {
+    use orpheus_gemm::GemmKernel;
+    let all = [
+        ConvAlgorithm::Im2colGemm(GemmKernel::Packed),
+        ConvAlgorithm::SpatialPack,
+        ConvAlgorithm::Winograd,
+        ConvAlgorithm::DepthwiseDirect,
+    ];
+    all.into_iter().filter(|a| a.supports(params)).collect()
+}
+
+/// Times each candidate on a synthetic input of the layer's real shape.
+fn auto_tune(
+    params: &Conv2dParams,
+    h: usize,
+    w: usize,
+    pool: &ThreadPool,
+    trials: usize,
+) -> ConvAlgorithm {
+    let input = Tensor::full(&[1, params.in_channels, h, w], 0.5);
+    let wd = params.weight_dims();
+    let weight = Tensor::full(&wd, 0.01);
+    let mut best: Option<(ConvAlgorithm, f64)> = None;
+    for algo in candidates(params) {
+        let Ok(conv) = Conv2d::new(*params, weight.clone(), None, algo) else {
+            continue;
+        };
+        // Warm-up (also allocates scratch paths).
+        if conv.run(&input, pool).is_err() {
+            continue;
+        }
+        let start = Instant::now();
+        for _ in 0..trials {
+            let _ = conv.run(&input, pool);
+        }
+        let elapsed = start.elapsed().as_secs_f64() / trials as f64;
+        if best.map(|(_, t)| elapsed < t).unwrap_or(true) {
+            best = Some((algo, elapsed));
+        }
+    }
+    best.map(|(a, _)| a).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_gemm::GemmKernel;
+
+    #[test]
+    fn fixed_policy_respects_choice() {
+        let p = Conv2dParams::square(16, 16, 3).with_padding(1, 1);
+        let algo = SelectionPolicy::Fixed(ConvAlgorithm::SpatialPack)
+            .select(&p, 32, 32, &ThreadPool::single());
+        assert_eq!(algo, ConvAlgorithm::SpatialPack);
+    }
+
+    #[test]
+    fn fixed_policy_falls_back_for_depthwise() {
+        // Winograd cannot run depthwise; policy must substitute.
+        let p = Conv2dParams::depthwise(16, 3).with_padding(1, 1);
+        let algo = SelectionPolicy::Fixed(ConvAlgorithm::Winograd)
+            .select(&p, 32, 32, &ThreadPool::single());
+        assert_eq!(algo, ConvAlgorithm::DepthwiseDirect);
+    }
+
+    #[test]
+    fn heuristic_prefers_gemm_for_wide_layers() {
+        // WRN wide layer: 64ch 3x3 on 16x16 → deep reduction, small columns.
+        let small = Conv2dParams::square(64, 64, 3).with_padding(1, 1);
+        assert_eq!(
+            SelectionPolicy::Heuristic.select(&small, 16, 16, &ThreadPool::single()),
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed)
+        );
+    }
+
+    #[test]
+    fn heuristic_prefers_spatial_pack_for_shallow_reductions() {
+        // An RGB stem (k = 3*7*7 = 147) starves the GEMM micro-kernel.
+        let stem = Conv2dParams::square(3, 64, 7).with_stride(2, 2).with_padding(3, 3);
+        assert_eq!(
+            SelectionPolicy::Heuristic.select(&stem, 224, 224, &ThreadPool::single()),
+            ConvAlgorithm::SpatialPack
+        );
+        // 16-channel 3x3 (k = 144) likewise.
+        let thin = Conv2dParams::square(16, 16, 3).with_padding(1, 1);
+        assert_eq!(
+            SelectionPolicy::Heuristic.select(&thin, 32, 32, &ThreadPool::single()),
+            ConvAlgorithm::SpatialPack
+        );
+    }
+
+    #[test]
+    fn heuristic_keeps_gemm_for_deep_reductions() {
+        // ResNet-18 stage-1 layer: 64ch 3x3 (k = 576) — GEMM wins even with
+        // a 7 MiB column matrix (measured).
+        let deep = Conv2dParams::square(64, 64, 3).with_padding(1, 1);
+        assert_eq!(
+            SelectionPolicy::Heuristic.select(&deep, 56, 56, &ThreadPool::single()),
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed)
+        );
+    }
+
+    #[test]
+    fn heuristic_prefers_gemm_for_pointwise() {
+        // MobileNet/ResNet-50 pointwise layers skip im2col entirely.
+        let pw = Conv2dParams::square(512, 512, 1);
+        assert_eq!(
+            SelectionPolicy::Heuristic.select(&pw, 28, 28, &ThreadPool::single()),
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed)
+        );
+    }
+
+    #[test]
+    fn heuristic_uses_depthwise_kernel() {
+        let dw = Conv2dParams::depthwise(512, 3).with_padding(1, 1);
+        assert_eq!(
+            SelectionPolicy::Heuristic.select(&dw, 14, 14, &ThreadPool::single()),
+            ConvAlgorithm::DepthwiseDirect
+        );
+    }
+
+    #[test]
+    fn candidate_sets_respect_support() {
+        let dw = Conv2dParams::depthwise(8, 3);
+        let c = candidates(&dw);
+        assert!(c.contains(&ConvAlgorithm::DepthwiseDirect));
+        assert!(!c.contains(&ConvAlgorithm::Winograd));
+        let strided = Conv2dParams::square(8, 8, 3).with_stride(2, 2);
+        assert!(!candidates(&strided).contains(&ConvAlgorithm::Winograd));
+    }
+
+    #[test]
+    fn auto_tune_returns_supported_algorithm() {
+        let p = Conv2dParams::square(4, 8, 3).with_padding(1, 1);
+        let algo =
+            SelectionPolicy::AutoTune { trials: 1 }.select(&p, 8, 8, &ThreadPool::single());
+        assert!(algo.supports(&p));
+    }
+}

@@ -1,0 +1,324 @@
+//! BLIS-style packed GEMM with a register-tiled micro-kernel.
+//!
+//! The matrix is processed in `MC x KC` panels of `A` and `KC x NC` panels of
+//! `B`, both repacked into micro-panel order so the micro-kernel streams
+//! through memory with unit stride. The micro-kernel computes an `MR x NR`
+//! block of `C` held entirely in local accumulators, which the compiler keeps
+//! in vector registers.
+
+use crate::kernels::scale_c;
+
+/// Rows of the register tile.
+pub(crate) const MR: usize = 4;
+/// Columns of the register tile (two AVX2 vectors worth of f32).
+pub(crate) const NR: usize = 16;
+/// Rows of the cache-resident `A` panel.
+const MC: usize = 64;
+/// Shared dimension of the cache-resident panels.
+const KC: usize = 256;
+
+/// Below this output width the register-tiled kernel wastes most of its
+/// `NR`-wide tile; [`gemm_small_n`] takes over.
+pub(crate) const SMALL_N: usize = 16;
+
+/// Packed-panel GEMM: `C = A·B + beta·C`.
+pub(crate) fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    debug_assert!(n >= SMALL_N || cfg!(test), "driver routes n < SMALL_N to gemm_small_n");
+    scale_c(m, n, c, ldc, beta);
+    if k == 0 {
+        return;
+    }
+
+    let mut a_pack = vec![0.0f32; MC * KC];
+    let mut b_pack = vec![0.0f32; KC * n.div_ceil(NR) * NR];
+
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        pack_b(&mut b_pack, b, ldb, p0, kc, n);
+        for i0 in (0..m).step_by(MC) {
+            let mc = MC.min(m - i0);
+            pack_a(&mut a_pack, a, lda, i0, mc, p0, kc);
+            // Multiply the packed panels: iterate register tiles of C.
+            for jr in (0..n).step_by(NR) {
+                let nr = NR.min(n - jr);
+                let b_panel = &b_pack[(jr / NR) * kc * NR..(jr / NR + 1) * kc * NR];
+                for ir in (0..mc).step_by(MR) {
+                    let mr = MR.min(mc - ir);
+                    let a_panel = &a_pack[(ir / MR) * kc * MR..(ir / MR + 1) * kc * MR];
+                    if mr == MR && nr == NR {
+                        micro_kernel_full(a_panel, b_panel, kc, c, ldc, i0 + ir, jr);
+                    } else {
+                        micro_kernel_edge(a_panel, b_panel, kc, c, ldc, i0 + ir, jr, mr, nr);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// GEMM for narrow outputs (`n < SMALL_N`), covering GEMV (`n == 1`, the
+/// dense classifier heads) and late convolution stages whose feature maps
+/// have shrunk to a few pixels.
+///
+/// Register tiles are useless here; instead `B` is transposed once into
+/// `n` contiguous rows of length `k`, and each output is a dot product that
+/// vectorizes along `k`.
+pub(crate) fn gemm_small_n(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    scale_c(m, n, c, ldc, beta);
+    if k == 0 {
+        return;
+    }
+    // Bᵀ: row j holds column j of B, contiguous along k.
+    let mut bt = vec![0.0f32; n * k];
+    for p in 0..k {
+        let src = &b[p * ldb..p * ldb + n];
+        for (j, &v) in src.iter().enumerate() {
+            bt[j * k + p] = v;
+        }
+    }
+    for i in 0..m {
+        let a_row = &a[i * lda..i * lda + k];
+        let c_row = &mut c[i * ldc..i * ldc + n];
+        for (j, out) in c_row.iter_mut().enumerate() {
+            let b_row = &bt[j * k..(j + 1) * k];
+            // Four independent partial sums so the reduction vectorizes.
+            let mut acc = [0.0f32; 4];
+            let chunks = k / 4;
+            for q in 0..chunks {
+                for l in 0..4 {
+                    acc[l] += a_row[q * 4 + l] * b_row[q * 4 + l];
+                }
+            }
+            let mut tail = 0.0f32;
+            for q in chunks * 4..k {
+                tail += a_row[q] * b_row[q];
+            }
+            *out += acc[0] + acc[1] + acc[2] + acc[3] + tail;
+        }
+    }
+}
+
+/// Packs an `mc x kc` panel of `A` into micro-panels of `MR` rows:
+/// element order is `[tile][p][r]` so the micro-kernel reads MR values per
+/// `p` with unit stride. Ragged tiles are zero-padded.
+fn pack_a(dst: &mut [f32], a: &[f32], lda: usize, i0: usize, mc: usize, p0: usize, kc: usize) {
+    let tiles = mc.div_ceil(MR);
+    for t in 0..tiles {
+        let base = t * kc * MR;
+        for p in 0..kc {
+            for r in 0..MR {
+                let i = i0 + t * MR + r;
+                dst[base + p * MR + r] = if t * MR + r < mc {
+                    a[i * lda + p0 + p]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs a `kc x n` panel of `B` into micro-panels of `NR` columns:
+/// element order is `[tile][p][c]`. Ragged tiles are zero-padded.
+fn pack_b(dst: &mut [f32], b: &[f32], ldb: usize, p0: usize, kc: usize, n: usize) {
+    let tiles = n.div_ceil(NR);
+    for t in 0..tiles {
+        let base = t * kc * NR;
+        let j0 = t * NR;
+        let cols = NR.min(n - j0);
+        for p in 0..kc {
+            let src = &b[(p0 + p) * ldb + j0..(p0 + p) * ldb + j0 + cols];
+            let row = &mut dst[base + p * NR..base + (p + 1) * NR];
+            row[..cols].copy_from_slice(src);
+            row[cols..].fill(0.0);
+        }
+    }
+}
+
+/// Full `MR x NR` register tile: accumulators live in a fixed-size local
+/// array the compiler promotes to vector registers.
+fn micro_kernel_full(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+    ci: usize,
+    cj: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let a_vals = &a_panel[p * MR..(p + 1) * MR];
+        let b_vals = &b_panel[p * NR..(p + 1) * NR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = a_vals[r];
+            for (x, &bv) in row.iter_mut().zip(b_vals) {
+                *x += ar * bv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let out = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + NR];
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+}
+
+/// Ragged edge tile: same math, bounds-checked write-back.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_edge(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let a_vals = &a_panel[p * MR..(p + 1) * MR];
+        let b_vals = &b_panel[p * NR..(p + 1) * NR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = a_vals[r];
+            for (x, &bv) in row.iter_mut().zip(b_vals) {
+                *x += ar * bv;
+            }
+        }
+    }
+    for r in 0..mr {
+        let out = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + nr];
+        for (o, &x) in out.iter_mut().zip(acc[r][..nr].iter()) {
+            *o += x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm_naive;
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 % 19) as f32 - 9.0) * scale).collect()
+    }
+
+    fn compare(m: usize, n: usize, k: usize) {
+        let a = seq(m * k, 0.1);
+        let b = seq(k * n, 0.05);
+        let mut c1 = vec![0.5; m * n];
+        let mut c2 = c1.clone();
+        gemm_naive(m, n, k, &a, k, &b, n, &mut c1, n, 1.0);
+        gemm_packed(m, n, k, &a, k, &b, n, &mut c2, n, 1.0);
+        for (i, (x, y)) in c1.iter().zip(&c2).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-3 * x.abs().max(1.0),
+                "({m},{n},{k}) elem {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_exact_tiles() {
+        compare(MR, NR, 8);
+        compare(2 * MR, 2 * NR, KC);
+    }
+
+    #[test]
+    fn matches_naive_ragged_everything() {
+        compare(1, 1, 1);
+        compare(MR + 1, NR + 3, 5);
+        compare(7, 19, 300); // crosses the KC boundary
+        compare(MC + 3, NR * 2 + 5, KC + 17); // crosses MC and KC
+    }
+
+    #[test]
+    fn zero_k_only_scales() {
+        let mut c = [3.0, 3.0];
+        gemm_packed(1, 2, 0, &[], 0, &[], 0, &mut c, 2, 0.5);
+        assert_eq!(c, [1.5, 1.5]);
+    }
+
+    #[test]
+    fn zero_m_or_n_is_noop() {
+        let mut c: Vec<f32> = Vec::new();
+        gemm_packed(0, 5, 3, &[0.0; 15], 3, &[0.0; 15], 5, &mut c, 5, 0.0);
+        gemm_packed(5, 0, 3, &[0.0; 15], 3, &[], 0, &mut c, 0, 0.0);
+    }
+
+    #[test]
+    fn pack_a_zero_pads_ragged_tile() {
+        let a: Vec<f32> = (0..6).map(|x| x as f32).collect(); // 3x2
+        let mut dst = vec![f32::NAN; MR * 2];
+        pack_a(&mut dst, &a, 2, 0, 3, 0, 2);
+        // tile 0, p=0: rows 0..3 of column 0, then zero pad.
+        assert_eq!(&dst[0..MR], &[0.0, 2.0, 4.0, 0.0]);
+        assert_eq!(&dst[MR..2 * MR], &[1.0, 3.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_zero_pads_ragged_tile() {
+        let b: Vec<f32> = (0..4).map(|x| x as f32 + 1.0).collect(); // 2x2
+        let mut dst = vec![f32::NAN; 2 * NR];
+        pack_b(&mut dst, &b, 2, 0, 2, 2);
+        assert_eq!(&dst[0..2], &[1.0, 2.0]);
+        assert!(dst[2..NR].iter().all(|&x| x == 0.0));
+        assert_eq!(&dst[NR..NR + 2], &[3.0, 4.0]);
+    }
+}
+
+#[cfg(test)]
+mod small_n_tests {
+    use super::*;
+    use crate::kernels::gemm_naive;
+
+    #[test]
+    fn small_n_matches_naive() {
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (5, 1, 37), (17, 4, 100), (3, 15, 9)] {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 11) as f32) * 0.3 - 1.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 17 % 7) as f32) * 0.2 - 0.5).collect();
+            let mut want = vec![0.5; m * n];
+            let mut got = want.clone();
+            gemm_naive(m, n, k, &a, k, &b, n, &mut want, n, 1.0);
+            gemm_small_n(m, n, k, &a, k, &b, n, &mut got, n, 1.0);
+            for (x, y) in want.iter().zip(&got) {
+                assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0), "({m},{n},{k}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_n_zero_k_scales_only() {
+        let mut c = [4.0, 4.0];
+        gemm_small_n(1, 2, 0, &[], 0, &[], 0, &mut c, 2, 0.25);
+        assert_eq!(c, [1.0, 1.0]);
+    }
+}

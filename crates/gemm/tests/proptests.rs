@@ -1,0 +1,113 @@
+//! Property tests: every GEMM tier must agree with the naive reference, and
+//! im2col+GEMM identities must hold.
+
+use orpheus_gemm::{gemm, gemm_parallel, im2col, GemmKernel, Im2colParams};
+use orpheus_threads::ThreadPool;
+use proptest::prelude::*;
+
+fn matrix(len: usize, seed: u64) -> Vec<f32> {
+    // Cheap deterministic pseudo-random values in [-1, 1).
+    (0..len)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0; m * n];
+    gemm(GemmKernel::Naive, m, n, k, a, k, b, n, &mut c, n, 0.0);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Blocked and packed kernels agree with the naive kernel on arbitrary
+    /// shapes, including shapes that straddle every tile boundary.
+    #[test]
+    fn kernels_agree(m in 1usize..40, n in 1usize..40, k in 1usize..80, seed in any::<u64>()) {
+        let a = matrix(m * k, seed);
+        let b = matrix(k * n, seed ^ 0xabcdef);
+        let want = reference(m, n, k, &a, &b);
+        for kernel in [GemmKernel::Blocked, GemmKernel::Packed] {
+            let mut c = vec![0.0; m * n];
+            gemm(kernel, m, n, k, &a, k, &b, n, &mut c, n, 0.0);
+            for (i, (x, y)) in want.iter().zip(&c).enumerate() {
+                prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0),
+                    "{kernel} ({m},{n},{k}) elem {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// The parallel driver is equivalent to the serial kernel for any thread
+    /// count.
+    #[test]
+    fn parallel_equivalence(m in 1usize..30, n in 1usize..30, k in 1usize..30,
+                            threads in 1usize..6, seed in any::<u64>()) {
+        let a = matrix(m * k, seed);
+        let b = matrix(k * n, seed.rotate_left(7));
+        let want = reference(m, n, k, &a, &b);
+        let pool = ThreadPool::new(threads).unwrap();
+        let mut c = vec![0.0; m * n];
+        gemm_parallel(GemmKernel::Packed, &pool, m, n, k, &a, k, &b, n, &mut c, n, 0.0);
+        for (x, y) in want.iter().zip(&c) {
+            prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
+        }
+    }
+
+    /// GEMM is linear: (A·B)·s == A·(B·s).
+    #[test]
+    fn linearity(m in 1usize..12, n in 1usize..12, k in 1usize..12,
+                 s in -4.0f32..4.0, seed in any::<u64>()) {
+        let a = matrix(m * k, seed);
+        let b = matrix(k * n, seed ^ 1);
+        let bs: Vec<f32> = b.iter().map(|&x| x * s).collect();
+        let left: Vec<f32> = reference(m, n, k, &a, &b).iter().map(|&x| x * s).collect();
+        let right = reference(m, n, k, &a, &bs);
+        for (x, y) in left.iter().zip(&right) {
+            prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
+        }
+    }
+
+    /// im2col of a 1x1/stride-1/no-pad kernel is the identity, so GEMM conv
+    /// with identity weights reproduces the input.
+    #[test]
+    fn im2col_identity(c in 1usize..4, h in 1usize..8, w in 1usize..8, seed in any::<u64>()) {
+        let p = Im2colParams {
+            channels: c, height: h, width: w,
+            kernel_h: 1, kernel_w: 1, stride_h: 1, stride_w: 1,
+            pad_h: 0, pad_w: 0, dilation_h: 1, dilation_w: 1,
+        };
+        let input = matrix(c * h * w, seed);
+        let mut cols = vec![0.0; p.matrix_rows() * p.matrix_cols()];
+        im2col(&p, &input, &mut cols);
+        prop_assert_eq!(cols, input);
+    }
+
+    /// The column matrix has exactly kernel_h*kernel_w*channels rows and
+    /// out_h*out_w columns, and padding positions are exactly zero.
+    #[test]
+    fn im2col_geometry(h in 3usize..10, w in 3usize..10, k in 1usize..4,
+                       s in 1usize..3, pad in 0usize..3, seed in any::<u64>()) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let p = Im2colParams {
+            channels: 2, height: h, width: w,
+            kernel_h: k, kernel_w: k, stride_h: s, stride_w: s,
+            pad_h: pad, pad_w: pad, dilation_h: 1, dilation_w: 1,
+        };
+        let input: Vec<f32> = matrix(2 * h * w, seed).iter().map(|x| x.abs() + 1.0).collect();
+        let mut cols = vec![f32::NAN; p.matrix_rows() * p.matrix_cols()];
+        im2col(&p, &input, &mut cols);
+        prop_assert!(cols.iter().all(|x| x.is_finite()));
+        // Every non-zero entry must be a value from the input (all inputs >= 1),
+        // every zero must come from padding.
+        for &v in &cols {
+            prop_assert!(v == 0.0 || v >= 1.0);
+        }
+        if pad == 0 {
+            prop_assert!(cols.iter().all(|&v| v >= 1.0), "no padding → no zeros");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Node attributes, mirroring ONNX `AttributeProto` values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// 64-bit integer (ONNX `INT`).
+    Int(i64),
+    /// Integer list (ONNX `INTS`) — strides, pads, kernel shapes.
+    Ints(Vec<i64>),
+    /// 32-bit float (ONNX `FLOAT`) — epsilon, alpha.
+    Float(f32),
+    /// Float list (ONNX `FLOATS`).
+    Floats(Vec<f32>),
+    /// UTF-8 string (ONNX `STRING`) — auto_pad, fused activation tags.
+    Str(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Ints(v) => write!(f, "{v:?}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Floats(v) => write!(f, "{v:?}"),
+            AttrValue::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// An ordered attribute map.
+///
+/// Ordered so that serialized graphs are deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Attributes(BTreeMap<String, AttrValue>);
+
+impl Attributes {
+    /// An empty attribute map.
+    pub fn new() -> Self {
+        Attributes::default()
+    }
+
+    /// Inserts an attribute, returning `self` for chaining.
+    pub fn with(mut self, key: &str, value: AttrValue) -> Self {
+        self.0.insert(key.to_string(), value);
+        self
+    }
+
+    /// Inserts an attribute.
+    pub fn set(&mut self, key: &str, value: AttrValue) {
+        self.0.insert(key.to_string(), value);
+    }
+
+    /// Removes an attribute, returning its old value.
+    pub fn remove(&mut self, key: &str) -> Option<AttrValue> {
+        self.0.remove(key)
+    }
+
+    /// Looks up an attribute.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.0.get(key)
+    }
+
+    /// Integer attribute, or `default` when absent.
+    ///
+    /// Returns `default` (not an error) for wrongly-typed values; importers
+    /// validate types up front.
+    pub fn int_or(&self, key: &str, default: i64) -> i64 {
+        match self.0.get(key) {
+            Some(AttrValue::Int(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Float attribute, or `default` when absent.
+    pub fn float_or(&self, key: &str, default: f32) -> f32 {
+        match self.0.get(key) {
+            Some(AttrValue::Float(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Integer-list attribute as `usize`s, or `default` when absent.
+    pub fn ints_or(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.0.get(key) {
+            Some(AttrValue::Ints(v)) => v.iter().map(|&x| x.max(0) as usize).collect(),
+            _ => default.to_vec(),
+        }
+    }
+
+    /// String attribute, if present and a string.
+    pub fn str_opt(&self, key: &str) -> Option<&str> {
+        match self.0.get(key) {
+            Some(AttrValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Iterates attributes in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors_with_defaults() {
+        let a = Attributes::new()
+            .with("group", AttrValue::Int(2))
+            .with("epsilon", AttrValue::Float(1e-5))
+            .with("strides", AttrValue::Ints(vec![2, 2]))
+            .with("auto_pad", AttrValue::Str("SAME_UPPER".into()));
+        assert_eq!(a.int_or("group", 1), 2);
+        assert_eq!(a.int_or("missing", 1), 1);
+        assert!((a.float_or("epsilon", 0.0) - 1e-5).abs() < 1e-10);
+        assert_eq!(a.ints_or("strides", &[1, 1]), vec![2, 2]);
+        assert_eq!(a.ints_or("pads", &[0, 0]), vec![0, 0]);
+        assert_eq!(a.str_opt("auto_pad"), Some("SAME_UPPER"));
+        assert_eq!(a.str_opt("group"), None);
+    }
+
+    #[test]
+    fn wrong_type_returns_default() {
+        let a = Attributes::new().with("k", AttrValue::Str("x".into()));
+        assert_eq!(a.int_or("k", 7), 7);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let a = Attributes::new()
+            .with("zeta", AttrValue::Int(1))
+            .with("alpha", AttrValue::Int(2));
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn negative_ints_clamp_to_zero_in_usize_view() {
+        let a = Attributes::new().with("pads", AttrValue::Ints(vec![-1, 2]));
+        assert_eq!(a.ints_or("pads", &[]), vec![0, 2]);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut a = Attributes::new().with("x", AttrValue::Int(1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove("x"), Some(AttrValue::Int(1)));
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Graph-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by graph construction, validation, or transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Two nodes produce the same value name.
+    DuplicateProducer(String),
+    /// A node consumes a value no node, input, or initializer produces.
+    MissingValue {
+        /// The missing value name.
+        value: String,
+        /// The consuming node.
+        node: String,
+    },
+    /// The graph contains a cycle.
+    Cycle,
+    /// A graph output name is not produced anywhere.
+    MissingOutput(String),
+    /// Shape inference failed.
+    ShapeInference {
+        /// The node at which inference failed.
+        node: String,
+        /// Why.
+        reason: String,
+    },
+    /// A pass found an invariant violated.
+    Pass {
+        /// Pass name.
+        pass: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateProducer(v) => write!(f, "value {v:?} has multiple producers"),
+            GraphError::MissingValue { value, node } => {
+                write!(f, "node {node:?} consumes undefined value {value:?}")
+            }
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::MissingOutput(v) => write!(f, "graph output {v:?} is never produced"),
+            GraphError::ShapeInference { node, reason } => {
+                write!(f, "shape inference failed at node {node:?}: {reason}")
+            }
+            GraphError::Pass { pass, reason } => write!(f, "pass {pass:?} failed: {reason}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let e = GraphError::MissingValue {
+            value: "w".into(),
+            node: "conv0".into(),
+        };
+        assert!(e.to_string().contains("conv0"));
+        assert!(e.to_string().contains('w'));
+        assert!(!GraphError::Cycle.to_string().is_empty());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,507 @@
+//! The graph data structure.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use orpheus_tensor::Tensor;
+
+use crate::attributes::Attributes;
+use crate::error::GraphError;
+
+/// Operator kinds understood by the graph layer.
+///
+/// The set matches what the five evaluation models need after ONNX import;
+/// anything else round-trips through [`OpKind::Custom`] so third-party
+/// backends can claim it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// 2-D convolution.
+    Conv,
+    /// Batch normalization (inference mode).
+    BatchNormalization,
+    /// ReLU activation.
+    Relu,
+    /// LeakyReLU activation.
+    LeakyRelu,
+    /// Clip (ReLU6 when bounds are 0/6).
+    Clip,
+    /// Sigmoid activation.
+    Sigmoid,
+    /// Tanh activation.
+    Tanh,
+    /// Max pooling.
+    MaxPool,
+    /// Average pooling.
+    AveragePool,
+    /// Global average pooling.
+    GlobalAveragePool,
+    /// Dense layer (ONNX `Gemm` with `transB = 1`).
+    Gemm,
+    /// Element-wise addition.
+    Add,
+    /// Element-wise multiplication.
+    Mul,
+    /// Channel concatenation.
+    Concat,
+    /// Softmax.
+    Softmax,
+    /// Constant padding.
+    Pad,
+    /// Mean over axes (`ReduceMean(axes=[2,3])` is how some exporters write
+    /// global average pooling).
+    ReduceMean,
+    /// Flatten to 2-D.
+    Flatten,
+    /// Reshape (static shapes only).
+    Reshape,
+    /// Identity pass-through.
+    Identity,
+    /// Dropout (identity at inference time).
+    Dropout,
+    /// Any operator this crate does not model structurally.
+    Custom(String),
+}
+
+impl OpKind {
+    /// The ONNX operator name.
+    pub fn onnx_name(&self) -> &str {
+        match self {
+            OpKind::Conv => "Conv",
+            OpKind::BatchNormalization => "BatchNormalization",
+            OpKind::Relu => "Relu",
+            OpKind::LeakyRelu => "LeakyRelu",
+            OpKind::Clip => "Clip",
+            OpKind::Sigmoid => "Sigmoid",
+            OpKind::Tanh => "Tanh",
+            OpKind::MaxPool => "MaxPool",
+            OpKind::AveragePool => "AveragePool",
+            OpKind::GlobalAveragePool => "GlobalAveragePool",
+            OpKind::Gemm => "Gemm",
+            OpKind::Add => "Add",
+            OpKind::Mul => "Mul",
+            OpKind::Concat => "Concat",
+            OpKind::Softmax => "Softmax",
+            OpKind::Pad => "Pad",
+            OpKind::ReduceMean => "ReduceMean",
+            OpKind::Flatten => "Flatten",
+            OpKind::Reshape => "Reshape",
+            OpKind::Identity => "Identity",
+            OpKind::Dropout => "Dropout",
+            OpKind::Custom(name) => name,
+        }
+    }
+
+    /// Parses an ONNX operator name.
+    pub fn from_onnx_name(name: &str) -> OpKind {
+        match name {
+            "Conv" => OpKind::Conv,
+            "BatchNormalization" => OpKind::BatchNormalization,
+            "Relu" => OpKind::Relu,
+            "LeakyRelu" => OpKind::LeakyRelu,
+            "Clip" => OpKind::Clip,
+            "Sigmoid" => OpKind::Sigmoid,
+            "Tanh" => OpKind::Tanh,
+            "MaxPool" => OpKind::MaxPool,
+            "AveragePool" => OpKind::AveragePool,
+            "GlobalAveragePool" => OpKind::GlobalAveragePool,
+            "Gemm" => OpKind::Gemm,
+            "Add" => OpKind::Add,
+            "Mul" => OpKind::Mul,
+            "Concat" => OpKind::Concat,
+            "Softmax" => OpKind::Softmax,
+            "Pad" => OpKind::Pad,
+            "ReduceMean" => OpKind::ReduceMean,
+            "Flatten" => OpKind::Flatten,
+            "Reshape" => OpKind::Reshape,
+            "Identity" => OpKind::Identity,
+            "Dropout" => OpKind::Dropout,
+            other => OpKind::Custom(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.onnx_name())
+    }
+}
+
+/// One operator instance in the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Unique node name.
+    pub name: String,
+    /// Operator kind.
+    pub op: OpKind,
+    /// Consumed value names, in operator-defined order.
+    pub inputs: Vec<String>,
+    /// Produced value names.
+    pub outputs: Vec<String>,
+    /// Operator attributes.
+    pub attrs: Attributes,
+}
+
+impl Node {
+    /// Creates a node with empty attributes.
+    pub fn new(name: &str, op: OpKind, inputs: &[&str], outputs: &[&str]) -> Self {
+        Node {
+            name: name.to_string(),
+            op,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            attrs: Attributes::new(),
+        }
+    }
+
+    /// Sets the attribute map, for chaining.
+    pub fn with_attrs(mut self, attrs: Attributes) -> Self {
+        self.attrs = attrs;
+        self
+    }
+}
+
+/// A named value with a static shape (graph input declaration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueInfo {
+    /// Value name.
+    pub name: String,
+    /// Static dims.
+    pub dims: Vec<usize>,
+}
+
+impl ValueInfo {
+    /// Creates a value declaration.
+    pub fn new(name: &str, dims: &[usize]) -> Self {
+        ValueInfo {
+            name: name.to_string(),
+            dims: dims.to_vec(),
+        }
+    }
+}
+
+/// A computation graph: nodes, inputs, outputs, and weight initializers.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// Human-readable graph name.
+    pub name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<ValueInfo>,
+    outputs: Vec<String>,
+    initializers: BTreeMap<String, Tensor>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new(name: &str) -> Self {
+        Graph {
+            name: name.to_string(),
+            ..Graph::default()
+        }
+    }
+
+    /// Appends a node.
+    pub fn add_node(&mut self, node: Node) {
+        self.nodes.push(node);
+    }
+
+    /// Declares a graph input.
+    pub fn add_input(&mut self, info: ValueInfo) {
+        self.inputs.push(info);
+    }
+
+    /// Declares a graph output.
+    pub fn add_output(&mut self, name: &str) {
+        self.outputs.push(name.to_string());
+    }
+
+    /// Registers a weight initializer.
+    pub fn add_initializer(&mut self, name: &str, tensor: Tensor) {
+        self.initializers.insert(name.to_string(), tensor);
+    }
+
+    /// The nodes, in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable node access (used by passes).
+    pub fn nodes_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.nodes
+    }
+
+    /// Graph inputs.
+    pub fn inputs(&self) -> &[ValueInfo] {
+        &self.inputs
+    }
+
+    /// Graph outputs.
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Replaces the graph output list (used by rewiring passes).
+    pub fn set_outputs(&mut self, outputs: Vec<String>) {
+        self.outputs = outputs;
+    }
+
+    /// Weight initializers.
+    pub fn initializers(&self) -> &BTreeMap<String, Tensor> {
+        &self.initializers
+    }
+
+    /// Mutable initializer access (used by folding passes).
+    pub fn initializers_mut(&mut self) -> &mut BTreeMap<String, Tensor> {
+        &mut self.initializers
+    }
+
+    /// Looks up an initializer.
+    pub fn initializer(&self, name: &str) -> Option<&Tensor> {
+        self.initializers.get(name)
+    }
+
+    /// Total number of weight parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.initializers.values().map(Tensor::len).sum()
+    }
+
+    /// Maps each value name to the index of the node producing it.
+    pub fn producers(&self) -> HashMap<&str, usize> {
+        let mut map = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for out in &node.outputs {
+                map.insert(out.as_str(), i);
+            }
+        }
+        map
+    }
+
+    /// Counts how many node inputs and graph outputs consume each value.
+    pub fn consumer_counts(&self) -> HashMap<&str, usize> {
+        let mut map: HashMap<&str, usize> = HashMap::new();
+        for node in &self.nodes {
+            for input in &node.inputs {
+                *map.entry(input.as_str()).or_default() += 1;
+            }
+        }
+        for out in &self.outputs {
+            *map.entry(out.as_str()).or_default() += 1;
+        }
+        map
+    }
+
+    /// Checks structural invariants: unique producers, defined values,
+    /// produced outputs, and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`GraphError`].
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut produced: HashSet<&str> = HashSet::new();
+        for info in &self.inputs {
+            produced.insert(&info.name);
+        }
+        for name in self.initializers.keys() {
+            produced.insert(name);
+        }
+        for node in &self.nodes {
+            for out in &node.outputs {
+                if !produced.insert(out) {
+                    return Err(GraphError::DuplicateProducer(out.clone()));
+                }
+            }
+        }
+        for node in &self.nodes {
+            for input in &node.inputs {
+                if !input.is_empty() && !produced.contains(input.as_str()) {
+                    return Err(GraphError::MissingValue {
+                        value: input.clone(),
+                        node: node.name.clone(),
+                    });
+                }
+            }
+        }
+        for out in &self.outputs {
+            if !produced.contains(out.as_str()) {
+                return Err(GraphError::MissingOutput(out.clone()));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Node indices in a valid execution order (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the node dependencies are cyclic.
+    pub fn topo_order(&self) -> Result<Vec<usize>, GraphError> {
+        let producers = self.producers();
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for input in &node.inputs {
+                if let Some(&p) = producers.get(input.as_str()) {
+                    indegree[i] += 1;
+                    dependents[p].push(i);
+                }
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// A one-line-per-node textual rendering, for debugging and the CLI's
+    /// `inspect` command.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "graph {} ({} nodes, {} params)\n",
+            self.name,
+            self.nodes.len(),
+            self.num_parameters()
+        );
+        for node in &self.nodes {
+            out.push_str(&format!(
+                "  {} = {}({})",
+                node.outputs.join(", "),
+                node.op,
+                node.inputs.join(", ")
+            ));
+            if !node.attrs.is_empty() {
+                let attrs: Vec<String> =
+                    node.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                out.push_str(&format!(" [{}]", attrs.join(", ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_graph() -> Graph {
+        let mut g = Graph::new("test");
+        g.add_input(ValueInfo::new("x", &[1, 3, 4, 4]));
+        g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+        g.add_node(Node::new("b", OpKind::Softmax, &["y"], &["z"]));
+        g.add_output("z");
+        g
+    }
+
+    #[test]
+    fn valid_linear_graph() {
+        assert!(linear_graph().validate().is_ok());
+        assert_eq!(linear_graph().topo_order().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn topo_order_handles_out_of_order_insertion() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        // Insert consumer before producer.
+        g.add_node(Node::new("b", OpKind::Softmax, &["y"], &["z"]));
+        g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+        g.add_output("z");
+        assert!(g.validate().is_ok());
+        assert_eq!(g.topo_order().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn detects_duplicate_producer() {
+        let mut g = linear_graph();
+        g.add_node(Node::new("dup", OpKind::Relu, &["x"], &["y"]));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::DuplicateProducer(v)) if v == "y"
+        ));
+    }
+
+    #[test]
+    fn detects_missing_value() {
+        let mut g = Graph::new("t");
+        g.add_node(Node::new("a", OpKind::Relu, &["ghost"], &["y"]));
+        g.add_output("y");
+        assert!(matches!(g.validate(), Err(GraphError::MissingValue { .. })));
+    }
+
+    #[test]
+    fn detects_missing_output() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_output("nope");
+        assert!(matches!(g.validate(), Err(GraphError::MissingOutput(_))));
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = Graph::new("t");
+        g.add_node(Node::new("a", OpKind::Relu, &["z"], &["y"]));
+        g.add_node(Node::new("b", OpKind::Relu, &["y"], &["z"]));
+        g.add_output("z");
+        assert!(matches!(g.topo_order(), Err(GraphError::Cycle)));
+    }
+
+    #[test]
+    fn empty_optional_input_allowed() {
+        // ONNX encodes omitted optional inputs as empty names.
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_node(Node::new("a", OpKind::Conv, &["x", "", ""], &["y"]));
+        g.add_output("y");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn initializer_counts_as_producer() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_initializer("w", Tensor::ones(&[2, 2]));
+        g.add_node(Node::new("a", OpKind::Gemm, &["x", "w"], &["y"]));
+        g.add_output("y");
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_parameters(), 4);
+    }
+
+    #[test]
+    fn consumer_counts_include_graph_outputs() {
+        let g = linear_graph();
+        let counts = g.consumer_counts();
+        assert_eq!(counts.get("y"), Some(&1));
+        assert_eq!(counts.get("z"), Some(&1));
+        assert_eq!(counts.get("x"), Some(&1));
+    }
+
+    #[test]
+    fn op_kind_round_trips_through_onnx_names() {
+        for op in [
+            OpKind::Conv,
+            OpKind::BatchNormalization,
+            OpKind::GlobalAveragePool,
+            OpKind::Custom("MyOp".into()),
+        ] {
+            assert_eq!(OpKind::from_onnx_name(op.onnx_name()), op);
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_node() {
+        let text = linear_graph().render();
+        assert!(text.contains("Relu"));
+        assert!(text.contains("Softmax"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Computation-graph IR and simplification passes for Orpheus.
+//!
+//! Models imported from ONNX land in this IR — a flat list of named
+//! [`Node`]s connected by string-named values, plus weight initializers —
+//! mirroring ONNX's `GraphProto` closely enough that the importer is a direct
+//! structural translation.
+//!
+//! The paper lists "a system ... to apply simplifications to the computation
+//! graph" as a core contribution; those simplifications live in [`passes`]:
+//!
+//! * identity/dropout elimination,
+//! * batch-norm folding into the preceding convolution,
+//! * activation fusion into the producing layer,
+//! * constant folding of shape-only ops,
+//! * dead-node and dead-initializer elimination.
+//!
+//! # Examples
+//!
+//! ```
+//! use orpheus_graph::{Graph, Node, OpKind, ValueInfo};
+//!
+//! let mut g = Graph::new("tiny");
+//! g.add_input(ValueInfo::new("x", &[1, 3, 8, 8]));
+//! g.add_node(Node::new("relu0", OpKind::Relu, &["x"], &["y"]));
+//! g.add_output("y");
+//! assert!(g.validate().is_ok());
+//! assert_eq!(g.topo_order().unwrap().len(), 1);
+//! ```
+
+mod attributes;
+mod error;
+#[allow(clippy::module_inception)]
+mod graph;
+pub mod passes;
+mod shape_infer;
+
+pub use attributes::{AttrValue, Attributes};
+pub use error::GraphError;
+pub use graph::{Graph, Node, OpKind, ValueInfo};
+pub use shape_infer::infer_shapes;

@@ -1,0 +1,237 @@
+//! Folds `BatchNormalization` into the preceding `Conv`.
+//!
+//! At inference time BN is an affine per-channel transform, so
+//! `BN(Conv(x, W, b))` equals `Conv(x, W', b')` with
+//! `W'[oc] = alpha[oc] * W[oc]` and `b' = alpha * b + beta`, where
+//! `alpha = scale / sqrt(var + eps)` and `beta = shift - mean * alpha`.
+//! This removes one full tensor traversal per conv — one of the headline
+//! graph simplifications the paper's Figure 1 shows.
+
+use orpheus_tensor::Tensor;
+
+use crate::error::GraphError;
+use crate::graph::{Graph, OpKind};
+use crate::passes::Pass;
+
+/// The conv+BN folding pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchNormFold;
+
+impl Pass for BatchNormFold {
+    fn name(&self) -> &str {
+        "bn-fold"
+    }
+
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        let mut changed = false;
+        loop {
+            let Some((conv_idx, bn_idx)) = find_foldable_pair(graph) else {
+                break;
+            };
+            fold_pair(graph, conv_idx, bn_idx)?;
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Finds a `Conv -> BN` pair where the conv output feeds only the BN and all
+/// five BN parameters plus the conv weight are initializers.
+fn find_foldable_pair(graph: &Graph) -> Option<(usize, usize)> {
+    let producers = graph.producers();
+    let consumers = graph.consumer_counts();
+    for (bn_idx, bn) in graph.nodes().iter().enumerate() {
+        if bn.op != OpKind::BatchNormalization || bn.inputs.len() < 5 {
+            continue;
+        }
+        let conv_out = &bn.inputs[0];
+        let Some(&conv_idx) = producers.get(conv_out.as_str()) else {
+            continue;
+        };
+        let conv = &graph.nodes()[conv_idx];
+        if conv.op != OpKind::Conv {
+            continue;
+        }
+        if consumers.get(conv_out.as_str()).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        let weight_ok = conv
+            .inputs
+            .get(1)
+            .is_some_and(|w| graph.initializer(w).is_some());
+        let bias_ok = match conv.inputs.get(2) {
+            None => true,
+            Some(b) if b.is_empty() => true,
+            Some(b) => graph.initializer(b).is_some(),
+        };
+        let bn_params_ok = bn.inputs[1..5]
+            .iter()
+            .all(|p| graph.initializer(p).is_some());
+        if weight_ok && bias_ok && bn_params_ok {
+            return Some((conv_idx, bn_idx));
+        }
+    }
+    None
+}
+
+fn fold_pair(graph: &mut Graph, conv_idx: usize, bn_idx: usize) -> Result<(), GraphError> {
+    let bn = graph.nodes()[bn_idx].clone();
+    let conv = graph.nodes()[conv_idx].clone();
+    let perr = |reason: &str| GraphError::Pass {
+        pass: "bn-fold".into(),
+        reason: reason.into(),
+    };
+
+    let eps = bn.attrs.float_or("epsilon", 1e-5);
+    let scale = graph.initializer(&bn.inputs[1]).ok_or_else(|| perr("missing scale"))?;
+    let shift = graph.initializer(&bn.inputs[2]).ok_or_else(|| perr("missing shift"))?;
+    let mean = graph.initializer(&bn.inputs[3]).ok_or_else(|| perr("missing mean"))?;
+    let var = graph.initializer(&bn.inputs[4]).ok_or_else(|| perr("missing var"))?;
+    let weight = graph
+        .initializer(&conv.inputs[1])
+        .ok_or_else(|| perr("missing weight"))?;
+
+    let co = weight.dims()[0];
+    if scale.len() != co || shift.len() != co || mean.len() != co || var.len() != co {
+        return Err(perr("BN parameter length != conv out_channels"));
+    }
+    let alpha: Vec<f32> = (0..co)
+        .map(|c| scale.as_slice()[c] / (var.as_slice()[c] + eps).sqrt())
+        .collect();
+    let beta: Vec<f32> = (0..co)
+        .map(|c| shift.as_slice()[c] - mean.as_slice()[c] * alpha[c])
+        .collect();
+
+    // Scale each output-channel slab of the weight.
+    let per_oc = weight.len() / co;
+    let mut new_weight = weight.clone();
+    for (oc, a) in alpha.iter().enumerate() {
+        for x in &mut new_weight.as_mut_slice()[oc * per_oc..(oc + 1) * per_oc] {
+            *x *= a;
+        }
+    }
+    // New bias = alpha * old_bias + beta.
+    let old_bias: Vec<f32> = match conv.inputs.get(2).filter(|b| !b.is_empty()) {
+        Some(b) => graph
+            .initializer(b)
+            .ok_or_else(|| perr("missing bias"))?
+            .as_slice()
+            .to_vec(),
+        None => vec![0.0; co],
+    };
+    let new_bias: Vec<f32> = old_bias
+        .iter()
+        .zip(alpha.iter().zip(&beta))
+        .map(|(&b, (&a, &be))| a * b + be)
+        .collect();
+
+    // Write folded tensors under fresh names so shared weights stay intact;
+    // dead-code elimination reclaims the originals.
+    let w_name = format!("{}__bnfold_w", conv.name);
+    let b_name = format!("{}__bnfold_b", conv.name);
+    graph.add_initializer(&w_name, new_weight);
+    graph.add_initializer(
+        &b_name,
+        Tensor::from_vec(new_bias, &[co]).expect("bias length == co"),
+    );
+
+    // The conv now produces the BN's output directly.
+    let bn_out = bn.outputs[0].clone();
+    {
+        let node = &mut graph.nodes_mut()[conv_idx];
+        node.inputs.truncate(1);
+        node.inputs.push(w_name);
+        node.inputs.push(b_name);
+        node.outputs[0] = bn_out;
+    }
+    graph.nodes_mut().remove(bn_idx);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrValue, Attributes};
+    use crate::graph::{Node, ValueInfo};
+
+    fn conv_bn_graph(with_bias: bool, extra_consumer: bool) -> Graph {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 1, 4, 4]));
+        g.add_initializer("w", Tensor::full(&[2, 1, 1, 1], 3.0));
+        let mut conv_inputs = vec!["x", "w"];
+        if with_bias {
+            g.add_initializer("b", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+            conv_inputs.push("b");
+        }
+        g.add_node(Node::new("conv", OpKind::Conv, &conv_inputs, &["c"]));
+        g.add_initializer("scale", Tensor::full(&[2], 2.0));
+        g.add_initializer("shift", Tensor::full(&[2], 10.0));
+        g.add_initializer("mean", Tensor::full(&[2], 0.0));
+        g.add_initializer("var", Tensor::full(&[2], 1.0));
+        g.add_node(
+            Node::new(
+                "bn",
+                OpKind::BatchNormalization,
+                &["c", "scale", "shift", "mean", "var"],
+                &["y"],
+            )
+            .with_attrs(Attributes::new().with("epsilon", AttrValue::Float(0.0))),
+        );
+        if extra_consumer {
+            g.add_node(Node::new("extra", OpKind::Relu, &["c"], &["e"]));
+            g.add_output("e");
+        }
+        g.add_output("y");
+        g
+    }
+
+    #[test]
+    fn folds_conv_bn_without_bias() {
+        let mut g = conv_bn_graph(false, false);
+        assert!(BatchNormFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        let conv = &g.nodes()[0];
+        assert_eq!(conv.outputs[0], "y");
+        // alpha = 2/sqrt(1) = 2 → weight 3*2 = 6; bias = 10.
+        let w = g.initializer(&conv.inputs[1]).unwrap();
+        assert!((w.as_slice()[0] - 6.0).abs() < 1e-5);
+        let b = g.initializer(&conv.inputs[2]).unwrap();
+        assert!((b.as_slice()[0] - 10.0).abs() < 1e-5);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn folds_conv_bn_with_bias() {
+        let mut g = conv_bn_graph(true, false);
+        assert!(BatchNormFold.run(&mut g).unwrap());
+        let conv = &g.nodes()[0];
+        let b = g.initializer(&conv.inputs[2]).unwrap();
+        // bias' = alpha*b + beta = 2*1 + 10 = 12 (channel 0), 2*2 + 10 = 14.
+        assert!((b.as_slice()[0] - 12.0).abs() < 1e-5);
+        assert!((b.as_slice()[1] - 14.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn skips_when_conv_output_shared() {
+        let mut g = conv_bn_graph(false, true);
+        assert!(!BatchNormFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 3);
+    }
+
+    #[test]
+    fn skips_bn_without_conv_producer() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 2, 2, 2]));
+        for p in ["scale", "shift", "mean", "var"] {
+            g.add_initializer(p, Tensor::ones(&[2]));
+        }
+        g.add_node(Node::new(
+            "bn",
+            OpKind::BatchNormalization,
+            &["x", "scale", "shift", "mean", "var"],
+            &["y"],
+        ));
+        g.add_output("y");
+        assert!(!BatchNormFold.run(&mut g).unwrap());
+    }
+}

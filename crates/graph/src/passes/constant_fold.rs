@@ -1,0 +1,139 @@
+//! Folds shape-only operators applied to constants.
+//!
+//! `Flatten`, `Reshape`, and `Identity` nodes whose input is an initializer
+//! are evaluated at simplification time: the reshaped tensor becomes a new
+//! initializer and the node disappears. This shows up in practice when a
+//! training framework exports a classifier weight through a `Reshape`.
+
+use crate::attributes::AttrValue;
+use crate::error::GraphError;
+use crate::graph::{Graph, OpKind};
+use crate::passes::{replace_value, Pass};
+
+/// The constant-folding pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantFold;
+
+impl Pass for ConstantFold {
+    fn name(&self) -> &str {
+        "constant-fold"
+    }
+
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        let mut changed = false;
+        loop {
+            let target = graph.nodes().iter().position(|n| {
+                matches!(n.op, OpKind::Flatten | OpKind::Reshape | OpKind::Identity)
+                    && n.inputs
+                        .first()
+                        .is_some_and(|i| graph.initializer(i).is_some())
+            });
+            let Some(idx) = target else { break };
+            let node = graph.nodes()[idx].clone();
+            let src = graph
+                .initializer(&node.inputs[0])
+                .expect("checked above")
+                .clone();
+            let folded = match node.op {
+                OpKind::Identity => src,
+                OpKind::Flatten => {
+                    let axis = node.attrs.int_or("axis", 1).max(0) as usize;
+                    let dims = src.dims();
+                    let axis = axis.min(dims.len());
+                    let lead: usize = dims[..axis].iter().product();
+                    let trail: usize = dims[axis..].iter().product();
+                    src.reshaped(&[lead.max(1), trail.max(1)]).map_err(|e| {
+                        GraphError::Pass {
+                            pass: "constant-fold".into(),
+                            reason: e.to_string(),
+                        }
+                    })?
+                }
+                OpKind::Reshape => {
+                    let Some(AttrValue::Ints(spec)) = node.attrs.get("shape") else {
+                        // Dynamic reshape of a constant: leave it alone.
+                        break;
+                    };
+                    let total = src.len();
+                    let mut dims: Vec<usize> = Vec::new();
+                    let mut infer = None;
+                    for (i, &d) in spec.iter().enumerate() {
+                        if d == -1 {
+                            infer = Some(i);
+                            dims.push(1);
+                        } else {
+                            dims.push(d.max(0) as usize);
+                        }
+                    }
+                    if let Some(i) = infer {
+                        let known: usize = dims.iter().product();
+                        if known == 0 || !total.is_multiple_of(known) {
+                            break;
+                        }
+                        dims[i] = total / known;
+                    }
+                    match src.reshaped(&dims) {
+                        Ok(t) => t,
+                        Err(_) => break,
+                    }
+                }
+                _ => unreachable!(),
+            };
+            let out_name = node.outputs[0].clone();
+            let folded_name = format!("{out_name}__folded");
+            graph.add_initializer(&folded_name, folded);
+            graph.nodes_mut().remove(idx);
+            replace_value(graph, &out_name, &folded_name);
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attributes;
+    use crate::graph::{Node, ValueInfo};
+    use orpheus_tensor::Tensor;
+
+    #[test]
+    fn folds_flatten_of_initializer() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 6]));
+        g.add_initializer("w4d", Tensor::ones(&[10, 2, 3, 1]));
+        g.add_node(Node::new("flat", OpKind::Flatten, &["w4d"], &["w2d"]));
+        g.add_node(Node::new("fc", OpKind::Gemm, &["x", "w2d"], &["y"]));
+        g.add_output("y");
+        assert!(ConstantFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        let folded = g.initializer(&g.nodes()[0].inputs[1]).unwrap();
+        assert_eq!(folded.dims(), &[10, 6]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn folds_reshape_with_minus_one() {
+        let mut g = Graph::new("t");
+        g.add_initializer("w", Tensor::ones(&[2, 6]));
+        g.add_node(
+            Node::new("rs", OpKind::Reshape, &["w"], &["w2"]).with_attrs(
+                Attributes::new().with("shape", AttrValue::Ints(vec![4, -1])),
+            ),
+        );
+        g.add_output("w2");
+        assert!(ConstantFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 0);
+        assert_eq!(g.outputs()[0], "w2__folded");
+    }
+
+    #[test]
+    fn leaves_non_constant_inputs() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[2, 3]));
+        g.add_node(Node::new("flat", OpKind::Flatten, &["x"], &["y"]));
+        g.add_output("y");
+        assert!(!ConstantFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+    }
+}

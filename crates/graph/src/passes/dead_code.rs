@@ -1,0 +1,103 @@
+//! Removes nodes and initializers that cannot affect any graph output.
+
+use std::collections::HashSet;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::passes::Pass;
+
+/// Dead-node and dead-initializer elimination.
+///
+/// Walks backwards from the graph outputs, keeping only nodes whose outputs
+/// are (transitively) needed, then drops initializers no surviving node
+/// reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadCodeElim;
+
+impl Pass for DeadCodeElim {
+    fn name(&self) -> &str {
+        "dead-code-elim"
+    }
+
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        // Mark live values backwards from the outputs.
+        let producers = graph.producers();
+        let mut live_nodes: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<&str> = graph.outputs().iter().map(String::as_str).collect();
+        let mut seen_values: HashSet<&str> = stack.iter().copied().collect();
+        while let Some(value) = stack.pop() {
+            if let Some(&idx) = producers.get(value) {
+                if live_nodes.insert(idx) {
+                    for input in &graph.nodes()[idx].inputs {
+                        if seen_values.insert(input.as_str()) {
+                            stack.push(input.as_str());
+                        }
+                    }
+                }
+            }
+        }
+        let live_values: HashSet<String> = seen_values.iter().map(|s| s.to_string()).collect();
+        let live_nodes: HashSet<usize> = live_nodes;
+
+        let before_nodes = graph.nodes().len();
+        let mut idx = 0usize;
+        graph.nodes_mut().retain(|_| {
+            let keep = live_nodes.contains(&idx);
+            idx += 1;
+            keep
+        });
+
+        let before_inits = graph.initializers().len();
+        graph
+            .initializers_mut()
+            .retain(|name, _| live_values.contains(name));
+
+        Ok(graph.nodes().len() != before_nodes || graph.initializers().len() != before_inits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Node, OpKind, ValueInfo};
+    use orpheus_tensor::Tensor;
+
+    #[test]
+    fn removes_unreachable_node_and_initializer() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_initializer("w_dead", Tensor::ones(&[4]));
+        g.add_node(Node::new("live", OpKind::Relu, &["x"], &["y"]));
+        g.add_node(Node::new("dead", OpKind::Sigmoid, &["w_dead"], &["unused"]));
+        g.add_output("y");
+        assert!(DeadCodeElim.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        assert_eq!(g.nodes()[0].name, "live");
+        assert!(g.initializer("w_dead").is_none());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn keeps_everything_reachable() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 2]));
+        g.add_initializer("w", Tensor::ones(&[2, 2]));
+        g.add_node(Node::new("fc", OpKind::Gemm, &["x", "w"], &["y"]));
+        g.add_output("y");
+        assert!(!DeadCodeElim.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        assert!(g.initializer("w").is_some());
+    }
+
+    #[test]
+    fn keeps_diamond_dependencies() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 4]));
+        g.add_node(Node::new("a", OpKind::Relu, &["x"], &["l"]));
+        g.add_node(Node::new("b", OpKind::Sigmoid, &["x"], &["r"]));
+        g.add_node(Node::new("join", OpKind::Add, &["l", "r"], &["y"]));
+        g.add_output("y");
+        assert!(!DeadCodeElim.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 3);
+    }
+}

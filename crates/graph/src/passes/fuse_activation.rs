@@ -1,0 +1,199 @@
+//! Fuses an activation node into the producing `Conv`/`Gemm`/`Add`.
+//!
+//! The executor applies the fused activation during output write-back,
+//! saving one full tensor traversal per layer. The fusion is recorded as
+//! attributes on the producer:
+//!
+//! * `fused_activation`: `"relu" | "leaky_relu" | "clip" | "sigmoid" | "tanh"`
+//! * `fused_clip_lo` / `fused_clip_hi`: bounds for `clip`
+//! * `fused_alpha`: slope for `leaky_relu`
+
+use crate::attributes::AttrValue;
+use crate::error::GraphError;
+use crate::graph::{Graph, OpKind};
+use crate::passes::Pass;
+
+/// The activation-fusion pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuseActivation;
+
+impl Pass for FuseActivation {
+    fn name(&self) -> &str {
+        "fuse-activation"
+    }
+
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        let mut changed = false;
+        loop {
+            let Some((prod_idx, act_idx)) = find_fusable_pair(graph) else {
+                break;
+            };
+            let act = graph.nodes()[act_idx].clone();
+            let act_out = act.outputs[0].clone();
+            let prod_out = graph.nodes()[prod_idx].outputs[0].clone();
+            {
+                let prod = &mut graph.nodes_mut()[prod_idx];
+                match act.op {
+                    OpKind::Relu => prod
+                        .attrs
+                        .set("fused_activation", AttrValue::Str("relu".into())),
+                    OpKind::Clip => {
+                        prod.attrs
+                            .set("fused_activation", AttrValue::Str("clip".into()));
+                        prod.attrs.set(
+                            "fused_clip_lo",
+                            AttrValue::Float(act.attrs.float_or("min", f32::NEG_INFINITY)),
+                        );
+                        prod.attrs.set(
+                            "fused_clip_hi",
+                            AttrValue::Float(act.attrs.float_or("max", f32::INFINITY)),
+                        );
+                    }
+                    OpKind::LeakyRelu => {
+                        prod.attrs
+                            .set("fused_activation", AttrValue::Str("leaky_relu".into()));
+                        prod.attrs.set(
+                            "fused_alpha",
+                            AttrValue::Float(act.attrs.float_or("alpha", 0.01)),
+                        );
+                    }
+                    OpKind::Sigmoid => prod
+                        .attrs
+                        .set("fused_activation", AttrValue::Str("sigmoid".into())),
+                    OpKind::Tanh => prod
+                        .attrs
+                        .set("fused_activation", AttrValue::Str("tanh".into())),
+                    _ => unreachable!("find_fusable_pair only returns activations"),
+                }
+            }
+            graph.nodes_mut().remove(act_idx);
+            // The producer now emits the activation's output name. By the
+            // single-consumer precondition nothing else read the old name.
+            let prod_idx = if act_idx < prod_idx { prod_idx - 1 } else { prod_idx };
+            graph.nodes_mut()[prod_idx].outputs[0] = act_out;
+            debug_assert!(!graph
+                .nodes()
+                .iter()
+                .any(|n| n.inputs.contains(&prod_out)));
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Finds `producer -> activation` where the producer is fusable, not already
+/// fused, and its output has exactly one consumer.
+fn find_fusable_pair(graph: &Graph) -> Option<(usize, usize)> {
+    let producers = graph.producers();
+    let consumers = graph.consumer_counts();
+    for (act_idx, act) in graph.nodes().iter().enumerate() {
+        if !matches!(
+            act.op,
+            OpKind::Relu | OpKind::Clip | OpKind::LeakyRelu | OpKind::Sigmoid | OpKind::Tanh
+        ) {
+            continue;
+        }
+        let Some(input) = act.inputs.first() else { continue };
+        let Some(&prod_idx) = producers.get(input.as_str()) else {
+            continue;
+        };
+        let prod = &graph.nodes()[prod_idx];
+        if !matches!(prod.op, OpKind::Conv | OpKind::Gemm | OpKind::Add) {
+            continue;
+        }
+        if prod.attrs.get("fused_activation").is_some() {
+            continue;
+        }
+        if consumers.get(input.as_str()).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        return Some((prod_idx, act_idx));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attributes;
+    use crate::graph::{Node, ValueInfo};
+    use orpheus_tensor::Tensor;
+
+    fn conv_relu() -> Graph {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 1, 4, 4]));
+        g.add_initializer("w", Tensor::ones(&[1, 1, 1, 1]));
+        g.add_node(Node::new("conv", OpKind::Conv, &["x", "w"], &["c"]));
+        g.add_node(Node::new("relu", OpKind::Relu, &["c"], &["y"]));
+        g.add_output("y");
+        g
+    }
+
+    #[test]
+    fn fuses_conv_relu() {
+        let mut g = conv_relu();
+        assert!(FuseActivation.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        let conv = &g.nodes()[0];
+        assert_eq!(conv.attrs.str_opt("fused_activation"), Some("relu"));
+        assert_eq!(conv.outputs[0], "y");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn fuses_clip_with_bounds() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 1, 2, 2]));
+        g.add_initializer("w", Tensor::ones(&[1, 1, 1, 1]));
+        g.add_node(Node::new("conv", OpKind::Conv, &["x", "w"], &["c"]));
+        g.add_node(
+            Node::new("clip", OpKind::Clip, &["c"], &["y"]).with_attrs(
+                Attributes::new()
+                    .with("min", AttrValue::Float(0.0))
+                    .with("max", AttrValue::Float(6.0)),
+            ),
+        );
+        g.add_output("y");
+        assert!(FuseActivation.run(&mut g).unwrap());
+        let conv = &g.nodes()[0];
+        assert_eq!(conv.attrs.str_opt("fused_activation"), Some("clip"));
+        assert_eq!(conv.attrs.float_or("fused_clip_hi", 0.0), 6.0);
+    }
+
+    #[test]
+    fn fuses_add_relu_residual_join() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("a", &[1, 4]));
+        g.add_input(ValueInfo::new("b", &[1, 4]));
+        g.add_node(Node::new("add", OpKind::Add, &["a", "b"], &["s"]));
+        g.add_node(Node::new("relu", OpKind::Relu, &["s"], &["y"]));
+        g.add_output("y");
+        assert!(FuseActivation.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        assert_eq!(g.nodes()[0].attrs.str_opt("fused_activation"), Some("relu"));
+    }
+
+    #[test]
+    fn skips_shared_intermediate() {
+        let mut g = conv_relu();
+        // A second consumer of the conv output blocks fusion.
+        g.add_node(Node::new("extra", OpKind::Sigmoid, &["c"], &["e"]));
+        g.add_output("e");
+        assert!(!FuseActivation.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn does_not_double_fuse() {
+        let mut g = conv_relu();
+        // conv -> relu -> relu: second relu must not fuse into the
+        // already-fused conv.
+        g.nodes_mut().push(Node::new("relu2", OpKind::Relu, &["y"], &["z"]));
+        g.set_outputs(vec!["z".into()]);
+        assert!(FuseActivation.run(&mut g).unwrap());
+        // conv fused with the first relu; the second remains because the
+        // conv already carries a fused activation.
+        assert_eq!(g.nodes().len(), 2, "unexpected fusion: {}", g.render());
+        assert_eq!(g.nodes()[1].op, OpKind::Relu);
+        assert!(g.validate().is_ok());
+    }
+}

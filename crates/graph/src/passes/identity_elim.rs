@@ -1,0 +1,76 @@
+//! Removes inference-time no-ops: `Identity` and `Dropout`.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, OpKind};
+use crate::passes::{replace_value, Pass};
+
+/// Eliminates `Identity` nodes and `Dropout` nodes (dropout is the identity
+/// at inference time), rewiring consumers to the node's input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityElim;
+
+impl Pass for IdentityElim {
+    fn name(&self) -> &str {
+        "identity-elim"
+    }
+
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        let mut changed = false;
+        loop {
+            let target = graph.nodes().iter().position(|n| {
+                matches!(n.op, OpKind::Identity | OpKind::Dropout)
+                    && !n.inputs.is_empty()
+                    && !n.outputs.is_empty()
+            });
+            let Some(idx) = target else { break };
+            let node = graph.nodes()[idx].clone();
+            let from = node.outputs[0].clone();
+            let to = node.inputs[0].clone();
+            graph.nodes_mut().remove(idx);
+            replace_value(graph, &from, &to);
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Node, ValueInfo};
+
+    #[test]
+    fn removes_identity_chain() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_node(Node::new("i1", OpKind::Identity, &["x"], &["a"]));
+        g.add_node(Node::new("i2", OpKind::Dropout, &["a"], &["b"]));
+        g.add_node(Node::new("r", OpKind::Relu, &["b"], &["y"]));
+        g.add_output("y");
+        assert!(IdentityElim.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        assert_eq!(g.nodes()[0].inputs[0], "x");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn identity_feeding_graph_output() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_node(Node::new("r", OpKind::Relu, &["x"], &["a"]));
+        g.add_node(Node::new("i", OpKind::Identity, &["a"], &["y"]));
+        g.add_output("y");
+        assert!(IdentityElim.run(&mut g).unwrap());
+        assert_eq!(g.outputs(), &["a".to_string()]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn no_change_reports_false() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_node(Node::new("r", OpKind::Relu, &["x"], &["y"]));
+        g.add_output("y");
+        assert!(!IdentityElim.run(&mut g).unwrap());
+    }
+}

@@ -1,0 +1,175 @@
+//! Graph simplification passes.
+//!
+//! Each pass is a small rewrite that returns whether it changed the graph;
+//! the [`PassManager`] runs its pipeline to a fixpoint. The standard pipeline
+//! is what `orpheus::Engine::load` applies to every imported model, and the
+//! `graph_simplify` ablation bench measures its end-to-end effect.
+
+mod bn_fold;
+mod constant_fold;
+mod dead_code;
+mod fuse_activation;
+mod identity_elim;
+mod pad_fold;
+
+pub use bn_fold::BatchNormFold;
+pub use constant_fold::ConstantFold;
+pub use dead_code::DeadCodeElim;
+pub use fuse_activation::FuseActivation;
+pub use identity_elim::IdentityElim;
+pub use pad_fold::PadFold;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// A graph-to-graph rewrite.
+pub trait Pass {
+    /// Stable pass name (used in logs and error messages).
+    fn name(&self) -> &str;
+
+    /// Applies the rewrite.
+    ///
+    /// Returns `true` if the graph changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Pass`] when the graph violates an invariant the
+    /// pass depends on.
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError>;
+}
+
+/// Runs a pipeline of passes to a fixpoint.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("PassManager").field("passes", &names).finish()
+    }
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        PassManager::default()
+    }
+
+    /// The standard Orpheus simplification pipeline.
+    pub fn standard() -> Self {
+        let mut pm = PassManager::new();
+        pm.add(IdentityElim);
+        pm.add(ConstantFold);
+        pm.add(PadFold);
+        pm.add(BatchNormFold);
+        pm.add(FuseActivation);
+        pm.add(DeadCodeElim);
+        pm
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add<P: Pass + 'static>(&mut self, pass: P) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Pass names, in pipeline order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline until no pass reports a change (bounded at 10
+    /// rounds, far above what any real model needs).
+    ///
+    /// Returns the total number of pass applications that changed the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first pass failure.
+    pub fn run_to_fixpoint(&self, graph: &mut Graph) -> Result<usize, GraphError> {
+        let mut total_changes = 0;
+        for _round in 0..10 {
+            let mut changed = false;
+            for pass in &self.passes {
+                if pass.run(graph)? {
+                    changed = true;
+                    total_changes += 1;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(total_changes)
+    }
+}
+
+/// Rewires every consumer (and graph output) of `from` to read `to`.
+pub(crate) fn replace_value(graph: &mut Graph, from: &str, to: &str) {
+    for node in graph.nodes_mut() {
+        for input in &mut node.inputs {
+            if input == from {
+                *input = to.to_string();
+            }
+        }
+    }
+    // Graph outputs are names; rewire them too via the render path.
+    let outputs: Vec<String> = graph.outputs().to_vec();
+    if outputs.iter().any(|o| o == from) {
+        let new_outputs: Vec<String> = outputs
+            .into_iter()
+            .map(|o| if o == from { to.to_string() } else { o })
+            .collect();
+        graph.set_outputs(new_outputs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Node, OpKind, ValueInfo};
+
+    struct NoopPass;
+    impl Pass for NoopPass {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn run(&self, _graph: &mut Graph) -> Result<bool, GraphError> {
+            Ok(false)
+        }
+    }
+
+    #[test]
+    fn fixpoint_terminates_immediately_for_noop() {
+        let mut g = Graph::new("t");
+        let mut pm = PassManager::new();
+        pm.add(NoopPass);
+        assert_eq!(pm.run_to_fixpoint(&mut g).unwrap(), 0);
+    }
+
+    #[test]
+    fn standard_pipeline_lists_all_passes() {
+        let pm = PassManager::standard();
+        let names = pm.pass_names();
+        assert!(names.contains(&"identity-elim"));
+        assert!(names.contains(&"bn-fold"));
+        assert!(names.contains(&"pad-fold"));
+        assert!(names.contains(&"fuse-activation"));
+        assert!(names.contains(&"constant-fold"));
+        assert!(names.contains(&"dead-code-elim"));
+    }
+
+    #[test]
+    fn replace_value_rewires_consumers_and_outputs() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+        g.add_node(Node::new("b", OpKind::Relu, &["y"], &["z"]));
+        g.add_output("y");
+        replace_value(&mut g, "y", "x");
+        assert_eq!(g.nodes()[1].inputs[0], "x");
+        assert_eq!(g.outputs()[0], "x");
+    }
+}

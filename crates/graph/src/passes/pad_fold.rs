@@ -1,0 +1,163 @@
+//! Folds a zero `Pad` into the following `Conv`.
+//!
+//! Exporters frequently emit `Pad → Conv(pads=0)` instead of a padded
+//! convolution. Since the convolution operator supports symmetric spatial
+//! padding natively, a constant zero pad over the spatial dims only can be
+//! absorbed, eliminating a full tensor copy.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, OpKind};
+use crate::passes::Pass;
+use crate::AttrValue;
+
+/// The Pad→Conv folding pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PadFold;
+
+impl Pass for PadFold {
+    fn name(&self) -> &str {
+        "pad-fold"
+    }
+
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        let mut changed = false;
+        loop {
+            let Some((pad_idx, conv_idx)) = find_foldable_pair(graph) else {
+                break;
+            };
+            let pad = graph.nodes()[pad_idx].clone();
+            let pads = pad.attrs.ints_or("pads", &[]);
+            // [n_b, c_b, h_b, w_b, n_e, c_e, h_e, w_e]; symmetric spatial
+            // guaranteed by find_foldable_pair.
+            let (extra_h, extra_w) = (pads[2], pads[3]);
+            {
+                let conv = &mut graph.nodes_mut()[conv_idx];
+                let mut conv_pads = conv.attrs.ints_or("pads", &[0, 0, 0, 0]);
+                if conv_pads.len() != 4 {
+                    conv_pads = vec![0, 0, 0, 0];
+                }
+                let new_pads: Vec<i64> = vec![
+                    (conv_pads[0] + extra_h) as i64,
+                    (conv_pads[1] + extra_w) as i64,
+                    (conv_pads[2] + extra_h) as i64,
+                    (conv_pads[3] + extra_w) as i64,
+                ];
+                conv.attrs.set("pads", AttrValue::Ints(new_pads));
+                conv.inputs[0] = pad.inputs[0].clone();
+            }
+            graph.nodes_mut().remove(pad_idx);
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Finds `Pad → Conv` where the pad is constant zero, rank-4, spatially
+/// symmetric, touches only H/W, and feeds exactly the conv.
+fn find_foldable_pair(graph: &Graph) -> Option<(usize, usize)> {
+    let producers = graph.producers();
+    let consumers = graph.consumer_counts();
+    for (conv_idx, conv) in graph.nodes().iter().enumerate() {
+        if conv.op != OpKind::Conv {
+            continue;
+        }
+        let conv_in = conv.inputs.first()?;
+        let Some(&pad_idx) = producers.get(conv_in.as_str()) else {
+            continue;
+        };
+        let pad = &graph.nodes()[pad_idx];
+        if pad.op != OpKind::Pad {
+            continue;
+        }
+        if consumers.get(conv_in.as_str()).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        if pad.attrs.str_opt("mode").is_some_and(|m| m != "constant") {
+            continue;
+        }
+        if pad.attrs.float_or("value", 0.0) != 0.0 {
+            continue;
+        }
+        let pads = pad.attrs.ints_or("pads", &[]);
+        let rank4_spatial_symmetric = pads.len() == 8
+            && pads[0] == 0
+            && pads[1] == 0
+            && pads[4] == 0
+            && pads[5] == 0
+            && pads[2] == pads[6]
+            && pads[3] == pads[7];
+        if rank4_spatial_symmetric {
+            return Some((pad_idx, conv_idx));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Node, ValueInfo};
+    use crate::Attributes;
+    use orpheus_tensor::Tensor;
+
+    fn pad_conv_graph(pads: Vec<i64>, value: f32) -> Graph {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 2, 4, 4]));
+        g.add_initializer("w", Tensor::ones(&[3, 2, 3, 3]));
+        g.add_node(
+            Node::new("pad", OpKind::Pad, &["x"], &["p"]).with_attrs(
+                Attributes::new()
+                    .with("pads", AttrValue::Ints(pads))
+                    .with("value", AttrValue::Float(value)),
+            ),
+        );
+        g.add_node(
+            Node::new("conv", OpKind::Conv, &["p", "w"], &["y"]).with_attrs(
+                Attributes::new().with("pads", AttrValue::Ints(vec![0, 0, 0, 0])),
+            ),
+        );
+        g.add_output("y");
+        g
+    }
+
+    #[test]
+    fn folds_spatial_zero_pad() {
+        let mut g = pad_conv_graph(vec![0, 0, 1, 1, 0, 0, 1, 1], 0.0);
+        assert!(PadFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 1);
+        let conv = &g.nodes()[0];
+        assert_eq!(conv.inputs[0], "x");
+        assert_eq!(conv.attrs.ints_or("pads", &[]), vec![1, 1, 1, 1]);
+        assert!(g.validate().is_ok());
+        // Output shape matches what Pad+Conv produced: 4+2-3+1 = 4.
+        let shapes = crate::infer_shapes(&g).unwrap();
+        assert_eq!(shapes["y"], vec![1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn skips_nonzero_fill() {
+        let mut g = pad_conv_graph(vec![0, 0, 1, 1, 0, 0, 1, 1], 5.0);
+        assert!(!PadFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 2);
+    }
+
+    #[test]
+    fn skips_channel_padding() {
+        let mut g = pad_conv_graph(vec![0, 1, 1, 1, 0, 1, 1, 1], 0.0);
+        assert!(!PadFold.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn skips_asymmetric_spatial_padding() {
+        let mut g = pad_conv_graph(vec![0, 0, 1, 0, 0, 0, 0, 1], 0.0);
+        assert!(!PadFold.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn skips_shared_pad_output() {
+        let mut g = pad_conv_graph(vec![0, 0, 1, 1, 0, 0, 1, 1], 0.0);
+        g.add_node(Node::new("extra", OpKind::Relu, &["p"], &["e"]));
+        g.add_output("e");
+        assert!(!PadFold.run(&mut g).unwrap());
+    }
+}

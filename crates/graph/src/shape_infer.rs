@@ -1,0 +1,400 @@
+//! Static shape inference over the graph.
+//!
+//! Orpheus executes with fully static shapes (batch included), so shapes are
+//! inferred once — at model load — and reused by the lowering and memory
+//! planner in the core crate.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::graph::{Graph, Node, OpKind};
+
+/// Infers the shape of every value in the graph.
+///
+/// Returns a map from value name to dims. Custom ops propagate their first
+/// input's shape (a reasonable default for the element-wise third-party ops
+/// backends register).
+///
+/// # Errors
+///
+/// Returns [`GraphError::ShapeInference`] when an operator's inputs are
+/// inconsistent, or [`GraphError::Cycle`] for cyclic graphs.
+pub fn infer_shapes(graph: &Graph) -> Result<HashMap<String, Vec<usize>>, GraphError> {
+    let mut shapes: HashMap<String, Vec<usize>> = HashMap::new();
+    for info in graph.inputs() {
+        shapes.insert(info.name.clone(), info.dims.clone());
+    }
+    for (name, tensor) in graph.initializers() {
+        shapes.insert(name.clone(), tensor.dims().to_vec());
+    }
+    for idx in graph.topo_order()? {
+        let node = &graph.nodes()[idx];
+        infer_node(graph, node, &mut shapes)?;
+    }
+    Ok(shapes)
+}
+
+fn err(node: &Node, reason: impl Into<String>) -> GraphError {
+    GraphError::ShapeInference {
+        node: node.name.clone(),
+        reason: reason.into(),
+    }
+}
+
+fn input_shape<'a>(
+    node: &Node,
+    shapes: &'a HashMap<String, Vec<usize>>,
+    idx: usize,
+) -> Result<&'a [usize], GraphError> {
+    let name = node
+        .inputs
+        .get(idx)
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| err(node, format!("missing input #{idx}")))?;
+    shapes
+        .get(name)
+        .map(Vec::as_slice)
+        .ok_or_else(|| err(node, format!("unknown shape for input {name:?}")))
+}
+
+/// Output extent of one spatial convolution/pooling dimension.
+fn spatial_out(input: usize, kernel: usize, stride: usize, pad_total: usize, dilation: usize) -> usize {
+    let effective = dilation * (kernel - 1) + 1;
+    (input + pad_total).saturating_sub(effective) / stride.max(1) + 1
+}
+
+fn infer_node(
+    graph: &Graph,
+    node: &Node,
+    shapes: &mut HashMap<String, Vec<usize>>,
+) -> Result<(), GraphError> {
+    let out_shape: Vec<usize> = match &node.op {
+        OpKind::Conv => {
+            let x = input_shape(node, shapes, 0)?;
+            let w = input_shape(node, shapes, 1)?;
+            if x.len() != 4 || w.len() != 4 {
+                return Err(err(node, "Conv expects rank-4 input and weight"));
+            }
+            let kernel = node.attrs.ints_or("kernel_shape", &[w[2], w[3]]);
+            let strides = node.attrs.ints_or("strides", &[1, 1]);
+            let pads = node.attrs.ints_or("pads", &[0, 0, 0, 0]);
+            let dilations = node.attrs.ints_or("dilations", &[1, 1]);
+            let (pt, pl, pb, pr) = pads_4(&pads);
+            vec![
+                x[0],
+                w[0],
+                spatial_out(x[2], kernel[0], strides[0], pt + pb, dilations[0]),
+                spatial_out(x[3], kernel[1], strides[1], pl + pr, dilations[1]),
+            ]
+        }
+        OpKind::MaxPool | OpKind::AveragePool => {
+            let x = input_shape(node, shapes, 0)?;
+            if x.len() != 4 {
+                return Err(err(node, "pooling expects rank-4 input"));
+            }
+            let kernel = node.attrs.ints_or("kernel_shape", &[1, 1]);
+            let strides = node.attrs.ints_or("strides", &kernel);
+            let pads = node.attrs.ints_or("pads", &[0, 0, 0, 0]);
+            let (pt, pl, pb, pr) = pads_4(&pads);
+            vec![
+                x[0],
+                x[1],
+                spatial_out(x[2], kernel[0], strides[0], pt + pb, 1),
+                spatial_out(x[3], kernel[1], strides[1], pl + pr, 1),
+            ]
+        }
+        OpKind::GlobalAveragePool => {
+            let x = input_shape(node, shapes, 0)?;
+            if x.len() != 4 {
+                return Err(err(node, "GlobalAveragePool expects rank-4 input"));
+            }
+            vec![x[0], x[1], 1, 1]
+        }
+        OpKind::Gemm => {
+            let x = input_shape(node, shapes, 0)?;
+            let w = input_shape(node, shapes, 1)?;
+            if w.len() != 2 {
+                return Err(err(node, "Gemm expects rank-2 weight"));
+            }
+            if node.attrs.int_or("transB", 1) != 1 {
+                return Err(err(node, "only transB=1 Gemm is supported"));
+            }
+            let batch = x.first().copied().unwrap_or(1);
+            let features: usize = x.iter().skip(1).product();
+            if features != w[1] {
+                return Err(err(
+                    node,
+                    format!("Gemm features {features} != weight in-dim {}", w[1]),
+                ));
+            }
+            vec![batch, w[0]]
+        }
+        OpKind::Add | OpKind::Mul => {
+            let a = input_shape(node, shapes, 0)?.to_vec();
+            let b = input_shape(node, shapes, 1)?;
+            if a != b {
+                return Err(err(node, format!("element-wise shape mismatch {a:?} vs {b:?}")));
+            }
+            a
+        }
+        OpKind::Concat => {
+            let axis = node.attrs.int_or("axis", 1).max(0) as usize;
+            let first = input_shape(node, shapes, 0)?.to_vec();
+            if axis >= first.len() {
+                return Err(err(node, format!("concat axis {axis} out of range")));
+            }
+            let mut total = 0;
+            for i in 0..node.inputs.len() {
+                let s = input_shape(node, shapes, i)?;
+                if s.len() != first.len() {
+                    return Err(err(node, "concat rank mismatch"));
+                }
+                for (d, (&sa, &sf)) in s.iter().zip(&first).enumerate() {
+                    if d != axis && sa != sf {
+                        return Err(err(node, "concat non-axis dims must match"));
+                    }
+                }
+                total += s[axis];
+            }
+            let mut out = first;
+            out[axis] = total;
+            out
+        }
+        OpKind::Pad => {
+            let x = input_shape(node, shapes, 0)?;
+            let pads = node.attrs.ints_or("pads", &[]);
+            if pads.len() != 2 * x.len() {
+                return Err(err(
+                    node,
+                    format!("Pad expects {} pad values, got {}", 2 * x.len(), pads.len()),
+                ));
+            }
+            x.iter()
+                .enumerate()
+                .map(|(d, &extent)| extent + pads[d] + pads[x.len() + d])
+                .collect()
+        }
+        OpKind::ReduceMean => {
+            let x = input_shape(node, shapes, 0)?;
+            let axes = node.attrs.ints_or("axes", &[]);
+            let keepdims = node.attrs.int_or("keepdims", 1) != 0;
+            for &a in &axes {
+                if a >= x.len() {
+                    return Err(err(node, format!("ReduceMean axis {a} out of range")));
+                }
+            }
+            let mut out = Vec::new();
+            for (d, &extent) in x.iter().enumerate() {
+                if axes.contains(&d) {
+                    if keepdims {
+                        out.push(1);
+                    }
+                } else {
+                    out.push(extent);
+                }
+            }
+            out
+        }
+        OpKind::Flatten => {
+            let x = input_shape(node, shapes, 0)?;
+            let axis = node.attrs.int_or("axis", 1).max(0) as usize;
+            let axis = axis.min(x.len());
+            let lead: usize = x[..axis].iter().product();
+            let trail: usize = x[axis..].iter().product();
+            vec![lead.max(1), trail.max(1)]
+        }
+        OpKind::Reshape => {
+            let x = input_shape(node, shapes, 0)?;
+            let total: usize = x.iter().product();
+            let spec = node
+                .attrs
+                .get("shape")
+                .and_then(|v| match v {
+                    crate::attributes::AttrValue::Ints(is) => Some(is.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| err(node, "Reshape requires a static `shape` attribute"))?;
+            resolve_reshape(&spec, total).map_err(|m| err(node, m))?
+        }
+        OpKind::BatchNormalization
+        | OpKind::Relu
+        | OpKind::LeakyRelu
+        | OpKind::Clip
+        | OpKind::Sigmoid
+        | OpKind::Tanh
+        | OpKind::Softmax
+        | OpKind::Identity
+        | OpKind::Dropout => input_shape(node, shapes, 0)?.to_vec(),
+        OpKind::Custom(_) => input_shape(node, shapes, 0)?.to_vec(),
+    };
+    // All modeled ops have one (primary) output; extra outputs (e.g.
+    // Dropout's mask) are not shape-tracked.
+    let out = node
+        .outputs
+        .first()
+        .ok_or_else(|| err(node, "node has no outputs"))?;
+    shapes.insert(out.clone(), out_shape);
+    let _ = graph;
+    Ok(())
+}
+
+/// ONNX pads `[t, l, b, r]`; tolerate 2-element `[h, w]` shorthand.
+fn pads_4(pads: &[usize]) -> (usize, usize, usize, usize) {
+    match pads.len() {
+        4 => (pads[0], pads[1], pads[2], pads[3]),
+        2 => (pads[0], pads[1], pads[0], pads[1]),
+        _ => (0, 0, 0, 0),
+    }
+}
+
+/// Resolves an ONNX reshape spec (`0` = copy input dim, `-1` = infer).
+fn resolve_reshape(spec: &[i64], total: usize) -> Result<Vec<usize>, String> {
+    let mut out: Vec<usize> = Vec::with_capacity(spec.len());
+    let mut infer_at: Option<usize> = None;
+    for (i, &d) in spec.iter().enumerate() {
+        match d {
+            -1 => {
+                if infer_at.is_some() {
+                    return Err("multiple -1 dims in reshape".into());
+                }
+                infer_at = Some(i);
+                out.push(1);
+            }
+            d if d >= 0 => out.push(d as usize),
+            _ => return Err(format!("invalid reshape dim {d}")),
+        }
+    }
+    let known: usize = out.iter().product();
+    if let Some(i) = infer_at {
+        if known == 0 || !total.is_multiple_of(known) {
+            return Err(format!("cannot infer reshape dim: {total} / {known}"));
+        }
+        out[i] = total / known;
+    } else if known != total {
+        return Err(format!("reshape element mismatch: {known} != {total}"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrValue, Attributes};
+    use crate::graph::{Node, ValueInfo};
+    use orpheus_tensor::Tensor;
+
+    fn conv_attrs(k: usize, s: usize, p: usize) -> Attributes {
+        Attributes::new()
+            .with("kernel_shape", AttrValue::Ints(vec![k as i64, k as i64]))
+            .with("strides", AttrValue::Ints(vec![s as i64, s as i64]))
+            .with(
+                "pads",
+                AttrValue::Ints(vec![p as i64, p as i64, p as i64, p as i64]),
+            )
+    }
+
+    #[test]
+    fn conv_shape_resnet_stem() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 3, 224, 224]));
+        g.add_initializer("w", Tensor::zeros(&[64, 3, 7, 7]));
+        g.add_node(Node::new("c", OpKind::Conv, &["x", "w"], &["y"]).with_attrs(conv_attrs(7, 2, 3)));
+        g.add_output("y");
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes["y"], vec![1, 64, 112, 112]);
+    }
+
+    #[test]
+    fn pool_defaults_stride_to_kernel() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 8, 8, 8]));
+        g.add_node(
+            Node::new("p", OpKind::MaxPool, &["x"], &["y"]).with_attrs(
+                Attributes::new().with("kernel_shape", AttrValue::Ints(vec![2, 2])),
+            ),
+        );
+        g.add_output("y");
+        assert_eq!(infer_shapes(&g).unwrap()["y"], vec![1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn global_pool_and_gemm_chain() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 512, 7, 7]));
+        g.add_initializer("w", Tensor::zeros(&[1000, 512]));
+        g.add_node(Node::new("g", OpKind::GlobalAveragePool, &["x"], &["p"]));
+        g.add_node(Node::new("f", OpKind::Flatten, &["p"], &["flat"]));
+        g.add_node(Node::new("fc", OpKind::Gemm, &["flat", "w"], &["y"]));
+        g.add_output("y");
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes["p"], vec![1, 512, 1, 1]);
+        assert_eq!(shapes["flat"], vec![1, 512]);
+        assert_eq!(shapes["y"], vec![1, 1000]);
+    }
+
+    #[test]
+    fn gemm_rejects_feature_mismatch() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 100]));
+        g.add_initializer("w", Tensor::zeros(&[10, 99]));
+        g.add_node(Node::new("fc", OpKind::Gemm, &["x", "w"], &["y"]));
+        g.add_output("y");
+        assert!(matches!(
+            infer_shapes(&g),
+            Err(GraphError::ShapeInference { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_sums_channel_axis() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("a", &[1, 3, 5, 5]));
+        g.add_input(ValueInfo::new("b", &[1, 7, 5, 5]));
+        g.add_node(
+            Node::new("c", OpKind::Concat, &["a", "b"], &["y"])
+                .with_attrs(Attributes::new().with("axis", AttrValue::Int(1))),
+        );
+        g.add_output("y");
+        assert_eq!(infer_shapes(&g).unwrap()["y"], vec![1, 10, 5, 5]);
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("a", &[1, 3, 5, 5]));
+        g.add_input(ValueInfo::new("b", &[1, 7, 6, 5]));
+        g.add_node(Node::new("c", OpKind::Concat, &["a", "b"], &["y"]));
+        g.add_output("y");
+        assert!(infer_shapes(&g).is_err());
+    }
+
+    #[test]
+    fn add_requires_same_shape() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("a", &[1, 3]));
+        g.add_input(ValueInfo::new("b", &[1, 4]));
+        g.add_node(Node::new("s", OpKind::Add, &["a", "b"], &["y"]));
+        g.add_output("y");
+        assert!(infer_shapes(&g).is_err());
+    }
+
+    #[test]
+    fn reshape_resolves_zero_and_minus_one() {
+        assert_eq!(resolve_reshape(&[2, -1], 10).unwrap(), vec![2, 5]);
+        assert_eq!(resolve_reshape(&[10], 10).unwrap(), vec![10]);
+        assert!(resolve_reshape(&[-1, -1], 10).is_err());
+        assert!(resolve_reshape(&[3], 10).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops_preserve_shape() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[2, 3, 4, 4]));
+        g.add_node(Node::new("r", OpKind::Relu, &["x"], &["a"]));
+        g.add_node(Node::new("s", OpKind::Sigmoid, &["a"], &["b"]));
+        g.add_node(Node::new("d", OpKind::Dropout, &["b"], &["c"]));
+        g.add_output("c");
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes["c"], vec![2, 3, 4, 4]);
+    }
+}

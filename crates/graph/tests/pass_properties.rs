@@ -1,0 +1,148 @@
+//! Property tests for the simplification pipeline: on randomly generated
+//! valid graphs, the standard passes must preserve structural validity, the
+//! output interface, and reachability of every output.
+
+use orpheus_graph::{passes::PassManager, AttrValue, Attributes, Graph, Node, OpKind, ValueInfo};
+use orpheus_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Element-wise op kinds safe to chain arbitrarily (shape-preserving).
+fn unary_op(idx: usize) -> OpKind {
+    match idx % 6 {
+        0 => OpKind::Relu,
+        1 => OpKind::Sigmoid,
+        2 => OpKind::Tanh,
+        3 => OpKind::Identity,
+        4 => OpKind::Dropout,
+        _ => OpKind::Softmax,
+    }
+}
+
+/// Builds a random chain: input → [conv(+bn)? | unary]* → output, with an
+/// occasional residual add joining two earlier values of the same shape.
+fn random_chain(ops: &[usize], channels: usize) -> Graph {
+    let mut g = Graph::new("random");
+    g.add_input(ValueInfo::new("x", &[1, channels, 6, 6]));
+    let mut cur = "x".to_string();
+    // Same-shape history for residual adds.
+    let mut history = vec![cur.clone()];
+    for (i, &op) in ops.iter().enumerate() {
+        let out = format!("v{i}");
+        match op % 8 {
+            // Conv (channel-preserving 3x3) optionally followed by BN.
+            0 | 1 => {
+                let w = format!("w{i}");
+                g.add_initializer(&w, Tensor::full(&[channels, channels, 3, 3], 0.01));
+                g.add_node(
+                    Node::new(&format!("conv{i}"), OpKind::Conv, &[&cur, &w], &[&out])
+                        .with_attrs(
+                            Attributes::new()
+                                .with("kernel_shape", AttrValue::Ints(vec![3, 3]))
+                                .with("strides", AttrValue::Ints(vec![1, 1]))
+                                .with("pads", AttrValue::Ints(vec![1, 1, 1, 1])),
+                        ),
+                );
+                if op % 8 == 1 {
+                    for (suffix, value) in
+                        [("s", 1.0f32), ("b", 0.0), ("m", 0.0), ("v", 1.0)]
+                    {
+                        g.add_initializer(
+                            &format!("bn{i}{suffix}"),
+                            Tensor::full(&[channels], value),
+                        );
+                    }
+                    let bn_out = format!("vbn{i}");
+                    g.add_node(Node::new(
+                        &format!("bn{i}"),
+                        OpKind::BatchNormalization,
+                        &[
+                            &out,
+                            &format!("bn{i}s"),
+                            &format!("bn{i}b"),
+                            &format!("bn{i}m"),
+                            &format!("bn{i}v"),
+                        ],
+                        &[&bn_out],
+                    ));
+                    cur = bn_out;
+                } else {
+                    cur = out;
+                }
+            }
+            // Residual add with an earlier same-shape value.
+            2 => {
+                let other = history[op % history.len()].clone();
+                g.add_node(Node::new(
+                    &format!("add{i}"),
+                    OpKind::Add,
+                    &[&cur, &other],
+                    &[&out],
+                ));
+                cur = out;
+            }
+            other => {
+                g.add_node(Node::new(
+                    &format!("u{i}"),
+                    unary_op(other),
+                    &[&cur],
+                    &[&out],
+                ));
+                cur = out;
+            }
+        }
+        history.push(cur.clone());
+    }
+    g.add_output(&cur);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The standard pipeline preserves validity, the single output, and
+    /// shape inferability on arbitrary op chains.
+    #[test]
+    fn passes_preserve_invariants(
+        ops in prop::collection::vec(0usize..8, 1..12),
+        channels in 1usize..4,
+    ) {
+        let mut g = random_chain(&ops, channels);
+        prop_assert!(g.validate().is_ok(), "generator produced invalid graph");
+        let before_outputs = g.outputs().to_vec();
+        let shapes_before = orpheus_graph::infer_shapes(&g).expect("pre-pass shapes");
+        let out_shape_before = shapes_before[&before_outputs[0]].clone();
+
+        PassManager::standard().run_to_fixpoint(&mut g).expect("passes run");
+
+        prop_assert!(g.validate().is_ok(), "passes broke validity:\n{}", g.render());
+        prop_assert_eq!(g.outputs().len(), 1);
+        let shapes_after = orpheus_graph::infer_shapes(&g).expect("post-pass shapes");
+        let out_shape_after = shapes_after[&g.outputs()[0]].clone();
+        prop_assert_eq!(out_shape_before, out_shape_after, "output shape changed");
+    }
+
+    /// Passes are idempotent at the fixpoint: running the pipeline twice
+    /// changes nothing the second time.
+    #[test]
+    fn passes_reach_fixpoint(
+        ops in prop::collection::vec(0usize..8, 1..10),
+    ) {
+        let mut g = random_chain(&ops, 2);
+        PassManager::standard().run_to_fixpoint(&mut g).expect("first run");
+        let rendered = g.render();
+        let changes = PassManager::standard().run_to_fixpoint(&mut g).expect("second run");
+        prop_assert_eq!(changes, 0, "pipeline not at fixpoint");
+        prop_assert_eq!(g.render(), rendered);
+    }
+
+    /// Pass pipeline never increases the node count.
+    #[test]
+    fn passes_never_grow_the_graph(
+        ops in prop::collection::vec(0usize..8, 1..12),
+    ) {
+        let mut g = random_chain(&ops, 2);
+        let before = g.nodes().len();
+        PassManager::standard().run_to_fixpoint(&mut g).expect("passes run");
+        prop_assert!(g.nodes().len() <= before);
+    }
+}

@@ -1,0 +1,354 @@
+//! A fluent builder for constructing model graphs with synthetic weights.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use orpheus_graph::{AttrValue, Attributes, Graph, Node, OpKind, ValueInfo};
+use orpheus_tensor::Tensor;
+
+/// Builds a [`Graph`] layer by layer, tracking channel counts and generating
+/// deterministic He-initialized weights.
+///
+/// Every method returns the name of the value it produced, which subsequent
+/// layers take as input — so model definitions read like the architecture
+/// diagrams they come from.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    rng: StdRng,
+    next_id: usize,
+    /// Channel count of each produced NCHW value.
+    channels: std::collections::HashMap<String, usize>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder with a deterministic weight seed.
+    pub fn new(name: &str, seed: u64) -> Self {
+        GraphBuilder {
+            graph: Graph::new(name),
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            channels: std::collections::HashMap::new(),
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("{prefix}_{id}")
+    }
+
+    /// He-uniform weight tensor: `U(±sqrt(6 / fan_in))`.
+    fn weight(&mut self, dims: &[usize], fan_in: usize) -> Tensor {
+        let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+        let mut t = Tensor::zeros(dims);
+        for x in t.as_mut_slice() {
+            *x = self.rng.gen_range(-limit..=limit);
+        }
+        t
+    }
+
+    /// Declares the graph input; returns its value name.
+    pub fn input(&mut self, dims: &[usize; 4]) -> String {
+        let name = "input".to_string();
+        self.graph.add_input(ValueInfo::new(&name, dims));
+        self.channels.insert(name.clone(), dims[1]);
+        name
+    }
+
+    /// Channel count of a produced value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` was not produced by this builder.
+    pub fn channels_of(&self, value: &str) -> usize {
+        *self
+            .channels
+            .get(value)
+            .unwrap_or_else(|| panic!("unknown value {value:?}"))
+    }
+
+    /// Adds a convolution (no bias — batch norm follows in every zoo model).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        &mut self,
+        x: &str,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+        groups: usize,
+    ) -> String {
+        let in_c = self.channels_of(x);
+        let name = self.fresh("conv");
+        let w_name = format!("{name}.weight");
+        let fan_in = (in_c / groups) * kh * kw;
+        let w = self.weight(&[out_c, in_c / groups, kh, kw], fan_in);
+        self.graph.add_initializer(&w_name, w);
+        let out = format!("{name}.out");
+        let attrs = Attributes::new()
+            .with("kernel_shape", AttrValue::Ints(vec![kh as i64, kw as i64]))
+            .with("strides", AttrValue::Ints(vec![stride as i64, stride as i64]))
+            .with(
+                "pads",
+                AttrValue::Ints(vec![pad_h as i64, pad_w as i64, pad_h as i64, pad_w as i64]),
+            )
+            .with("dilations", AttrValue::Ints(vec![1, 1]))
+            .with("group", AttrValue::Int(groups as i64));
+        self.graph.add_node(
+            Node::new(&name, OpKind::Conv, &[x, &w_name], &[&out]).with_attrs(attrs),
+        );
+        self.channels.insert(out.clone(), out_c);
+        out
+    }
+
+    /// Adds an inference-mode batch norm with benign statistics
+    /// (scale ≈ 1, shift ≈ 0, mean ≈ 0, var ≈ 1) that keep activations
+    /// well-scaled through deep stacks.
+    pub fn batch_norm(&mut self, x: &str) -> String {
+        let c = self.channels_of(x);
+        let name = self.fresh("bn");
+        let mk = |rng: &mut StdRng, base: f32, jitter: f32| {
+            let mut t = Tensor::zeros(&[c]);
+            for v in t.as_mut_slice() {
+                *v = base + rng.gen_range(-jitter..=jitter);
+            }
+            t
+        };
+        let scale = mk(&mut self.rng, 1.0, 0.1);
+        let shift = mk(&mut self.rng, 0.0, 0.1);
+        let mean = mk(&mut self.rng, 0.0, 0.1);
+        let var = mk(&mut self.rng, 1.0, 0.1);
+        for (suffix, tensor) in [("scale", scale), ("shift", shift), ("mean", mean), ("var", var)]
+        {
+            self.graph.add_initializer(&format!("{name}.{suffix}"), tensor);
+        }
+        let out = format!("{name}.out");
+        self.graph.add_node(
+            Node::new(
+                &name,
+                OpKind::BatchNormalization,
+                &[
+                    x,
+                    &format!("{name}.scale"),
+                    &format!("{name}.shift"),
+                    &format!("{name}.mean"),
+                    &format!("{name}.var"),
+                ],
+                &[&out],
+            )
+            .with_attrs(Attributes::new().with("epsilon", AttrValue::Float(1e-5))),
+        );
+        self.channels.insert(out.clone(), c);
+        out
+    }
+
+    /// Adds a ReLU.
+    pub fn relu(&mut self, x: &str) -> String {
+        self.unary(x, OpKind::Relu, Attributes::new())
+    }
+
+    /// Adds a ReLU6 (`Clip [0, 6]`), MobileNet's activation.
+    pub fn relu6(&mut self, x: &str) -> String {
+        self.unary(
+            x,
+            OpKind::Clip,
+            Attributes::new()
+                .with("min", AttrValue::Float(0.0))
+                .with("max", AttrValue::Float(6.0)),
+        )
+    }
+
+    /// Adds a softmax over the class axis.
+    pub fn softmax(&mut self, x: &str) -> String {
+        self.unary(
+            x,
+            OpKind::Softmax,
+            Attributes::new().with("axis", AttrValue::Int(1)),
+        )
+    }
+
+    fn unary(&mut self, x: &str, op: OpKind, attrs: Attributes) -> String {
+        let c = self.channels_of(x);
+        let name = self.fresh(&op.onnx_name().to_lowercase());
+        let out = format!("{name}.out");
+        self.graph
+            .add_node(Node::new(&name, op, &[x], &[&out]).with_attrs(attrs));
+        self.channels.insert(out.clone(), c);
+        out
+    }
+
+    /// Convenience: conv → batch-norm → ReLU.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_bn_relu(
+        &mut self,
+        x: &str,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+    ) -> String {
+        let c = self.conv(x, out_c, kh, kw, stride, pad_h, pad_w, 1);
+        let b = self.batch_norm(&c);
+        self.relu(&b)
+    }
+
+    /// Adds max pooling.
+    pub fn max_pool(&mut self, x: &str, kernel: usize, stride: usize, pad: usize) -> String {
+        self.pool(x, OpKind::MaxPool, kernel, stride, pad)
+    }
+
+    /// Adds average pooling.
+    pub fn avg_pool(&mut self, x: &str, kernel: usize, stride: usize, pad: usize) -> String {
+        self.pool(x, OpKind::AveragePool, kernel, stride, pad)
+    }
+
+    fn pool(&mut self, x: &str, op: OpKind, kernel: usize, stride: usize, pad: usize) -> String {
+        let c = self.channels_of(x);
+        let name = self.fresh(&op.onnx_name().to_lowercase());
+        let out = format!("{name}.out");
+        let attrs = Attributes::new()
+            .with("kernel_shape", AttrValue::Ints(vec![kernel as i64, kernel as i64]))
+            .with("strides", AttrValue::Ints(vec![stride as i64, stride as i64]))
+            .with(
+                "pads",
+                AttrValue::Ints(vec![pad as i64, pad as i64, pad as i64, pad as i64]),
+            );
+        self.graph
+            .add_node(Node::new(&name, op, &[x], &[&out]).with_attrs(attrs));
+        self.channels.insert(out.clone(), c);
+        out
+    }
+
+    /// Adds global average pooling.
+    pub fn global_avg_pool(&mut self, x: &str) -> String {
+        self.unary(x, OpKind::GlobalAveragePool, Attributes::new())
+    }
+
+    /// Adds an element-wise residual addition.
+    pub fn add(&mut self, a: &str, b: &str) -> String {
+        let c = self.channels_of(a);
+        let name = self.fresh("add");
+        let out = format!("{name}.out");
+        self.graph
+            .add_node(Node::new(&name, OpKind::Add, &[a, b], &[&out]));
+        self.channels.insert(out.clone(), c);
+        out
+    }
+
+    /// Adds a channel concatenation.
+    pub fn concat(&mut self, inputs: &[&str]) -> String {
+        let c: usize = inputs.iter().map(|x| self.channels_of(x)).sum();
+        let name = self.fresh("concat");
+        let out = format!("{name}.out");
+        self.graph.add_node(
+            Node::new(&name, OpKind::Concat, inputs, &[&out])
+                .with_attrs(Attributes::new().with("axis", AttrValue::Int(1))),
+        );
+        self.channels.insert(out.clone(), c);
+        out
+    }
+
+    /// Adds flatten + fully-connected with bias.
+    pub fn dense(&mut self, x: &str, in_features: usize, out_features: usize) -> String {
+        let name = self.fresh("fc");
+        let flat = format!("{name}.flat");
+        self.graph.add_node(
+            Node::new(&format!("{name}.flatten"), OpKind::Flatten, &[x], &[&flat])
+                .with_attrs(Attributes::new().with("axis", AttrValue::Int(1))),
+        );
+        let w_name = format!("{name}.weight");
+        let b_name = format!("{name}.bias");
+        let w = self.weight(&[out_features, in_features], in_features);
+        self.graph.add_initializer(&w_name, w);
+        let b = self.weight(&[out_features], in_features);
+        self.graph.add_initializer(&b_name, b);
+        let out = format!("{name}.out");
+        self.graph.add_node(
+            Node::new(&name, OpKind::Gemm, &[&flat, &w_name, &b_name], &[&out]).with_attrs(
+                Attributes::new()
+                    .with("transB", AttrValue::Int(1))
+                    .with("alpha", AttrValue::Float(1.0))
+                    .with("beta", AttrValue::Float(1.0)),
+            ),
+        );
+        self.channels.insert(out.clone(), out_features);
+        out
+    }
+
+    /// Marks the output and returns the finished graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled graph fails validation — model definitions are
+    /// static, so this is a programming error in the zoo, not an input error.
+    pub fn finish(mut self, output: &str) -> Graph {
+        self.graph.add_output(output);
+        self.graph
+            .validate()
+            .unwrap_or_else(|e| panic!("zoo model {:?} invalid: {e}", self.graph.name));
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_graph::infer_shapes;
+
+    #[test]
+    fn builder_tracks_channels() {
+        let mut b = GraphBuilder::new("t", 0);
+        let x = b.input(&[1, 3, 8, 8]);
+        let c = b.conv(&x, 16, 3, 3, 1, 1, 1, 1);
+        assert_eq!(b.channels_of(&c), 16);
+        let cat = b.concat(&[&c, &c]);
+        assert_eq!(b.channels_of(&cat), 32);
+    }
+
+    #[test]
+    fn conv_bn_relu_produces_three_nodes() {
+        let mut b = GraphBuilder::new("t", 0);
+        let x = b.input(&[1, 3, 8, 8]);
+        let y = b.conv_bn_relu(&x, 8, 3, 3, 1, 1, 1);
+        let g = b.finish(&y);
+        assert_eq!(g.nodes().len(), 3);
+        assert!(infer_shapes(&g).is_ok());
+    }
+
+    #[test]
+    fn dense_flattens_input() {
+        let mut b = GraphBuilder::new("t", 0);
+        let x = b.input(&[1, 4, 2, 2]);
+        let y = b.dense(&x, 16, 5);
+        let g = b.finish(&y);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]], vec![1, 5]);
+    }
+
+    #[test]
+    fn weights_depend_on_seed() {
+        let mut a = GraphBuilder::new("t", 1);
+        let xa = a.input(&[1, 3, 4, 4]);
+        let ya = a.conv(&xa, 4, 3, 3, 1, 1, 1, 1);
+        let ga = a.finish(&ya);
+        let mut b = GraphBuilder::new("t", 2);
+        let xb = b.input(&[1, 3, 4, 4]);
+        let yb = b.conv(&xb, 4, 3, 3, 1, 1, 1, 1);
+        let gb = b.finish(&yb);
+        let wa = ga.initializers().values().next().unwrap();
+        let wb = gb.initializers().values().next().unwrap();
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown value")]
+    fn unknown_value_panics() {
+        let b = GraphBuilder::new("t", 0);
+        b.channels_of("ghost");
+    }
+}

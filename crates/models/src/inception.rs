@@ -1,0 +1,194 @@
+//! Inception-v3 (Szegedy et al. 2015), following the torchvision module
+//! structure (stem, 3×A, B, 4×C, D, 2×E), without the auxiliary classifier
+//! (inference-only).
+//!
+//! The factorized 1×7 / 7×1 convolutions in the C modules exercise the
+//! asymmetric-kernel paths of every convolution algorithm.
+
+use orpheus_graph::Graph;
+
+use crate::builder::GraphBuilder;
+
+/// BasicConv2d: conv → BN → ReLU, Inception's universal building block.
+#[allow(clippy::too_many_arguments)]
+fn basic_conv(
+    b: &mut GraphBuilder,
+    x: &str,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+) -> String {
+    let c = b.conv(x, out_c, kh, kw, stride, pad_h, pad_w, 1);
+    let n = b.batch_norm(&c);
+    b.relu(&n)
+}
+
+/// Inception-A: 1×1, 5×5, double-3×3 and pooled branches.
+fn inception_a(b: &mut GraphBuilder, x: &str, pool_features: usize) -> String {
+    let b1 = basic_conv(b, x, 64, 1, 1, 1, 0, 0);
+
+    let b5 = basic_conv(b, x, 48, 1, 1, 1, 0, 0);
+    let b5 = basic_conv(b, &b5, 64, 5, 5, 1, 2, 2);
+
+    let b3 = basic_conv(b, x, 64, 1, 1, 1, 0, 0);
+    let b3 = basic_conv(b, &b3, 96, 3, 3, 1, 1, 1);
+    let b3 = basic_conv(b, &b3, 96, 3, 3, 1, 1, 1);
+
+    let bp = b.avg_pool(x, 3, 1, 1);
+    let bp = basic_conv(b, &bp, pool_features, 1, 1, 1, 0, 0);
+
+    b.concat(&[&b1, &b5, &b3, &bp])
+}
+
+/// Inception-B: spatial reduction (stride-2 branches + max-pool).
+fn inception_b(b: &mut GraphBuilder, x: &str) -> String {
+    let b3 = basic_conv(b, x, 384, 3, 3, 2, 0, 0);
+
+    let bd = basic_conv(b, x, 64, 1, 1, 1, 0, 0);
+    let bd = basic_conv(b, &bd, 96, 3, 3, 1, 1, 1);
+    let bd = basic_conv(b, &bd, 96, 3, 3, 2, 0, 0);
+
+    let bp = b.max_pool(x, 3, 2, 0);
+    b.concat(&[&b3, &bd, &bp])
+}
+
+/// Inception-C: factorized 7×7 branches with `c7` intermediate channels.
+fn inception_c(b: &mut GraphBuilder, x: &str, c7: usize) -> String {
+    let b1 = basic_conv(b, x, 192, 1, 1, 1, 0, 0);
+
+    let b7 = basic_conv(b, x, c7, 1, 1, 1, 0, 0);
+    let b7 = basic_conv(b, &b7, c7, 1, 7, 1, 0, 3);
+    let b7 = basic_conv(b, &b7, 192, 7, 1, 1, 3, 0);
+
+    let bd = basic_conv(b, x, c7, 1, 1, 1, 0, 0);
+    let bd = basic_conv(b, &bd, c7, 7, 1, 1, 3, 0);
+    let bd = basic_conv(b, &bd, c7, 1, 7, 1, 0, 3);
+    let bd = basic_conv(b, &bd, c7, 7, 1, 1, 3, 0);
+    let bd = basic_conv(b, &bd, 192, 1, 7, 1, 0, 3);
+
+    let bp = b.avg_pool(x, 3, 1, 1);
+    let bp = basic_conv(b, &bp, 192, 1, 1, 1, 0, 0);
+
+    b.concat(&[&b1, &b7, &bd, &bp])
+}
+
+/// Inception-D: second spatial reduction.
+fn inception_d(b: &mut GraphBuilder, x: &str) -> String {
+    let b3 = basic_conv(b, x, 192, 1, 1, 1, 0, 0);
+    let b3 = basic_conv(b, &b3, 320, 3, 3, 2, 0, 0);
+
+    let b7 = basic_conv(b, x, 192, 1, 1, 1, 0, 0);
+    let b7 = basic_conv(b, &b7, 192, 1, 7, 1, 0, 3);
+    let b7 = basic_conv(b, &b7, 192, 7, 1, 1, 3, 0);
+    let b7 = basic_conv(b, &b7, 192, 3, 3, 2, 0, 0);
+
+    let bp = b.max_pool(x, 3, 2, 0);
+    b.concat(&[&b3, &b7, &bp])
+}
+
+/// Inception-E: widest module; 3×3 branches split into 1×3/3×1 pairs.
+fn inception_e(b: &mut GraphBuilder, x: &str) -> String {
+    let b1 = basic_conv(b, x, 320, 1, 1, 1, 0, 0);
+
+    let b3 = basic_conv(b, x, 384, 1, 1, 1, 0, 0);
+    let b3a = basic_conv(b, &b3, 384, 1, 3, 1, 0, 1);
+    let b3b = basic_conv(b, &b3, 384, 3, 1, 1, 1, 0);
+    let b3 = b.concat(&[&b3a, &b3b]);
+
+    let bd = basic_conv(b, x, 448, 1, 1, 1, 0, 0);
+    let bd = basic_conv(b, &bd, 384, 3, 3, 1, 1, 1);
+    let bda = basic_conv(b, &bd, 384, 1, 3, 1, 0, 1);
+    let bdb = basic_conv(b, &bd, 384, 3, 1, 1, 1, 0);
+    let bd = b.concat(&[&bda, &bdb]);
+
+    let bp = b.avg_pool(x, 3, 1, 1);
+    let bp = basic_conv(b, &bp, 192, 1, 1, 1, 0, 0);
+
+    b.concat(&[&b1, &b3, &bd, &bp])
+}
+
+/// Builds Inception-v3 for an `h x w` input (canonically 299×299).
+pub(crate) fn build_inception_v3(h: usize, w: usize) -> Graph {
+    let mut b = GraphBuilder::new("Inception-v3", 0x1ce3);
+    let x = b.input(&[1, 3, h, w]);
+
+    // Stem.
+    let s = basic_conv(&mut b, &x, 32, 3, 3, 2, 0, 0);
+    let s = basic_conv(&mut b, &s, 32, 3, 3, 1, 0, 0);
+    let s = basic_conv(&mut b, &s, 64, 3, 3, 1, 1, 1);
+    let s = b.max_pool(&s, 3, 2, 0);
+    let s = basic_conv(&mut b, &s, 80, 1, 1, 1, 0, 0);
+    let s = basic_conv(&mut b, &s, 192, 3, 3, 1, 0, 0);
+    let s = b.max_pool(&s, 3, 2, 0);
+
+    // Mixed 5b, 5c, 5d.
+    let m = inception_a(&mut b, &s, 32);
+    let m = inception_a(&mut b, &m, 64);
+    let m = inception_a(&mut b, &m, 64);
+    // Mixed 6a.
+    let m = inception_b(&mut b, &m);
+    // Mixed 6b..6e.
+    let m = inception_c(&mut b, &m, 128);
+    let m = inception_c(&mut b, &m, 160);
+    let m = inception_c(&mut b, &m, 160);
+    let m = inception_c(&mut b, &m, 192);
+    // Mixed 7a.
+    let m = inception_d(&mut b, &m);
+    // Mixed 7b, 7c.
+    let m = inception_e(&mut b, &m);
+    let m = inception_e(&mut b, &m);
+
+    let gap = b.global_avg_pool(&m);
+    let fc = b.dense(&gap, 2048, 1000);
+    let out = b.softmax(&fc);
+    b.finish(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_graph::{infer_shapes, OpKind};
+
+    #[test]
+    fn parameter_count_matches_published() {
+        // Published Inception-v3 (no aux): ~23.8M parameters.
+        let g = build_inception_v3(299, 299);
+        let params = g.num_parameters();
+        assert!(
+            (22_500_000..25_500_000).contains(&params),
+            "params = {params}"
+        );
+    }
+
+    #[test]
+    fn module_channel_progression() {
+        let g = build_inception_v3(299, 299);
+        let shapes = infer_shapes(&g).unwrap();
+        let gap_in = g
+            .nodes()
+            .iter()
+            .find(|n| n.op == OpKind::GlobalAveragePool)
+            .unwrap()
+            .inputs[0]
+            .clone();
+        // Final mixed block emits 8x8 x 2048.
+        assert_eq!(shapes[&gap_in], vec![1, 2048, 8, 8]);
+    }
+
+    #[test]
+    fn has_asymmetric_kernels() {
+        let g = build_inception_v3(299, 299);
+        let asym = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                let k = n.attrs.ints_or("kernel_shape", &[]);
+                n.op == OpKind::Conv && k.len() == 2 && k[0] != k[1]
+            })
+            .count();
+        assert!(asym >= 10, "expected many 1x7/7x1/1x3/3x1 convs, got {asym}");
+    }
+}

@@ -1,0 +1,99 @@
+//! MobileNetV1 (Howard et al. 2017), width multiplier 1.0.
+//!
+//! Thirteen depthwise-separable blocks. The depthwise layers are the reason
+//! the paper's Figure 2 shows PyTorch collapsing on this model: a framework
+//! without a dedicated depthwise kernel pays for 512 one-channel GEMMs per
+//! layer. MobileNet's activation is ReLU6 (`Clip [0, 6]`), which also
+//! exercises the importer's Clip handling and the fusion pass.
+
+use orpheus_graph::Graph;
+
+use crate::builder::GraphBuilder;
+
+/// Depthwise-separable block: 3×3 depthwise (stride s) + 1×1 pointwise,
+/// each followed by BN + ReLU6.
+fn separable_block(b: &mut GraphBuilder, x: &str, out_c: usize, stride: usize) -> String {
+    let in_c = b.channels_of(x);
+    let dw = b.conv(x, in_c, 3, 3, stride, 1, 1, in_c);
+    let dw_bn = b.batch_norm(&dw);
+    let dw_act = b.relu6(&dw_bn);
+    let pw = b.conv(&dw_act, out_c, 1, 1, 1, 0, 0, 1);
+    let pw_bn = b.batch_norm(&pw);
+    b.relu6(&pw_bn)
+}
+
+/// Builds MobileNetV1 for an `h x w` input.
+pub(crate) fn build_mobilenet_v1(h: usize, w: usize) -> Graph {
+    // (out_channels, stride) for the 13 separable blocks.
+    const BLOCKS: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+
+    let mut b = GraphBuilder::new("MobileNetV1", 0x30b1);
+    let x = b.input(&[1, 3, h, w]);
+    // Stem: full 3x3 conv, stride 2.
+    let stem_conv = b.conv(&x, 32, 3, 3, 2, 1, 1, 1);
+    let stem_bn = b.batch_norm(&stem_conv);
+    let mut cur = b.relu6(&stem_bn);
+    for &(out_c, stride) in &BLOCKS {
+        cur = separable_block(&mut b, &cur, out_c, stride);
+    }
+    let gap = b.global_avg_pool(&cur);
+    let fc = b.dense(&gap, 1024, 1000);
+    let out = b.softmax(&fc);
+    b.finish(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_graph::{infer_shapes, OpKind};
+
+    #[test]
+    fn has_13_depthwise_layers() {
+        let g = build_mobilenet_v1(224, 224);
+        let depthwise = g
+            .nodes()
+            .iter()
+            .filter(|n| n.op == OpKind::Conv && n.attrs.int_or("group", 1) > 1)
+            .count();
+        assert_eq!(depthwise, 13);
+    }
+
+    #[test]
+    fn parameter_count_matches_published() {
+        // MobileNetV1-1.0 has ~4.2M parameters.
+        let g = build_mobilenet_v1(224, 224);
+        let params = g.num_parameters();
+        assert!(
+            (4_000_000..4_600_000).contains(&params),
+            "params = {params}"
+        );
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7x1024() {
+        let g = build_mobilenet_v1(224, 224);
+        let shapes = infer_shapes(&g).unwrap();
+        let gap_in = g
+            .nodes()
+            .iter()
+            .find(|n| n.op == OpKind::GlobalAveragePool)
+            .unwrap()
+            .inputs[0]
+            .clone();
+        assert_eq!(shapes[&gap_in], vec![1, 1024, 7, 7]);
+    }
+}

@@ -1,0 +1,145 @@
+//! ResNet-18 and ResNet-50 (He et al. 2015), ImageNet-scale.
+
+use orpheus_graph::Graph;
+
+use crate::builder::GraphBuilder;
+
+/// Basic block (ResNet-18/34): two 3×3 convs.
+fn basic_block(b: &mut GraphBuilder, x: &str, out_c: usize, stride: usize) -> String {
+    let in_c = b.channels_of(x);
+    let c1 = b.conv(x, out_c, 3, 3, stride, 1, 1, 1);
+    let n1 = b.batch_norm(&c1);
+    let a1 = b.relu(&n1);
+    let c2 = b.conv(&a1, out_c, 3, 3, 1, 1, 1, 1);
+    let n2 = b.batch_norm(&c2);
+    let shortcut = if stride != 1 || in_c != out_c {
+        let p = b.conv(x, out_c, 1, 1, stride, 0, 0, 1);
+        b.batch_norm(&p)
+    } else {
+        x.to_string()
+    };
+    let sum = b.add(&n2, &shortcut);
+    b.relu(&sum)
+}
+
+/// Bottleneck block (ResNet-50+): 1×1 reduce, 3×3, 1×1 expand (4×).
+fn bottleneck_block(b: &mut GraphBuilder, x: &str, mid_c: usize, stride: usize) -> String {
+    let out_c = mid_c * 4;
+    let in_c = b.channels_of(x);
+    let c1 = b.conv(x, mid_c, 1, 1, 1, 0, 0, 1);
+    let n1 = b.batch_norm(&c1);
+    let a1 = b.relu(&n1);
+    let c2 = b.conv(&a1, mid_c, 3, 3, stride, 1, 1, 1);
+    let n2 = b.batch_norm(&c2);
+    let a2 = b.relu(&n2);
+    let c3 = b.conv(&a2, out_c, 1, 1, 1, 0, 0, 1);
+    let n3 = b.batch_norm(&c3);
+    let shortcut = if stride != 1 || in_c != out_c {
+        let p = b.conv(x, out_c, 1, 1, stride, 0, 0, 1);
+        b.batch_norm(&p)
+    } else {
+        x.to_string()
+    };
+    let sum = b.add(&n3, &shortcut);
+    b.relu(&sum)
+}
+
+/// Shared ImageNet stem: 7×7/2 conv + 3×3/2 max-pool.
+fn stem(b: &mut GraphBuilder, x: &str) -> String {
+    let c = b.conv(x, 64, 7, 7, 2, 3, 3, 1);
+    let n = b.batch_norm(&c);
+    let a = b.relu(&n);
+    b.max_pool(&a, 3, 2, 1)
+}
+
+/// Builds ResNet-18 for an `h x w` input.
+pub(crate) fn build_resnet18(h: usize, w: usize) -> Graph {
+    const STAGES: [(usize, usize); 4] = [(64, 2), (128, 2), (256, 2), (512, 2)];
+    let mut b = GraphBuilder::new("ResNet-18", 0x4e18);
+    let x = b.input(&[1, 3, h, w]);
+    let mut cur = stem(&mut b, &x);
+    for (stage, &(width, blocks)) in STAGES.iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            cur = basic_block(&mut b, &cur, width, stride);
+        }
+    }
+    let gap = b.global_avg_pool(&cur);
+    let fc = b.dense(&gap, 512, 1000);
+    let out = b.softmax(&fc);
+    b.finish(&out)
+}
+
+/// Builds ResNet-50 for an `h x w` input.
+pub(crate) fn build_resnet50(h: usize, w: usize) -> Graph {
+    const STAGES: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    let mut b = GraphBuilder::new("ResNet-50", 0x4e50);
+    let x = b.input(&[1, 3, h, w]);
+    let mut cur = stem(&mut b, &x);
+    for (stage, &(width, blocks)) in STAGES.iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            cur = bottleneck_block(&mut b, &cur, width, stride);
+        }
+    }
+    let gap = b.global_avg_pool(&cur);
+    let fc = b.dense(&gap, 2048, 1000);
+    let out = b.softmax(&fc);
+    b.finish(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_graph::{infer_shapes, OpKind};
+
+    #[test]
+    fn resnet18_parameter_count() {
+        // Published ResNet-18: ~11.7M parameters.
+        let g = build_resnet18(224, 224);
+        let params = g.num_parameters();
+        assert!(
+            (11_000_000..12_500_000).contains(&params),
+            "params = {params}"
+        );
+    }
+
+    #[test]
+    fn resnet50_parameter_count() {
+        // Published ResNet-50: ~25.6M parameters.
+        let g = build_resnet50(224, 224);
+        let params = g.num_parameters();
+        assert!(
+            (24_500_000..27_000_000).contains(&params),
+            "params = {params}"
+        );
+    }
+
+    #[test]
+    fn resnet18_final_features_7x7x512() {
+        let g = build_resnet18(224, 224);
+        let shapes = infer_shapes(&g).unwrap();
+        let gap_in = g
+            .nodes()
+            .iter()
+            .find(|n| n.op == OpKind::GlobalAveragePool)
+            .unwrap()
+            .inputs[0]
+            .clone();
+        assert_eq!(shapes[&gap_in], vec![1, 512, 7, 7]);
+    }
+
+    #[test]
+    fn resnet50_final_features_7x7x2048() {
+        let g = build_resnet50(224, 224);
+        let shapes = infer_shapes(&g).unwrap();
+        let gap_in = g
+            .nodes()
+            .iter()
+            .find(|n| n.op == OpKind::GlobalAveragePool)
+            .unwrap()
+            .inputs[0]
+            .clone();
+        assert_eq!(shapes[&gap_in], vec![1, 2048, 7, 7]);
+    }
+}

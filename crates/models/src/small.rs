@@ -1,0 +1,68 @@
+//! Small models for fast tests: LeNet-5 and a tiny residual CNN.
+
+use orpheus_graph::Graph;
+
+use crate::builder::GraphBuilder;
+
+/// LeNet-5: two conv/pool stages and three dense layers (LeCun 1998, with
+/// ReLU instead of tanh as is conventional in modern reproductions).
+pub(crate) fn build_lenet5(h: usize, w: usize) -> Graph {
+    let mut b = GraphBuilder::new("LeNet-5", 0x1e4e75);
+    let x = b.input(&[1, 1, h, w]);
+    let c1 = b.conv(&x, 6, 5, 5, 1, 2, 2, 1);
+    let r1 = b.relu(&c1);
+    let p1 = b.max_pool(&r1, 2, 2, 0);
+    let c2 = b.conv(&p1, 16, 5, 5, 1, 0, 0, 1);
+    let r2 = b.relu(&c2);
+    let p2 = b.max_pool(&r2, 2, 2, 0);
+    // Feature size after the fixed conv/pool stack.
+    let fh = ((h / 2) - 4) / 2;
+    let fw = ((w / 2) - 4) / 2;
+    let f1 = b.dense(&p2, 16 * fh * fw, 120);
+    let a1 = b.relu(&f1);
+    let f2 = b.dense(&a1, 120, 84);
+    let a2 = b.relu(&f2);
+    let f3 = b.dense(&a2, 84, 10);
+    let out = b.softmax(&f3);
+    b.finish(&out)
+}
+
+/// A three-conv residual CNN exercising every graph feature (conv, BN,
+/// residual add, pooling, dense, softmax) in a few thousand FLOPs.
+pub(crate) fn build_tiny_cnn(h: usize, w: usize) -> Graph {
+    let mut b = GraphBuilder::new("TinyCNN", 0x71a1);
+    let x = b.input(&[1, 3, h, w]);
+    let stem = b.conv_bn_relu(&x, 8, 3, 3, 1, 1, 1);
+    let c1 = b.conv(&stem, 8, 3, 3, 1, 1, 1, 1);
+    let b1 = b.batch_norm(&c1);
+    let res = b.add(&b1, &stem);
+    let act = b.relu(&res);
+    let gap = b.global_avg_pool(&act);
+    let fc = b.dense(&gap, 8, 4);
+    let out = b.softmax(&fc);
+    b.finish(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_graph::infer_shapes;
+
+    #[test]
+    fn lenet_structure() {
+        let g = build_lenet5(28, 28);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]], vec![1, 10]);
+        // Classic LeNet-5 is ~61k parameters.
+        let params = g.num_parameters();
+        assert!((55_000..70_000).contains(&params), "params = {params}");
+    }
+
+    #[test]
+    fn tiny_cnn_has_residual() {
+        let g = build_tiny_cnn(8, 8);
+        assert!(g.nodes().iter().any(|n| n.op == orpheus_graph::OpKind::Add));
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]], vec![1, 4]);
+    }
+}

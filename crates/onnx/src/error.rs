@@ -1,0 +1,63 @@
+//! ONNX parsing errors.
+
+use std::error::Error;
+use std::fmt;
+
+use orpheus_graph::GraphError;
+
+/// Error raised while reading or writing ONNX bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnnxError {
+    /// The byte stream is not valid protobuf (truncated varint, bad tag...).
+    Wire(String),
+    /// The protobuf parsed but is not a usable ONNX model.
+    Model(String),
+    /// An operator or attribute this importer does not support.
+    Unsupported(String),
+    /// The translated graph failed validation.
+    Graph(GraphError),
+}
+
+impl fmt::Display for OnnxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnnxError::Wire(msg) => write!(f, "protobuf wire error: {msg}"),
+            OnnxError::Model(msg) => write!(f, "invalid onnx model: {msg}"),
+            OnnxError::Unsupported(msg) => write!(f, "unsupported onnx feature: {msg}"),
+            OnnxError::Graph(e) => write!(f, "imported graph invalid: {e}"),
+        }
+    }
+}
+
+impl Error for OnnxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OnnxError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for OnnxError {
+    fn from(e: GraphError) -> Self {
+        OnnxError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OnnxError::Wire("truncated".into()).to_string().contains("truncated"));
+        assert!(OnnxError::Unsupported("LSTM".into()).to_string().contains("LSTM"));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let e: OnnxError = GraphError::Cycle.into();
+        assert!(matches!(e, OnnxError::Graph(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,363 @@
+//! Translating parsed ONNX messages into the Orpheus graph IR.
+
+use std::collections::{HashMap, HashSet};
+
+use orpheus_graph::{AttrValue, Attributes, Graph, Node, OpKind, ValueInfo};
+use orpheus_tensor::Tensor;
+
+use crate::error::OnnxError;
+use crate::proto::{ModelProto, TensorProto, DATA_TYPE_FLOAT, DATA_TYPE_INT64};
+
+/// Imports an ONNX model from its serialized bytes.
+///
+/// Structural normalizations applied during import (all standard ONNX
+/// variability real exporters produce):
+///
+/// * weights listed as graph inputs are dropped from the input list;
+/// * `Reshape`'s shape input (an int64 initializer) becomes a static
+///   `shape` attribute;
+/// * opset-11 `Clip` min/max inputs become `min`/`max` attributes;
+/// * extra outputs (dropout masks, BN running stats) are trimmed.
+///
+/// # Errors
+///
+/// * [`OnnxError::Wire`] for malformed protobuf.
+/// * [`OnnxError::Model`] for structurally invalid models.
+/// * [`OnnxError::Unsupported`] for features outside the supported subset.
+/// * [`OnnxError::Graph`] if the translated graph fails validation.
+pub fn import_model(bytes: &[u8]) -> Result<Graph, OnnxError> {
+    let model = ModelProto::parse(bytes)?;
+    let graph_proto = model
+        .graph
+        .ok_or_else(|| OnnxError::Model("model has no graph".into()))?;
+
+    let mut graph = Graph::new(if graph_proto.name.is_empty() {
+        "imported"
+    } else {
+        &graph_proto.name
+    });
+
+    // Initializers: float tensors become weights; int64 tensors are kept
+    // aside for shape arguments.
+    let mut int_constants: HashMap<String, Vec<i64>> = HashMap::new();
+    let mut initializer_names: HashSet<String> = HashSet::new();
+    for init in &graph_proto.initializers {
+        initializer_names.insert(init.name.clone());
+        match init.data_type {
+            DATA_TYPE_FLOAT => {
+                graph.add_initializer(&init.name, tensor_from_proto(init)?);
+            }
+            DATA_TYPE_INT64 => {
+                int_constants.insert(init.name.clone(), init.int64_data.clone());
+            }
+            other => {
+                return Err(OnnxError::Unsupported(format!(
+                    "initializer {} has data type {other}",
+                    init.name
+                )))
+            }
+        }
+    }
+
+    // Graph inputs, minus any that are really weights.
+    for input in &graph_proto.inputs {
+        if initializer_names.contains(&input.name) {
+            continue;
+        }
+        let dims: Vec<usize> = input
+            .dims
+            .iter()
+            .map(|&d| if d <= 0 { 1 } else { d as usize })
+            .collect();
+        graph.add_input(ValueInfo::new(&input.name, &dims));
+    }
+
+    for (idx, node_proto) in graph_proto.nodes.iter().enumerate() {
+        let op = OpKind::from_onnx_name(&node_proto.op_type);
+        let mut attrs = Attributes::new();
+        for attr in &node_proto.attributes {
+            let value = if let Some(f) = attr.f {
+                AttrValue::Float(f)
+            } else if let Some(i) = attr.i {
+                AttrValue::Int(i)
+            } else if let Some(s) = &attr.s {
+                AttrValue::Str(s.clone())
+            } else if !attr.floats.is_empty() {
+                AttrValue::Floats(attr.floats.clone())
+            } else {
+                AttrValue::Ints(attr.ints.clone())
+            };
+            attrs.set(&attr.name, value);
+        }
+
+        let mut inputs = node_proto.inputs.clone();
+        let mut outputs = node_proto.outputs.clone();
+
+        match op {
+            OpKind::Reshape
+                // Shape comes as a second (int64 initializer) input.
+                if attrs.get("shape").is_none() => {
+                    let shape_name = inputs.get(1).cloned().ok_or_else(|| {
+                        OnnxError::Model(format!("Reshape {} missing shape input", node_proto.name))
+                    })?;
+                    let spec = int_constants.get(&shape_name).ok_or_else(|| {
+                        OnnxError::Unsupported(format!(
+                            "Reshape {} has a dynamic shape input",
+                            node_proto.name
+                        ))
+                    })?;
+                    attrs.set("shape", AttrValue::Ints(spec.clone()));
+                    inputs.truncate(1);
+                }
+            OpKind::Clip
+                // Opset >= 11 passes bounds as inputs; fold them to attrs.
+                if inputs.len() > 1 => {
+                    if let Some(min_name) = inputs.get(1).filter(|n| !n.is_empty()) {
+                        if let Some(t) = graph.initializer(min_name) {
+                            attrs.set("min", AttrValue::Float(t.as_slice()[0]));
+                        }
+                    }
+                    if let Some(max_name) = inputs.get(2).filter(|n| !n.is_empty()) {
+                        if let Some(t) = graph.initializer(max_name) {
+                            attrs.set("max", AttrValue::Float(t.as_slice()[0]));
+                        }
+                    }
+                    inputs.truncate(1);
+                }
+            OpKind::Pad
+                // Opset >= 11 passes pads (and the fill value) as inputs.
+                if attrs.get("pads").is_none() && inputs.len() > 1 => {
+                    let pads_name = &inputs[1];
+                    let spec = int_constants.get(pads_name).ok_or_else(|| {
+                        OnnxError::Unsupported(format!(
+                            "Pad {} has a dynamic pads input",
+                            node_proto.name
+                        ))
+                    })?;
+                    attrs.set("pads", AttrValue::Ints(spec.clone()));
+                    if let Some(value_name) = inputs.get(2).filter(|n| !n.is_empty()) {
+                        if let Some(t) = graph.initializer(value_name) {
+                            attrs.set("value", AttrValue::Float(t.as_slice()[0]));
+                        }
+                    }
+                    inputs.truncate(1);
+                }
+            OpKind::ReduceMean
+                // Opset >= 18 passes axes as an input.
+                if attrs.get("axes").is_none() && inputs.len() > 1 => {
+                    if let Some(spec) = int_constants.get(&inputs[1]) {
+                        attrs.set("axes", AttrValue::Ints(spec.clone()));
+                        inputs.truncate(1);
+                    }
+                }
+            OpKind::Dropout | OpKind::BatchNormalization | OpKind::MaxPool => {
+                // Trim auxiliary outputs (mask, running stats, indices).
+                outputs.truncate(1);
+            }
+            _ => {}
+        }
+
+        let name = if node_proto.name.is_empty() {
+            format!("{}_{idx}", node_proto.op_type.to_lowercase())
+        } else {
+            node_proto.name.clone()
+        };
+        let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        let output_refs: Vec<&str> = outputs.iter().map(String::as_str).collect();
+        graph.add_node(Node::new(&name, op, &input_refs, &output_refs).with_attrs(attrs));
+    }
+
+    for output in &graph_proto.outputs {
+        graph.add_output(&output.name);
+    }
+
+    graph.validate()?;
+    Ok(graph)
+}
+
+/// Converts a float `TensorProto` to a dense tensor.
+fn tensor_from_proto(proto: &TensorProto) -> Result<Tensor, OnnxError> {
+    let dims: Vec<usize> = proto.dims.iter().map(|&d| d.max(0) as usize).collect();
+    Tensor::from_vec(proto.float_data.clone(), &dims).map_err(|e| {
+        OnnxError::Model(format!(
+            "initializer {}: {e} (dims {:?}, {} values)",
+            proto.name,
+            proto.dims,
+            proto.float_data.len()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{AttributeProto, GraphProto, NodeProto, ValueInfoProto};
+
+    fn wrap(graph: GraphProto) -> Vec<u8> {
+        ModelProto {
+            ir_version: 7,
+            producer_name: "test".into(),
+            opset_version: 11,
+            graph: Some(graph),
+        }
+        .serialize()
+    }
+
+    fn float_init(name: &str, dims: &[i64], data: Vec<f32>) -> TensorProto {
+        TensorProto {
+            name: name.into(),
+            dims: dims.to_vec(),
+            data_type: DATA_TYPE_FLOAT,
+            float_data: data,
+            int64_data: vec![],
+        }
+    }
+
+    #[test]
+    fn imports_conv_model() {
+        let bytes = wrap(GraphProto {
+            name: "m".into(),
+            nodes: vec![NodeProto {
+                name: "".into(),
+                op_type: "Conv".into(),
+                inputs: vec!["x".into(), "w".into()],
+                outputs: vec!["y".into()],
+                attributes: vec![AttributeProto {
+                    name: "strides".into(),
+                    ints: vec![1, 1],
+                    ..AttributeProto::default()
+                }],
+            }],
+            initializers: vec![float_init("w", &[1, 1, 1, 1], vec![2.0])],
+            inputs: vec![
+                ValueInfoProto { name: "x".into(), dims: vec![1, 1, 2, 2] },
+                // Weight also listed as an input, as some exporters do.
+                ValueInfoProto { name: "w".into(), dims: vec![1, 1, 1, 1] },
+            ],
+            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+        });
+        let g = import_model(&bytes).unwrap();
+        assert_eq!(g.inputs().len(), 1, "weight must not be a graph input");
+        assert_eq!(g.nodes().len(), 1);
+        assert_eq!(g.nodes()[0].op, OpKind::Conv);
+        assert!(!g.nodes()[0].name.is_empty(), "anonymous node gets a name");
+        assert_eq!(g.initializer("w").unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn reshape_shape_input_becomes_attribute() {
+        let bytes = wrap(GraphProto {
+            name: "m".into(),
+            nodes: vec![NodeProto {
+                name: "rs".into(),
+                op_type: "Reshape".into(),
+                inputs: vec!["x".into(), "shape".into()],
+                outputs: vec!["y".into()],
+                attributes: vec![],
+            }],
+            initializers: vec![TensorProto {
+                name: "shape".into(),
+                dims: vec![2],
+                data_type: DATA_TYPE_INT64,
+                float_data: vec![],
+                int64_data: vec![1, -1],
+            }],
+            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1, 4] }],
+            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+        });
+        let g = import_model(&bytes).unwrap();
+        let node = &g.nodes()[0];
+        assert_eq!(node.inputs.len(), 1);
+        assert_eq!(
+            node.attrs.get("shape"),
+            Some(&AttrValue::Ints(vec![1, -1]))
+        );
+    }
+
+    #[test]
+    fn clip_bounds_inputs_become_attributes() {
+        let bytes = wrap(GraphProto {
+            name: "m".into(),
+            nodes: vec![NodeProto {
+                name: "clip".into(),
+                op_type: "Clip".into(),
+                inputs: vec!["x".into(), "lo".into(), "hi".into()],
+                outputs: vec!["y".into()],
+                attributes: vec![],
+            }],
+            initializers: vec![
+                float_init("lo", &[], vec![0.0]),
+                float_init("hi", &[], vec![6.0]),
+            ],
+            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1, 4] }],
+            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+        });
+        let g = import_model(&bytes).unwrap();
+        let node = &g.nodes()[0];
+        assert_eq!(node.inputs.len(), 1);
+        assert_eq!(node.attrs.float_or("min", -1.0), 0.0);
+        assert_eq!(node.attrs.float_or("max", -1.0), 6.0);
+    }
+
+    #[test]
+    fn dropout_mask_output_trimmed() {
+        let bytes = wrap(GraphProto {
+            name: "m".into(),
+            nodes: vec![NodeProto {
+                name: "d".into(),
+                op_type: "Dropout".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["y".into(), "mask".into()],
+                attributes: vec![],
+            }],
+            initializers: vec![],
+            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1, 4] }],
+            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+        });
+        let g = import_model(&bytes).unwrap();
+        assert_eq!(g.nodes()[0].outputs, vec!["y".to_string()]);
+    }
+
+    #[test]
+    fn rejects_model_without_graph() {
+        let bytes = ModelProto {
+            ir_version: 7,
+            producer_name: "t".into(),
+            opset_version: 11,
+            graph: None,
+        }
+        .serialize();
+        assert!(matches!(import_model(&bytes), Err(OnnxError::Model(_))));
+    }
+
+    #[test]
+    fn rejects_initializer_shape_mismatch() {
+        let bytes = wrap(GraphProto {
+            name: "m".into(),
+            nodes: vec![],
+            initializers: vec![float_init("w", &[2, 2], vec![1.0])], // 1 value, 4 expected
+            inputs: vec![],
+            outputs: vec![],
+        });
+        assert!(import_model(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_op_becomes_custom() {
+        let bytes = wrap(GraphProto {
+            name: "m".into(),
+            nodes: vec![NodeProto {
+                name: "w".into(),
+                op_type: "WeirdOp".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["y".into()],
+                attributes: vec![],
+            }],
+            initializers: vec![],
+            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1] }],
+            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+        });
+        let g = import_model(&bytes).unwrap();
+        assert_eq!(g.nodes()[0].op, OpKind::Custom("WeirdOp".into()));
+    }
+}

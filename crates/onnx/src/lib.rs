@@ -1,0 +1,38 @@
+//! ONNX model import/export for Orpheus.
+//!
+//! The paper's second contribution is "a system to parse pre-trained models
+//! exported to the ONNX format from popular training frameworks". ONNX files
+//! are protobuf messages; to honour the paper's minimal-dependency design
+//! this crate implements the protobuf **wire format** from scratch
+//! ([`wire`]), the subset of ONNX messages the five evaluation models need
+//! ([`proto`]), and the translation into the Orpheus graph IR ([`import`]).
+//!
+//! The exporter ([`export`]) serializes an Orpheus graph back to valid ONNX
+//! bytes; the model zoo uses it so that every model in the repository
+//! genuinely travels through the ONNX parsing path before it is executed.
+//!
+//! # Examples
+//!
+//! ```
+//! use orpheus_graph::{Graph, Node, OpKind, ValueInfo};
+//! use orpheus_onnx::{export_model, import_model};
+//!
+//! let mut g = Graph::new("round-trip");
+//! g.add_input(ValueInfo::new("x", &[1, 3, 4, 4]));
+//! g.add_node(Node::new("relu", OpKind::Relu, &["x"], &["y"]));
+//! g.add_output("y");
+//!
+//! let bytes = export_model(&g).unwrap();
+//! let back = import_model(&bytes).unwrap();
+//! assert_eq!(back.nodes().len(), 1);
+//! ```
+
+mod error;
+pub mod export;
+pub mod import;
+pub mod proto;
+pub mod wire;
+
+pub use error::OnnxError;
+pub use export::export_model;
+pub use import::import_model;

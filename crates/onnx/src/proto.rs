@@ -1,0 +1,594 @@
+//! The ONNX message subset: `ModelProto`, `GraphProto`, `NodeProto`,
+//! `AttributeProto`, `TensorProto`, `ValueInfoProto`.
+//!
+//! Field numbers follow `onnx.proto3`. Unknown fields are skipped, so models
+//! exported by real training frameworks (which populate doc strings,
+//! metadata, etc.) still parse.
+
+use crate::error::OnnxError;
+use crate::wire::{Reader, WireType, Writer};
+
+/// ONNX `TensorProto.DataType.FLOAT`.
+pub const DATA_TYPE_FLOAT: i64 = 1;
+/// ONNX `TensorProto.DataType.INT64`.
+pub const DATA_TYPE_INT64: i64 = 7;
+
+/// Top-level ONNX model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelProto {
+    /// ONNX IR version.
+    pub ir_version: i64,
+    /// Producer tool name.
+    pub producer_name: String,
+    /// Default-domain opset version.
+    pub opset_version: i64,
+    /// The computation graph.
+    pub graph: Option<GraphProto>,
+}
+
+/// ONNX graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphProto {
+    /// Graph name.
+    pub name: String,
+    /// Operator nodes.
+    pub nodes: Vec<NodeProto>,
+    /// Weight initializers.
+    pub initializers: Vec<TensorProto>,
+    /// Declared inputs (including weights in some exporters).
+    pub inputs: Vec<ValueInfoProto>,
+    /// Declared outputs.
+    pub outputs: Vec<ValueInfoProto>,
+}
+
+/// ONNX operator node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeProto {
+    /// Node name (may be empty in real exports).
+    pub name: String,
+    /// Operator type, e.g. `"Conv"`.
+    pub op_type: String,
+    /// Input value names ("" marks an omitted optional input).
+    pub inputs: Vec<String>,
+    /// Output value names.
+    pub outputs: Vec<String>,
+    /// Attributes.
+    pub attributes: Vec<AttributeProto>,
+}
+
+/// ONNX attribute.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributeProto {
+    /// Attribute name.
+    pub name: String,
+    /// Float payload (`type = FLOAT`).
+    pub f: Option<f32>,
+    /// Int payload (`type = INT`).
+    pub i: Option<i64>,
+    /// String payload (`type = STRING`).
+    pub s: Option<String>,
+    /// Int-list payload (`type = INTS`).
+    pub ints: Vec<i64>,
+    /// Float-list payload (`type = FLOATS`).
+    pub floats: Vec<f32>,
+}
+
+/// ONNX tensor literal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TensorProto {
+    /// Tensor name.
+    pub name: String,
+    /// Dimensions.
+    pub dims: Vec<i64>,
+    /// Element type (`DATA_TYPE_FLOAT` or `DATA_TYPE_INT64`).
+    pub data_type: i64,
+    /// Float payload (from `float_data` or `raw_data`).
+    pub float_data: Vec<f32>,
+    /// Int64 payload (from `int64_data` or `raw_data`).
+    pub int64_data: Vec<i64>,
+}
+
+/// ONNX value declaration (name + static tensor shape).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValueInfoProto {
+    /// Value name.
+    pub name: String,
+    /// Static dims (dim_param dimensions import as 0).
+    pub dims: Vec<i64>,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+impl ModelProto {
+    /// Parses a serialized `ModelProto`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] for malformed protobuf.
+    pub fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+        let mut model = ModelProto::default();
+        let mut r = Reader::new(bytes);
+        while !r.is_at_end() {
+            let (field, wt) = r.read_tag()?;
+            match field {
+                1 => model.ir_version = r.read_i64()?,
+                2 => model.producer_name = r.read_string()?,
+                7 => model.graph = Some(GraphProto::parse(r.read_bytes()?)?),
+                8 => {
+                    // OperatorSetIdProto { domain = 1, version = 2 }
+                    let mut sub = Reader::new(r.read_bytes()?);
+                    while !sub.is_at_end() {
+                        let (sf, swt) = sub.read_tag()?;
+                        match sf {
+                            2 => model.opset_version = sub.read_i64()?,
+                            _ => sub.skip(swt)?,
+                        }
+                    }
+                }
+                _ => r.skip(wt)?,
+            }
+        }
+        Ok(model)
+    }
+
+    /// Serializes the model.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.write_i64(1, self.ir_version);
+        if !self.producer_name.is_empty() {
+            w.write_string(2, &self.producer_name);
+        }
+        let mut opset = Writer::new();
+        opset.write_string(1, "");
+        opset.write_i64(2, self.opset_version);
+        w.write_message(8, &opset);
+        if let Some(g) = &self.graph {
+            w.write_message(7, &g.to_writer());
+        }
+        w.into_bytes()
+    }
+}
+
+impl GraphProto {
+    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+        let mut graph = GraphProto::default();
+        let mut r = Reader::new(bytes);
+        while !r.is_at_end() {
+            let (field, wt) = r.read_tag()?;
+            match field {
+                1 => graph.nodes.push(NodeProto::parse(r.read_bytes()?)?),
+                2 => graph.name = r.read_string()?,
+                5 => graph.initializers.push(TensorProto::parse(r.read_bytes()?)?),
+                11 => graph.inputs.push(ValueInfoProto::parse(r.read_bytes()?)?),
+                12 => graph.outputs.push(ValueInfoProto::parse(r.read_bytes()?)?),
+                _ => r.skip(wt)?,
+            }
+        }
+        Ok(graph)
+    }
+
+    fn to_writer(&self) -> Writer {
+        let mut w = Writer::new();
+        for node in &self.nodes {
+            w.write_message(1, &node.to_writer());
+        }
+        w.write_string(2, &self.name);
+        for init in &self.initializers {
+            w.write_message(5, &init.to_writer());
+        }
+        for input in &self.inputs {
+            w.write_message(11, &input.to_writer());
+        }
+        for output in &self.outputs {
+            w.write_message(12, &output.to_writer());
+        }
+        w
+    }
+}
+
+impl NodeProto {
+    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+        let mut node = NodeProto::default();
+        let mut r = Reader::new(bytes);
+        while !r.is_at_end() {
+            let (field, wt) = r.read_tag()?;
+            match field {
+                1 => node.inputs.push(r.read_string()?),
+                2 => node.outputs.push(r.read_string()?),
+                3 => node.name = r.read_string()?,
+                4 => node.op_type = r.read_string()?,
+                5 => node.attributes.push(AttributeProto::parse(r.read_bytes()?)?),
+                _ => r.skip(wt)?,
+            }
+        }
+        Ok(node)
+    }
+
+    fn to_writer(&self) -> Writer {
+        let mut w = Writer::new();
+        for input in &self.inputs {
+            w.write_string(1, input);
+        }
+        for output in &self.outputs {
+            w.write_string(2, output);
+        }
+        if !self.name.is_empty() {
+            w.write_string(3, &self.name);
+        }
+        w.write_string(4, &self.op_type);
+        for attr in &self.attributes {
+            w.write_message(5, &attr.to_writer());
+        }
+        w
+    }
+}
+
+impl AttributeProto {
+    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+        let mut attr = AttributeProto::default();
+        let mut r = Reader::new(bytes);
+        while !r.is_at_end() {
+            let (field, wt) = r.read_tag()?;
+            match (field, wt) {
+                (1, _) => attr.name = r.read_string()?,
+                (2, _) => attr.f = Some(r.read_f32()?),
+                (3, _) => attr.i = Some(r.read_i64()?),
+                (4, _) => {
+                    attr.s = Some(String::from_utf8_lossy(r.read_bytes()?).into_owned());
+                }
+                (7, WireType::LengthDelimited) => {
+                    attr.floats = Reader::decode_packed_f32(r.read_bytes()?)?;
+                }
+                (7, WireType::Fixed32) => attr.floats.push(r.read_f32()?),
+                (8, WireType::LengthDelimited) => {
+                    attr.ints = Reader::decode_packed_i64(r.read_bytes()?)?;
+                }
+                (8, WireType::Varint) => attr.ints.push(r.read_i64()?),
+                _ => r.skip(wt)?,
+            }
+        }
+        Ok(attr)
+    }
+
+    fn to_writer(&self) -> Writer {
+        // AttributeProto.type values.
+        const T_FLOAT: i64 = 1;
+        const T_INT: i64 = 2;
+        const T_STRING: i64 = 3;
+        const T_FLOATS: i64 = 6;
+        const T_INTS: i64 = 7;
+        let mut w = Writer::new();
+        w.write_string(1, &self.name);
+        if let Some(f) = self.f {
+            w.write_f32(2, f);
+            w.write_i64(20, T_FLOAT);
+        } else if let Some(i) = self.i {
+            w.write_i64(3, i);
+            w.write_i64(20, T_INT);
+        } else if let Some(s) = &self.s {
+            w.write_bytes(4, s.as_bytes());
+            w.write_i64(20, T_STRING);
+        } else if !self.floats.is_empty() {
+            w.write_packed_f32(7, &self.floats);
+            w.write_i64(20, T_FLOATS);
+        } else {
+            w.write_packed_i64(8, &self.ints);
+            w.write_i64(20, T_INTS);
+        }
+        w
+    }
+}
+
+impl TensorProto {
+    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+        let mut t = TensorProto::default();
+        let mut raw: Option<Vec<u8>> = None;
+        let mut r = Reader::new(bytes);
+        while !r.is_at_end() {
+            let (field, wt) = r.read_tag()?;
+            match (field, wt) {
+                (1, WireType::LengthDelimited) => {
+                    t.dims = Reader::decode_packed_i64(r.read_bytes()?)?;
+                }
+                (1, WireType::Varint) => t.dims.push(r.read_i64()?),
+                (2, _) => t.data_type = r.read_i64()?,
+                (4, WireType::LengthDelimited) => {
+                    t.float_data = Reader::decode_packed_f32(r.read_bytes()?)?;
+                }
+                (4, WireType::Fixed32) => t.float_data.push(r.read_f32()?),
+                (7, WireType::LengthDelimited) => {
+                    t.int64_data = Reader::decode_packed_i64(r.read_bytes()?)?;
+                }
+                (7, WireType::Varint) => t.int64_data.push(r.read_i64()?),
+                (8, _) => t.name = r.read_string()?,
+                (9, _) => raw = Some(r.read_bytes()?.to_vec()),
+                _ => r.skip(wt)?,
+            }
+        }
+        if let Some(raw) = raw {
+            match t.data_type {
+                DATA_TYPE_FLOAT => {
+                    if raw.len() % 4 != 0 {
+                        return Err(OnnxError::Wire("raw float data not 4-aligned".into()));
+                    }
+                    t.float_data = raw
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                        .collect();
+                }
+                DATA_TYPE_INT64 => {
+                    if raw.len() % 8 != 0 {
+                        return Err(OnnxError::Wire("raw int64 data not 8-aligned".into()));
+                    }
+                    t.int64_data = raw
+                        .chunks_exact(8)
+                        .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect();
+                }
+                other => {
+                    return Err(OnnxError::Unsupported(format!(
+                        "tensor {} has data type {other}",
+                        t.name
+                    )))
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn to_writer(&self) -> Writer {
+        let mut w = Writer::new();
+        w.write_packed_i64(1, &self.dims);
+        w.write_i64(2, self.data_type);
+        w.write_string(8, &self.name);
+        // Serialize through raw_data, the layout modern exporters use.
+        if self.data_type == DATA_TYPE_INT64 {
+            let mut raw = Vec::with_capacity(self.int64_data.len() * 8);
+            for &v in &self.int64_data {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_bytes(9, &raw);
+        } else {
+            let mut raw = Vec::with_capacity(self.float_data.len() * 4);
+            for &v in &self.float_data {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_bytes(9, &raw);
+        }
+        w
+    }
+}
+
+impl ValueInfoProto {
+    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+        let mut info = ValueInfoProto::default();
+        let mut r = Reader::new(bytes);
+        while !r.is_at_end() {
+            let (field, wt) = r.read_tag()?;
+            match field {
+                1 => info.name = r.read_string()?,
+                2 => info.dims = parse_type_proto(r.read_bytes()?)?,
+                _ => r.skip(wt)?,
+            }
+        }
+        Ok(info)
+    }
+
+    fn to_writer(&self) -> Writer {
+        let mut w = Writer::new();
+        w.write_string(1, &self.name);
+
+        // TypeProto { tensor_type = 1 } → Tensor { elem_type = 1, shape = 2 }
+        // → TensorShapeProto { dim = 1 } → Dimension { dim_value = 1 }.
+        let mut shape = Writer::new();
+        for &d in &self.dims {
+            let mut dim = Writer::new();
+            dim.write_i64(1, d);
+            shape.write_message(1, &dim);
+        }
+        let mut tensor_type = Writer::new();
+        tensor_type.write_i64(1, DATA_TYPE_FLOAT);
+        tensor_type.write_message(2, &shape);
+        let mut type_proto = Writer::new();
+        type_proto.write_message(1, &tensor_type);
+        w.write_message(2, &type_proto);
+        w
+    }
+}
+
+/// Extracts static dims from a `TypeProto`.
+fn parse_type_proto(bytes: &[u8]) -> Result<Vec<i64>, OnnxError> {
+    let mut r = Reader::new(bytes);
+    while !r.is_at_end() {
+        let (field, wt) = r.read_tag()?;
+        if field == 1 && wt == WireType::LengthDelimited {
+            // TypeProto.Tensor
+            let mut tr = Reader::new(r.read_bytes()?);
+            while !tr.is_at_end() {
+                let (tf, twt) = tr.read_tag()?;
+                if tf == 2 && twt == WireType::LengthDelimited {
+                    // TensorShapeProto
+                    let mut dims = Vec::new();
+                    let mut sr = Reader::new(tr.read_bytes()?);
+                    while !sr.is_at_end() {
+                        let (sf, swt) = sr.read_tag()?;
+                        if sf == 1 && swt == WireType::LengthDelimited {
+                            // Dimension: dim_value = 1 varint, dim_param = 2 string.
+                            let mut dr = Reader::new(sr.read_bytes()?);
+                            let mut value = 0i64;
+                            while !dr.is_at_end() {
+                                let (df, dwt) = dr.read_tag()?;
+                                if df == 1 && dwt == WireType::Varint {
+                                    value = dr.read_i64()?;
+                                } else {
+                                    dr.skip(dwt)?;
+                                }
+                            }
+                            dims.push(value);
+                        } else {
+                            sr.skip(swt)?;
+                        }
+                    }
+                    return Ok(dims);
+                }
+                tr.skip(twt)?;
+            }
+        } else {
+            r.skip(wt)?;
+        }
+    }
+    Ok(Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> ModelProto {
+        ModelProto {
+            ir_version: 7,
+            producer_name: "orpheus".into(),
+            opset_version: 11,
+            graph: Some(GraphProto {
+                name: "g".into(),
+                nodes: vec![NodeProto {
+                    name: "conv0".into(),
+                    op_type: "Conv".into(),
+                    inputs: vec!["x".into(), "w".into()],
+                    outputs: vec!["y".into()],
+                    attributes: vec![
+                        AttributeProto {
+                            name: "strides".into(),
+                            ints: vec![2, 2],
+                            ..AttributeProto::default()
+                        },
+                        AttributeProto {
+                            name: "epsilon".into(),
+                            f: Some(1e-5),
+                            ..AttributeProto::default()
+                        },
+                        AttributeProto {
+                            name: "auto_pad".into(),
+                            s: Some("NOTSET".into()),
+                            ..AttributeProto::default()
+                        },
+                    ],
+                }],
+                initializers: vec![
+                    TensorProto {
+                        name: "w".into(),
+                        dims: vec![1, 1, 2, 2],
+                        data_type: DATA_TYPE_FLOAT,
+                        float_data: vec![0.5, -1.0, 2.0, 0.0],
+                        int64_data: vec![],
+                    },
+                    TensorProto {
+                        name: "shape".into(),
+                        dims: vec![2],
+                        data_type: DATA_TYPE_INT64,
+                        float_data: vec![],
+                        int64_data: vec![1, -1],
+                    },
+                ],
+                inputs: vec![ValueInfoProto {
+                    name: "x".into(),
+                    dims: vec![1, 1, 4, 4],
+                }],
+                outputs: vec![ValueInfoProto {
+                    name: "y".into(),
+                    dims: vec![1, 1, 2, 2],
+                }],
+            }),
+        }
+    }
+
+    #[test]
+    fn model_round_trips() {
+        let model = sample_model();
+        let bytes = model.serialize();
+        let back = ModelProto::parse(&bytes).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let mut w = Writer::new();
+        w.write_i64(1, 7); // ir_version
+        w.write_string(6, "doc string field onnx uses"); // unknown here
+        w.write_i64(99, 42); // far-future field
+        let model = ModelProto::parse(&w.into_bytes()).unwrap();
+        assert_eq!(model.ir_version, 7);
+    }
+
+    #[test]
+    fn raw_data_float_decodes() {
+        let t = TensorProto {
+            name: "w".into(),
+            dims: vec![3],
+            data_type: DATA_TYPE_FLOAT,
+            float_data: vec![1.0, 2.5, -3.0],
+            int64_data: vec![],
+        };
+        let bytes = t.to_writer().into_bytes();
+        let back = TensorProto::parse(&bytes).unwrap();
+        assert_eq!(back.float_data, vec![1.0, 2.5, -3.0]);
+    }
+
+    #[test]
+    fn raw_data_int64_decodes() {
+        let t = TensorProto {
+            name: "shape".into(),
+            dims: vec![2],
+            data_type: DATA_TYPE_INT64,
+            float_data: vec![],
+            int64_data: vec![-1, 512],
+        };
+        let bytes = t.to_writer().into_bytes();
+        let back = TensorProto::parse(&bytes).unwrap();
+        assert_eq!(back.int64_data, vec![-1, 512]);
+    }
+
+    #[test]
+    fn misaligned_raw_data_rejected() {
+        let mut w = Writer::new();
+        w.write_i64(2, DATA_TYPE_FLOAT);
+        w.write_bytes(9, &[1, 2, 3]); // 3 bytes, not 4-aligned
+        assert!(TensorProto::parse(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn unsupported_raw_dtype_rejected() {
+        let mut w = Writer::new();
+        w.write_i64(2, 10); // FLOAT16
+        w.write_bytes(9, &[0, 0]);
+        assert!(matches!(
+            TensorProto::parse(&w.into_bytes()),
+            Err(OnnxError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn value_info_dims_round_trip() {
+        let info = ValueInfoProto {
+            name: "input".into(),
+            dims: vec![1, 3, 299, 299],
+        };
+        let bytes = info.to_writer().into_bytes();
+        let back = ValueInfoProto::parse(&bytes).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn garbage_bytes_error_not_panic() {
+        assert!(ModelProto::parse(&[0xff, 0xff, 0xff]).is_err());
+        assert!(ModelProto::parse(&[0x07]).is_err());
+    }
+
+    #[test]
+    fn empty_model_parses() {
+        let model = ModelProto::parse(&[]).unwrap();
+        assert!(model.graph.is_none());
+    }
+}

@@ -1,0 +1,428 @@
+//! Protobuf wire-format primitives, implemented from scratch.
+//!
+//! Protobuf encodes a message as a sequence of `(tag, payload)` records where
+//! `tag = (field_number << 3) | wire_type`. Only the wire types ONNX uses
+//! are implemented:
+//!
+//! | wire type | meaning | used for |
+//! |---|---|---|
+//! | 0 | varint | int32/int64/enum/bool |
+//! | 1 | 64-bit | double (skipped) |
+//! | 2 | length-delimited | strings, bytes, nested messages, packed arrays |
+//! | 5 | 32-bit | float |
+
+use crate::error::OnnxError;
+
+/// A protobuf wire type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireType {
+    /// Base-128 varint.
+    Varint,
+    /// Fixed 8 bytes.
+    Fixed64,
+    /// Length-prefixed bytes.
+    LengthDelimited,
+    /// Fixed 4 bytes.
+    Fixed32,
+}
+
+impl WireType {
+    fn from_bits(bits: u64) -> Result<Self, OnnxError> {
+        match bits {
+            0 => Ok(WireType::Varint),
+            1 => Ok(WireType::Fixed64),
+            2 => Ok(WireType::LengthDelimited),
+            5 => Ok(WireType::Fixed32),
+            other => Err(OnnxError::Wire(format!("unknown wire type {other}"))),
+        }
+    }
+
+    fn to_bits(self) -> u64 {
+        match self {
+            WireType::Varint => 0,
+            WireType::Fixed64 => 1,
+            WireType::LengthDelimited => 2,
+            WireType::Fixed32 => 5,
+        }
+    }
+}
+
+/// A cursor over protobuf-encoded bytes.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over a byte buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Whether the cursor has consumed every byte.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Reads a base-128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] on truncation or a varint longer than 10
+    /// bytes.
+    pub fn read_varint(&mut self) -> Result<u64, OnnxError> {
+        let mut value: u64 = 0;
+        for shift in 0..10 {
+            let byte = *self
+                .buf
+                .get(self.pos)
+                .ok_or_else(|| OnnxError::Wire("truncated varint".into()))?;
+            self.pos += 1;
+            value |= ((byte & 0x7f) as u64) << (shift * 7);
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(OnnxError::Wire("varint longer than 10 bytes".into()))
+    }
+
+    /// Reads a field tag: `(field_number, wire_type)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] on truncation, an unknown wire type, or
+    /// field number 0 (reserved).
+    pub fn read_tag(&mut self) -> Result<(u64, WireType), OnnxError> {
+        let key = self.read_varint()?;
+        let field = key >> 3;
+        if field == 0 {
+            return Err(OnnxError::Wire("field number 0".into()));
+        }
+        Ok((field, WireType::from_bits(key & 0x7)?))
+    }
+
+    /// Reads a length-delimited byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] if the declared length overruns the buffer.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], OnnxError> {
+        let len = self.read_varint()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| OnnxError::Wire(format!("length {len} overruns buffer")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a length-delimited UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] on truncation or invalid UTF-8.
+    pub fn read_string(&mut self) -> Result<String, OnnxError> {
+        let bytes = self.read_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| OnnxError::Wire("invalid utf-8 string".into()))
+    }
+
+    /// Reads a little-endian f32 (wire type 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] on truncation.
+    pub fn read_f32(&mut self) -> Result<f32, OnnxError> {
+        let end = self.pos + 4;
+        if end > self.buf.len() {
+            return Err(OnnxError::Wire("truncated fixed32".into()));
+        }
+        let v = f32::from_le_bytes(self.buf[self.pos..end].try_into().expect("4 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// Reads a varint as a signed int64 (protobuf two's-complement).
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::read_varint`].
+    pub fn read_i64(&mut self) -> Result<i64, OnnxError> {
+        Ok(self.read_varint()? as i64)
+    }
+
+    /// Skips a field of the given wire type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] on truncation.
+    pub fn skip(&mut self, wire_type: WireType) -> Result<(), OnnxError> {
+        match wire_type {
+            WireType::Varint => {
+                self.read_varint()?;
+            }
+            WireType::Fixed64 => {
+                if self.pos + 8 > self.buf.len() {
+                    return Err(OnnxError::Wire("truncated fixed64".into()));
+                }
+                self.pos += 8;
+            }
+            WireType::LengthDelimited => {
+                self.read_bytes()?;
+            }
+            WireType::Fixed32 => {
+                if self.pos + 4 > self.buf.len() {
+                    return Err(OnnxError::Wire("truncated fixed32".into()));
+                }
+                self.pos += 4;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a packed repeated int64 payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] on truncation inside the payload.
+    pub fn decode_packed_i64(payload: &[u8]) -> Result<Vec<i64>, OnnxError> {
+        let mut r = Reader::new(payload);
+        let mut out = Vec::new();
+        while !r.is_at_end() {
+            out.push(r.read_i64()?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes a packed repeated float payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] if the payload length is not a multiple of 4.
+    pub fn decode_packed_f32(payload: &[u8]) -> Result<Vec<f32>, OnnxError> {
+        if !payload.len().is_multiple_of(4) {
+            return Err(OnnxError::Wire("packed float payload not 4-aligned".into()));
+        }
+        Ok(payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+/// An append-only protobuf encoder.
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a raw varint.
+    pub fn write_varint(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn write_tag(&mut self, field: u64, wire_type: WireType) {
+        self.write_varint((field << 3) | wire_type.to_bits());
+    }
+
+    /// Writes an int64 field (varint).
+    pub fn write_i64(&mut self, field: u64, value: i64) {
+        self.write_tag(field, WireType::Varint);
+        self.write_varint(value as u64);
+    }
+
+    /// Writes a float field (fixed32).
+    pub fn write_f32(&mut self, field: u64, value: f32) {
+        self.write_tag(field, WireType::Fixed32);
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a bytes field.
+    pub fn write_bytes(&mut self, field: u64, payload: &[u8]) {
+        self.write_tag(field, WireType::LengthDelimited);
+        self.write_varint(payload.len() as u64);
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Writes a string field.
+    pub fn write_string(&mut self, field: u64, value: &str) {
+        self.write_bytes(field, value.as_bytes());
+    }
+
+    /// Writes a nested message field from an already-encoded child.
+    pub fn write_message(&mut self, field: u64, child: &Writer) {
+        self.write_bytes(field, &child.buf);
+    }
+
+    /// Writes a packed repeated int64 field.
+    pub fn write_packed_i64(&mut self, field: u64, values: &[i64]) {
+        let mut child = Writer::new();
+        for &v in values {
+            child.write_varint(v as u64);
+        }
+        self.write_bytes(field, &child.buf);
+    }
+
+    /// Writes a packed repeated float field.
+    pub fn write_packed_f32(&mut self, field: u64, values: &[f32]) {
+        let mut payload = Vec::with_capacity(values.len() * 4);
+        for &v in values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(field, &payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for value in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut w = Writer::new();
+            w.write_varint(value);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.read_varint().unwrap(), value);
+            assert!(r.is_at_end());
+        }
+    }
+
+    #[test]
+    fn known_varint_encoding() {
+        // Protobuf docs example: 300 encodes as [0xAC, 0x02].
+        let mut w = Writer::new();
+        w.write_varint(300);
+        assert_eq!(w.into_bytes(), vec![0xac, 0x02]);
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        let mut w = Writer::new();
+        w.write_i64(4, -1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let (field, wt) = r.read_tag().unwrap();
+        assert_eq!(field, 4);
+        assert_eq!(wt, WireType::Varint);
+        assert_eq!(r.read_i64().unwrap(), -1);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut w = Writer::new();
+        w.write_string(2, "conv1/weight");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let (field, wt) = r.read_tag().unwrap();
+        assert_eq!((field, wt), (2, WireType::LengthDelimited));
+        assert_eq!(r.read_string().unwrap(), "conv1/weight");
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let mut w = Writer::new();
+        w.write_f32(2, -1.5e-3);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.read_tag().unwrap();
+        assert_eq!(r.read_f32().unwrap(), -1.5e-3);
+    }
+
+    #[test]
+    fn packed_arrays_round_trip() {
+        let mut w = Writer::new();
+        w.write_packed_i64(1, &[1, -2, 300]);
+        w.write_packed_f32(4, &[0.5, -0.25]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.read_tag().unwrap();
+        let ints = Reader::decode_packed_i64(r.read_bytes().unwrap()).unwrap();
+        assert_eq!(ints, vec![1, -2, 300]);
+        r.read_tag().unwrap();
+        let floats = Reader::decode_packed_f32(r.read_bytes().unwrap()).unwrap();
+        assert_eq!(floats, vec![0.5, -0.25]);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut r = Reader::new(&[0x80]);
+        assert!(r.read_varint().is_err());
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        let mut r = Reader::new(&[0x80; 11]);
+        assert!(r.read_varint().is_err());
+    }
+
+    #[test]
+    fn length_overrun_errors() {
+        // Declares 100 bytes, provides 2.
+        let mut r = Reader::new(&[100, 1, 2]);
+        assert!(r.read_bytes().is_err());
+    }
+
+    #[test]
+    fn skip_all_wire_types() {
+        let mut w = Writer::new();
+        w.write_i64(1, 7);
+        w.write_f32(2, 1.0);
+        w.write_bytes(3, b"abc");
+        w.write_string(4, "end");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for _ in 0..3 {
+            let (_, wt) = r.read_tag().unwrap();
+            r.skip(wt).unwrap();
+        }
+        let (field, _) = r.read_tag().unwrap();
+        assert_eq!(field, 4);
+        assert_eq!(r.read_string().unwrap(), "end");
+    }
+
+    #[test]
+    fn unknown_wire_type_rejected() {
+        // tag = field 1, wire type 3 (group start, unsupported).
+        let mut r = Reader::new(&[0x0b]);
+        assert!(r.read_tag().is_err());
+    }
+
+    #[test]
+    fn misaligned_packed_floats_rejected() {
+        assert!(Reader::decode_packed_f32(&[0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Robustness: the importer must never panic, whatever bytes arrive.
+//! Models imported in the field come from other tools; a parser that panics
+//! on malformed input is not deployable.
+
+use orpheus_graph::{Graph, Node, OpKind, ValueInfo};
+use orpheus_onnx::{export_model, import_model};
+use proptest::prelude::*;
+
+fn sample_model_bytes() -> Vec<u8> {
+    let mut g = Graph::new("sample");
+    g.add_input(ValueInfo::new("x", &[1, 2, 4, 4]));
+    g.add_initializer("w", orpheus_tensor::Tensor::ones(&[3, 2, 3, 3]));
+    g.add_node(Node::new("c", OpKind::Conv, &["x", "w"], &["y"]));
+    g.add_node(Node::new("r", OpKind::Relu, &["y"], &["z"]));
+    g.add_output("z");
+    export_model(&g).expect("sample exports")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: errors, never panics.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = import_model(&bytes);
+    }
+
+    /// Truncations of a valid model: errors or parses, never panics.
+    #[test]
+    fn truncated_models_never_panic(cut in 0usize..10_000) {
+        let bytes = sample_model_bytes();
+        let cut = cut % (bytes.len() + 1);
+        let _ = import_model(&bytes[..cut]);
+    }
+
+    /// Single-byte corruptions of a valid model: never panic, and when they
+    /// parse, the graph still passes validation (import validates).
+    #[test]
+    fn bitflipped_models_never_panic(pos in 0usize..10_000, flip in 1u8..=255) {
+        let mut bytes = sample_model_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok(graph) = import_model(&bytes) {
+            prop_assert!(graph.validate().is_ok());
+        }
+    }
+
+    /// Appending garbage after a valid model: protobuf readers skip unknown
+    /// trailing fields or error out; either way, no panic.
+    #[test]
+    fn trailing_garbage_never_panics(tail in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut bytes = sample_model_bytes();
+        bytes.extend_from_slice(&tail);
+        let _ = import_model(&bytes);
+    }
+}
+
+#[test]
+fn sample_model_round_trips_as_baseline() {
+    let bytes = sample_model_bytes();
+    let graph = import_model(&bytes).expect("uncorrupted model imports");
+    assert_eq!(graph.nodes().len(), 2);
+}

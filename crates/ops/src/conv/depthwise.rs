@@ -1,0 +1,195 @@
+//! Specialized direct depthwise convolution.
+//!
+//! MobileNetV1 spends most of its non-pointwise time in depthwise layers.
+//! The paper observes that PyTorch's depthwise implementation is inefficient
+//! (it goes through the generic grouped-GEMM path — see
+//! `im2col_gemm`), while an efficient framework uses a dedicated kernel like
+//! this one: each channel is an independent 2-D convolution, vectorized along
+//! the output row, with no data reorganization at all.
+
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+use super::Conv2dParams;
+
+/// Depthwise direct convolution into a pre-sized output tensor.
+///
+/// Requires `params.is_depthwise()`. Parallelizes over `(image, channel)`
+/// planes.
+pub(crate) fn conv2d_depthwise_into(
+    params: &Conv2dParams,
+    input: &Tensor,
+    weight: &Tensor,
+    output: &mut Tensor,
+    pool: &ThreadPool,
+) {
+    debug_assert!(params.is_depthwise());
+    let [_, c, ih, iw] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = (params.out_h(ih), params.out_w(iw));
+    let (kh, kw) = (params.kernel_h, params.kernel_w);
+    let (sh, sw) = (params.stride_h, params.stride_w);
+    let (dh, dw) = (params.dilation_h, params.dilation_w);
+    let (ph, pw) = (params.pad_h, params.pad_w);
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let plane = oh * ow;
+
+    let out_data = output.as_mut_slice();
+    pool.parallel_for_rows(out_data, plane, 1, |plane0, chunk| {
+        for (p_idx, out_plane) in chunk.chunks_mut(plane).enumerate() {
+            let flat = plane0 + p_idx; // (img * c + channel)
+            let ch = flat % c;
+            let in_plane = &in_data[flat * ih * iw..][..ih * iw];
+            let w_ch = &w_data[ch * kh * kw..][..kh * kw];
+            for oy in 0..oh {
+                let out_row = &mut out_plane[oy * ow..(oy + 1) * ow];
+                out_row.fill(0.0);
+                for ky in 0..kh {
+                    let iy = (oy * sh + ky * dh) as isize - ph as isize;
+                    if iy < 0 || iy >= ih as isize {
+                        continue;
+                    }
+                    let in_row = &in_plane[iy as usize * iw..][..iw];
+                    for kx in 0..kw {
+                        let w = w_ch[ky * kw + kx];
+                        let x_off = kx as isize * dw as isize - pw as isize;
+                        // Restrict ox to the in-bounds span, then run a
+                        // branch-free inner loop the compiler vectorizes.
+                        let ox_lo = ox_lower_bound(x_off, sw);
+                        let ox_hi = ox_upper_bound(x_off, sw, iw, ow);
+                        if sw == 1 {
+                            let shift = x_off + ox_lo as isize;
+                            let src = &in_row[shift as usize..shift as usize + (ox_hi - ox_lo)];
+                            let dst = &mut out_row[ox_lo..ox_hi];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += w * s;
+                            }
+                        } else {
+                            for ox in ox_lo..ox_hi {
+                                let ix = (ox * sw) as isize + x_off;
+                                out_row[ox] += w * in_row[ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Smallest `ox` with `ox*sw + x_off >= 0`.
+fn ox_lower_bound(x_off: isize, sw: usize) -> usize {
+    if x_off >= 0 {
+        0
+    } else {
+        ((-x_off) as usize).div_ceil(sw)
+    }
+}
+
+/// One past the largest `ox` with `ox*sw + x_off < iw`, clamped to `ow`.
+fn ox_upper_bound(x_off: isize, sw: usize, iw: usize, ow: usize) -> usize {
+    let limit = iw as isize - x_off; // need ox*sw < limit
+    if limit <= 0 {
+        return 0;
+    }
+    let hi = ((limit - 1) as usize / sw) + 1;
+    hi.min(ow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv2d, ConvAlgorithm};
+    use orpheus_tensor::allclose;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64 ^ seed).wrapping_mul(0xd1342543de82ef95);
+                ((x >> 34) as f32 / (1u64 << 30) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn compare_to_direct(params: Conv2dParams, dims: [usize; 4]) {
+        let input = Tensor::from_vec(pseudo(dims.iter().product(), 5), &dims).unwrap();
+        let wd = params.weight_dims();
+        let weight = Tensor::from_vec(pseudo(wd.iter().product(), 6), &wd).unwrap();
+        let pool = ThreadPool::single();
+        let want = Conv2d::new(params, weight.clone(), None, ConvAlgorithm::Direct)
+            .unwrap()
+            .run(&input, &pool)
+            .unwrap();
+        let got = Conv2d::new(params, weight, None, ConvAlgorithm::DepthwiseDirect)
+            .unwrap()
+            .run(&input, &pool)
+            .unwrap();
+        let r = allclose(&got, &want, 1e-4, 1e-5);
+        assert!(r.ok, "depthwise mismatch: {r:?}");
+    }
+
+    #[test]
+    fn matches_direct_3x3_padded() {
+        compare_to_direct(Conv2dParams::depthwise(6, 3).with_padding(1, 1), [1, 6, 8, 8]);
+    }
+
+    #[test]
+    fn matches_direct_stride2() {
+        // MobileNet's downsampling depthwise layers.
+        compare_to_direct(
+            Conv2dParams::depthwise(4, 3).with_stride(2, 2).with_padding(1, 1),
+            [1, 4, 9, 9],
+        );
+    }
+
+    #[test]
+    fn matches_direct_no_padding() {
+        compare_to_direct(Conv2dParams::depthwise(3, 3), [1, 3, 7, 7]);
+    }
+
+    #[test]
+    fn matches_direct_5x5_kernel() {
+        compare_to_direct(Conv2dParams::depthwise(2, 5).with_padding(2, 2), [1, 2, 9, 9]);
+    }
+
+    #[test]
+    fn matches_direct_batched() {
+        compare_to_direct(Conv2dParams::depthwise(5, 3).with_padding(1, 1), [3, 5, 6, 6]);
+    }
+
+    #[test]
+    fn matches_direct_dilated() {
+        compare_to_direct(
+            Conv2dParams::depthwise(2, 3).with_dilation(2, 2).with_padding(2, 2),
+            [1, 2, 8, 8],
+        );
+    }
+
+    #[test]
+    fn multithreaded_matches_single() {
+        let params = Conv2dParams::depthwise(8, 3).with_padding(1, 1);
+        let input = Tensor::from_vec(pseudo(2 * 8 * 6 * 6, 11), &[2, 8, 6, 6]).unwrap();
+        let weight = Tensor::from_vec(pseudo(8 * 9, 12), &[8, 1, 3, 3]).unwrap();
+        let conv = Conv2d::new(params, weight, None, ConvAlgorithm::DepthwiseDirect).unwrap();
+        let a = conv.run(&input, &ThreadPool::single()).unwrap();
+        let b = conv.run(&input, &ThreadPool::new(3).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounds_helpers() {
+        // x_off = -1, stride 1: first valid ox is 1.
+        assert_eq!(ox_lower_bound(-1, 1), 1);
+        assert_eq!(ox_lower_bound(0, 1), 0);
+        assert_eq!(ox_lower_bound(-3, 2), 2);
+        // iw=5, x_off=2, stride 1: ox < 3; ow=8 clamps nothing else.
+        assert_eq!(ox_upper_bound(2, 1, 5, 8), 3);
+        assert_eq!(ox_upper_bound(9, 1, 5, 8), 0);
+        assert_eq!(ox_upper_bound(0, 2, 5, 8), 3);
+    }
+}

@@ -1,0 +1,225 @@
+//! GEMM convolution: im2col lowering followed by matrix multiplication.
+//!
+//! This is the algorithm the paper credits for Orpheus's wins on the big
+//! models ("Orpheus uses GEMM convolution, which pays off for big matrices").
+//! The GEMM tier is a parameter: the `orpheus` personality runs it with the
+//! packed micro-kernel; the `pytorch-sim` personality uses the blocked tier
+//! through the *eager* variant that materializes the column matrix for every
+//! convolution (see `ConvAlgorithm::Im2colGemmEager`).
+//!
+//! For grouped convolutions the lowering runs per group. For depthwise
+//! convolutions (groups == channels) this degenerates into `channels`
+//! tiny `1 x (kh*kw) x (oh*ow)` GEMMs — exactly the inefficiency the paper
+//! observes in PyTorch's MobileNetV1 depthwise layers, which is why the
+//! `pytorch-sim` personality routes depthwise convolutions through here.
+
+use orpheus_gemm::{gemm_parallel, im2col, GemmKernel, Im2colParams};
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+use super::Conv2dParams;
+
+/// im2col+GEMM convolution into a pre-sized output tensor.
+///
+/// `force_materialize` disables the pointwise fast path, modelling eager
+/// unfold-based frameworks that copy the column matrix unconditionally.
+pub(crate) fn conv2d_im2col_into(
+    params: &Conv2dParams,
+    input: &Tensor,
+    weight: &Tensor,
+    output: &mut Tensor,
+    kernel: GemmKernel,
+    force_materialize: bool,
+    pool: &ThreadPool,
+) {
+    let [n, ci, ih, iw] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = (params.out_h(ih), params.out_w(iw));
+    let co = params.out_channels;
+    let cig = ci / params.groups;
+    let cog = co / params.groups;
+    let im2col_params = Im2colParams {
+        channels: cig,
+        height: ih,
+        width: iw,
+        kernel_h: params.kernel_h,
+        kernel_w: params.kernel_w,
+        stride_h: params.stride_h,
+        stride_w: params.stride_w,
+        pad_h: params.pad_h,
+        pad_w: params.pad_w,
+        dilation_h: params.dilation_h,
+        dilation_w: params.dilation_w,
+    };
+    let k = im2col_params.matrix_rows(); // cig * kh * kw
+    let cols = oh * ow;
+    // Pointwise fast path: a 1x1/stride-1/unpadded convolution is already a
+    // GEMM over the raw input planes — the column matrix would be a verbatim
+    // copy, so skip materializing it. (ResNet-50 and the MobileNet pointwise
+    // layers are dominated by this case.)
+    let pointwise = !force_materialize
+        && params.kernel_h == 1
+        && params.kernel_w == 1
+        && params.stride_h == 1
+        && params.stride_w == 1
+        && params.pad_h == 0
+        && params.pad_w == 0;
+    let mut col_buf = if pointwise {
+        Vec::new()
+    } else {
+        vec![0.0f32; k * cols]
+    };
+
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let out_data = output.as_mut_slice();
+    let in_image = ci * ih * iw;
+    let out_image = co * oh * ow;
+
+    for img in 0..n {
+        for g in 0..params.groups {
+            let group_input =
+                &in_data[img * in_image + g * cig * ih * iw..][..cig * ih * iw];
+            let b: &[f32] = if pointwise {
+                group_input
+            } else {
+                im2col(&im2col_params, group_input, &mut col_buf);
+                &col_buf
+            };
+            // Weight rows for this group form a contiguous [cog x k] matrix.
+            let w_group = &w_data[g * cog * k..(g + 1) * cog * k];
+            let out_group =
+                &mut out_data[img * out_image + g * cog * cols..][..cog * cols];
+            gemm_parallel(
+                kernel, pool, cog, cols, k, w_group, k, b, cols, out_group, cols, 0.0,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv2d, ConvAlgorithm};
+    use orpheus_tensor::allclose;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64 ^ seed).wrapping_mul(0x9e3779b97f4a7c15);
+                ((x >> 34) as f32 / (1u64 << 30) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn compare_to_direct(params: Conv2dParams, dims: [usize; 4], kernel: GemmKernel) {
+        let input = Tensor::from_vec(pseudo(dims.iter().product(), 1), &dims).unwrap();
+        let wd = params.weight_dims();
+        let weight =
+            Tensor::from_vec(pseudo(wd.iter().product(), 2), &wd).unwrap();
+        let pool = ThreadPool::single();
+        let direct = Conv2d::new(params, weight.clone(), None, ConvAlgorithm::Direct)
+            .unwrap()
+            .run(&input, &pool)
+            .unwrap();
+        let gemm = Conv2d::new(params, weight, None, ConvAlgorithm::Im2colGemm(kernel))
+            .unwrap()
+            .run(&input, &pool)
+            .unwrap();
+        let report = allclose(&gemm, &direct, 1e-4, 1e-5);
+        assert!(report.ok, "mismatch: {report:?}");
+    }
+
+    #[test]
+    fn matches_direct_basic_3x3() {
+        compare_to_direct(
+            Conv2dParams::square(3, 8, 3).with_padding(1, 1),
+            [1, 3, 9, 9],
+            GemmKernel::Packed,
+        );
+    }
+
+    #[test]
+    fn matches_direct_pointwise_fast_path() {
+        // 1x1/s1/p0 skips the column-matrix copy entirely.
+        compare_to_direct(Conv2dParams::square(16, 8, 1), [2, 16, 7, 7], GemmKernel::Packed);
+        compare_to_direct(Conv2dParams::square(3, 5, 1), [1, 3, 4, 4], GemmKernel::Naive);
+    }
+
+    #[test]
+    fn matches_direct_1x1_strided_not_pointwise() {
+        // 1x1 with stride 2 must NOT take the fast path.
+        compare_to_direct(
+            Conv2dParams::square(4, 6, 1).with_stride(2, 2),
+            [1, 4, 8, 8],
+            GemmKernel::Packed,
+        );
+    }
+
+    #[test]
+    fn matches_direct_strided_7x7() {
+        compare_to_direct(
+            Conv2dParams::square(3, 4, 7).with_stride(2, 2).with_padding(3, 3),
+            [1, 3, 17, 17],
+            GemmKernel::Blocked,
+        );
+    }
+
+    #[test]
+    fn matches_direct_grouped() {
+        compare_to_direct(
+            Conv2dParams::square(4, 6, 3).with_groups(2).with_padding(1, 1),
+            [2, 4, 6, 6],
+            GemmKernel::Packed,
+        );
+    }
+
+    #[test]
+    fn matches_direct_depthwise() {
+        compare_to_direct(
+            Conv2dParams::depthwise(5, 3).with_padding(1, 1),
+            [1, 5, 7, 7],
+            GemmKernel::Naive,
+        );
+    }
+
+    #[test]
+    fn matches_direct_asymmetric_kernel() {
+        let mut p = Conv2dParams::square(2, 3, 1);
+        p.kernel_h = 1;
+        p.kernel_w = 7;
+        p.pad_w = 3;
+        compare_to_direct(p, [1, 2, 5, 9], GemmKernel::Packed);
+    }
+
+    #[test]
+    fn matches_direct_dilated() {
+        compare_to_direct(
+            Conv2dParams::square(2, 2, 3).with_dilation(2, 2).with_padding(2, 2),
+            [1, 2, 8, 8],
+            GemmKernel::Packed,
+        );
+    }
+
+    #[test]
+    fn matches_direct_batched_multithreaded() {
+        let params = Conv2dParams::square(3, 5, 3).with_padding(1, 1);
+        let input = Tensor::from_vec(pseudo(3 * 3 * 8 * 8, 7), &[3, 3, 8, 8]).unwrap();
+        let wd = params.weight_dims();
+        let weight = Tensor::from_vec(pseudo(wd.iter().product(), 8), &wd).unwrap();
+        let conv = Conv2d::new(
+            params,
+            weight.clone(),
+            None,
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed),
+        )
+        .unwrap();
+        let single = conv.run(&input, &ThreadPool::single()).unwrap();
+        let multi = conv.run(&input, &ThreadPool::new(3).unwrap()).unwrap();
+        assert!(allclose(&multi, &single, 1e-5, 1e-6).ok);
+    }
+}

@@ -1,0 +1,278 @@
+//! Winograd F(2×2, 3×3) fast convolution.
+//!
+//! One of Orpheus's advertised extension points is slotting alternative
+//! algorithms under the same layer interface; Winograd is the classic
+//! example. F(2×2, 3×3) computes each 2×2 output tile with 16 multiplies
+//! instead of 36 — a 2.25× arithmetic reduction — at the cost of transform
+//! overhead, which is why the `conv_algorithms` ablation bench shows it
+//! winning only for 3×3 layers with enough channels.
+//!
+//! Pipeline per image:
+//! 1. weights were transformed at construction: `U[ξ][co][ci]`, ξ ∈ 0..16;
+//! 2. input tiles (4×4, stride 2) are transformed: `V[ξ][ci][P]`;
+//! 3. 16 independent GEMMs compute `M[ξ] = U[ξ] · V[ξ]`;
+//! 4. each output tile is inverse-transformed from `M[·][co][p]`.
+
+use orpheus_gemm::{gemm_parallel, GemmKernel};
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+use super::Conv2dParams;
+
+/// Winograd-domain weights: `U[16][co][ci]` flattened.
+#[derive(Debug, Clone)]
+pub(crate) struct TransformedWeights {
+    data: Vec<f32>,
+    co: usize,
+    ci: usize,
+}
+
+/// Transforms `[co, ci, 3, 3]` weights into the Winograd domain:
+/// `U = G · g · Gᵀ` per (co, ci) filter.
+pub(crate) fn transform_weights(params: &Conv2dParams, weight: &Tensor) -> TransformedWeights {
+    let (co, ci) = (params.out_channels, params.in_channels);
+    let w = weight.as_slice();
+    let mut data = vec![0.0f32; 16 * co * ci];
+    for oc in 0..co {
+        for ic in 0..ci {
+            let g = &w[(oc * ci + ic) * 9..][..9];
+            // G g: 4x3
+            let mut gg = [[0.0f32; 3]; 4];
+            for c in 0..3 {
+                let (g0, g1, g2) = (g[c], g[3 + c], g[6 + c]);
+                gg[0][c] = g0;
+                gg[1][c] = 0.5 * (g0 + g1 + g2);
+                gg[2][c] = 0.5 * (g0 - g1 + g2);
+                gg[3][c] = g2;
+            }
+            // (G g) Gᵀ: 4x4
+            for (r, row) in gg.iter().enumerate() {
+                let (a, b, c) = (row[0], row[1], row[2]);
+                let u = [a, 0.5 * (a + b + c), 0.5 * (a - b + c), c];
+                for (cix, &val) in u.iter().enumerate() {
+                    let xi = r * 4 + cix;
+                    data[(xi * co + oc) * ci + ic] = val;
+                }
+            }
+        }
+    }
+    TransformedWeights { data, co, ci }
+}
+
+/// Winograd convolution into a pre-sized output tensor.
+pub(crate) fn conv2d_winograd_into(
+    params: &Conv2dParams,
+    input: &Tensor,
+    tw: &TransformedWeights,
+    output: &mut Tensor,
+    pool: &ThreadPool,
+) {
+    let [n, ci, ih, iw] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = (params.out_h(ih), params.out_w(iw));
+    let co = params.out_channels;
+    debug_assert_eq!(co, tw.co, "transformed weights built for another layer");
+    let tiles_y = oh.div_ceil(2);
+    let tiles_x = ow.div_ceil(2);
+    let p_total = tiles_y * tiles_x;
+    // Padded buffer sized so every 4x4 tile read is in bounds.
+    let ph = 2 * tiles_y + 2;
+    let pw = 2 * tiles_x + 2;
+
+    let mut padded = vec![0.0f32; ci * ph * pw];
+    let mut v = vec![0.0f32; 16 * ci * p_total];
+    let mut m = vec![0.0f32; 16 * co * p_total];
+    let in_data = input.as_slice();
+    let out_data = output.as_mut_slice();
+
+    for img in 0..n {
+        // 1. Zero-pad the image.
+        padded.fill(0.0);
+        for c in 0..ci {
+            for y in 0..ih {
+                let src = &in_data[((img * ci + c) * ih + y) * iw..][..iw];
+                let dst =
+                    &mut padded[(c * ph + y + params.pad_h) * pw + params.pad_w..][..iw];
+                dst.copy_from_slice(src);
+            }
+        }
+        // 2. Input transform: V[ξ][ci][p] = (Bᵀ d B)[ξ].
+        for c in 0..ci {
+            let plane = &padded[c * ph * pw..][..ph * pw];
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let p = ty * tiles_x + tx;
+                    let mut d = [[0.0f32; 4]; 4];
+                    for (r, drow) in d.iter_mut().enumerate() {
+                        let row = &plane[(2 * ty + r) * pw + 2 * tx..][..4];
+                        drow.copy_from_slice(row);
+                    }
+                    // Bᵀ d
+                    let mut bd = [[0.0f32; 4]; 4];
+                    for cix in 0..4 {
+                        let (d0, d1, d2, d3) = (d[0][cix], d[1][cix], d[2][cix], d[3][cix]);
+                        bd[0][cix] = d0 - d2;
+                        bd[1][cix] = d1 + d2;
+                        bd[2][cix] = d2 - d1;
+                        bd[3][cix] = d1 - d3;
+                    }
+                    // (Bᵀ d) B
+                    for (r, row) in bd.iter().enumerate() {
+                        let (d0, d1, d2, d3) = (row[0], row[1], row[2], row[3]);
+                        let vals = [d0 - d2, d1 + d2, d2 - d1, d1 - d3];
+                        for (cix, &val) in vals.iter().enumerate() {
+                            let xi = r * 4 + cix;
+                            v[(xi * ci + c) * p_total + p] = val;
+                        }
+                    }
+                }
+            }
+        }
+        // 3. 16 batched GEMMs: M[ξ] = U[ξ] (co×ci) · V[ξ] (ci×P).
+        for xi in 0..16 {
+            let u_xi = &tw.data[xi * co * tw.ci..][..co * tw.ci];
+            let v_xi = &v[xi * ci * p_total..][..ci * p_total];
+            let m_xi = &mut m[xi * co * p_total..][..co * p_total];
+            gemm_parallel(
+                GemmKernel::Packed,
+                pool,
+                co,
+                p_total,
+                ci,
+                u_xi,
+                ci,
+                v_xi,
+                p_total,
+                m_xi,
+                p_total,
+                0.0,
+            );
+        }
+        // 4. Inverse transform: Y = Aᵀ m A per (co, tile), ragged edges clipped.
+        for oc in 0..co {
+            let out_plane = &mut out_data[((img * co) + oc) * oh * ow..][..oh * ow];
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let p = ty * tiles_x + tx;
+                    let mut mm = [[0.0f32; 4]; 4];
+                    for (r, mrow) in mm.iter_mut().enumerate() {
+                        for (cix, slot) in mrow.iter_mut().enumerate() {
+                            let xi = r * 4 + cix;
+                            *slot = m[(xi * co + oc) * p_total + p];
+                        }
+                    }
+                    // Aᵀ m: 2x4
+                    let mut am = [[0.0f32; 4]; 2];
+                    for cix in 0..4 {
+                        let (m0, m1, m2, m3) = (mm[0][cix], mm[1][cix], mm[2][cix], mm[3][cix]);
+                        am[0][cix] = m0 + m1 + m2;
+                        am[1][cix] = m1 - m2 - m3;
+                    }
+                    // (Aᵀ m) A: 2x2
+                    for (r, row) in am.iter().enumerate() {
+                        let y0 = row[0] + row[1] + row[2];
+                        let y1 = row[1] - row[2] - row[3];
+                        let oy = 2 * ty + r;
+                        if oy >= oh {
+                            continue;
+                        }
+                        let ox = 2 * tx;
+                        out_plane[oy * ow + ox] = y0;
+                        if ox + 1 < ow {
+                            out_plane[oy * ow + ox + 1] = y1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv2d, ConvAlgorithm};
+    use orpheus_tensor::allclose;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64 ^ seed).wrapping_mul(0xff51afd7ed558ccd);
+                ((x >> 34) as f32 / (1u64 << 30) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn compare_to_direct(params: Conv2dParams, dims: [usize; 4]) {
+        let input = Tensor::from_vec(pseudo(dims.iter().product(), 21), &dims).unwrap();
+        let wd = params.weight_dims();
+        let weight = Tensor::from_vec(pseudo(wd.iter().product(), 22), &wd).unwrap();
+        let pool = ThreadPool::single();
+        let want = Conv2d::new(params, weight.clone(), None, ConvAlgorithm::Direct)
+            .unwrap()
+            .run(&input, &pool)
+            .unwrap();
+        let got = Conv2d::new(params, weight, None, ConvAlgorithm::Winograd)
+            .unwrap()
+            .run(&input, &pool)
+            .unwrap();
+        let r = allclose(&got, &want, 1e-3, 1e-4);
+        assert!(r.ok, "winograd mismatch: {r:?}");
+    }
+
+    #[test]
+    fn matches_direct_even_output() {
+        compare_to_direct(Conv2dParams::square(4, 8, 3).with_padding(1, 1), [1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn matches_direct_odd_output() {
+        // 7x7 output exercises the ragged bottom/right tile clipping.
+        compare_to_direct(Conv2dParams::square(3, 5, 3).with_padding(1, 1), [1, 3, 7, 7]);
+    }
+
+    #[test]
+    fn matches_direct_no_padding() {
+        compare_to_direct(Conv2dParams::square(2, 4, 3), [1, 2, 9, 9]);
+    }
+
+    #[test]
+    fn matches_direct_batched() {
+        compare_to_direct(Conv2dParams::square(3, 6, 3).with_padding(1, 1), [2, 3, 6, 6]);
+    }
+
+    #[test]
+    fn matches_direct_single_pixel_output() {
+        compare_to_direct(Conv2dParams::square(2, 2, 3), [1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn weight_transform_identity_filter() {
+        // Central-impulse filter: convolution is identity on interior pixels.
+        let p = Conv2dParams::square(1, 1, 3).with_padding(1, 1);
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0;
+        let weight = Tensor::from_vec(w, &[1, 1, 3, 3]).unwrap();
+        let conv = Conv2d::new(p, weight, None, ConvAlgorithm::Winograd).unwrap();
+        let input = Tensor::from_fn(&[1, 1, 6, 6], |i| i as f32);
+        let out = conv.run(&input, &ThreadPool::single()).unwrap();
+        let r = allclose(&out, &input, 1e-4, 1e-4);
+        assert!(r.ok, "identity filter mismatch: {r:?}");
+    }
+
+    #[test]
+    fn multithreaded_matches_single() {
+        let p = Conv2dParams::square(4, 4, 3).with_padding(1, 1);
+        let input = Tensor::from_vec(pseudo(4 * 36, 31), &[1, 4, 6, 6]).unwrap();
+        let weight = Tensor::from_vec(pseudo(4 * 4 * 9, 32), &[4, 4, 3, 3]).unwrap();
+        let conv = Conv2d::new(p, weight, None, ConvAlgorithm::Winograd).unwrap();
+        let a = conv.run(&input, &ThreadPool::single()).unwrap();
+        let b = conv.run(&input, &ThreadPool::new(2).unwrap()).unwrap();
+        let r = allclose(&b, &a, 1e-5, 1e-6);
+        assert!(r.ok);
+    }
+}

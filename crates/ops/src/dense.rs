@@ -1,0 +1,288 @@
+//! Fully-connected (dense) layer.
+
+use orpheus_gemm::{gemm_parallel, GemmKernel};
+use orpheus_tensor::{ShapeError, Tensor};
+use orpheus_threads::ThreadPool;
+
+use crate::activation::Activation;
+use crate::error::OpError;
+
+/// Dense layer algorithm choice, mirroring the convolution design: the same
+/// layer can run a naive loop or any GEMM tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenseAlgorithm {
+    /// Row-by-row dot products.
+    Naive,
+    /// GEMM at the given kernel tier.
+    Gemm(GemmKernel),
+}
+
+impl Default for DenseAlgorithm {
+    fn default() -> Self {
+        DenseAlgorithm::Gemm(GemmKernel::Packed)
+    }
+}
+
+/// A fully-connected layer: `y = x · Wᵀ + b`.
+///
+/// `x` is `[batch, in_features]` (higher-rank inputs are flattened),
+/// `W` is `[out_features, in_features]` (the ONNX `Gemm` transB layout used
+/// by classifier heads), `b` is `[out_features]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    activation: Option<Activation>,
+    algorithm: DenseAlgorithm,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer from a `[out_features, in_features]` weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpError::Shape`] if `weight` is not rank 2 or `bias` does
+    /// not have `[out_features]` dims.
+    pub fn new(
+        weight: Tensor,
+        bias: Option<Tensor>,
+        algorithm: DenseAlgorithm,
+    ) -> Result<Self, OpError> {
+        if weight.dims().len() != 2 {
+            return Err(ShapeError::RankMismatch {
+                expected: 2,
+                actual: weight.dims().len(),
+            }
+            .into());
+        }
+        let out_features = weight.dims()[0];
+        let in_features = weight.dims()[1];
+        if let Some(b) = &bias {
+            if b.dims() != [out_features] {
+                return Err(ShapeError::Mismatch {
+                    left: b.dims().to_vec(),
+                    right: vec![out_features],
+                }
+                .into());
+            }
+        }
+        Ok(Dense {
+            weight,
+            bias,
+            activation: None,
+            algorithm,
+            in_features,
+            out_features,
+        })
+    }
+
+    /// Fuses an activation into the output write-back.
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = Some(activation);
+        self
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Runs the layer. Inputs of rank > 2 are flattened to
+    /// `[batch, in_features]` first (the classifier-head idiom).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpError::Shape`] if the flattened feature count does not
+    /// match the weight.
+    pub fn run(&self, input: &Tensor, pool: &ThreadPool) -> Result<Tensor, OpError> {
+        let total = input.len();
+        if !total.is_multiple_of(self.in_features) {
+            return Err(ShapeError::Mismatch {
+                left: input.dims().to_vec(),
+                right: vec![self.in_features],
+            }
+            .into());
+        }
+        let batch = total / self.in_features;
+        if input.dims().len() >= 2 && input.dims()[0] != batch {
+            return Err(ShapeError::Mismatch {
+                left: input.dims().to_vec(),
+                right: vec![batch, self.in_features],
+            }
+            .into());
+        }
+        let mut output = Tensor::zeros(&[batch, self.out_features]);
+        let x = input.as_slice();
+        let w = self.weight.as_slice();
+        let y = output.as_mut_slice();
+        match self.algorithm {
+            DenseAlgorithm::Naive => {
+                for b in 0..batch {
+                    for o in 0..self.out_features {
+                        let mut acc = 0.0f32;
+                        let wrow = &w[o * self.in_features..(o + 1) * self.in_features];
+                        let xrow = &x[b * self.in_features..(b + 1) * self.in_features];
+                        for (wi, xi) in wrow.iter().zip(xrow) {
+                            acc += wi * xi;
+                        }
+                        y[b * self.out_features + o] = acc;
+                    }
+                }
+            }
+            DenseAlgorithm::Gemm(kernel) => {
+                // y[batch, out] = x[batch, in] · Wᵀ. GEMM wants row-major
+                // operands, so compute yᵀ = W · xᵀ when batch == 1 (the
+                // common inference case) and fall back to per-row GEMV
+                // otherwise.
+                if batch == 1 {
+                    gemm_parallel(
+                        kernel,
+                        pool,
+                        self.out_features,
+                        1,
+                        self.in_features,
+                        w,
+                        self.in_features,
+                        x,
+                        1,
+                        y,
+                        1,
+                        0.0,
+                    );
+                } else {
+                    for b in 0..batch {
+                        let xrow = &x[b * self.in_features..(b + 1) * self.in_features];
+                        let yrow = &mut y[b * self.out_features..(b + 1) * self.out_features];
+                        gemm_parallel(
+                            kernel,
+                            pool,
+                            self.out_features,
+                            1,
+                            self.in_features,
+                            w,
+                            self.in_features,
+                            xrow,
+                            1,
+                            yrow,
+                            1,
+                            0.0,
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(bias) = &self.bias {
+            let bs = bias.as_slice();
+            for b in 0..batch {
+                let yrow = &mut y[b * self.out_features..(b + 1) * self.out_features];
+                for (yo, &bo) in yrow.iter_mut().zip(bs) {
+                    *yo += bo;
+                }
+            }
+        }
+        if let Some(act) = self.activation {
+            act.apply_slice(y);
+        }
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool1() -> ThreadPool {
+        ThreadPool::single()
+    }
+
+    #[test]
+    fn identity_weight() {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let d = Dense::new(w, None, DenseAlgorithm::Naive).unwrap();
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]).unwrap();
+        assert_eq!(d.run(&x, &pool1()).unwrap().as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn bias_added() {
+        let w = Tensor::zeros(&[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let d = Dense::new(w, Some(b), DenseAlgorithm::default()).unwrap();
+        let x = Tensor::ones(&[1, 3]);
+        assert_eq!(d.run(&x, &pool1()).unwrap().as_slice(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let w = Tensor::from_fn(&[10, 37], |i| ((i * 7) % 13) as f32 * 0.1 - 0.6);
+        let x = Tensor::from_fn(&[3, 37], |i| ((i * 11) % 17) as f32 * 0.2 - 1.5);
+        let naive = Dense::new(w.clone(), None, DenseAlgorithm::Naive)
+            .unwrap()
+            .run(&x, &pool1())
+            .unwrap();
+        for kernel in GemmKernel::ALL {
+            let g = Dense::new(w.clone(), None, DenseAlgorithm::Gemm(kernel))
+                .unwrap()
+                .run(&x, &pool1())
+                .unwrap();
+            for (a, b) in naive.as_slice().iter().zip(g.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{kernel}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn flattens_nchw_input() {
+        // Classifier head after global pooling: [1, 4, 1, 1] -> 4 features.
+        let w = Tensor::ones(&[2, 4]);
+        let d = Dense::new(w, None, DenseAlgorithm::default()).unwrap();
+        let x = Tensor::from_fn(&[1, 4, 1, 1], |i| i as f32);
+        let y = d.run(&x, &pool1()).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn rejects_feature_mismatch() {
+        let w = Tensor::zeros(&[2, 3]);
+        let d = Dense::new(w, None, DenseAlgorithm::Naive).unwrap();
+        assert!(d.run(&Tensor::zeros(&[1, 4]), &pool1()).is_err());
+    }
+
+    #[test]
+    fn rejects_rank1_weight() {
+        assert!(Dense::new(Tensor::zeros(&[4]), None, DenseAlgorithm::Naive).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_bias() {
+        let w = Tensor::zeros(&[2, 3]);
+        assert!(Dense::new(w, Some(Tensor::zeros(&[3])), DenseAlgorithm::Naive).is_err());
+    }
+
+    #[test]
+    fn fused_activation() {
+        let w = Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap();
+        let d = Dense::new(w, None, DenseAlgorithm::Naive)
+            .unwrap()
+            .with_activation(Activation::Relu);
+        let x = Tensor::ones(&[1, 1]);
+        assert_eq!(d.run(&x, &pool1()).unwrap().as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn batched_input() {
+        let w = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2]).unwrap();
+        let d = Dense::new(w, None, DenseAlgorithm::default()).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0, 2.0, 2.0], &[2, 2]).unwrap();
+        let y = d.run(&x, &pool1()).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 3.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Element-wise binary operators (residual connections and friends).
+
+use orpheus_tensor::{ShapeError, Tensor};
+
+use crate::activation::Activation;
+use crate::error::OpError;
+
+/// Which element-wise binary operation to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `a + b` — residual additions in ResNet/WRN.
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+}
+
+/// Applies a binary operation over two same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns [`OpError::Shape`] if the shapes differ.
+pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor, OpError> {
+    let f = match op {
+        BinaryOp::Add => |x: f32, y: f32| x + y,
+        BinaryOp::Sub => |x: f32, y: f32| x - y,
+        BinaryOp::Mul => |x: f32, y: f32| x * y,
+    };
+    a.zip_with(b, f).map_err(Into::into)
+}
+
+/// Fused `activation(a + b)` — the shape of every ResNet block join.
+/// Runs in one pass over the output.
+///
+/// # Errors
+///
+/// Returns [`OpError::Shape`] if the shapes differ.
+pub fn add_activate(a: &Tensor, b: &Tensor, act: Activation) -> Result<Tensor, OpError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::Mismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        }
+        .into());
+    }
+    let mut out = a.clone();
+    for (o, &y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o = act.apply(*o + y);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[10.0, -1.0]);
+        assert_eq!(binary(BinaryOp::Add, &a, &b).unwrap().as_slice(), &[11.0, 1.0]);
+        assert_eq!(binary(BinaryOp::Sub, &a, &b).unwrap().as_slice(), &[-9.0, 3.0]);
+        assert_eq!(binary(BinaryOp::Mul, &a, &b).unwrap().as_slice(), &[10.0, -2.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(binary(BinaryOp::Add, &Tensor::zeros(&[2]), &Tensor::zeros(&[3])).is_err());
+        assert!(add_activate(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]), Activation::Relu).is_err());
+    }
+
+    #[test]
+    fn fused_add_relu_matches_unfused() {
+        let a = t(&[1.0, -5.0, 2.0]);
+        let b = t(&[1.0, 2.0, -9.0]);
+        let fused = add_activate(&a, &b, Activation::Relu).unwrap();
+        let unfused = Activation::Relu.run(&binary(BinaryOp::Add, &a, &b).unwrap());
+        assert_eq!(fused, unfused);
+        assert_eq!(fused.as_slice(), &[2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_commutes() {
+        let a = t(&[1.5, 2.5]);
+        let b = t(&[0.5, -2.5]);
+        assert_eq!(
+            binary(BinaryOp::Add, &a, &b).unwrap(),
+            binary(BinaryOp::Add, &b, &a).unwrap()
+        );
+    }
+}

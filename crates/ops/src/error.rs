@@ -1,0 +1,74 @@
+//! Operator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use orpheus_tensor::ShapeError;
+
+/// Error raised when constructing or running an operator.
+#[derive(Debug)]
+pub enum OpError {
+    /// Parameters are internally inconsistent (e.g. channels not divisible by
+    /// groups).
+    InvalidParams(String),
+    /// A tensor passed to the operator has the wrong shape.
+    Shape(ShapeError),
+    /// The selected algorithm does not support this configuration (e.g.
+    /// Winograd on a 5x5 kernel).
+    Unsupported(String),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::InvalidParams(msg) => write!(f, "invalid operator parameters: {msg}"),
+            OpError::Shape(e) => write!(f, "{e}"),
+            OpError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for OpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OpError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for OpError {
+    fn from(e: ShapeError) -> Self {
+        OpError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OpError::InvalidParams("x".into()).to_string().contains("x"));
+        assert!(OpError::Unsupported("winograd".into())
+            .to_string()
+            .contains("winograd"));
+    }
+
+    #[test]
+    fn shape_error_converts() {
+        let e: OpError = ShapeError::RankMismatch {
+            expected: 4,
+            actual: 2,
+        }
+        .into();
+        assert!(matches!(e, OpError::Shape(_)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OpError>();
+    }
+}

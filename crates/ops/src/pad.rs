@@ -1,0 +1,149 @@
+//! Constant padding.
+//!
+//! Real ONNX exports frequently carry explicit `Pad` nodes (exporters emit
+//! them when a framework's "same" padding does not map onto symmetric conv
+//! padding). Orpheus supports them two ways: this standalone operator, and
+//! the `pad-fold` graph pass that absorbs zero-padding into a following
+//! convolution.
+
+use orpheus_tensor::{ShapeError, Tensor};
+
+use crate::error::OpError;
+
+/// Pads a tensor with a constant, `begins[d]` elements before and
+/// `ends[d]` after each dimension `d`.
+///
+/// # Errors
+///
+/// Returns [`OpError::Shape`] if `begins`/`ends` do not have one entry per
+/// dimension.
+pub fn pad_constant(
+    input: &Tensor,
+    begins: &[usize],
+    ends: &[usize],
+    value: f32,
+) -> Result<Tensor, OpError> {
+    let rank = input.dims().len();
+    if begins.len() != rank || ends.len() != rank {
+        return Err(ShapeError::RankMismatch {
+            expected: rank,
+            actual: begins.len().max(ends.len()),
+        }
+        .into());
+    }
+    let out_dims: Vec<usize> = input
+        .dims()
+        .iter()
+        .zip(begins.iter().zip(ends))
+        .map(|(&d, (&b, &e))| d + b + e)
+        .collect();
+    let mut out = Tensor::full(&out_dims, value);
+    if input.is_empty() {
+        return Ok(out);
+    }
+    if rank == 0 {
+        // Scalar: nothing to pad around.
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        return Ok(out);
+    }
+    // Copy the input block row by row (last dimension contiguous).
+    let in_dims = input.dims().to_vec();
+    let row = *in_dims.last().unwrap_or(&1);
+    let n_rows = input.len() / row.max(1);
+    let in_strides: Vec<usize> = {
+        let mut s = vec![1usize; rank];
+        for i in (0..rank.saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * in_dims[i + 1];
+        }
+        s
+    };
+    let out_strides: Vec<usize> = {
+        let mut s = vec![1usize; rank];
+        for i in (0..rank.saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * out_dims[i + 1];
+        }
+        s
+    };
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    for r in 0..n_rows {
+        // Decompose the row index into leading coordinates.
+        let mut rem = r;
+        let mut in_off = 0usize;
+        let mut out_off = 0usize;
+        for d in 0..rank.saturating_sub(1) {
+            let extent: usize = in_dims[d + 1..rank - 1].iter().product();
+            let coord = rem / extent.max(1);
+            rem %= extent.max(1);
+            in_off += coord * in_strides[d];
+            out_off += (coord + begins[d]) * out_strides[d];
+        }
+        let out_start = out_off + begins[rank - 1];
+        out_data[out_start..out_start + row].copy_from_slice(&in_data[in_off..in_off + row]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pads_1d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let out = pad_constant(&t, &[1], &[2], 9.0).unwrap();
+        assert_eq!(out.as_slice(), &[9.0, 1.0, 2.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn pads_2d_asymmetric() {
+        let t = Tensor::from_fn(&[2, 2], |i| i as f32 + 1.0);
+        let out = pad_constant(&t, &[0, 1], &[1, 0], 0.0).unwrap();
+        assert_eq!(out.dims(), &[3, 3]);
+        assert_eq!(
+            out.as_slice(),
+            &[0.0, 1.0, 2.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn pads_nchw_spatial() {
+        let t = Tensor::ones(&[1, 2, 2, 2]);
+        let out = pad_constant(&t, &[0, 0, 1, 1], &[0, 0, 1, 1], 0.0).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 4, 4]);
+        // Centre 2x2 of each channel is ones, border zeros.
+        for c in 0..2 {
+            let plane = out.plane(0, c).unwrap();
+            assert_eq!(plane.iter().filter(|&&x| x == 1.0).count(), 4);
+            assert_eq!(plane[0], 0.0);
+            assert_eq!(plane[5], 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_padding_is_identity() {
+        let t = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let out = pad_constant(&t, &[0; 4], &[0; 4], 7.0).unwrap();
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn custom_fill_value() {
+        let t = Tensor::zeros(&[1, 1]);
+        let out = pad_constant(&t, &[1, 1], &[1, 1], -5.0).unwrap();
+        assert_eq!(out.sum(), -5.0 * 8.0);
+    }
+
+    #[test]
+    fn rejects_wrong_rank_spec() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(pad_constant(&t, &[1], &[1, 1], 0.0).is_err());
+    }
+
+    #[test]
+    fn pads_scalar_is_noop() {
+        let t = Tensor::scalar(3.0);
+        let out = pad_constant(&t, &[], &[], 0.0).unwrap();
+        assert_eq!(out, t);
+    }
+}

@@ -1,0 +1,143 @@
+//! Axis reductions.
+//!
+//! Many training frameworks export global average pooling as
+//! `ReduceMean(axes=[2,3])`; supporting the general reduction keeps such
+//! models loadable without special-casing the exporter.
+
+use orpheus_tensor::{ShapeError, Tensor};
+
+use crate::error::OpError;
+
+/// Mean over the given axes.
+///
+/// With `keepdims`, reduced axes stay in the shape with extent 1 (ONNX's
+/// default); otherwise they are removed (a full reduction then yields a
+/// rank-0 scalar tensor).
+///
+/// # Errors
+///
+/// Returns [`OpError::InvalidParams`] for repeated or out-of-range axes.
+pub fn reduce_mean(input: &Tensor, axes: &[usize], keepdims: bool) -> Result<Tensor, OpError> {
+    let rank = input.dims().len();
+    let mut reduce = vec![false; rank];
+    for &a in axes {
+        if a >= rank {
+            return Err(OpError::InvalidParams(format!(
+                "axis {a} out of range for rank {rank}"
+            )));
+        }
+        if reduce[a] {
+            return Err(OpError::InvalidParams(format!("axis {a} repeated")));
+        }
+        reduce[a] = true;
+    }
+    if input.is_empty() {
+        return Err(ShapeError::ElementCountMismatch {
+            expected: 1,
+            actual: 0,
+        }
+        .into());
+    }
+    let in_dims = input.dims();
+    let kept_dims: Vec<usize> = (0..rank).filter(|&d| !reduce[d]).map(|d| in_dims[d]).collect();
+    let out_count: usize = kept_dims.iter().product::<usize>().max(1);
+    let reduce_count: usize = (0..rank)
+        .filter(|&d| reduce[d])
+        .map(|d| in_dims[d])
+        .product::<usize>()
+        .max(1);
+
+    let in_strides = input.shape().strides();
+    let mut sums = vec![0.0f32; out_count];
+    // Walk every element once, scattering into its kept-coordinates bucket.
+    let kept_strides: Vec<usize> = {
+        let mut s = vec![1usize; kept_dims.len()];
+        for i in (0..kept_dims.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * kept_dims[i + 1];
+        }
+        s
+    };
+    let data = input.as_slice();
+    for (flat, &x) in data.iter().enumerate() {
+        let mut out_idx = 0usize;
+        let mut kept_axis = 0usize;
+        for d in 0..rank {
+            let coord = (flat / in_strides[d]) % in_dims[d];
+            if !reduce[d] {
+                out_idx += coord * kept_strides[kept_axis];
+                kept_axis += 1;
+            }
+        }
+        sums[out_idx] += x;
+    }
+    for s in &mut sums {
+        *s /= reduce_count as f32;
+    }
+    let out_dims: Vec<usize> = if keepdims {
+        (0..rank).map(|d| if reduce[d] { 1 } else { in_dims[d] }).collect()
+    } else {
+        kept_dims
+    };
+    Tensor::from_vec(sums, &out_dims).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_last_axis() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[2, 2]).unwrap();
+        let out = reduce_mean(&t, &[1], false).unwrap();
+        assert_eq!(out.dims(), &[2]);
+        assert_eq!(out.as_slice(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn keepdims_preserves_rank() {
+        let t = Tensor::ones(&[2, 3, 4]);
+        let out = reduce_mean(&t, &[1], true).unwrap();
+        assert_eq!(out.dims(), &[2, 1, 4]);
+    }
+
+    #[test]
+    fn spatial_reduce_matches_global_average_pool() {
+        use crate::pool::global_average_pool;
+        use orpheus_threads::ThreadPool;
+        let t = Tensor::from_fn(&[2, 3, 4, 4], |i| ((i * 31) % 17) as f32);
+        let gap = global_average_pool(&t, &ThreadPool::single()).unwrap();
+        let rm = reduce_mean(&t, &[2, 3], true).unwrap();
+        assert_eq!(rm.dims(), &[2, 3, 1, 1]);
+        for (a, b) in rm.as_slice().iter().zip(gap.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn full_reduction_yields_scalar() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0], &[3]).unwrap();
+        let out = reduce_mean(&t, &[0], false).unwrap();
+        assert_eq!(out.dims(), &[] as &[usize]);
+        assert_eq!(out.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn empty_axes_is_identity_mean() {
+        let t = Tensor::from_fn(&[2, 2], |i| i as f32);
+        let out = reduce_mean(&t, &[], false).unwrap();
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn rejects_bad_axes() {
+        let t = Tensor::ones(&[2, 2]);
+        assert!(reduce_mean(&t, &[2], false).is_err());
+        assert!(reduce_mean(&t, &[0, 0], false).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_tensor() {
+        let t = Tensor::zeros(&[0, 3]);
+        assert!(reduce_mean(&t, &[0], false).is_err());
+    }
+}

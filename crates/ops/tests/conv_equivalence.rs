@@ -1,0 +1,120 @@
+//! The paper's central correctness requirement: every convolution algorithm
+//! must produce the same answer, so implementations can be swapped at runtime
+//! without changing results. These property tests sample random geometries
+//! and verify all applicable algorithms against the direct reference.
+
+use orpheus_gemm::GemmKernel;
+use orpheus_ops::conv::{Conv2d, Conv2dParams, ConvAlgorithm};
+use orpheus_tensor::{allclose, Tensor};
+use orpheus_threads::ThreadPool;
+use proptest::prelude::*;
+
+fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 ^ seed).wrapping_mul(0x9e3779b97f4a7c15);
+            ((x >> 34) as f32 / (1u64 << 30) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn run(params: Conv2dParams, dims: &[usize; 4], algo: ConvAlgorithm, seed: u64) -> Tensor {
+    let input = Tensor::from_vec(pseudo(dims.iter().product(), seed), dims).unwrap();
+    let wd = params.weight_dims();
+    let weight = Tensor::from_vec(pseudo(wd.iter().product(), seed ^ 0xff), &wd).unwrap();
+    Conv2d::new(params, weight, None, algo)
+        .unwrap()
+        .run(&input, &ThreadPool::single())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Standard convolutions: direct, im2col+GEMM (all tiers) and
+    /// spatial-pack agree on arbitrary geometry.
+    #[test]
+    fn standard_conv_algorithms_agree(
+        ci in 1usize..5, co in 1usize..12,
+        k in 1usize..4, s in 1usize..3, pad in 0usize..2,
+        h in 4usize..11, w in 4usize..11,
+        n in 1usize..3, seed in any::<u64>(),
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let params = Conv2dParams::square(ci, co, k)
+            .with_stride(s, s)
+            .with_padding(pad, pad);
+        let dims = [n, ci, h, w];
+        let reference = run(params, &dims, ConvAlgorithm::Direct, seed);
+        for algo in [
+            ConvAlgorithm::Im2colGemm(GemmKernel::Naive),
+            ConvAlgorithm::Im2colGemm(GemmKernel::Blocked),
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed),
+            ConvAlgorithm::Im2colGemmEager(GemmKernel::Blocked),
+            ConvAlgorithm::SpatialPack,
+        ] {
+            let got = run(params, &dims, algo, seed);
+            let r = allclose(&got, &reference, 1e-3, 1e-4);
+            prop_assert!(r.ok, "{algo} disagrees with direct: {r:?}");
+        }
+    }
+
+    /// Winograd agrees with direct on its supported geometry
+    /// (3x3, stride 1, any padding).
+    #[test]
+    fn winograd_agrees(
+        ci in 1usize..5, co in 1usize..9, pad in 0usize..2,
+        h in 3usize..12, w in 3usize..12, seed in any::<u64>(),
+    ) {
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let params = Conv2dParams::square(ci, co, 3).with_padding(pad, pad);
+        let dims = [1, ci, h, w];
+        let reference = run(params, &dims, ConvAlgorithm::Direct, seed);
+        let got = run(params, &dims, ConvAlgorithm::Winograd, seed);
+        let r = allclose(&got, &reference, 2e-3, 2e-4);
+        prop_assert!(r.ok, "winograd disagrees: {r:?}");
+    }
+
+    /// Depthwise geometry: the dedicated kernel, the grouped-GEMM path (the
+    /// "PyTorch way") and direct all agree.
+    #[test]
+    fn depthwise_algorithms_agree(
+        c in 1usize..9, k in 1usize..4, s in 1usize..3, pad in 0usize..2,
+        h in 4usize..10, seed in any::<u64>(),
+    ) {
+        prop_assume!(h + 2 * pad >= k);
+        let params = Conv2dParams::depthwise(c, k)
+            .with_stride(s, s)
+            .with_padding(pad, pad);
+        prop_assume!(params.is_depthwise());
+        let dims = [1, c, h, h];
+        let reference = run(params, &dims, ConvAlgorithm::Direct, seed);
+        for algo in [
+            ConvAlgorithm::DepthwiseDirect,
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed),
+            ConvAlgorithm::SpatialPack,
+        ] {
+            let got = run(params, &dims, algo, seed);
+            let r = allclose(&got, &reference, 1e-3, 1e-4);
+            prop_assert!(r.ok, "{algo} depthwise disagrees: {r:?}");
+        }
+    }
+
+    /// Linearity: conv(a*x) == a*conv(x) for every algorithm.
+    #[test]
+    fn conv_is_linear(scale in -3.0f32..3.0, seed in any::<u64>()) {
+        let params = Conv2dParams::square(2, 4, 3).with_padding(1, 1);
+        let dims = [1, 2, 6, 6];
+        let input = Tensor::from_vec(pseudo(72, seed), &dims).unwrap();
+        let weight = Tensor::from_vec(pseudo(params.weight_dims().iter().product(), seed ^ 1),
+                                      &params.weight_dims()).unwrap();
+        for algo in [ConvAlgorithm::Direct, ConvAlgorithm::default(), ConvAlgorithm::SpatialPack] {
+            let conv = Conv2d::new(params, weight.clone(), None, algo).unwrap();
+            let y = conv.run(&input, &ThreadPool::single()).unwrap();
+            let y_scaled = conv.run(&input.map(|x| x * scale), &ThreadPool::single()).unwrap();
+            let want = y.map(|v| v * scale);
+            let r = allclose(&y_scaled, &want, 1e-3, 1e-3);
+            prop_assert!(r.ok, "{algo} not linear: {r:?}");
+        }
+    }
+}

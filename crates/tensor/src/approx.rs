@@ -1,0 +1,188 @@
+//! Approximate floating-point comparison.
+//!
+//! Orpheus's test suite validates every operator implementation against a
+//! reference implementation; those comparisons need a tolerance model. We use
+//! the conventional combined absolute/relative test
+//! `|a - b| <= atol + rtol * |b|` (NumPy's `allclose` semantics).
+
+use crate::tensor::Tensor;
+
+/// Outcome of an [`allclose`] comparison, with diagnostics for failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllcloseReport {
+    /// Whether every element passed the tolerance test.
+    pub ok: bool,
+    /// Largest absolute difference observed.
+    pub max_abs: f32,
+    /// Largest relative difference observed (0 when the reference is 0).
+    pub max_rel: f32,
+    /// Flat index of the worst element, if any elements were compared.
+    pub worst_index: Option<usize>,
+    /// Number of elements outside tolerance.
+    pub violations: usize,
+}
+
+/// Compares two tensors element-wise with combined tolerances.
+///
+/// Returns a report rather than a bare `bool` so failing tests can print
+/// where and by how much the comparison failed. Shapes must match exactly;
+/// mismatched shapes yield `ok == false` with `violations == usize::MAX`.
+///
+/// # Examples
+///
+/// ```
+/// use orpheus_tensor::{allclose, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+/// let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0], &[2]).unwrap();
+/// assert!(allclose(&a, &b, 1e-5, 1e-6).ok);
+/// ```
+pub fn allclose(actual: &Tensor, expected: &Tensor, rtol: f32, atol: f32) -> AllcloseReport {
+    if actual.shape() != expected.shape() {
+        return AllcloseReport {
+            ok: false,
+            max_abs: f32::INFINITY,
+            max_rel: f32::INFINITY,
+            worst_index: None,
+            violations: usize::MAX,
+        };
+    }
+    let mut report = AllcloseReport {
+        ok: true,
+        max_abs: 0.0,
+        max_rel: 0.0,
+        worst_index: None,
+        violations: 0,
+    };
+    // Diff statistics and the worst index are tracked over violating
+    // elements when any exist, otherwise over all non-identical elements.
+    // Exactly-equal pairs (including infinities, whose subtraction is NaN)
+    // contribute nothing.
+    let mut worst_violation: Option<(usize, f32)> = None;
+    for (i, (&a, &e)) in actual
+        .as_slice()
+        .iter()
+        .zip(expected.as_slice())
+        .enumerate()
+    {
+        // NaN on either side fails here: NaN != NaN and NaN <= x is false.
+        if a == e {
+            continue;
+        }
+        let abs = (a - e).abs();
+        let rel = if e != 0.0 { abs / e.abs() } else { 0.0 };
+        let within = abs <= atol + rtol * e.abs();
+        if !within {
+            report.violations += 1;
+            report.ok = false;
+            let worse = match worst_violation {
+                None => true,
+                Some((_, w)) => abs > w || abs.is_nan(),
+            };
+            if worse {
+                worst_violation = Some((i, abs));
+            }
+        }
+        if abs > report.max_abs || abs.is_nan() {
+            report.max_abs = abs;
+            if worst_violation.is_none() {
+                report.worst_index = Some(i);
+            }
+        }
+        if rel > report.max_rel || rel.is_nan() {
+            report.max_rel = rel;
+        }
+    }
+    if let Some((i, abs)) = worst_violation {
+        report.worst_index = Some(i);
+        report.max_abs = report.max_abs.max(abs);
+    }
+    report
+}
+
+/// Largest absolute element-wise difference, or `f32::INFINITY` on shape mismatch.
+pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    if a.shape() != b.shape() {
+        return f32::INFINITY;
+    }
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Largest relative element-wise difference (relative to `b`), ignoring
+/// positions where `b == 0`.
+pub fn max_rel_diff(a: &Tensor, b: &Tensor) -> f32 {
+    if a.shape() != b.shape() {
+        return f32::INFINITY;
+    }
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .filter(|(_, &y)| y != 0.0)
+        .map(|(&x, &y)| ((x - y) / y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_tensors_pass() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.0], &[3]).unwrap();
+        let r = allclose(&a, &a, 0.0, 0.0);
+        assert!(r.ok);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.max_abs, 0.0);
+    }
+
+    #[test]
+    fn detects_violation_and_reports_worst() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.5], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let r = allclose(&a, &b, 1e-3, 1e-3);
+        assert!(!r.ok);
+        assert_eq!(r.violations, 1);
+        assert_eq!(r.worst_index, Some(2));
+        assert!((r.max_abs - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_tolerance_scales() {
+        let a = Tensor::from_vec(vec![1000.1], &[1]).unwrap();
+        let b = Tensor::from_vec(vec![1000.0], &[1]).unwrap();
+        assert!(allclose(&a, &b, 1e-3, 0.0).ok);
+        assert!(!allclose(&a, &b, 1e-6, 0.0).ok);
+    }
+
+    #[test]
+    fn shape_mismatch_fails() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(!allclose(&a, &b, 1.0, 1.0).ok);
+        assert_eq!(max_abs_diff(&a, &b), f32::INFINITY);
+    }
+
+    #[test]
+    fn nan_never_passes() {
+        let a = Tensor::from_vec(vec![f32::NAN], &[1]).unwrap();
+        let b = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        assert!(!allclose(&a, &b, 1e9, 1e9).ok);
+    }
+
+    #[test]
+    fn infinite_equal_values_pass() {
+        let a = Tensor::from_vec(vec![f32::INFINITY], &[1]).unwrap();
+        assert!(allclose(&a, &a, 0.0, 0.0).ok);
+    }
+
+    #[test]
+    fn max_rel_ignores_zero_reference() {
+        let a = Tensor::from_vec(vec![5.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        assert_eq!(max_rel_diff(&a, &b), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error types for tensor construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a shape is inconsistent with the data or operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The number of elements implied by the shape does not match the data length.
+    ElementCountMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that were required to match do not.
+    Mismatch {
+        /// Left-hand shape, rendered as `[d0, d1, ...]`.
+        left: Vec<usize>,
+        /// Right-hand shape.
+        right: Vec<usize>,
+    },
+    /// An index had the wrong rank or was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The shape indexed into.
+        shape: Vec<usize>,
+    },
+    /// The operation requires a specific rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ElementCountMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            ShapeError::Mismatch { left, right } => {
+                write!(f, "shapes {left:?} and {right:?} do not match")
+            }
+            ShapeError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            ShapeError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected} but got rank {actual}")
+            }
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Error raised by tensor I/O and construction.
+#[derive(Debug)]
+pub enum TensorError {
+    /// Shape-related failure.
+    Shape(ShapeError),
+    /// Underlying I/O failure while reading or writing a tensor.
+    Io(std::io::Error),
+    /// The byte stream being read is not a valid serialized tensor.
+    Format(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(e) => write!(f, "{e}"),
+            TensorError::Io(e) => write!(f, "tensor i/o error: {e}"),
+            TensorError::Format(msg) => write!(f, "invalid tensor format: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TensorError::Shape(e) => Some(e),
+            TensorError::Io(e) => Some(e),
+            TensorError::Format(_) => None,
+        }
+    }
+}
+
+impl From<ShapeError> for TensorError {
+    fn from(e: ShapeError) -> Self {
+        TensorError::Shape(e)
+    }
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_element_count() {
+        let e = ShapeError::ElementCountMismatch {
+            expected: 6,
+            actual: 4,
+        };
+        assert_eq!(e.to_string(), "shape implies 6 elements but 4 were provided");
+    }
+
+    #[test]
+    fn display_mismatch() {
+        let e = ShapeError::Mismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
+        assert!(e.to_string().contains("[2, 3]"));
+        assert!(e.to_string().contains("[3, 2]"));
+    }
+
+    #[test]
+    fn tensor_error_wraps_shape_error() {
+        let e: TensorError = ShapeError::RankMismatch {
+            expected: 4,
+            actual: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("rank 4"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic weight initializers.
+//!
+//! The paper evaluates inference *time*, which is independent of weight
+//! values, so the reproduction uses seeded synthetic weights. Initializers
+//! here are deterministic given a seed so that experiments and tests are
+//! reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A named weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Initializer {
+    /// Uniform in `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the sampling interval, in thousandths (to keep `Eq`).
+        limit_milli: u32,
+    },
+    /// He (Kaiming) normal: `N(0, sqrt(2 / fan_in))`.
+    HeNormal {
+        /// Number of input connections per output unit.
+        fan_in: usize,
+    },
+    /// Xavier (Glorot) uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    XavierUniform {
+        /// Number of input connections.
+        fan_in: usize,
+        /// Number of output connections.
+        fan_out: usize,
+    },
+}
+
+impl Initializer {
+    /// Fills `tensor` in place using this scheme and a deterministic `seed`.
+    pub fn fill(&self, tensor: &mut Tensor, seed: u64) {
+        match *self {
+            Initializer::Uniform { limit_milli } => {
+                fill_uniform(tensor, limit_milli as f32 / 1000.0, seed)
+            }
+            Initializer::HeNormal { fan_in } => fill_he_normal(tensor, fan_in, seed),
+            Initializer::XavierUniform { fan_in, fan_out } => {
+                fill_xavier_uniform(tensor, fan_in, fan_out, seed)
+            }
+        }
+    }
+}
+
+/// Fills `tensor` with values drawn uniformly from `[-limit, limit]`.
+pub fn fill_uniform(tensor: &mut Tensor, limit: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for x in tensor.as_mut_slice() {
+        *x = rng.gen_range(-limit..=limit);
+    }
+}
+
+/// Fills `tensor` with He-normal values for a layer with `fan_in` inputs.
+///
+/// Uses the Box-Muller transform so we only depend on uniform sampling.
+pub fn fill_he_normal(tensor: &mut Tensor, fan_in: usize, seed: u64) {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for x in tensor.as_mut_slice() {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        *x = z * std;
+    }
+}
+
+/// Fills `tensor` with Xavier-uniform values.
+pub fn fill_xavier_uniform(tensor: &mut Tensor, fan_in: usize, fan_out: usize, seed: u64) {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    fill_uniform(tensor, limit, seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut t = Tensor::zeros(&[1000]);
+        fill_uniform(&mut t, 0.5, 7);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+        assert!(t.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Tensor::zeros(&[64]);
+        let mut b = Tensor::zeros(&[64]);
+        fill_he_normal(&mut a, 9, 42);
+        fill_he_normal(&mut b, 9, 42);
+        assert_eq!(a, b);
+        let mut c = Tensor::zeros(&[64]);
+        fill_he_normal(&mut c, 9, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut wide = Tensor::zeros(&[4096]);
+        let mut narrow = Tensor::zeros(&[4096]);
+        fill_he_normal(&mut wide, 1024, 1);
+        fill_he_normal(&mut narrow, 4, 1);
+        let var = |t: &Tensor| t.as_slice().iter().map(|&x| x * x).sum::<f32>() / t.len() as f32;
+        assert!(var(&narrow) > var(&wide) * 10.0);
+    }
+
+    #[test]
+    fn he_normal_values_are_finite() {
+        let mut t = Tensor::zeros(&[10_000]);
+        fill_he_normal(&mut t, 128, 3);
+        assert!(t.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn xavier_limit() {
+        let mut t = Tensor::zeros(&[1000]);
+        fill_xavier_uniform(&mut t, 3, 3, 5);
+        let limit = 1.0; // sqrt(6/6)
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn initializer_enum_dispatch() {
+        let mut t = Tensor::zeros(&[32]);
+        Initializer::HeNormal { fan_in: 8 }.fill(&mut t, 11);
+        assert!(t.as_slice().iter().any(|&x| x != 0.0));
+        let mut u = Tensor::zeros(&[32]);
+        Initializer::Uniform { limit_milli: 100 }.fill(&mut u, 11);
+        assert!(u.as_slice().iter().all(|&x| x.abs() <= 0.1));
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        let mut t = Tensor::zeros(&[8]);
+        fill_he_normal(&mut t, 0, 1);
+        assert!(t.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

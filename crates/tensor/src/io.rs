@@ -1,0 +1,161 @@
+//! Minimal binary tensor serialization.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   : 4 bytes  "OTSR"
+//! version : u32      currently 1
+//! rank    : u32
+//! dims    : rank * u64
+//! data    : num_elements * f32
+//! ```
+//!
+//! Used by the experiment infrastructure to snapshot intermediate activations
+//! and by tests to round-trip weights.
+
+use std::io::{Read, Write};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"OTSR";
+const VERSION: u32 = 1;
+
+/// Writes `tensor` to `writer` in the Orpheus binary tensor format.
+///
+/// A `&mut` reference to a writer can be passed where a writer is expected.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_tensor<W: Write>(mut writer: W, tensor: &Tensor) -> Result<(), TensorError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let dims = tensor.dims();
+    writer.write_all(&(dims.len() as u32).to_le_bytes())?;
+    for &d in dims {
+        writer.write_all(&(d as u64).to_le_bytes())?;
+    }
+    for &x in tensor.as_slice() {
+        writer.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a tensor previously written by [`write_tensor`].
+///
+/// A `&mut` reference to a reader can be passed where a reader is expected.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Format`] if the stream is not a valid serialized
+/// tensor, and [`TensorError::Io`] on reader failure.
+pub fn read_tensor<R: Read>(mut reader: R) -> Result<Tensor, TensorError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TensorError::Format(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(TensorError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let rank = read_u32(&mut reader)? as usize;
+    if rank > 16 {
+        return Err(TensorError::Format(format!("implausible rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let mut buf = [0u8; 8];
+        reader.read_exact(&mut buf)?;
+        let d = u64::from_le_bytes(buf);
+        if d > u32::MAX as u64 {
+            return Err(TensorError::Format(format!("implausible dimension {d}")));
+        }
+        dims.push(d as usize);
+    }
+    let count: usize = dims.iter().fold(1usize, |acc, &d| acc.saturating_mul(d));
+    if count > (1 << 31) {
+        return Err(TensorError::Format(format!(
+            "tensor too large: {count} elements"
+        )));
+    }
+    let mut data = Vec::with_capacity(count);
+    let mut buf = [0u8; 4];
+    for _ in 0..count {
+        reader.read_exact(&mut buf)?;
+        data.push(f32::from_le_bytes(buf));
+    }
+    Tensor::from_vec(data, &dims).map_err(Into::into)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, TensorError> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: &Tensor) -> Tensor {
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, t).unwrap();
+        read_tensor(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| i as f32 * 0.5 - 3.0);
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn roundtrip_scalar_and_empty() {
+        assert_eq!(roundtrip(&Tensor::scalar(2.5)), Tensor::scalar(2.5));
+        assert_eq!(roundtrip(&Tensor::zeros(&[0])), Tensor::zeros(&[0]));
+    }
+
+    #[test]
+    fn roundtrip_special_values() {
+        let t = Tensor::from_vec(vec![f32::INFINITY, f32::MIN, -0.0, 1e-38], &[4]).unwrap();
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_tensor(&b"XXXX\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"OTSR");
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_tensor(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &Tensor::ones(&[4])).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_tensor(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_rank() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"OTSR");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(read_tensor(buf.as_slice()).is_err());
+    }
+}

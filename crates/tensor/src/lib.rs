@@ -1,0 +1,31 @@
+//! Tensor substrate for the Orpheus inference framework.
+//!
+//! Orpheus is an inference-only framework, so this crate deliberately keeps the
+//! tensor model small: dense, row-major (C-order), `f32` tensors with an
+//! explicit [`Shape`]. Convolutional data uses the NCHW layout convention
+//! throughout the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use orpheus_tensor::Tensor;
+//!
+//! let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! assert_eq!(t.at(&[1, 0]), 3.0);
+//! let doubled = t.map(|x| x * 2.0);
+//! assert_eq!(doubled.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+//! ```
+
+mod approx;
+mod error;
+mod init;
+mod io;
+mod shape;
+mod tensor;
+
+pub use approx::{allclose, max_abs_diff, max_rel_diff, AllcloseReport};
+pub use error::{ShapeError, TensorError};
+pub use init::{fill_he_normal, fill_uniform, fill_xavier_uniform, Initializer};
+pub use io::{read_tensor, write_tensor};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,72 @@
+//! Property-based tests for the tensor substrate.
+
+use orpheus_tensor::{allclose, max_abs_diff, read_tensor, write_tensor, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 0..4)
+}
+
+proptest! {
+    /// Flat-offset <-> index conversion is a bijection over the whole tensor.
+    #[test]
+    fn offset_index_bijection(dims in small_dims()) {
+        let shape = Shape::new(&dims);
+        for flat in 0..shape.num_elements() {
+            let idx = shape.index_of(flat).unwrap();
+            prop_assert_eq!(shape.offset_of(&idx).unwrap(), flat);
+        }
+    }
+
+    /// Strides are consistent with offsets: moving +1 along axis k moves the
+    /// flat offset by strides[k].
+    #[test]
+    fn strides_match_offsets(dims in prop::collection::vec(2usize..5, 1..4)) {
+        let shape = Shape::new(&dims);
+        let strides = shape.strides();
+        let zero = vec![0usize; dims.len()];
+        let base = shape.offset_of(&zero).unwrap();
+        for k in 0..dims.len() {
+            let mut idx = zero.clone();
+            idx[k] = 1;
+            prop_assert_eq!(shape.offset_of(&idx).unwrap(), base + strides[k]);
+        }
+    }
+
+    /// Serialization round-trips arbitrary finite tensors exactly.
+    #[test]
+    fn io_roundtrip(dims in small_dims(), seed in any::<u32>()) {
+        let t = Tensor::from_fn(&dims, |i| (i as f32 + seed as f32).sin());
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back = read_tensor(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Reshape never changes data, only the shape.
+    #[test]
+    fn reshape_preserves_data(n in 1usize..64) {
+        let t = Tensor::from_fn(&[n], |i| i as f32);
+        let r = t.reshaped(&[1, n]).unwrap();
+        prop_assert_eq!(r.as_slice(), t.as_slice());
+        prop_assert_eq!(r.shape().dims(), &[1, n][..]);
+    }
+
+    /// allclose is reflexive for finite tensors and symmetric in its verdict
+    /// under zero tolerances.
+    #[test]
+    fn allclose_reflexive(dims in small_dims()) {
+        let t = Tensor::from_fn(&dims, |i| i as f32 * 0.25 - 1.0);
+        prop_assert!(allclose(&t, &t, 0.0, 0.0).ok);
+        prop_assert_eq!(max_abs_diff(&t, &t), 0.0);
+    }
+
+    /// map(f) then map(g) equals map(g ∘ f).
+    #[test]
+    fn map_composes(n in 1usize..32) {
+        let t = Tensor::from_fn(&[n], |i| i as f32);
+        let a = t.map(|x| x + 1.0).map(|x| x * 2.0);
+        let b = t.map(|x| (x + 1.0) * 2.0);
+        prop_assert_eq!(a, b);
+    }
+}

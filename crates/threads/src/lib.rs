@@ -1,0 +1,32 @@
+//! Data-parallel execution for Orpheus operators.
+//!
+//! The original Orpheus leverages OpenMP `parallel for` inside its C++
+//! operator implementations. This crate is the Rust substitute: a
+//! [`ThreadPool`] with a [`ThreadPool::parallel_for`] primitive that splits an
+//! index range into contiguous chunks and runs each chunk on a worker via
+//! `crossbeam::scope`, so closures may borrow stack data exactly like an
+//! OpenMP parallel region.
+//!
+//! The pool is a *configuration* object: the number of threads is chosen at
+//! construction and every operator receives the pool by reference, which is
+//! how the experiment harness pins runs to one thread (the paper's Figure 2
+//! is measured with a single thread).
+//!
+//! # Examples
+//!
+//! ```
+//! use orpheus_threads::ThreadPool;
+//!
+//! let pool = ThreadPool::new(2).unwrap();
+//! let mut out = vec![0usize; 100];
+//! pool.parallel_for_mut(&mut out, 1, |start, chunk| {
+//!     for (i, slot) in chunk.iter_mut().enumerate() {
+//!         *slot = (start + i) * 2;
+//!     }
+//! });
+//! assert_eq!(out[7], 14);
+//! ```
+
+mod pool;
+
+pub use pool::{PoolError, ThreadPool};

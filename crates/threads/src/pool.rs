@@ -1,0 +1,352 @@
+//! The scoped chunking thread pool.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing a [`ThreadPool`] with an invalid
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A pool must have at least one thread.
+    ZeroThreads,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::ZeroThreads => write!(f, "thread pool requires at least one thread"),
+        }
+    }
+}
+
+impl Error for PoolError {}
+
+/// A data-parallel chunking executor, Orpheus's OpenMP substitute.
+///
+/// `ThreadPool` splits index ranges into contiguous chunks and executes them
+/// with `crossbeam::scope`, so the worker closures may borrow stack data.
+/// With one thread (the paper's Figure 2 configuration) every primitive
+/// degenerates to a plain sequential loop with no synchronization cost.
+///
+/// The pool is cheap to clone and `Send + Sync`; operators take it by
+/// reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs parallel regions on `threads` threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::ZeroThreads`] if `threads == 0`.
+    pub fn new(threads: usize) -> Result<Self, PoolError> {
+        if threads == 0 {
+            return Err(PoolError::ZeroThreads);
+        }
+        Ok(ThreadPool { threads })
+    }
+
+    /// A single-threaded pool — the configuration used for the paper's
+    /// headline single-thread measurements.
+    pub fn single() -> Self {
+        ThreadPool { threads: 1 }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    ///
+    /// This mirrors TF-Lite's behaviour of always using the maximum number of
+    /// threads.
+    pub fn max_hardware() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool { threads }
+    }
+
+    /// Number of threads parallel regions will use.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `[0, len)` into at most `num_threads` contiguous chunks of at
+    /// least `min_chunk` iterations and runs `body(start, end)` for each.
+    ///
+    /// Chunks run concurrently when the pool has more than one thread; the
+    /// call returns after every chunk completes (an implicit barrier, like the
+    /// end of an OpenMP parallel region).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any chunk body after all chunks finish or
+    /// unwind.
+    pub fn parallel_for<F>(&self, len: usize, min_chunk: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let chunks = self.plan_chunks(len, min_chunk);
+        if chunks.len() <= 1 {
+            body(0, len);
+            return;
+        }
+        crossbeam::scope(|scope| {
+            // Run all but the first chunk on spawned workers; the caller's
+            // thread takes chunk 0 so a two-thread pool uses two threads.
+            for &(start, end) in &chunks[1..] {
+                let body = &body;
+                scope.spawn(move |_| body(start, end));
+            }
+            let (start, end) = chunks[0];
+            body(start, end);
+        })
+        .expect("worker panicked inside parallel_for");
+    }
+
+    /// Splits a mutable slice into contiguous chunks and hands each chunk
+    /// (with its starting index) to `body`, in parallel.
+    ///
+    /// This is the safe idiom for operators that write disjoint regions of an
+    /// output buffer.
+    pub fn parallel_for_mut<T, F>(&self, data: &mut [T], min_chunk: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let len = data.len();
+        if len == 0 {
+            return;
+        }
+        let chunks = self.plan_chunks(len, min_chunk);
+        if chunks.len() <= 1 {
+            body(0, data);
+            return;
+        }
+        // Carve the slice into disjoint &mut chunks up front.
+        let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks.len());
+        let mut rest = data;
+        let mut consumed = 0;
+        for &(start, end) in &chunks {
+            let (head, tail) = rest.split_at_mut(end - start);
+            debug_assert_eq!(consumed, start);
+            pieces.push((start, head));
+            rest = tail;
+            consumed = end;
+        }
+        crossbeam::scope(|scope| {
+            let mut iter = pieces.into_iter();
+            let first = iter.next().expect("at least one chunk");
+            for (start, chunk) in iter {
+                let body = &body;
+                scope.spawn(move |_| body(start, chunk));
+            }
+            body(first.0, first.1);
+        })
+        .expect("worker panicked inside parallel_for_mut");
+    }
+
+    /// Splits a mutable slice that represents `len / row_len` rows of
+    /// `row_len` elements into bands of whole rows, and hands each band (with
+    /// its starting row index) to `body`, in parallel.
+    ///
+    /// This is the decomposition GEMM and convolution use: each worker owns a
+    /// disjoint band of output rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len == 0` or `data.len()` is not a multiple of `row_len`.
+    pub fn parallel_for_rows<T, F>(&self, data: &mut [T], row_len: usize, min_rows: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(
+            data.len() % row_len,
+            0,
+            "data length {} not a multiple of row length {row_len}",
+            data.len()
+        );
+        let rows = data.len() / row_len;
+        if rows == 0 {
+            return;
+        }
+        let chunks = self.plan_chunks(rows, min_rows.max(1));
+        if chunks.len() <= 1 {
+            body(0, data);
+            return;
+        }
+        let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks.len());
+        let mut rest = data;
+        for &(start, end) in &chunks {
+            let (head, tail) = rest.split_at_mut((end - start) * row_len);
+            pieces.push((start, head));
+            rest = tail;
+        }
+        crossbeam::scope(|scope| {
+            let mut iter = pieces.into_iter();
+            let first = iter.next().expect("at least one chunk");
+            for (start, chunk) in iter {
+                let body = &body;
+                scope.spawn(move |_| body(start, chunk));
+            }
+            body(first.0, first.1);
+        })
+        .expect("worker panicked inside parallel_for_rows");
+    }
+
+    /// Computes the chunk boundaries for a range of `len` iterations.
+    fn plan_chunks(&self, len: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+        let min_chunk = min_chunk.max(1);
+        let max_chunks = len.div_ceil(min_chunk);
+        let n = self.threads.min(max_chunks).max(1);
+        let base = len / n;
+        let extra = len % n;
+        let mut chunks = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            chunks.push((start, start + size));
+            start += size;
+        }
+        debug_assert_eq!(start, len);
+        chunks
+    }
+}
+
+impl Default for ThreadPool {
+    /// Equivalent to [`ThreadPool::single`].
+    fn default() -> Self {
+        ThreadPool::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_threads_rejected() {
+        assert_eq!(ThreadPool::new(0).unwrap_err(), PoolError::ZeroThreads);
+    }
+
+    #[test]
+    fn single_pool_runs_sequentially() {
+        let pool = ThreadPool::single();
+        let counter = AtomicUsize::new(0);
+        pool.parallel_for(10, 1, |s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for threads in 1..=8 {
+            let pool = ThreadPool::new(threads).unwrap();
+            for len in [0usize, 1, 7, 64, 1000] {
+                let chunks = pool.plan_chunks(len.max(1), 1);
+                let total: usize = chunks.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, len.max(1));
+                for w in chunks.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_chunk_limits_splitting() {
+        let pool = ThreadPool::new(8).unwrap();
+        let chunks = pool.plan_chunks(10, 10);
+        assert_eq!(chunks.len(), 1);
+        let chunks = pool.plan_chunks(10, 5);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let pool = ThreadPool::new(4).unwrap();
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(97, 1, |s, e| {
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn parallel_for_mut_writes_disjoint_chunks() {
+        let pool = ThreadPool::new(3).unwrap();
+        let mut data = vec![0usize; 50];
+        pool.parallel_for_mut(&mut data, 1, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = start + i;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn parallel_for_rows_bands_are_row_aligned() {
+        let pool = ThreadPool::new(3).unwrap();
+        let row_len = 7;
+        let rows = 10;
+        let mut data = vec![0usize; rows * row_len];
+        pool.parallel_for_rows(&mut data, row_len, 1, |row0, band| {
+            assert_eq!(band.len() % row_len, 0, "band must be whole rows");
+            for (i, slot) in band.iter_mut().enumerate() {
+                *slot = row0 * row_len + i;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn parallel_for_rows_rejects_ragged_data() {
+        let pool = ThreadPool::single();
+        let mut data = vec![0u8; 10];
+        pool.parallel_for_rows(&mut data, 3, 1, |_, _| {});
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let pool = ThreadPool::new(4).unwrap();
+        pool.parallel_for(0, 1, |_, _| panic!("must not run"));
+        let mut empty: Vec<u8> = Vec::new();
+        pool.parallel_for_mut(&mut empty, 1, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn closures_can_borrow_stack_data() {
+        let pool = ThreadPool::new(2).unwrap();
+        let input = vec![1.0f32; 64];
+        let total = AtomicUsize::new(0);
+        pool.parallel_for(input.len(), 8, |s, e| {
+            let partial: f32 = input[s..e].iter().sum();
+            total.fetch_add(partial as usize, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn max_hardware_has_at_least_one_thread() {
+        assert!(ThreadPool::max_hardware().num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThreadPool>();
+    }
+}

@@ -1,0 +1,75 @@
+//! Edge-deployment walkthrough: the paper's Figure 1 pipeline end to end.
+//!
+//! A model "trained elsewhere" arrives as ONNX bytes, is parsed, simplified,
+//! lowered with runtime implementation selection, and executed — with the
+//! inference-time comparison across framework personalities that motivates
+//! the whole system.
+//!
+//! ```sh
+//! cargo run --release --example onnx_deployment
+//! ```
+
+use std::time::Instant;
+
+use orpheus::{Engine, Personality};
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_onnx::export_model;
+use orpheus_tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stand-in for "a model exported from PyTorch/TensorFlow": the zoo's
+    // MobileNetV1, serialized to real ONNX wire bytes. 64x64 input keeps
+    // this example fast; pass 224 on the command line for the full size.
+    let hw: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(64);
+    let graph = build_model_with_input(ModelKind::MobileNetV1, hw, hw);
+    let onnx_bytes = export_model(&graph)?;
+    println!(
+        "ONNX model: {} bytes, {} nodes before simplification",
+        onnx_bytes.len(),
+        graph.nodes().len()
+    );
+
+    let image = Tensor::from_fn(&[1, 3, hw, hw], |i| ((i % 255) as f32 / 255.0) - 0.5);
+
+    // Deploy under each framework personality and compare (the paper's
+    // Figure 2 workflow, one model).
+    let mut reference: Option<Tensor> = None;
+    for personality in [
+        Personality::Orpheus,
+        Personality::TvmSim,
+        Personality::PytorchSim,
+    ] {
+        let engine = Engine::with_personality(personality, 1)?;
+        let network = engine.load_onnx(&onnx_bytes)?;
+        network.run(&image)?; // warm-up
+        let start = Instant::now();
+        let probs = network.run(&image)?;
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<12} {:>8.2} ms   ({} layers after simplification: {})",
+            personality.models_framework(),
+            millis,
+            network.num_layers(),
+            engine.simplifies()
+        );
+        // Different algorithms, same mathematics: verify agreement.
+        if let Some(want) = &reference {
+            let report = orpheus_tensor::allclose(&probs, want, 1e-2, 1e-4);
+            assert!(report.ok, "personalities disagree: {report:?}");
+        } else {
+            reference = Some(probs);
+        }
+    }
+
+    // TF-Lite is excluded from the paper's single-thread figure; reproduce
+    // its reason verbatim.
+    match Engine::with_personality(Personality::TfliteSim, 1) {
+        Err(e) => println!("TF-Lite     excluded: {e}"),
+        Ok(_) => println!("TF-Lite     runs (host maximum is 1 thread)"),
+    }
+    Ok(())
+}

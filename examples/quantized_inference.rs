@@ -1,0 +1,81 @@
+//! INT8 quantization extension: memory footprint vs accuracy on real layers.
+//!
+//! The paper's abstract lists memory footprint alongside inference time as
+//! an edge optimisation target. This example quantizes a stack of
+//! ResNet-style convolution layers to INT8 (symmetric i8 weights, affine u8
+//! activations) and reports the memory saving, the numerical error against
+//! the f32 reference, and the runtime — honestly: on CPUs without 8-bit
+//! dot-product instructions the win is memory, not speed.
+//!
+//! ```sh
+//! cargo run --release --example quantized_inference
+//! ```
+
+use std::time::Instant;
+
+use orpheus_ops::conv::{Conv2d, Conv2dParams, ConvAlgorithm};
+use orpheus_ops::quant::{QuantConv2d, QuantizedTensor};
+use orpheus_tensor::{max_abs_diff, Tensor};
+use orpheus_threads::ThreadPool;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pool = ThreadPool::single();
+    let layers = [
+        ("stem 3->32 @56", Conv2dParams::square(3, 32, 3).with_padding(1, 1), 56),
+        ("body 64->64 @28", Conv2dParams::square(64, 64, 3).with_padding(1, 1), 28),
+        ("pointwise 128->128 @14", Conv2dParams::square(128, 128, 1), 14),
+    ];
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "layer", "f32 weights", "i8 weights", "rel err", "f32 time", "i8 time"
+    );
+    for (label, params, hw) in layers {
+        let weight = Tensor::from_fn(&params.weight_dims(), |i| {
+            ((i * 37 % 255) as f32 / 255.0 - 0.5) * 0.4
+        });
+        let input = Tensor::from_fn(&[1, params.in_channels, hw, hw], |i| {
+            ((i * 13 % 97) as f32 / 97.0 - 0.3) * 3.0
+        });
+
+        let float_conv = Conv2d::new(params, weight.clone(), None, ConvAlgorithm::default())?;
+        let qconv = QuantConv2d::new(params, &weight, None)?;
+        let q_input = QuantizedTensor::quantize(&input);
+
+        let want = float_conv.run(&input, &pool)?;
+        let got = qconv.run(&q_input, &pool)?;
+        let rel = max_abs_diff(&got, &want) / want.norm().max(1e-9)
+            * (want.len() as f32).sqrt();
+
+        let time = |f: &dyn Fn()| {
+            f(); // warm-up
+            let start = Instant::now();
+            for _ in 0..5 {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e3 / 5.0
+        };
+        let t_f32 = time(&|| {
+            float_conv.run(&input, &pool).expect("float conv runs");
+        });
+        let t_i8 = time(&|| {
+            qconv.run(&q_input, &pool).expect("quant conv runs");
+        });
+
+        println!(
+            "{:<24} {:>10} B {:>10} B {:>9.4} {:>9.2} ms {:>9.2} ms",
+            label,
+            weight.len() * 4,
+            qconv.weight_memory_bytes(),
+            rel,
+            t_f32,
+            t_i8
+        );
+    }
+    println!(
+        "\nWeights and activations shrink 4x; relative error stays in the 8-bit\n\
+         noise floor. The integer kernel is scalar (no VNNI here), so f32 SIMD\n\
+         remains faster — quantize for memory, not speed, on this class of CPU."
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Quickstart: load a model, run inference, read the per-layer profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use orpheus::{Engine, Personality};
+use orpheus_models::{build_model, ModelKind};
+use orpheus_tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An engine is a configuration: personality + thread count. The
+    //    paper's headline experiments use one thread.
+    let engine = Engine::with_personality(Personality::Orpheus, 1)?;
+
+    // 2. Load a model. The zoo builds the paper's five networks with
+    //    synthetic weights; LeNet-5 keeps this example instant.
+    let network = engine.load(build_model(ModelKind::LeNet5))?;
+    println!("{}", network.describe());
+
+    // 3. Run inference on a synthetic 28x28 image.
+    let image = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i % 29) as f32 / 29.0) - 0.5);
+    let probs = network.run(&image)?;
+    let class = probs.argmax().expect("non-empty output");
+    println!(
+        "predicted class {class} with probability {:.3}",
+        probs.as_slice()[class]
+    );
+
+    // 4. Profile a run: per-layer time, implementation, and GFLOP/s.
+    let (_, profile) = network.run_profiled(&image)?;
+    println!("\n{}", profile.render());
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the Orpheus reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the library surface is in
+//! the member crates:
+//!
+//! * [`orpheus`] — the inference framework (engine, layers, personalities)
+//! * [`orpheus_models`] — the five-model zoo of the paper's Figure 2
+//! * [`orpheus_onnx`] — ONNX import/export
+//! * [`orpheus_ops`] / [`orpheus_gemm`] — the operator and GEMM algorithm
+//!   libraries
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use orpheus;
+pub use orpheus_backends;
+pub use orpheus_gemm;
+pub use orpheus_graph;
+pub use orpheus_models;
+pub use orpheus_onnx;
+pub use orpheus_ops;
+pub use orpheus_tensor;
+pub use orpheus_threads;

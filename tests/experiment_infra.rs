@@ -1,0 +1,71 @@
+//! Integration tests for the experiment infrastructure: the Figure 2 /
+//! Table I harness must produce structurally correct results. (Performance
+//! *relationships* are asserted in release-mode benches, not debug tests.)
+
+use orpheus::Personality;
+use orpheus_cli::{
+    run_depthwise_ablation, run_figure2, run_simplify_ablation, run_table1, Figure2Config,
+    InputScale,
+};
+use orpheus_models::ModelKind;
+
+#[test]
+fn figure2_has_all_cells_and_exclusions() {
+    let config = Figure2Config {
+        scale: InputScale::Quick,
+        repeats: 1,
+        threads: 1,
+        models: vec![ModelKind::Wrn40_2, ModelKind::ResNet18],
+        include_darknet: true,
+    };
+    let result = run_figure2(&config).unwrap();
+    // 2 models x 3 frameworks + darknet on ResNet-18 only.
+    assert_eq!(result.measurements.len(), 7);
+    assert!(result
+        .cell(ModelKind::ResNet18, Personality::DarknetSim)
+        .is_some());
+    assert!(result
+        .cell(ModelKind::Wrn40_2, Personality::DarknetSim)
+        .is_none());
+    // TF-Lite exclusion note present (on multi-core hosts) or parity note.
+    assert!(result
+        .exclusions
+        .iter()
+        .any(|(p, _)| *p == Personality::TfliteSim));
+    // All cells positive.
+    assert!(result.measurements.iter().all(|m| m.millis > 0.0));
+    // Render includes a winner column.
+    assert!(result.render().contains("winner"));
+}
+
+#[test]
+fn table1_reproduces_paper_ratings() {
+    let text = run_table1(false).unwrap();
+    // The paper's Table I: Orpheus rates 3 on all criteria.
+    let orpheus_col: Vec<&str> = text
+        .lines()
+        .skip(1)
+        .map(|l| l.split_whitespace().last().unwrap())
+        .collect();
+    assert_eq!(orpheus_col, vec!["3"; 5], "table text:\n{text}");
+}
+
+#[test]
+fn depthwise_ablation_reports_slowdown() {
+    let report = run_depthwise_ablation(64, 1).unwrap();
+    assert!(report.orpheus_depthwise_ms > 0.0);
+    assert!(report.pytorch_depthwise_ms > 0.0);
+    // Even in debug builds the generic grouped-GEMM path must not be faster
+    // than the dedicated kernel.
+    assert!(
+        report.slowdown > 1.0,
+        "generic depthwise path unexpectedly fast: {report:?}"
+    );
+}
+
+#[test]
+fn simplify_ablation_counts_layers() {
+    let report = run_simplify_ablation(ModelKind::Wrn40_2, 8, 1).unwrap();
+    // WRN-40-2: every conv+BN pair folds, every relu fuses.
+    assert!(report.layers_simplified < report.layers_plain / 2);
+}

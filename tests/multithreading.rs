@@ -1,0 +1,55 @@
+//! Thread-count invariance: outputs must not depend on the pool size, and
+//! the TF-Lite thread-policy reproduction must hold.
+
+use orpheus::{Engine, Personality};
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+#[test]
+fn outputs_identical_across_thread_counts() {
+    let graph = build_model_with_input(ModelKind::Wrn40_2, 8, 8);
+    let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 7 % 23) as f32 / 23.0) - 0.5);
+    let reference = Engine::new(1)
+        .unwrap()
+        .load(graph.clone())
+        .unwrap()
+        .run(&input)
+        .unwrap();
+    for threads in [2, 4] {
+        let out = Engine::new(threads)
+            .unwrap()
+            .load(graph.clone())
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let r = orpheus_tensor::allclose(&out, &reference, 1e-5, 1e-6);
+        assert!(r.ok, "threads={threads} changed the result: {r:?}");
+    }
+}
+
+#[test]
+fn tflite_personality_thread_gate() {
+    let max = ThreadPool::max_hardware().num_threads();
+    // Accepts exactly the hardware maximum...
+    assert!(Engine::with_personality(Personality::TfliteSim, max).is_ok());
+    // ...and rejects anything else (this is why the paper excludes TF-Lite
+    // from its single-thread Figure 2).
+    let not_max = if max == 1 { 2 } else { 1 };
+    let err = Engine::with_personality(Personality::TfliteSim, not_max).unwrap_err();
+    assert!(
+        err.to_string().contains("maximum number of threads"),
+        "unexpected message: {err}"
+    );
+}
+
+#[test]
+fn tflite_runs_at_max_threads() {
+    let max = ThreadPool::max_hardware().num_threads();
+    let engine = Engine::with_personality(Personality::TfliteSim, max).unwrap();
+    let network = engine
+        .load(build_model_with_input(ModelKind::TinyCnn, 8, 8))
+        .unwrap();
+    let out = network.run(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
+    assert_eq!(out.dims(), &[1, 4]);
+}
