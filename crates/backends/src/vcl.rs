@@ -189,8 +189,8 @@ impl VclConvolutionLayer {
                         for ic in 0..ci {
                             let plane = &src_img[ic * ih * iw..][..ih * iw];
                             for ky in 0..kh {
-                                let iy = (oy * s.info.stride_y + ky) as isize
-                                    - s.info.pad_y as isize;
+                                let iy =
+                                    (oy * s.info.stride_y + ky) as isize - s.info.pad_y as isize;
                                 if iy < 0 || iy >= ih as isize {
                                     continue;
                                 }

@@ -84,8 +84,9 @@ pub fn vnnl_conv_create(
     if !desc.valid() {
         return VnnlStatus::BadDescriptor;
     }
-    let expected = (desc.out_channels * (desc.in_channels / desc.groups) * desc.kernel_h
-        * desc.kernel_w) as usize;
+    let expected =
+        (desc.out_channels * (desc.in_channels / desc.groups) * desc.kernel_h * desc.kernel_w)
+            as usize;
     if weights.len() != expected {
         return VnnlStatus::BadBuffer;
     }
@@ -122,7 +123,11 @@ pub fn vnnl_conv_execute(
     let d = &prim.desc;
     let (oh, ow) = vnnl_conv_output_dims(d, h, w);
     let (n, h, w) = (n as usize, h as usize, w as usize);
-    let (ci, co, g) = (d.in_channels as usize, d.out_channels as usize, d.groups as usize);
+    let (ci, co, g) = (
+        d.in_channels as usize,
+        d.out_channels as usize,
+        d.groups as usize,
+    );
     let (oh, ow) = (oh as usize, ow as usize);
     if src.len() < n * ci * h * w || dst.len() < n * co * oh * ow {
         return VnnlStatus::BadBuffer;
@@ -201,7 +206,10 @@ mod tests {
     fn create_execute_destroy_lifecycle() {
         let desc = desc_1x1(1);
         let mut prim = None;
-        assert_eq!(vnnl_conv_create(&desc, &[2.0], &mut prim), VnnlStatus::Success);
+        assert_eq!(
+            vnnl_conv_create(&desc, &[2.0], &mut prim),
+            VnnlStatus::Success
+        );
         let mut prim = prim.unwrap();
         let src = [1.0, 2.0, 3.0, 4.0];
         let mut dst = [0.0; 4];

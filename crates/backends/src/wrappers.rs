@@ -144,7 +144,9 @@ impl VclConv {
         input_dims: [usize; 4],
     ) -> Result<Self, BackendError> {
         if params.groups != 1 {
-            return Err(BackendError::Unsupported("vcl wrapper is group-1 only".into()));
+            return Err(BackendError::Unsupported(
+                "vcl wrapper is group-1 only".into(),
+            ));
         }
         if params.dilation_h != 1 || params.dilation_w != 1 {
             return Err(BackendError::Unsupported("vcl has no dilation".into()));
@@ -234,7 +236,9 @@ mod tests {
 
     #[test]
     fn vnnl_matches_orpheus_reference() {
-        let params = Conv2dParams::square(3, 8, 3).with_padding(1, 1).with_stride(2, 2);
+        let params = Conv2dParams::square(3, 8, 3)
+            .with_padding(1, 1)
+            .with_stride(2, 2);
         let input = Tensor::from_vec(pseudo(3 * 9 * 9, 1), &[1, 3, 9, 9]).unwrap();
         let wd = params.weight_dims();
         let weight = Tensor::from_vec(pseudo(wd.iter().product(), 2), &wd).unwrap();
@@ -248,7 +252,9 @@ mod tests {
 
     #[test]
     fn vnnl_grouped_matches_reference() {
-        let params = Conv2dParams::square(4, 6, 3).with_groups(2).with_padding(1, 1);
+        let params = Conv2dParams::square(4, 6, 3)
+            .with_groups(2)
+            .with_padding(1, 1);
         let input = Tensor::from_vec(pseudo(4 * 36, 3), &[1, 4, 6, 6]).unwrap();
         let wd = params.weight_dims();
         let weight = Tensor::from_vec(pseudo(wd.iter().product(), 4), &wd).unwrap();

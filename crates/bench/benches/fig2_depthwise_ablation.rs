@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use orpheus_bench::pseudo;
-use orpheus_gemm::GemmKernel;
 use orpheus_cli::MOBILENET_DEPTHWISE;
+use orpheus_gemm::GemmKernel;
 use orpheus_ops::conv::{Conv2d, Conv2dParams, ConvAlgorithm};
 use orpheus_tensor::Tensor;
 use orpheus_threads::ThreadPool;
@@ -26,20 +26,30 @@ fn depthwise(c: &mut Criterion) {
     group.sample_size(10);
     // Bench a representative subset (first, middle, last) to keep runtime
     // sane; the CLI's `depthwise` subcommand covers all 13.
-    for &(channels, stride, divisor) in
-        [MOBILENET_DEPTHWISE[0], MOBILENET_DEPTHWISE[6], MOBILENET_DEPTHWISE[12]].iter()
+    for &(channels, stride, divisor) in [
+        MOBILENET_DEPTHWISE[0],
+        MOBILENET_DEPTHWISE[6],
+        MOBILENET_DEPTHWISE[12],
+    ]
+    .iter()
     {
         let hw = (input_hw / divisor).max(3);
         let params = Conv2dParams::depthwise(channels, 3)
             .with_stride(stride, stride)
             .with_padding(1, 1);
-        let weight =
-            Tensor::from_vec(pseudo(params.weight_dims().iter().product(), 1), &params.weight_dims())
-                .unwrap();
-        let input = Tensor::from_vec(pseudo(channels * hw * hw, 2), &[1, channels, hw, hw]).unwrap();
+        let weight = Tensor::from_vec(
+            pseudo(params.weight_dims().iter().product(), 1),
+            &params.weight_dims(),
+        )
+        .unwrap();
+        let input =
+            Tensor::from_vec(pseudo(channels * hw * hw, 2), &[1, channels, hw, hw]).unwrap();
         for (label, algo) in [
             ("dedicated", ConvAlgorithm::DepthwiseDirect),
-            ("generic-gemm", ConvAlgorithm::Im2colGemmEager(GemmKernel::Blocked)),
+            (
+                "generic-gemm",
+                ConvAlgorithm::Im2colGemmEager(GemmKernel::Blocked),
+            ),
         ] {
             let conv = Conv2d::new(params, weight.clone(), None, algo).unwrap();
             group.bench_function(format!("dw{channels}x{hw}s{stride}/{label}"), |b| {

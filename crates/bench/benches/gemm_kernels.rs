@@ -13,9 +13,9 @@ use std::hint::black_box;
 fn gemm_kernels(c: &mut Criterion) {
     // (m, n, k) from real conv lowerings: co x (oh*ow) x (ci*kh*kw).
     let shapes = [
-        ("wrn_block_32", 32, 1024, 144),      // 32ch 3x3 on 32x32
-        ("resnet_block_64", 64, 784, 576),    // 64ch 3x3 on 28x28
-        ("classifier_1000", 1000, 1, 2048),   // ResNet-50 FC
+        ("wrn_block_32", 32, 1024, 144),    // 32ch 3x3 on 32x32
+        ("resnet_block_64", 64, 784, 576),  // 64ch 3x3 on 28x28
+        ("classifier_1000", 1000, 1, 2048), // ResNet-50 FC
     ];
     for (name, m, n, k) in shapes {
         let a = pseudo(m * k, 1);

@@ -15,7 +15,11 @@ use std::hint::black_box;
 fn graph_simplify(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_simplify");
     group.sample_size(10);
-    for model in [ModelKind::Wrn40_2, ModelKind::ResNet18, ModelKind::MobileNetV1] {
+    for model in [
+        ModelKind::Wrn40_2,
+        ModelKind::ResNet18,
+        ModelKind::MobileNetV1,
+    ] {
         let hw = bench_scale().input_hw(model);
         let graph = build_model_with_input(model, hw, hw);
         let input = Tensor::full(&[1, 3, hw, hw], 0.5);

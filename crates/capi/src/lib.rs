@@ -278,10 +278,7 @@ pub unsafe extern "C" fn orpheus_network_run(
 /// `buf` must point to `capacity` writable bytes (or be null to query the
 /// length).
 #[no_mangle]
-pub unsafe extern "C" fn orpheus_last_error_message(
-    buf: *mut c_char,
-    capacity: usize,
-) -> usize {
+pub unsafe extern "C" fn orpheus_last_error_message(buf: *mut c_char, capacity: usize) -> usize {
     LAST_ERROR.with(|slot| {
         let msg = slot.borrow();
         let bytes = msg.as_bytes();
@@ -451,6 +448,8 @@ mod tests {
     }
 
     fn orpheus_threads_max() -> usize {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }

@@ -210,7 +210,11 @@ impl Default for Figure2Config {
 /// are captured in the result, not raised).
 pub fn run_figure2(config: &Figure2Config) -> Result<Figure2Result, EngineError> {
     let mut result = Figure2Result::default();
-    let frameworks = [Personality::Orpheus, Personality::TvmSim, Personality::PytorchSim];
+    let frameworks = [
+        Personality::Orpheus,
+        Personality::TvmSim,
+        Personality::PytorchSim,
+    ];
     for &model in &config.models {
         let hw = config.scale.input_hw(model);
         for personality in frameworks {
@@ -224,9 +228,7 @@ pub fn run_figure2(config: &Figure2Config) -> Result<Figure2Result, EngineError>
         }
         // DarkNet: paper prose reports only ResNets ("only the ResNet
         // models were available"), in seconds.
-        if config.include_darknet
-            && matches!(model, ModelKind::ResNet18 | ModelKind::ResNet50)
-        {
+        if config.include_darknet && matches!(model, ModelKind::ResNet18 | ModelKind::ResNet50) {
             result.measurements.push(measure_model(
                 Personality::DarknetSim,
                 model,
@@ -295,9 +297,7 @@ fn measured_perf_rating(personality: Personality) -> Result<u8, EngineError> {
     // TF-Lite can't run the single-thread protocol; the paper still rates it
     // from its own (multi-thread) experience. We measure at max threads.
     let threads = match personality.thread_policy() {
-        orpheus::ThreadPolicy::MaxOnly => {
-            orpheus_threads::ThreadPool::max_hardware().num_threads()
-        }
+        orpheus::ThreadPolicy::MaxOnly => orpheus_threads::ThreadPool::max_hardware().num_threads(),
         _ => 1,
     };
     let models = [ModelKind::Wrn40_2, ModelKind::ResNet18];
@@ -368,7 +368,10 @@ pub const MOBILENET_DEPTHWISE: [(usize, usize, usize); 13] = [
 /// # Errors
 ///
 /// Propagates operator construction failures.
-pub fn run_depthwise_ablation(input_hw: usize, threads: usize) -> Result<DepthwiseReport, EngineError> {
+pub fn run_depthwise_ablation(
+    input_hw: usize,
+    threads: usize,
+) -> Result<DepthwiseReport, EngineError> {
     use orpheus_ops::conv::{Conv2d, Conv2dParams, ConvAlgorithm};
     let pool = orpheus_threads::ThreadPool::new(threads)
         .map_err(|e| EngineError::Config(e.to_string()))?;
@@ -389,7 +392,7 @@ pub fn run_depthwise_ablation(input_hw: usize, threads: usize) -> Result<Depthwi
         {
             let conv = Conv2d::new(params, weight.clone(), None, algo)?;
             conv.run(&input, &pool)?; // warm-up
-            // Median of three passes per layer keeps the report stable.
+                                      // Median of three passes per layer keeps the report stable.
             let mut samples = [0.0f64; 3];
             for s in &mut samples {
                 let start = Instant::now();
@@ -585,7 +588,10 @@ pub fn run_policy_comparison(
             SelectionPolicy::Fixed(ConvAlgorithm::SpatialPack),
         ),
         ("heuristic", SelectionPolicy::Heuristic),
-        ("auto-tune (2 trials)", SelectionPolicy::AutoTune { trials: 2 }),
+        (
+            "auto-tune (2 trials)",
+            SelectionPolicy::AutoTune { trials: 2 },
+        ),
     ];
     let graph = build_model_with_input(model, input_hw, input_hw);
     let dims = [1, model.input_dims()[1], input_hw, input_hw];
@@ -651,8 +657,7 @@ mod tests {
 
     #[test]
     fn layer_profile_lists_layers() {
-        let text =
-            run_layer_profile(Personality::Orpheus, ModelKind::TinyCnn, 8, 1).unwrap();
+        let text = run_layer_profile(Personality::Orpheus, ModelKind::TinyCnn, 8, 1).unwrap();
         assert!(text.contains("Conv"));
         assert!(text.contains("by op:"));
     }
@@ -770,6 +775,274 @@ mod validation_tests {
         for row in &rows {
             assert!(row.ok, "backend failed validation: {row:?}");
         }
+    }
+}
+
+/// Multi-run latency statistics in microseconds, summarized from a
+/// log-linear [`Histogram`](orpheus_observe::Histogram). Quantiles carry
+/// the histogram's bounded bucket error (~6%); min/max/mean are exact.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub runs: u64,
+    /// Fastest run, µs.
+    pub min_us: u64,
+    /// Slowest run, µs.
+    pub max_us: u64,
+    /// Arithmetic mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes a latency histogram.
+    pub fn from_histogram(h: &orpheus_observe::Histogram) -> LatencyStats {
+        LatencyStats {
+            runs: h.count(),
+            min_us: h.min(),
+            max_us: h.max(),
+            mean_us: h.mean(),
+            p50_us: h.percentile(0.50),
+            p90_us: h.percentile(0.90),
+            p99_us: h.percentile(0.99),
+        }
+    }
+
+    /// Renders the latency summary table (milliseconds).
+    pub fn render(&self) -> String {
+        let ms = |us: u64| us as f64 / 1e3;
+        let mut out = format!("runs: {}\n", self.runs);
+        for (label, value) in [
+            ("min", ms(self.min_us)),
+            ("p50", ms(self.p50_us)),
+            ("p90", ms(self.p90_us)),
+            ("p99", ms(self.p99_us)),
+            ("max", ms(self.max_us)),
+            ("mean", self.mean_us / 1e3),
+        ] {
+            out.push_str(&format!("  {label:<5} {value:>9.3} ms\n"));
+        }
+        out
+    }
+}
+
+/// Runs `f` with the global span recorder and metrics registry enabled,
+/// returning its result together with the drained trace and a metrics
+/// snapshot. The recorder is global: callers must not overlap recordings.
+pub fn with_recording<T>(
+    f: impl FnOnce() -> T,
+) -> (T, orpheus_observe::Trace, orpheus_observe::MetricsSnapshot) {
+    orpheus_observe::reset();
+    orpheus_observe::enable();
+    let value = f();
+    orpheus_observe::disable();
+    let trace = orpheus_observe::take_trace();
+    let metrics = orpheus_observe::metrics_snapshot();
+    orpheus_observe::reset_metrics();
+    (value, trace, metrics)
+}
+
+/// Everything the `profile` subcommand reports: the raw span trace, the
+/// metrics snapshot, a per-layer [`orpheus::Profile`] rebuilt from the first
+/// timed run's spans, and multi-run latency statistics.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// All spans recorded across load and the timed runs.
+    pub trace: orpheus_observe::Trace,
+    /// Counters, gauges, and histograms collected during the recording.
+    pub metrics: orpheus_observe::MetricsSnapshot,
+    /// Per-layer timing table for the first timed run.
+    pub profile: orpheus::Profile,
+    /// Latency distribution over the timed runs.
+    pub latency: LatencyStats,
+}
+
+/// EXP-OBS: end-to-end traced deployment. Builds the model, round-trips it
+/// through ONNX (so the trace covers the import stage the paper's deployment
+/// path starts from), then records `runs` timed inferences. One warm-up run
+/// is executed with recording suspended, so neither the span trace nor the
+/// `run.latency_us` histogram sees cold-start effects.
+///
+/// # Errors
+///
+/// Propagates engine and ONNX round-trip failures.
+pub fn run_traced_profile(
+    personality: Personality,
+    model: ModelKind,
+    input_hw: usize,
+    threads: usize,
+    runs: usize,
+) -> Result<TraceReport, EngineError> {
+    let engine = Engine::with_personality(personality, threads)?;
+    let graph = build_model_with_input(model, input_hw, input_hw);
+    let bytes = orpheus_onnx::export_model(&graph)
+        .map_err(|e| EngineError::Config(format!("onnx round-trip failed: {e}")))?;
+    let dims = [1, model.input_dims()[1], input_hw, input_hw];
+    let input = Tensor::full(&dims, 0.5);
+    let runs = runs.max(1);
+    let (outcome, trace, metrics) = with_recording(|| -> Result<(), EngineError> {
+        let network = engine.load_onnx(&bytes)?;
+        // Warm-up is invisible to the recorder: only steady-state runs land
+        // in the trace and the latency histogram.
+        orpheus_observe::disable();
+        let warmup = network.run(&input);
+        orpheus_observe::enable();
+        warmup?;
+        for _ in 0..runs {
+            network.run(&input)?;
+        }
+        Ok(())
+    });
+    outcome?;
+    let latency = metrics
+        .histograms
+        .get("run.latency_us")
+        .map(LatencyStats::from_histogram)
+        .unwrap_or(LatencyStats {
+            runs: 0,
+            min_us: 0,
+            max_us: 0,
+            mean_us: 0.0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+        });
+    // The per-layer table describes ONE pass over the network, so rebuild it
+    // from the first timed run's subtree only.
+    let profile = match trace.by_category("engine").find(|s| s.name == "run") {
+        Some(run) => {
+            let spans = trace
+                .spans
+                .iter()
+                .filter(|s| s.id == run.id || s.parent == Some(run.id))
+                .cloned()
+                .collect();
+            orpheus::Profile::from_trace(&orpheus_observe::Trace { spans })
+        }
+        None => orpheus::Profile::from_trace(&trace),
+    };
+    Ok(TraceReport {
+        trace,
+        metrics,
+        profile,
+        latency,
+    })
+}
+
+/// EXP-REP: the `repeat` subcommand — `runs` timed inferences after
+/// `warmup` discarded warm-up runs, summarized as percentile latency. Uses
+/// a local [`Histogram`](orpheus_observe::Histogram) rather than the global
+/// recorder, so it composes with any concurrent recording.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn run_repeat(
+    personality: Personality,
+    model: ModelKind,
+    input_hw: usize,
+    threads: usize,
+    runs: usize,
+    warmup: usize,
+) -> Result<LatencyStats, EngineError> {
+    let engine = Engine::with_personality(personality, threads)?;
+    let graph = build_model_with_input(model, input_hw, input_hw);
+    let network = engine.load(graph)?;
+    let dims = [1, model.input_dims()[1], input_hw, input_hw];
+    let input = Tensor::full(&dims, 0.5);
+    for _ in 0..warmup {
+        network.run(&input)?;
+    }
+    let mut histogram = orpheus_observe::Histogram::default();
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        network.run(&input)?;
+        histogram.record(start.elapsed().as_micros() as u64);
+    }
+    Ok(LatencyStats::from_histogram(&histogram))
+}
+
+#[cfg(test)]
+mod observe_tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The recorder is global; the two `with_recording` tests must not
+    /// overlap (other tests never enable recording, so they are safe).
+    fn lock() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn traced_profile_captures_full_pipeline() {
+        let _serial = lock();
+        let report = run_traced_profile(Personality::Orpheus, ModelKind::TinyCnn, 8, 1, 3).unwrap();
+        let t = &report.trace;
+        // The acceptance span tree: import, simplification passes, lowering,
+        // per-layer selection, per-layer execution.
+        assert!(t.by_category("engine").any(|s| s.name == "import"));
+        assert!(t.by_category("engine").any(|s| s.name == "lower"));
+        assert!(t.by_category("pass").any(|s| s.name == "simplify"));
+        assert!(t.by_category("pass").count() > 1, "per-pass spans missing");
+        assert!(t.by_category("selection").count() > 0);
+        let run = t
+            .by_category("engine")
+            .find(|s| s.name == "run")
+            .expect("run span");
+        let layers = t
+            .children_of(run.id)
+            .filter(|s| s.category == "layer")
+            .count();
+        assert!(layers > 0, "layer spans must nest under the run span");
+        // Metrics: pass rewrite counters, per-algorithm selection counts,
+        // and the multi-run latency histogram.
+        assert!(report
+            .metrics
+            .counters
+            .keys()
+            .any(|k| k.starts_with("graph.pass.")));
+        assert!(report
+            .metrics
+            .counters
+            .keys()
+            .any(|k| k.starts_with("selection.algo.")));
+        let h = &report.metrics.histograms["run.latency_us"];
+        assert!(h.count() >= 3);
+        assert!(report.latency.p50_us > 0);
+        assert!(report.latency.p99_us >= report.latency.p50_us);
+        // The per-layer table covers exactly one pass over the network.
+        assert_eq!(report.profile.timings.len(), layers);
+        let json = report.metrics.to_json();
+        assert!(json.contains("run.latency_us"));
+        assert!(!report.trace.to_chrome_trace().is_empty());
+        assert!(report.trace.to_json_lines().lines().count() == t.len());
+    }
+
+    #[test]
+    fn traced_profile_leaves_recording_disabled() {
+        let _serial = lock();
+        let _ = run_traced_profile(Personality::Orpheus, ModelKind::TinyCnn, 8, 1, 1).unwrap();
+        assert!(!orpheus_observe::enabled());
+    }
+
+    #[test]
+    fn repeat_reports_monotonic_percentiles() {
+        let stats = run_repeat(Personality::Orpheus, ModelKind::TinyCnn, 8, 1, 5, 1).unwrap();
+        assert_eq!(stats.runs, 5);
+        assert!(stats.min_us > 0);
+        assert!(stats.p50_us >= stats.min_us);
+        assert!(stats.p90_us >= stats.p50_us);
+        assert!(stats.p99_us >= stats.p90_us);
+        assert!(stats.max_us >= stats.p99_us);
+        let text = stats.render();
+        assert!(text.contains("p99"));
+        assert!(text.contains("runs: 5"));
     }
 }
 

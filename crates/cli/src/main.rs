@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b]
-//!                     [--include-darknet] [--csv]
+//!                     [--include-darknet] [--csv] [--trace-out F] [--metrics-out F]
 //! orpheus-cli table1 [--measured]
+//! orpheus-cli profile --model M [--personality P] [--hw N] [--runs N]
+//!                     [--trace-out F] [--events-out F] [--metrics-out F]
+//! orpheus-cli repeat --model M [--personality P] [--hw N] [--runs N] [--warmup N]
 //! orpheus-cli layers --model M [--personality P] [--hw N]
 //! orpheus-cli depthwise [--hw N]
 //! orpheus-cli simplify --model M [--hw N] [--repeats N]
@@ -18,7 +21,8 @@ use std::process::ExitCode;
 use orpheus::Personality;
 use orpheus_cli::{
     profile_model, run_depthwise_ablation, run_figure2, run_layer_profile, run_layer_sweep,
-    run_simplify_ablation, run_table1, Figure2Config, InputScale,
+    run_repeat, run_simplify_ablation, run_table1, run_traced_profile, with_recording,
+    Figure2Config, InputScale,
 };
 use orpheus_graph::passes::PassManager;
 use orpheus_models::{build_model, ModelKind};
@@ -37,8 +41,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b] [--include-darknet] [--csv]
+  orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b] [--include-darknet] [--csv] [--trace-out F] [--metrics-out F]
   orpheus-cli table1 [--measured]
+  orpheus-cli profile --model M [--personality P] [--hw N] [--threads N] [--runs N] [--trace-out F] [--events-out F] [--metrics-out F]
+  orpheus-cli repeat --model M [--personality P] [--hw N] [--threads N] [--runs N] [--warmup N]
   orpheus-cli layers --model M [--personality P] [--hw N]
   orpheus-cli depthwise [--hw N]
   orpheus-cli simplify --model M [--hw N] [--repeats N]
@@ -103,7 +109,15 @@ fn run(argv: &[String]) -> Result<(), String> {
                 models,
                 include_darknet: args.flag("--include-darknet"),
             };
-            let result = run_figure2(&config).map_err(|e| e.to_string())?;
+            let wants_recording =
+                args.value("--trace-out").is_some() || args.value("--metrics-out").is_some();
+            let result = if wants_recording {
+                let (result, trace, metrics) = with_recording(|| run_figure2(&config));
+                write_observability(&args, &trace, &metrics)?;
+                result.map_err(|e| e.to_string())?
+            } else {
+                run_figure2(&config).map_err(|e| e.to_string())?
+            };
             if args.flag("--csv") {
                 print!("{}", result.to_csv());
             } else {
@@ -121,23 +135,62 @@ fn run(argv: &[String]) -> Result<(), String> {
             print!("{text}");
             Ok(())
         }
-        "layers" => {
+        "profile" => {
             let model = required_model(&args)?;
-            let personality = match args.value("--personality") {
-                None => Personality::Orpheus,
-                Some(p) => {
-                    Personality::from_name(p).ok_or_else(|| format!("unknown personality {p:?}"))?
-                }
-            };
+            let personality = personality_or_default(&args)?;
             let hw = args.usize_or("--hw", InputScale::Quick.input_hw(model))?;
             let threads = args.usize_or("--threads", 1)?;
-            let text = run_layer_profile(personality, model, hw, threads)
+            let runs = args.usize_or("--runs", 5)?;
+            let report = run_traced_profile(personality, model, hw, threads, runs)
                 .map_err(|e| e.to_string())?;
+            println!(
+                "traced profile: {model} under {personality} at {hw}x{hw}, {runs} timed run(s), 1 warm-up discarded"
+            );
+            print!("{}", report.profile.render());
+            println!("\nend-to-end latency:");
+            print!("{}", report.latency.render());
+            let selections: Vec<_> = report
+                .metrics
+                .counters
+                .iter()
+                .filter_map(|(k, v)| k.strip_prefix("selection.algo.").map(|algo| (algo, *v)))
+                .collect();
+            if !selections.is_empty() {
+                println!("\nalgorithm selections:");
+                for (algo, count) in selections {
+                    println!("  {algo:<28} x{count}");
+                }
+            }
+            write_observability(&args, &report.trace, &report.metrics)?;
+            Ok(())
+        }
+        "repeat" => {
+            let model = required_model(&args)?;
+            let personality = personality_or_default(&args)?;
+            let hw = args.usize_or("--hw", InputScale::Quick.input_hw(model))?;
+            let threads = args.usize_or("--threads", 1)?;
+            let runs = args.usize_or("--runs", 30)?;
+            let warmup = args.usize_or("--warmup", 3)?;
+            let stats = run_repeat(personality, model, hw, threads, runs, warmup)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "repeat: {model} under {personality} at {hw}x{hw}, {threads} thread(s), {warmup} warm-up run(s) discarded"
+            );
+            print!("{}", stats.render());
+            Ok(())
+        }
+        "layers" => {
+            let model = required_model(&args)?;
+            let personality = personality_or_default(&args)?;
+            let hw = args.usize_or("--hw", InputScale::Quick.input_hw(model))?;
+            let threads = args.usize_or("--threads", 1)?;
+            let text =
+                run_layer_profile(personality, model, hw, threads).map_err(|e| e.to_string())?;
             println!("per-layer profile: {model} under {personality} at {hw}x{hw}");
             print!("{text}");
             if let Some(path) = args.value("--trace") {
-                let profile = profile_model(personality, model, hw, threads)
-                    .map_err(|e| e.to_string())?;
+                let profile =
+                    profile_model(personality, model, hw, threads).map_err(|e| e.to_string())?;
                 std::fs::write(path, profile.to_chrome_trace())
                     .map_err(|e| format!("writing {path:?}: {e}"))?;
                 println!("chrome trace written to {path} (open in chrome://tracing)");
@@ -215,12 +268,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         "policy" => {
             let model = required_model(&args)?;
             let hw = args.usize_or("--hw", InputScale::Full.input_hw(model))?;
-            let rows = orpheus_cli::run_policy_comparison(
-                model,
-                hw,
-                args.usize_or("--repeats", 3)?,
-            )
-            .map_err(|e| e.to_string())?;
+            let rows =
+                orpheus_cli::run_policy_comparison(model, hw, args.usize_or("--repeats", 3)?)
+                    .map_err(|e| e.to_string())?;
             println!("selection-policy comparison: {model} at {hw}x{hw}, 1 thread");
             for (label, millis) in rows {
                 println!("  {label:<28} {millis:>9.2} ms");
@@ -230,8 +280,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "validate" => {
             let hw_default;
             let graph = if let Some(path) = args.value("--onnx") {
-                let bytes =
-                    std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+                let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
                 let g = orpheus_onnx::import_model(&bytes).map_err(|e| e.to_string())?;
                 hw_default = g.inputs().first().map(|i| i.dims[2]).unwrap_or(32);
                 g
@@ -247,12 +296,14 @@ fn run(argv: &[String]) -> Result<(), String> {
                 .map(|i| i.dims.clone())
                 .ok_or_else(|| "model has no input".to_string())?;
             let _ = hw_default;
-            let input = orpheus_tensor::Tensor::from_fn(&dims, |i| {
-                ((i * 31 % 97) as f32 / 97.0) - 0.5
-            });
-            let rows = orpheus_cli::run_backend_validation(&graph, &input)
-                .map_err(|e| e.to_string())?;
-            println!("backend validation vs orpheus reference ({} configs):", rows.len());
+            let input =
+                orpheus_tensor::Tensor::from_fn(&dims, |i| ((i * 31 % 97) as f32 / 97.0) - 0.5);
+            let rows =
+                orpheus_cli::run_backend_validation(&graph, &input).map_err(|e| e.to_string())?;
+            println!(
+                "backend validation vs orpheus reference ({} configs):",
+                rows.len()
+            );
             let mut failures = 0;
             for row in &rows {
                 println!(
@@ -278,7 +329,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             let graph = build_model(model);
             let bytes = orpheus_onnx::export_model(&graph).map_err(|e| e.to_string())?;
             std::fs::write(out, &bytes).map_err(|e| format!("writing {out:?}: {e}"))?;
-            println!("wrote {} ({} bytes, {} nodes)", out, bytes.len(), graph.nodes().len());
+            println!(
+                "wrote {} ({} bytes, {} nodes)",
+                out,
+                bytes.len(),
+                graph.nodes().len()
+            );
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -290,4 +346,35 @@ fn required_model(args: &Args) -> Result<ModelKind, String> {
         .value("--model")
         .ok_or_else(|| "--model is required".to_string())?;
     ModelKind::from_name(name).ok_or_else(|| format!("unknown model {name:?}"))
+}
+
+fn personality_or_default(args: &Args) -> Result<Personality, String> {
+    match args.value("--personality") {
+        None => Ok(Personality::Orpheus),
+        Some(p) => Personality::from_name(p).ok_or_else(|| format!("unknown personality {p:?}")),
+    }
+}
+
+/// Writes whichever of `--trace-out` (Chrome trace), `--events-out` (JSON
+/// lines), and `--metrics-out` (metrics summary JSON) the user asked for.
+fn write_observability(
+    args: &Args,
+    trace: &orpheus_observe::Trace,
+    metrics: &orpheus_observe::MetricsSnapshot,
+) -> Result<(), String> {
+    if let Some(path) = args.value("--trace-out") {
+        std::fs::write(path, trace.to_chrome_trace())
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("trace written to {path} (load in https://ui.perfetto.dev or chrome://tracing)");
+    }
+    if let Some(path) = args.value("--events-out") {
+        std::fs::write(path, trace.to_json_lines())
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("span events written to {path} (one JSON object per line)");
+    }
+    if let Some(path) = args.value("--metrics-out") {
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
 }

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use orpheus_graph::{passes::PassManager, Graph};
+use orpheus_observe as observe;
 use orpheus_onnx::import_model;
 use orpheus_tensor::Tensor;
 use orpheus_threads::ThreadPool;
@@ -53,8 +54,7 @@ impl Engine {
     /// only accepts the maximum hardware thread count, reproducing the
     /// paper's reason for excluding TF-Lite from its single-thread Figure 2.
     pub fn with_personality(personality: Personality, threads: usize) -> Result<Self, EngineError> {
-        let pool = ThreadPool::new(threads)
-            .map_err(|e| EngineError::Config(e.to_string()))?;
+        let pool = ThreadPool::new(threads).map_err(|e| EngineError::Config(e.to_string()))?;
         if personality.thread_policy() == ThreadPolicy::MaxOnly {
             let max = ThreadPool::max_hardware().num_threads();
             if threads != max {
@@ -125,10 +125,18 @@ impl Engine {
     ///
     /// Propagates graph validation and lowering failures.
     pub fn load(&self, mut graph: Graph) -> Result<Network, EngineError> {
+        let mut load_span = observe::span("load", "engine");
+        load_span.attr("model", graph.name.as_str());
+        load_span.attr("personality", self.personality.to_string());
         if self.simplify {
             PassManager::standard().run_to_fixpoint(&mut graph)?;
         }
-        let plan = lower(self, &graph)?;
+        let plan = {
+            let mut lower_span = observe::span("lower", "engine");
+            let plan = lower(self, &graph)?;
+            lower_span.attr("layers", plan.steps.len());
+            plan
+        };
         Ok(Network {
             name: graph.name.clone(),
             plan,
@@ -142,7 +150,13 @@ impl Engine {
     ///
     /// Propagates ONNX parsing errors and [`Engine::load`] failures.
     pub fn load_onnx(&self, bytes: &[u8]) -> Result<Network, EngineError> {
-        let graph = import_model(bytes)?;
+        let graph = {
+            let mut import_span = observe::span("import", "engine");
+            import_span.attr("bytes", bytes.len());
+            let graph = import_model(bytes)?;
+            import_span.attr("model", graph.name.as_str());
+            graph
+        };
         self.load(graph)
     }
 }
@@ -222,6 +236,8 @@ impl Network {
                 self.plan.input_dims
             )));
         }
+        let mut run_span = observe::span("run", "engine");
+        run_span.attr("model", self.name.as_str());
         let start = Instant::now();
         let mut slots: Vec<Option<Tensor>> = (0..self.plan.num_slots).map(|_| None).collect();
         let mut tracker = MemoryTracker::new();
@@ -246,8 +262,13 @@ impl Network {
                     })
                 })
                 .collect::<Result<_, _>>()?;
+            let mut layer_span = observe::span(step.layer.name(), "layer");
+            layer_span.attr("op", step.layer.op_name());
+            layer_span.attr("implementation", step.layer.implementation());
+            layer_span.attr("flops", step.layer.flops());
             let layer_start = Instant::now();
             let output = step.layer.run(&inputs, &self.pool)?;
+            drop(layer_span);
             if profiled {
                 timings.push(LayerTiming {
                     name: step.layer.name().to_string(),
@@ -273,9 +294,12 @@ impl Network {
         let output = slots[self.plan.output_slot]
             .take()
             .ok_or_else(|| EngineError::Execution("output slot empty after run".into()))?;
+        let total = start.elapsed();
+        observe::histogram_record("run.latency_us", total.as_micros() as u64);
+        drop(run_span);
         let profile = profiled.then(|| Profile {
             timings,
-            total: start.elapsed(),
+            total,
             memory: tracker.finish(),
         });
         Ok((output, profile))
@@ -340,7 +364,12 @@ mod tests {
             .unwrap()
             .run(&input)
             .unwrap();
-        let simplified = Engine::new(1).unwrap().load(graph).unwrap().run(&input).unwrap();
+        let simplified = Engine::new(1)
+            .unwrap()
+            .load(graph)
+            .unwrap()
+            .run(&input)
+            .unwrap();
         let r = orpheus_tensor::allclose(&simplified, &plain, 1e-3, 1e-4);
         assert!(r.ok, "simplification changed results: {r:?}");
     }
@@ -408,7 +437,12 @@ mod tests {
     fn vendor_backends_agree_with_native() {
         let graph = build_model(ModelKind::TinyCnn);
         let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 7) % 9) as f32 * 0.1);
-        let native = Engine::new(1).unwrap().load(graph.clone()).unwrap().run(&input).unwrap();
+        let native = Engine::new(1)
+            .unwrap()
+            .load(graph.clone())
+            .unwrap()
+            .run(&input)
+            .unwrap();
         for vendor in [VendorBackend::Vnnl, VendorBackend::Vcl] {
             let net = Engine::new(1)
                 .unwrap()

@@ -562,7 +562,11 @@ impl Layer for ReduceMeanLayer {
         } else {
             self.axes.clone()
         };
-        Ok(orpheus_ops::reduce::reduce_mean(inputs[0], &axes, self.keepdims)?)
+        Ok(orpheus_ops::reduce::reduce_mean(
+            inputs[0],
+            &axes,
+            self.keepdims,
+        )?)
     }
 }
 
@@ -618,7 +622,9 @@ mod tests {
             (4, 4),
         )
         .unwrap();
-        let out = layer.run(&[&Tensor::ones(&[1, 1, 4, 4])], &pool1()).unwrap();
+        let out = layer
+            .run(&[&Tensor::ones(&[1, 1, 4, 4])], &pool1())
+            .unwrap();
         assert_eq!(out.dims(), &[1, 2, 4, 4]);
         assert_eq!(layer.op_name(), "Conv");
         assert!(layer.flops() > 0);
@@ -649,9 +655,13 @@ mod tests {
         let t = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
         let flat = FlattenLayer::new("f").run(&[&t], &pool1()).unwrap();
         assert_eq!(flat.dims(), &[1, 8]);
-        let rs = ReshapeLayer::new("r", vec![2, 4]).run(&[&t], &pool1()).unwrap();
+        let rs = ReshapeLayer::new("r", vec![2, 4])
+            .run(&[&t], &pool1())
+            .unwrap();
         assert_eq!(rs.dims(), &[2, 4]);
-        assert!(ReshapeLayer::new("r", vec![3, 3]).run(&[&t], &pool1()).is_err());
+        assert!(ReshapeLayer::new("r", vec![3, 3])
+            .run(&[&t], &pool1())
+            .is_err());
     }
 
     #[test]

@@ -190,9 +190,11 @@ mod tests {
     fn vendor_layers_match_native() {
         let params = Conv2dParams::square(3, 8, 3).with_padding(1, 1);
         let dims = [1usize, 3, 8, 8];
-        let weight =
-            Tensor::from_vec(pseudo(params.weight_dims().iter().product(), 1), &params.weight_dims())
-                .unwrap();
+        let weight = Tensor::from_vec(
+            pseudo(params.weight_dims().iter().product(), 1),
+            &params.weight_dims(),
+        )
+        .unwrap();
         let input = Tensor::from_vec(pseudo(dims.iter().product(), 2), &dims).unwrap();
         let pool = ThreadPool::single();
 
@@ -225,9 +227,11 @@ mod tests {
         use orpheus_ops::activation::Activation;
         let params = Conv2dParams::square(2, 4, 3).with_padding(1, 1);
         let dims = [1usize, 2, 6, 6];
-        let weight =
-            Tensor::from_vec(pseudo(params.weight_dims().iter().product(), 3), &params.weight_dims())
-                .unwrap();
+        let weight = Tensor::from_vec(
+            pseudo(params.weight_dims().iter().product(), 3),
+            &params.weight_dims(),
+        )
+        .unwrap();
         let bias = Tensor::from_vec(vec![0.5, -0.5, 1.0, 0.0], &[4]).unwrap();
         let input = Tensor::from_vec(pseudo(dims.iter().product(), 4), &dims).unwrap();
         let pool = ThreadPool::single();

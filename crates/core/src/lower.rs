@@ -111,9 +111,9 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
     }
 
     let output_name = &graph.outputs()[0];
-    let output_slot = *slot_of.get(output_name.as_str()).ok_or_else(|| {
-        EngineError::Config(format!("output {output_name:?} was never produced"))
-    })?;
+    let output_slot = *slot_of
+        .get(output_name.as_str())
+        .ok_or_else(|| EngineError::Config(format!("output {output_name:?} was never produced")))?;
 
     // Liveness: last step index that reads each slot.
     let mut last_use = vec![usize::MAX; next_slot];
@@ -149,10 +149,12 @@ fn initializer<'a>(graph: &'a Graph, node: &Node, idx: usize) -> Result<&'a Tens
         node: node.name.clone(),
         reason: format!("missing input #{idx}"),
     })?;
-    graph.initializer(name).ok_or_else(|| EngineError::Lowering {
-        node: node.name.clone(),
-        reason: format!("input {name:?} must be a constant initializer"),
-    })
+    graph
+        .initializer(name)
+        .ok_or_else(|| EngineError::Lowering {
+            node: node.name.clone(),
+            reason: format!("input {name:?} must be a constant initializer"),
+        })
 }
 
 /// Optional initializer (e.g. conv bias).
@@ -230,7 +232,12 @@ fn build_layer(
                     let act = fused_activation(node);
                     return Ok(match vendor {
                         VendorBackend::Vnnl => Box::new(VnnlConvLayer::new(
-                            &node.name, params, &weight, bias, act, (h, w),
+                            &node.name,
+                            params,
+                            &weight,
+                            bias,
+                            act,
+                            (h, w),
                         )?),
                         VendorBackend::Vcl => Box::new(VclConvLayer::new(
                             &node.name, params, &weight, bias, act, dims4,
@@ -238,7 +245,17 @@ fn build_layer(
                     });
                 }
             }
-            let algorithm = choose_conv_algorithm(engine, &params, h, w);
+            let algorithm = {
+                let mut select_span = orpheus_observe::span(node.name.as_str(), "selection");
+                select_span.attr("h", h);
+                select_span.attr("w", w);
+                let algorithm = choose_conv_algorithm(engine, &params, h, w);
+                if orpheus_observe::enabled() {
+                    select_span.attr("algo", algorithm.to_string());
+                    orpheus_observe::counter_add(&format!("selection.algo.{algorithm}"), 1);
+                }
+                algorithm
+            };
             Box::new(ConvLayer::new(
                 &node.name,
                 params,
@@ -269,7 +286,9 @@ fn build_layer(
             let mean = initializer(graph, node, 3)?;
             let var = initializer(graph, node, 4)?;
             let eps = node.attrs.float_or("epsilon", 1e-5);
-            Box::new(BatchNormLayer::new(&node.name, scale, shift, mean, var, eps)?)
+            Box::new(BatchNormLayer::new(
+                &node.name, scale, shift, mean, var, eps,
+            )?)
         }
         OpKind::Relu => Box::new(ActivationLayer::new(&node.name, Activation::Relu)),
         OpKind::LeakyRelu => Box::new(ActivationLayer::new(
@@ -291,7 +310,10 @@ fn build_layer(
             let kernel = node.attrs.ints_or("kernel_shape", &[1, 1]);
             let strides = node.attrs.ints_or("strides", &kernel);
             let pads = node.attrs.ints_or("pads", &[0, 0, 0, 0]);
-            let (pt, pl) = (pads.first().copied().unwrap_or(0), pads.get(1).copied().unwrap_or(0));
+            let (pt, pl) = (
+                pads.first().copied().unwrap_or(0),
+                pads.get(1).copied().unwrap_or(0),
+            );
             let mode = if node.op == OpKind::MaxPool {
                 PoolMode::Max
             } else {
@@ -333,7 +355,10 @@ fn build_layer(
         OpKind::Pad => {
             let pads = node.attrs.ints_or("pads", &[]);
             if !pads.len().is_multiple_of(2) {
-                return Err(err(format!("Pad expects 2*rank pad values, got {}", pads.len())));
+                return Err(err(format!(
+                    "Pad expects 2*rank pad values, got {}",
+                    pads.len()
+                )));
             }
             let rank = pads.len() / 2;
             Box::new(PadLayer::new(

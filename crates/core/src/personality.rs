@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn tflite_is_max_threads_only() {
-        assert_eq!(Personality::TfliteSim.thread_policy(), ThreadPolicy::MaxOnly);
+        assert_eq!(
+            Personality::TfliteSim.thread_policy(),
+            ThreadPolicy::MaxOnly
+        );
         assert_eq!(Personality::Orpheus.thread_policy(), ThreadPolicy::Any);
     }
 

@@ -8,6 +8,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use orpheus_observe::{json::escape, Trace};
+
 use crate::memory::MemoryStats;
 
 /// Timing record for one layer invocation.
@@ -51,6 +53,43 @@ pub struct Profile {
 }
 
 impl Profile {
+    /// Rebuilds a per-layer profile from a recorded trace (see
+    /// `orpheus-observe`): every `"layer"`-category span becomes one
+    /// [`LayerTiming`], the enclosing `"run"` span (when present) provides
+    /// the end-to-end total. Memory statistics are not recoverable from a
+    /// trace and are left at their defaults.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        let mut timings: Vec<(f64, LayerTiming)> = trace
+            .by_category("layer")
+            .map(|span| {
+                (
+                    span.start_us,
+                    LayerTiming {
+                        name: span.name.clone(),
+                        op: Trace::attr_str(span, "op").unwrap_or("?").to_string(),
+                        implementation: Trace::attr_str(span, "implementation")
+                            .unwrap_or("?")
+                            .to_string(),
+                        duration: Duration::from_secs_f64(span.dur_us / 1e6),
+                        flops: Trace::attr_int(span, "flops").unwrap_or(0).max(0) as u64,
+                    },
+                )
+            })
+            .collect();
+        timings.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+        let total = trace
+            .by_category("engine")
+            .filter(|s| s.name == "run")
+            .map(|s| Duration::from_secs_f64(s.dur_us / 1e6))
+            .max()
+            .unwrap_or_else(|| timings.iter().map(|(_, t)| t.duration).sum());
+        Profile {
+            timings: timings.into_iter().map(|(_, t)| t).collect(),
+            total,
+            memory: MemoryStats::default(),
+        }
+    }
+
     /// Total time grouped by operator family, descending.
     pub fn by_op(&self) -> Vec<(String, Duration)> {
         let mut map: BTreeMap<&str, Duration> = BTreeMap::new();
@@ -59,14 +98,14 @@ impl Profile {
         }
         let mut rows: Vec<(String, Duration)> =
             map.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
 
     /// The `n` slowest layers, descending.
     pub fn hottest(&self, n: usize) -> Vec<&LayerTiming> {
         let mut refs: Vec<&LayerTiming> = self.timings.iter().collect();
-        refs.sort_by(|a, b| b.duration.cmp(&a.duration));
+        refs.sort_by_key(|t| std::cmp::Reverse(t.duration));
         refs.truncate(n);
         refs
     }
@@ -80,9 +119,6 @@ impl Profile {
     /// `chrome://tracing` or in Perfetto). Layers appear as back-to-back
     /// complete events on one track.
     pub fn to_chrome_trace(&self) -> String {
-        fn escape(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
-        }
         let mut out = String::from("[");
         let mut ts_us = 0.0f64;
         for (i, t) in self.timings.iter().enumerate() {
@@ -139,11 +175,16 @@ impl Profile {
     }
 }
 
+/// Truncates `s` to at most `n` display characters, appending `…` when cut.
+///
+/// Cuts on a char boundary: slicing by byte offset panics on multi-byte
+/// UTF-8 (layer names imported from ONNX are arbitrary user strings).
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n {
+    if s.chars().count() <= n {
         s.to_string()
     } else {
-        format!("{}…", &s[..n - 1])
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
     }
 }
 
@@ -214,8 +255,102 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("conv \\\"0\\\"")); // quotes escaped
         assert!(json.contains("\"gflops\":null")); // unknown flops
-        // Events are back-to-back: second ts == first dur.
+                                                   // Events are back-to-back: second ts == first dur.
         assert!(json.contains("\"ts\":100.000"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_control_characters() {
+        let p = Profile {
+            timings: vec![timing("line\nbreak\u{01}", "Conv", 10, 0)],
+            total: Duration::from_micros(10),
+            memory: MemoryStats::default(),
+        };
+        let json = p.to_chrome_trace();
+        assert!(json.contains("line\\nbreak\\u0001"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn truncate_cuts_multibyte_names_on_char_boundaries() {
+        // Regression: `&s[..n-1]` panicked when byte n-1 fell inside a
+        // multi-byte character (e.g. ONNX layer names with non-ASCII).
+        let name = "convolução_σ_第一層_0123456789";
+        let cut = truncate(name, 10);
+        assert_eq!(cut.chars().count(), 10);
+        assert!(cut.ends_with('…'));
+        assert!(cut.starts_with("convoluçã"));
+        // Short names (by chars, not bytes) pass through untouched.
+        assert_eq!(truncate("résumé", 10), "résumé");
+    }
+
+    #[test]
+    fn render_survives_non_ascii_layer_names() {
+        let p = Profile {
+            timings: vec![timing(
+                "畳み込み層_非常に長い名前_これは切り捨てられるはずです_その一",
+                "Conv",
+                10,
+                0,
+            )],
+            total: Duration::from_micros(10),
+            memory: MemoryStats::default(),
+        };
+        let text = p.render();
+        assert!(text.contains('…'));
+    }
+
+    #[test]
+    fn from_trace_rebuilds_layer_table() {
+        use orpheus_observe::{AttrValue, SpanRecord};
+        let trace = Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 3,
+                    parent: Some(1),
+                    name: "conv_1".into(),
+                    category: "layer",
+                    start_us: 60.0,
+                    dur_us: 40.0,
+                    tid: 0,
+                    attrs: vec![
+                        ("op", AttrValue::Str("Conv".into())),
+                        ("implementation", AttrValue::Str("spatial-pack".into())),
+                        ("flops", AttrValue::Int(2_000_000)),
+                    ],
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "conv_0".into(),
+                    category: "layer",
+                    start_us: 10.0,
+                    dur_us: 50.0,
+                    tid: 0,
+                    attrs: vec![("op", AttrValue::Str("Conv".into()))],
+                },
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "run".into(),
+                    category: "engine",
+                    start_us: 0.0,
+                    dur_us: 120.0,
+                    tid: 0,
+                    attrs: vec![],
+                },
+            ],
+        };
+        let p = Profile::from_trace(&trace);
+        // Layers come back in execution (start-time) order.
+        assert_eq!(p.timings.len(), 2);
+        assert_eq!(p.timings[0].name, "conv_0");
+        assert_eq!(p.timings[1].name, "conv_1");
+        assert_eq!(p.timings[1].implementation, "spatial-pack");
+        assert_eq!(p.timings[1].flops, 2_000_000);
+        assert_eq!(p.timings[0].implementation, "?");
+        assert_eq!(p.total, Duration::from_micros(120));
+        assert_eq!(p.total_flops(), 2_000_000);
     }
 
     #[test]

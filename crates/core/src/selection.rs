@@ -21,8 +21,7 @@ use orpheus_tensor::Tensor;
 use orpheus_threads::ThreadPool;
 
 /// How the engine chooses a convolution implementation per layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectionPolicy {
     /// Always use this algorithm (depthwise layers fall back to
     /// `DepthwiseDirect` when the algorithm cannot run them).
@@ -37,11 +36,16 @@ pub enum SelectionPolicy {
     },
 }
 
-
 impl SelectionPolicy {
     /// Selects an algorithm for a convolution of `params` on an input of
     /// spatial size `(h, w)`.
-    pub fn select(&self, params: &Conv2dParams, h: usize, w: usize, pool: &ThreadPool) -> ConvAlgorithm {
+    pub fn select(
+        &self,
+        params: &Conv2dParams,
+        h: usize,
+        w: usize,
+        pool: &ThreadPool,
+    ) -> ConvAlgorithm {
         let chosen = match *self {
             SelectionPolicy::Fixed(algo) => algo,
             SelectionPolicy::Heuristic => heuristic(params, h, w),
@@ -119,6 +123,13 @@ fn auto_tune(
     let weight = Tensor::full(&wd, 0.01);
     let mut best: Option<(ConvAlgorithm, f64)> = None;
     for algo in candidates(params) {
+        let mut candidate_span = if orpheus_observe::enabled() {
+            let mut s = orpheus_observe::span(format!("autotune:{algo}"), "selection");
+            s.attr("trials", trials);
+            s
+        } else {
+            orpheus_observe::span("", "selection")
+        };
         let Ok(conv) = Conv2d::new(*params, weight.clone(), None, algo) else {
             continue;
         };
@@ -131,6 +142,7 @@ fn auto_tune(
             let _ = conv.run(&input, pool);
         }
         let elapsed = start.elapsed().as_secs_f64() / trials as f64;
+        candidate_span.attr("mean_us", elapsed * 1e6);
         if best.map(|(_, t)| elapsed < t).unwrap_or(true) {
             best = Some((algo, elapsed));
         }
@@ -146,8 +158,12 @@ mod tests {
     #[test]
     fn fixed_policy_respects_choice() {
         let p = Conv2dParams::square(16, 16, 3).with_padding(1, 1);
-        let algo = SelectionPolicy::Fixed(ConvAlgorithm::SpatialPack)
-            .select(&p, 32, 32, &ThreadPool::single());
+        let algo = SelectionPolicy::Fixed(ConvAlgorithm::SpatialPack).select(
+            &p,
+            32,
+            32,
+            &ThreadPool::single(),
+        );
         assert_eq!(algo, ConvAlgorithm::SpatialPack);
     }
 
@@ -155,8 +171,12 @@ mod tests {
     fn fixed_policy_falls_back_for_depthwise() {
         // Winograd cannot run depthwise; policy must substitute.
         let p = Conv2dParams::depthwise(16, 3).with_padding(1, 1);
-        let algo = SelectionPolicy::Fixed(ConvAlgorithm::Winograd)
-            .select(&p, 32, 32, &ThreadPool::single());
+        let algo = SelectionPolicy::Fixed(ConvAlgorithm::Winograd).select(
+            &p,
+            32,
+            32,
+            &ThreadPool::single(),
+        );
         assert_eq!(algo, ConvAlgorithm::DepthwiseDirect);
     }
 
@@ -173,7 +193,9 @@ mod tests {
     #[test]
     fn heuristic_prefers_spatial_pack_for_shallow_reductions() {
         // An RGB stem (k = 3*7*7 = 147) starves the GEMM micro-kernel.
-        let stem = Conv2dParams::square(3, 64, 7).with_stride(2, 2).with_padding(3, 3);
+        let stem = Conv2dParams::square(3, 64, 7)
+            .with_stride(2, 2)
+            .with_padding(3, 3);
         assert_eq!(
             SelectionPolicy::Heuristic.select(&stem, 224, 224, &ThreadPool::single()),
             ConvAlgorithm::SpatialPack
@@ -229,8 +251,7 @@ mod tests {
     #[test]
     fn auto_tune_returns_supported_algorithm() {
         let p = Conv2dParams::square(4, 8, 3).with_padding(1, 1);
-        let algo =
-            SelectionPolicy::AutoTune { trials: 1 }.select(&p, 8, 8, &ThreadPool::single());
+        let algo = SelectionPolicy::AutoTune { trials: 1 }.select(&p, 8, 8, &ThreadPool::single());
         assert!(algo.supports(&p));
     }
 }

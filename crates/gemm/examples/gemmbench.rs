@@ -1,17 +1,25 @@
 use orpheus_gemm::{gemm, GemmKernel};
 use std::time::Instant;
 fn main() {
-    for &(m,n,k) in &[(64usize,784usize,576usize),(256,784,2304),(128,3136,576),(1000,1,2048),(32,1024,144)] {
-        let a: Vec<f32> = (0..m*k).map(|i| (i%13) as f32*0.1).collect();
-        let b: Vec<f32> = (0..k*n).map(|i| (i%7) as f32*0.1).collect();
-        let mut c = vec![0.0f32; m*n];
+    for &(m, n, k) in &[
+        (64usize, 784usize, 576usize),
+        (256, 784, 2304),
+        (128, 3136, 576),
+        (1000, 1, 2048),
+        (32, 1024, 144),
+    ] {
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.1).collect();
+        let mut c = vec![0.0f32; m * n];
         print!("({m},{n},{k}): ");
         for kern in GemmKernel::ALL {
-            gemm(kern,m,n,k,&a,k,&b,n,&mut c,n,0.0);
-            let reps = (2e9 / (2.0*m as f64*n as f64*k as f64)).max(1.0) as usize;
+            gemm(kern, m, n, k, &a, k, &b, n, &mut c, n, 0.0);
+            let reps = (2e9 / (2.0 * m as f64 * n as f64 * k as f64)).max(1.0) as usize;
             let t = Instant::now();
-            for _ in 0..reps { gemm(kern,m,n,k,&a,k,&b,n,&mut c,n,0.0); }
-            let gf = 2.0*(m*n*k*reps) as f64 / t.elapsed().as_secs_f64() / 1e9;
+            for _ in 0..reps {
+                gemm(kern, m, n, k, &a, k, &b, n, &mut c, n, 0.0);
+            }
+            let gf = 2.0 * (m * n * k * reps) as f64 / t.elapsed().as_secs_f64() / 1e9;
             print!("{kern}: {gf:.2} GF/s  ");
         }
         println!();

@@ -165,7 +165,19 @@ mod tests {
         let a = seq(m * k);
         let b = seq(k * n);
         let mut reference = vec![0.0; m * n];
-        gemm(GemmKernel::Naive, m, n, k, &a, k, &b, n, &mut reference, n, 0.0);
+        gemm(
+            GemmKernel::Naive,
+            m,
+            n,
+            k,
+            &a,
+            k,
+            &b,
+            n,
+            &mut reference,
+            n,
+            0.0,
+        );
         for kernel in [GemmKernel::Blocked, GemmKernel::Packed] {
             let mut c = vec![0.0; m * n];
             gemm(kernel, m, n, k, &a, k, &b, n, &mut c, n, 0.0);
@@ -181,7 +193,19 @@ mod tests {
         let a = seq(m * k);
         let b = seq(k * n);
         let mut serial = vec![1.0; m * n];
-        gemm(GemmKernel::Packed, m, n, k, &a, k, &b, n, &mut serial, n, 1.0);
+        gemm(
+            GemmKernel::Packed,
+            m,
+            n,
+            k,
+            &a,
+            k,
+            &b,
+            n,
+            &mut serial,
+            n,
+            1.0,
+        );
         for threads in [1, 2, 3, 8] {
             let pool = ThreadPool::new(threads).unwrap();
             let mut par = vec![1.0; m * n];
@@ -212,7 +236,19 @@ mod tests {
         let b = seq(3 * 4);
         let mut serial = vec![0.0; 8];
         let mut par = vec![0.0; 8];
-        gemm(GemmKernel::Blocked, 2, 4, 3, &a, 3, &b, 4, &mut serial, 4, 0.0);
+        gemm(
+            GemmKernel::Blocked,
+            2,
+            4,
+            3,
+            &a,
+            3,
+            &b,
+            4,
+            &mut serial,
+            4,
+            0.0,
+        );
         gemm_parallel(
             GemmKernel::Blocked,
             &pool,
@@ -234,7 +270,19 @@ mod tests {
     #[should_panic(expected = "A buffer too small")]
     fn undersized_a_panics() {
         let mut c = [0.0; 4];
-        gemm(GemmKernel::Naive, 2, 2, 2, &[0.0; 3], 2, &[0.0; 4], 2, &mut c, 2, 0.0);
+        gemm(
+            GemmKernel::Naive,
+            2,
+            2,
+            2,
+            &[0.0; 3],
+            2,
+            &[0.0; 4],
+            2,
+            &mut c,
+            2,
+            0.0,
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub(crate) fn conv_out_dim(
 /// Panics if either buffer is too small, or if any stride/dilation is zero.
 pub fn im2col(params: &Im2colParams, input: &[f32], output: &mut [f32]) {
     assert!(params.stride_h > 0 && params.stride_w > 0, "zero stride");
-    assert!(params.dilation_h > 0 && params.dilation_w > 0, "zero dilation");
+    assert!(
+        params.dilation_h > 0 && params.dilation_w > 0,
+        "zero dilation"
+    );
     assert!(
         input.len() >= params.channels * params.height * params.width,
         "input buffer too small"
@@ -104,7 +107,8 @@ pub fn im2col(params: &Im2colParams, input: &[f32], output: &mut [f32]) {
 
     let mut row = 0;
     for c in 0..params.channels {
-        let plane = &input[c * params.height * params.width..(c + 1) * params.height * params.width];
+        let plane =
+            &input[c * params.height * params.width..(c + 1) * params.height * params.width];
         for ky in 0..params.kernel_h {
             for kx in 0..params.kernel_w {
                 let out_row = &mut output[row * cols..(row + 1) * cols];
@@ -116,7 +120,8 @@ pub fn im2col(params: &Im2colParams, input: &[f32], output: &mut [f32]) {
                         dst.fill(0.0);
                         continue;
                     }
-                    let src_row = &plane[iy as usize * params.width..(iy as usize + 1) * params.width];
+                    let src_row =
+                        &plane[iy as usize * params.width..(iy as usize + 1) * params.width];
                     // x taps: ix = ox*stride + kx*dilation - pad
                     let x_off = kx as isize * params.dilation_w as isize - params.pad_w as isize;
                     if params.stride_w == 1 {

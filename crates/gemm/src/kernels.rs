@@ -8,6 +8,7 @@
 /// Deliberately kept as the unoptimized baseline: the inner loop strides
 /// through `B` column-wise, defeating the cache. This is the GEMM tier the
 /// `pytorch-sim` framework personality runs on.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub(crate) fn gemm_naive(
     m: usize,
     n: usize,
@@ -37,6 +38,7 @@ pub(crate) fn gemm_naive(
 /// Tiles the `m` and `k` loops so the active slices of `A` and `B` stay in
 /// cache, and iterates `j` innermost so the compiler vectorizes the row
 /// update `c[i, j..] += a[i, p] * b[p, j..]`.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub(crate) fn gemm_blocked(
     m: usize,
     n: usize,

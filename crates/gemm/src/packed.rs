@@ -6,6 +6,8 @@
 //! block of `C` held entirely in local accumulators, which the compiler keeps
 //! in vector registers.
 
+use std::time::{Duration, Instant};
+
 use crate::kernels::scale_c;
 
 /// Rows of the register tile.
@@ -22,6 +24,7 @@ const KC: usize = 256;
 pub(crate) const SMALL_N: usize = 16;
 
 /// Packed-panel GEMM: `C = A·B + beta·C`.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub(crate) fn gemm_packed(
     m: usize,
     n: usize,
@@ -37,7 +40,10 @@ pub(crate) fn gemm_packed(
     if m == 0 || n == 0 {
         return;
     }
-    debug_assert!(n >= SMALL_N || cfg!(test), "driver routes n < SMALL_N to gemm_small_n");
+    debug_assert!(
+        n >= SMALL_N || cfg!(test),
+        "driver routes n < SMALL_N to gemm_small_n"
+    );
     scale_c(m, n, c, ldc, beta);
     if k == 0 {
         return;
@@ -46,12 +52,28 @@ pub(crate) fn gemm_packed(
     let mut a_pack = vec![0.0f32; MC * KC];
     let mut b_pack = vec![0.0f32; KC * n.div_ceil(NR) * NR];
 
+    // Pack vs. compute attribution, recorded only while tracing is on so the
+    // production path keeps its single atomic-load cost.
+    let tracing = orpheus_observe::enabled();
+    let mut gemm_span = orpheus_observe::span("gemm_packed", "gemm");
+    let mut pack_time = Duration::ZERO;
+    let mut compute_time = Duration::ZERO;
+
     for p0 in (0..k).step_by(KC) {
         let kc = KC.min(k - p0);
+        let t = tracing.then(Instant::now);
         pack_b(&mut b_pack, b, ldb, p0, kc, n);
+        if let Some(t) = t {
+            pack_time += t.elapsed();
+        }
         for i0 in (0..m).step_by(MC) {
             let mc = MC.min(m - i0);
+            let t = tracing.then(Instant::now);
             pack_a(&mut a_pack, a, lda, i0, mc, p0, kc);
+            if let Some(t) = t {
+                pack_time += t.elapsed();
+            }
+            let t = tracing.then(Instant::now);
             // Multiply the packed panels: iterate register tiles of C.
             for jr in (0..n).step_by(NR) {
                 let nr = NR.min(n - jr);
@@ -66,7 +88,22 @@ pub(crate) fn gemm_packed(
                     }
                 }
             }
+            if let Some(t) = t {
+                compute_time += t.elapsed();
+            }
         }
+    }
+
+    if tracing {
+        let pack_us = pack_time.as_secs_f64() * 1e6;
+        let compute_us = compute_time.as_secs_f64() * 1e6;
+        gemm_span.attr("m", m);
+        gemm_span.attr("n", n);
+        gemm_span.attr("k", k);
+        gemm_span.attr("pack_us", pack_us);
+        gemm_span.attr("compute_us", compute_us);
+        orpheus_observe::counter_add("gemm.pack_us", pack_us as u64);
+        orpheus_observe::counter_add("gemm.compute_us", compute_us as u64);
     }
 }
 
@@ -77,6 +114,7 @@ pub(crate) fn gemm_packed(
 /// Register tiles are useless here; instead `B` is transposed once into
 /// `n` contiguous rows of length `k`, and each output is a dot product that
 /// vectorizes along `k`.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub(crate) fn gemm_small_n(
     m: usize,
     n: usize,
@@ -228,7 +266,9 @@ mod tests {
     use crate::kernels::gemm_naive;
 
     fn seq(n: usize, scale: f32) -> Vec<f32> {
-        (0..n).map(|i| ((i * 37 % 19) as f32 - 9.0) * scale).collect()
+        (0..n)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * scale)
+            .collect()
     }
 
     fn compare(m: usize, n: usize, k: usize) {
@@ -302,15 +342,27 @@ mod small_n_tests {
 
     #[test]
     fn small_n_matches_naive() {
-        for &(m, n, k) in &[(1usize, 1usize, 1usize), (5, 1, 37), (17, 4, 100), (3, 15, 9)] {
-            let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 11) as f32) * 0.3 - 1.0).collect();
-            let b: Vec<f32> = (0..k * n).map(|i| ((i * 17 % 7) as f32) * 0.2 - 0.5).collect();
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (5, 1, 37),
+            (17, 4, 100),
+            (3, 15, 9),
+        ] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 31 % 11) as f32) * 0.3 - 1.0)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 17 % 7) as f32) * 0.2 - 0.5)
+                .collect();
             let mut want = vec![0.5; m * n];
             let mut got = want.clone();
             gemm_naive(m, n, k, &a, k, &b, n, &mut want, n, 1.0);
             gemm_small_n(m, n, k, &a, k, &b, n, &mut got, n, 1.0);
             for (x, y) in want.iter().zip(&got) {
-                assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0), "({m},{n},{k}): {x} vs {y}");
+                assert!(
+                    (x - y).abs() <= 1e-4 * x.abs().max(1.0),
+                    "({m},{n},{k}): {x} vs {y}"
+                );
             }
         }
     }

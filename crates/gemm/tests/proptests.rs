@@ -1,5 +1,9 @@
 //! Property tests: every GEMM tier must agree with the naive reference, and
 //! im2col+GEMM identities must hold.
+//!
+//! These sample thousands of GEMM shapes, so they are opt-in:
+//! `cargo test -p orpheus-gemm --features proptest`.
+#![cfg(feature = "proptest")]
 
 use orpheus_gemm::{gemm, gemm_parallel, im2col, GemmKernel, Im2colParams};
 use orpheus_threads::ThreadPool;
@@ -9,7 +13,9 @@ fn matrix(len: usize, seed: u64) -> Vec<f32> {
     // Cheap deterministic pseudo-random values in [-1, 1).
     (0..len)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
             ((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0
         })
         .collect()

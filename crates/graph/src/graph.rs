@@ -346,7 +346,9 @@ impl Graph {
                 }
             }
         }
-        let mut queue: VecDeque<usize> = (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.nodes.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(i) = queue.pop_front() {
             order.push(i);

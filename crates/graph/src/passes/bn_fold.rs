@@ -24,10 +24,7 @@ impl Pass for BatchNormFold {
 
     fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
         let mut changed = false;
-        loop {
-            let Some((conv_idx, bn_idx)) = find_foldable_pair(graph) else {
-                break;
-            };
+        while let Some((conv_idx, bn_idx)) = find_foldable_pair(graph) {
             fold_pair(graph, conv_idx, bn_idx)?;
             changed = true;
         }
@@ -83,10 +80,18 @@ fn fold_pair(graph: &mut Graph, conv_idx: usize, bn_idx: usize) -> Result<(), Gr
     };
 
     let eps = bn.attrs.float_or("epsilon", 1e-5);
-    let scale = graph.initializer(&bn.inputs[1]).ok_or_else(|| perr("missing scale"))?;
-    let shift = graph.initializer(&bn.inputs[2]).ok_or_else(|| perr("missing shift"))?;
-    let mean = graph.initializer(&bn.inputs[3]).ok_or_else(|| perr("missing mean"))?;
-    let var = graph.initializer(&bn.inputs[4]).ok_or_else(|| perr("missing var"))?;
+    let scale = graph
+        .initializer(&bn.inputs[1])
+        .ok_or_else(|| perr("missing scale"))?;
+    let shift = graph
+        .initializer(&bn.inputs[2])
+        .ok_or_else(|| perr("missing shift"))?;
+    let mean = graph
+        .initializer(&bn.inputs[3])
+        .ok_or_else(|| perr("missing mean"))?;
+    let var = graph
+        .initializer(&bn.inputs[4])
+        .ok_or_else(|| perr("missing var"))?;
     let weight = graph
         .initializer(&conv.inputs[1])
         .ok_or_else(|| perr("missing weight"))?;

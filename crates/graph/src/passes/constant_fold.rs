@@ -42,12 +42,11 @@ impl Pass for ConstantFold {
                     let axis = axis.min(dims.len());
                     let lead: usize = dims[..axis].iter().product();
                     let trail: usize = dims[axis..].iter().product();
-                    src.reshaped(&[lead.max(1), trail.max(1)]).map_err(|e| {
-                        GraphError::Pass {
+                    src.reshaped(&[lead.max(1), trail.max(1)])
+                        .map_err(|e| GraphError::Pass {
                             pass: "constant-fold".into(),
                             reason: e.to_string(),
-                        }
-                    })?
+                        })?
                 }
                 OpKind::Reshape => {
                     let Some(AttrValue::Ints(spec)) = node.attrs.get("shape") else {
@@ -117,9 +116,8 @@ mod tests {
         let mut g = Graph::new("t");
         g.add_initializer("w", Tensor::ones(&[2, 6]));
         g.add_node(
-            Node::new("rs", OpKind::Reshape, &["w"], &["w2"]).with_attrs(
-                Attributes::new().with("shape", AttrValue::Ints(vec![4, -1])),
-            ),
+            Node::new("rs", OpKind::Reshape, &["w"], &["w2"])
+                .with_attrs(Attributes::new().with("shape", AttrValue::Ints(vec![4, -1]))),
         );
         g.add_output("w2");
         assert!(ConstantFold.run(&mut g).unwrap());

@@ -24,10 +24,7 @@ impl Pass for FuseActivation {
 
     fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
         let mut changed = false;
-        loop {
-            let Some((prod_idx, act_idx)) = find_fusable_pair(graph) else {
-                break;
-            };
+        while let Some((prod_idx, act_idx)) = find_fusable_pair(graph) {
             let act = graph.nodes()[act_idx].clone();
             let act_out = act.outputs[0].clone();
             let prod_out = graph.nodes()[prod_idx].outputs[0].clone();
@@ -69,12 +66,13 @@ impl Pass for FuseActivation {
             graph.nodes_mut().remove(act_idx);
             // The producer now emits the activation's output name. By the
             // single-consumer precondition nothing else read the old name.
-            let prod_idx = if act_idx < prod_idx { prod_idx - 1 } else { prod_idx };
+            let prod_idx = if act_idx < prod_idx {
+                prod_idx - 1
+            } else {
+                prod_idx
+            };
             graph.nodes_mut()[prod_idx].outputs[0] = act_out;
-            debug_assert!(!graph
-                .nodes()
-                .iter()
-                .any(|n| n.inputs.contains(&prod_out)));
+            debug_assert!(!graph.nodes().iter().any(|n| n.inputs.contains(&prod_out)));
             changed = true;
         }
         Ok(changed)
@@ -93,7 +91,9 @@ fn find_fusable_pair(graph: &Graph) -> Option<(usize, usize)> {
         ) {
             continue;
         }
-        let Some(input) = act.inputs.first() else { continue };
+        let Some(input) = act.inputs.first() else {
+            continue;
+        };
         let Some(&prod_idx) = producers.get(input.as_str()) else {
             continue;
         };
@@ -187,7 +187,8 @@ mod tests {
         let mut g = conv_relu();
         // conv -> relu -> relu: second relu must not fuse into the
         // already-fused conv.
-        g.nodes_mut().push(Node::new("relu2", OpKind::Relu, &["y"], &["z"]));
+        g.nodes_mut()
+            .push(Node::new("relu2", OpKind::Relu, &["y"], &["z"]));
         g.set_outputs(vec!["z".into()]);
         assert!(FuseActivation.run(&mut g).unwrap());
         // conv fused with the first relu; the second remains because the

@@ -47,7 +47,9 @@ pub struct PassManager {
 impl std::fmt::Debug for PassManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
-        f.debug_struct("PassManager").field("passes", &names).finish()
+        f.debug_struct("PassManager")
+            .field("passes", &names)
+            .finish()
     }
 }
 
@@ -85,15 +87,30 @@ impl PassManager {
     ///
     /// Returns the total number of pass applications that changed the graph.
     ///
+    /// When tracing is enabled (see `orpheus-observe`), each pass execution
+    /// is recorded as a span under a "simplify" parent, and every application
+    /// that changed the graph bumps a `graph.pass.<name>.rewrites` counter.
+    ///
     /// # Errors
     ///
     /// Propagates the first pass failure.
     pub fn run_to_fixpoint(&self, graph: &mut Graph) -> Result<usize, GraphError> {
+        let mut simplify_span = orpheus_observe::span("simplify", "pass");
         let mut total_changes = 0;
-        for _round in 0..10 {
+        for round in 0..10 {
             let mut changed = false;
             for pass in &self.passes {
-                if pass.run(graph)? {
+                let mut pass_span = orpheus_observe::span(pass.name(), "pass");
+                pass_span.attr("round", round as u64);
+                let pass_changed = pass.run(graph)?;
+                pass_span.attr("changed", pass_changed as u64);
+                if pass_changed {
+                    if orpheus_observe::enabled() {
+                        orpheus_observe::counter_add(
+                            &format!("graph.pass.{}.rewrites", pass.name()),
+                            1,
+                        );
+                    }
                     changed = true;
                     total_changes += 1;
                 }
@@ -102,6 +119,7 @@ impl PassManager {
                 break;
             }
         }
+        simplify_span.attr("total_changes", total_changes as u64);
         Ok(total_changes)
     }
 }

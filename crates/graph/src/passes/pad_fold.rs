@@ -21,10 +21,7 @@ impl Pass for PadFold {
 
     fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
         let mut changed = false;
-        loop {
-            let Some((pad_idx, conv_idx)) = find_foldable_pair(graph) else {
-                break;
-            };
+        while let Some((pad_idx, conv_idx)) = find_foldable_pair(graph) {
             let pad = graph.nodes()[pad_idx].clone();
             let pads = pad.attrs.ints_or("pads", &[]);
             // [n_b, c_b, h_b, w_b, n_e, c_e, h_e, w_e]; symmetric spatial
@@ -112,9 +109,8 @@ mod tests {
             ),
         );
         g.add_node(
-            Node::new("conv", OpKind::Conv, &["p", "w"], &["y"]).with_attrs(
-                Attributes::new().with("pads", AttrValue::Ints(vec![0, 0, 0, 0])),
-            ),
+            Node::new("conv", OpKind::Conv, &["p", "w"], &["y"])
+                .with_attrs(Attributes::new().with("pads", AttrValue::Ints(vec![0, 0, 0, 0]))),
         );
         g.add_output("y");
         g

@@ -58,7 +58,13 @@ fn input_shape<'a>(
 }
 
 /// Output extent of one spatial convolution/pooling dimension.
-fn spatial_out(input: usize, kernel: usize, stride: usize, pad_total: usize, dilation: usize) -> usize {
+fn spatial_out(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad_total: usize,
+    dilation: usize,
+) -> usize {
     let effective = dilation * (kernel - 1) + 1;
     (input + pad_total).saturating_sub(effective) / stride.max(1) + 1
 }
@@ -133,7 +139,10 @@ fn infer_node(
             let a = input_shape(node, shapes, 0)?.to_vec();
             let b = input_shape(node, shapes, 1)?;
             if a != b {
-                return Err(err(node, format!("element-wise shape mismatch {a:?} vs {b:?}")));
+                return Err(err(
+                    node,
+                    format!("element-wise shape mismatch {a:?} vs {b:?}"),
+                ));
             }
             a
         }
@@ -298,7 +307,9 @@ mod tests {
         let mut g = Graph::new("t");
         g.add_input(ValueInfo::new("x", &[1, 3, 224, 224]));
         g.add_initializer("w", Tensor::zeros(&[64, 3, 7, 7]));
-        g.add_node(Node::new("c", OpKind::Conv, &["x", "w"], &["y"]).with_attrs(conv_attrs(7, 2, 3)));
+        g.add_node(
+            Node::new("c", OpKind::Conv, &["x", "w"], &["y"]).with_attrs(conv_attrs(7, 2, 3)),
+        );
         g.add_output("y");
         let shapes = infer_shapes(&g).unwrap();
         assert_eq!(shapes["y"], vec![1, 64, 112, 112]);
@@ -309,9 +320,8 @@ mod tests {
         let mut g = Graph::new("t");
         g.add_input(ValueInfo::new("x", &[1, 8, 8, 8]));
         g.add_node(
-            Node::new("p", OpKind::MaxPool, &["x"], &["y"]).with_attrs(
-                Attributes::new().with("kernel_shape", AttrValue::Ints(vec![2, 2])),
-            ),
+            Node::new("p", OpKind::MaxPool, &["x"], &["y"])
+                .with_attrs(Attributes::new().with("kernel_shape", AttrValue::Ints(vec![2, 2]))),
         );
         g.add_output("y");
         assert_eq!(infer_shapes(&g).unwrap()["y"], vec![1, 8, 4, 4]);

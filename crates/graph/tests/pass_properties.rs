@@ -34,18 +34,15 @@ fn random_chain(ops: &[usize], channels: usize) -> Graph {
                 let w = format!("w{i}");
                 g.add_initializer(&w, Tensor::full(&[channels, channels, 3, 3], 0.01));
                 g.add_node(
-                    Node::new(&format!("conv{i}"), OpKind::Conv, &[&cur, &w], &[&out])
-                        .with_attrs(
-                            Attributes::new()
-                                .with("kernel_shape", AttrValue::Ints(vec![3, 3]))
-                                .with("strides", AttrValue::Ints(vec![1, 1]))
-                                .with("pads", AttrValue::Ints(vec![1, 1, 1, 1])),
-                        ),
+                    Node::new(&format!("conv{i}"), OpKind::Conv, &[&cur, &w], &[&out]).with_attrs(
+                        Attributes::new()
+                            .with("kernel_shape", AttrValue::Ints(vec![3, 3]))
+                            .with("strides", AttrValue::Ints(vec![1, 1]))
+                            .with("pads", AttrValue::Ints(vec![1, 1, 1, 1])),
+                    ),
                 );
                 if op % 8 == 1 {
-                    for (suffix, value) in
-                        [("s", 1.0f32), ("b", 0.0), ("m", 0.0), ("v", 1.0)]
-                    {
+                    for (suffix, value) in [("s", 1.0f32), ("b", 0.0), ("m", 0.0), ("v", 1.0)] {
                         g.add_initializer(
                             &format!("bn{i}{suffix}"),
                             Tensor::full(&[channels], value),

@@ -1,10 +1,7 @@
 //! A fluent builder for constructing model graphs with synthetic weights.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use orpheus_graph::{AttrValue, Attributes, Graph, Node, OpKind, ValueInfo};
-use orpheus_tensor::Tensor;
+use orpheus_tensor::{SmallRng, Tensor};
 
 /// Builds a [`Graph`] layer by layer, tracking channel counts and generating
 /// deterministic He-initialized weights.
@@ -15,7 +12,7 @@ use orpheus_tensor::Tensor;
 #[derive(Debug)]
 pub struct GraphBuilder {
     graph: Graph,
-    rng: StdRng,
+    rng: SmallRng,
     next_id: usize,
     /// Channel count of each produced NCHW value.
     channels: std::collections::HashMap<String, usize>,
@@ -26,7 +23,7 @@ impl GraphBuilder {
     pub fn new(name: &str, seed: u64) -> Self {
         GraphBuilder {
             graph: Graph::new(name),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             next_id: 0,
             channels: std::collections::HashMap::new(),
         }
@@ -43,7 +40,7 @@ impl GraphBuilder {
         let limit = (6.0 / fan_in.max(1) as f32).sqrt();
         let mut t = Tensor::zeros(dims);
         for x in t.as_mut_slice() {
-            *x = self.rng.gen_range(-limit..=limit);
+            *x = self.rng.gen_range(-limit, limit);
         }
         t
     }
@@ -90,16 +87,18 @@ impl GraphBuilder {
         let out = format!("{name}.out");
         let attrs = Attributes::new()
             .with("kernel_shape", AttrValue::Ints(vec![kh as i64, kw as i64]))
-            .with("strides", AttrValue::Ints(vec![stride as i64, stride as i64]))
+            .with(
+                "strides",
+                AttrValue::Ints(vec![stride as i64, stride as i64]),
+            )
             .with(
                 "pads",
                 AttrValue::Ints(vec![pad_h as i64, pad_w as i64, pad_h as i64, pad_w as i64]),
             )
             .with("dilations", AttrValue::Ints(vec![1, 1]))
             .with("group", AttrValue::Int(groups as i64));
-        self.graph.add_node(
-            Node::new(&name, OpKind::Conv, &[x, &w_name], &[&out]).with_attrs(attrs),
-        );
+        self.graph
+            .add_node(Node::new(&name, OpKind::Conv, &[x, &w_name], &[&out]).with_attrs(attrs));
         self.channels.insert(out.clone(), out_c);
         out
     }
@@ -110,10 +109,10 @@ impl GraphBuilder {
     pub fn batch_norm(&mut self, x: &str) -> String {
         let c = self.channels_of(x);
         let name = self.fresh("bn");
-        let mk = |rng: &mut StdRng, base: f32, jitter: f32| {
+        let mk = |rng: &mut SmallRng, base: f32, jitter: f32| {
             let mut t = Tensor::zeros(&[c]);
             for v in t.as_mut_slice() {
-                *v = base + rng.gen_range(-jitter..=jitter);
+                *v = base + rng.gen_range(-jitter, jitter);
             }
             t
         };
@@ -121,9 +120,14 @@ impl GraphBuilder {
         let shift = mk(&mut self.rng, 0.0, 0.1);
         let mean = mk(&mut self.rng, 0.0, 0.1);
         let var = mk(&mut self.rng, 1.0, 0.1);
-        for (suffix, tensor) in [("scale", scale), ("shift", shift), ("mean", mean), ("var", var)]
-        {
-            self.graph.add_initializer(&format!("{name}.{suffix}"), tensor);
+        for (suffix, tensor) in [
+            ("scale", scale),
+            ("shift", shift),
+            ("mean", mean),
+            ("var", var),
+        ] {
+            self.graph
+                .add_initializer(&format!("{name}.{suffix}"), tensor);
         }
         let out = format!("{name}.out");
         self.graph.add_node(
@@ -212,8 +216,14 @@ impl GraphBuilder {
         let name = self.fresh(&op.onnx_name().to_lowercase());
         let out = format!("{name}.out");
         let attrs = Attributes::new()
-            .with("kernel_shape", AttrValue::Ints(vec![kernel as i64, kernel as i64]))
-            .with("strides", AttrValue::Ints(vec![stride as i64, stride as i64]))
+            .with(
+                "kernel_shape",
+                AttrValue::Ints(vec![kernel as i64, kernel as i64]),
+            )
+            .with(
+                "strides",
+                AttrValue::Ints(vec![stride as i64, stride as i64]),
+            )
             .with(
                 "pads",
                 AttrValue::Ints(vec![pad as i64, pad as i64, pad as i64, pad as i64]),

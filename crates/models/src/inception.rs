@@ -189,6 +189,9 @@ mod tests {
                 n.op == OpKind::Conv && k.len() == 2 && k[0] != k[1]
             })
             .count();
-        assert!(asym >= 10, "expected many 1x7/7x1/1x3/3x1 convs, got {asym}");
+        assert!(
+            asym >= 10,
+            "expected many 1x7/7x1/1x3/3x1 convs, got {asym}"
+        );
     }
 }

@@ -204,7 +204,13 @@ mod tests {
         let names: Vec<&str> = ModelKind::FIGURE2.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["WRN-40-2", "MobileNetV1", "ResNet-18", "Inception-v3", "ResNet-50"]
+            vec![
+                "WRN-40-2",
+                "MobileNetV1",
+                "ResNet-18",
+                "Inception-v3",
+                "ResNet-50"
+            ]
         );
     }
 

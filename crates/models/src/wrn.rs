@@ -61,9 +61,7 @@ mod tests {
         let convs_3x3 = g
             .nodes()
             .iter()
-            .filter(|n| {
-                n.op == OpKind::Conv && n.attrs.ints_or("kernel_shape", &[]) == vec![3, 3]
-            })
+            .filter(|n| n.op == OpKind::Conv && n.attrs.ints_or("kernel_shape", &[]) == vec![3, 3])
             .count();
         assert_eq!(convs_3x3, 1 + 36, "stem + 6 blocks x 2 convs x 3 groups");
     }

@@ -1,0 +1,255 @@
+//! A log-linear latency histogram.
+//!
+//! Values (typically microseconds) are bucketed into power-of-two octaves,
+//! each split into 16 linear sub-buckets, so relative error is bounded at
+//! ~6% across the full `u64` range while storage stays a fixed, small array.
+//! This is the same scheme HdrHistogram and OpenTelemetry's exponential
+//! histograms use, reduced to the operations the CLI needs: record, merge,
+//! and percentile queries.
+
+/// Sub-buckets per octave. Must be a power of two.
+const SUBS: u64 = 16;
+/// log2(SUBS).
+const SUB_BITS: u32 = 4;
+/// One bucket per value below `SUBS`, then 16 per octave up to 2^63.
+const NUM_BUCKETS: usize = (SUBS + (64 - SUB_BITS as u64) * SUBS) as usize;
+
+/// A mergeable log-linear histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUBS {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let octave = msb - SUB_BITS + 1;
+        let sub = (value >> (msb - SUB_BITS)) & (SUBS - 1);
+        (octave as u64 * SUBS + sub) as usize
+    }
+
+    /// Lowest value that maps to bucket `index`.
+    fn bucket_low(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUBS {
+            return index;
+        }
+        let octave = (index / SUBS) as u32;
+        let sub = index % SUBS;
+        (SUBS + sub) << (octave - 1)
+    }
+
+    /// Midpoint of bucket `index`, used as the representative value for
+    /// percentile queries.
+    fn bucket_mid(index: usize) -> u64 {
+        let low = Self::bucket_low(index);
+        let width = if (index as u64) < SUBS {
+            1
+        } else {
+            1u64 << ((index as u64 / SUBS) as u32 - 1)
+        };
+        low + width / 2
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (0.5 = median), or 0 when empty.
+    ///
+    /// Returns the representative (midpoint) value of the bucket containing
+    /// the `ceil(q * count)`-th observation, clamped to the observed
+    /// `[min, max]` so extreme quantiles never invent values outside the
+    /// recorded range.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx >= prev, "bucket index regressed at {v}");
+            assert!(Histogram::bucket_low(idx) <= v);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 15);
+    }
+
+    #[test]
+    fn percentiles_on_uniform_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50) as f64;
+        let p90 = h.percentile(0.90) as f64;
+        let p99 = h.percentile(0.99) as f64;
+        // Log-linear buckets bound relative error at 1/16.
+        assert!((p50 - 500.0).abs() / 500.0 < 0.07, "p50 = {p50}");
+        assert!((p90 - 900.0).abs() / 900.0 < 0.07, "p90 = {p90}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.07, "p99 = {p99}");
+    }
+
+    #[test]
+    fn percentile_of_constant_distribution_is_exact_value() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(777);
+        }
+        // Clamping to [min, max] collapses the bucket back to the value.
+        assert_eq!(h.percentile(0.5), 777);
+        assert_eq!(h.percentile(0.99), 777);
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [3u64, 17, 500, 9001, 12, 12, 1_000_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 256, 77_777] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.mean(), combined.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), combined.percentile(q));
+        }
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        h.record(3000);
+        assert_eq!(h.mean(), 2000.0);
+    }
+
+    #[test]
+    fn handles_huge_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // The representative value is bucketed (midpoint), so only bounded
+        // relative error is guaranteed even at the extreme of the range.
+        let p100 = h.percentile(1.0);
+        assert!(p100 >= u64::MAX - (u64::MAX >> 4));
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal JSON string escaping shared by every exporter in the workspace.
+//!
+//! The Chrome-trace and JSON-lines writers emit hand-rolled JSON (the
+//! workspace carries no serde), so they all funnel string data through this
+//! one escaper. It covers the full set RFC 8259 requires: backslash, quote,
+//! and every ASCII control character (named escapes where JSON has them,
+//! `\u00XX` otherwise).
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` with JSON string escaping applied (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_plain_text_through() {
+        assert_eq!(escape("conv_3/weights"), "conv_3/weights");
+    }
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn escapes_named_control_characters() {
+        assert_eq!(escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape("\u{08}\u{0c}"), "\\b\\f");
+    }
+
+    #[test]
+    fn escapes_remaining_control_characters_as_unicode() {
+        assert_eq!(escape("\u{01}\u{1f}"), "\\u0001\\u001f");
+    }
+
+    #[test]
+    fn keeps_non_ascii_intact() {
+        assert_eq!(escape("café λ…"), "café λ…");
+    }
+}

@@ -1,0 +1,69 @@
+//! Observability for the Orpheus reproduction: spans, metrics, exporters.
+//!
+//! The original Orpheus paper evaluates frameworks by end-to-end latency;
+//! explaining *where* that latency comes from needs structure the flat layer
+//! table cannot express — which simplification pass rewrote what, which
+//! algorithm the selector timed and rejected, how work spread across pool
+//! threads. This crate provides that structure:
+//!
+//! * a **span recorder** ([`span`], [`SpanGuard`]) building a hierarchical
+//!   trace of the engine's work, globally gated so instrumented code pays one
+//!   relaxed atomic load when tracing is off;
+//! * a **metrics registry** ([`counter_add`], [`gauge_set`],
+//!   [`histogram_record`]) with log-linear latency [`Histogram`]s that report
+//!   p50/p90/p99;
+//! * **exporters**: Chrome trace-event JSON for <https://ui.perfetto.dev>
+//!   ([`Trace::to_chrome_trace`]), JSON lines ([`Trace::to_json_lines`]), and
+//!   a metrics summary ([`MetricsSnapshot::to_json`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use orpheus_observe as observe;
+//!
+//! observe::enable();
+//! {
+//!     let mut load = observe::span("load", "engine");
+//!     load.attr("model", "resnet18");
+//!     let _import = observe::span("import", "engine");
+//! }
+//! observe::counter_add("graph.pass.constant-fold.rewrites", 2);
+//! observe::disable();
+//!
+//! let trace = observe::take_trace();
+//! assert_eq!(trace.len(), 2);
+//! let chrome = trace.to_chrome_trace();
+//! assert!(chrome.contains("\"import\""));
+//! let metrics = observe::metrics_snapshot();
+//! observe::reset();
+//! assert_eq!(metrics.counters["graph.pass.constant-fold.rewrites"], 2);
+//! ```
+
+mod histogram;
+pub mod json;
+mod metrics;
+mod recorder;
+mod trace;
+
+pub use histogram::Histogram;
+pub use metrics::{
+    counter_add, gauge_set, histogram_record, metrics_snapshot, reset_metrics, MetricsSnapshot,
+};
+pub use recorder::{
+    current_span_id, disable, enable, enabled, span, span_with_parent, AttrValue, SpanGuard,
+    SpanRecord,
+};
+pub use trace::Trace;
+
+/// Removes and returns every span collected so far.
+pub fn take_trace() -> Trace {
+    Trace {
+        spans: recorder::take_spans(),
+    }
+}
+
+/// Discards all collected spans and metrics (the enable flag is unchanged).
+pub fn reset() {
+    recorder::reset_spans();
+    reset_metrics();
+}

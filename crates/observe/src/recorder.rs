@@ -1,0 +1,354 @@
+//! The global span recorder.
+//!
+//! Recording is off by default and gated by one `AtomicBool`: every entry
+//! point performs a single relaxed load and returns an inert guard when the
+//! recorder is disabled, so instrumented hot paths pay no allocation, no
+//! locking, and no clock read unless a trace was requested.
+//!
+//! When enabled, [`span`] opens a hierarchical span: the parent is taken
+//! from a thread-local stack, timestamps come from a process-wide epoch, and
+//! the finished record is appended to a global buffer when the guard drops.
+//! Worker threads that logically run *inside* a span on another thread (the
+//! thread pool's chunk bodies) pass the parent id explicitly via
+//! [`span_with_parent`].
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn spans() -> &'static Mutex<Vec<SpanRecord>> {
+    static SPANS: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static PARENT_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|cell| match cell.get() {
+        Some(t) => t,
+        None => {
+            let t = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(t));
+            t
+        }
+    })
+}
+
+/// An attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute (layer names, algorithm names).
+    Str(String),
+    /// An integer attribute (counts, FLOPs).
+    Int(i64),
+    /// A floating-point attribute (times, rates).
+    Float(f64),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+/// A finished span, as stored in the trace buffer.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within the process.
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Human-readable span name ("import", layer name, pass name...).
+    pub name: String,
+    /// Coarse grouping used by exporters ("engine", "pass", "layer"...).
+    pub category: &'static str,
+    /// Start time in microseconds since the process trace epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Small dense ordinal of the recording thread (0 = first thread seen).
+    pub tid: u64,
+    /// Key/value attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Turns recording on. Spans and metrics recorded before this call are lost.
+pub fn enable() {
+    epoch(); // pin the epoch before the first span
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns recording off. Already-collected data stays available via
+/// [`crate::take_trace`] / [`crate::metrics_snapshot`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether the recorder is currently collecting.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Discards all collected spans (ids keep incrementing).
+pub fn reset_spans() {
+    spans().lock().expect("span buffer poisoned").clear();
+}
+
+/// Removes and returns all collected spans, ordered by completion time.
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *spans().lock().expect("span buffer poisoned"))
+}
+
+/// Id of the innermost open span on this thread, if any.
+///
+/// Hand this to worker threads so their spans parent correctly (see
+/// [`span_with_parent`]).
+pub fn current_span_id() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    PARENT_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Opens a span whose parent is the innermost open span on this thread.
+///
+/// Returns an inert, allocation-free guard when recording is disabled.
+pub fn span(name: impl Into<String>, category: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { inner: None };
+    }
+    let parent = PARENT_STACK.with(|s| s.borrow().last().copied());
+    open_span(name.into(), category, parent)
+}
+
+/// Opens a span with an explicitly provided parent (for worker threads).
+pub fn span_with_parent(
+    name: impl Into<String>,
+    category: &'static str,
+    parent: Option<u64>,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { inner: None };
+    }
+    open_span(name.into(), category, parent)
+}
+
+fn open_span(name: String, category: &'static str, parent: Option<u64>) -> SpanGuard {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    PARENT_STACK.with(|s| s.borrow_mut().push(id));
+    SpanGuard {
+        inner: Some(SpanInner {
+            id,
+            parent,
+            name,
+            category,
+            start: Instant::now(),
+            start_us: epoch().elapsed().as_secs_f64() * 1e6,
+            attrs: Vec::new(),
+        }),
+    }
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    category: &'static str,
+    start: Instant,
+    start_us: f64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// RAII guard for an open span; records the span when dropped.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attaches an attribute. No-op on an inert guard.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.attrs.push((key, value.into()));
+        }
+    }
+
+    /// The span's id, or `None` for an inert guard.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = inner.start.elapsed().as_secs_f64() * 1e6;
+        PARENT_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop in LIFO order; retain() also copes with a
+            // guard outliving its children being dropped out of order.
+            if stack.last() == Some(&inner.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != inner.id);
+            }
+        });
+        let record = SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            category: inner.category,
+            start_us: inner.start_us,
+            dur_us,
+            tid: thread_ordinal(),
+            attrs: inner.attrs,
+        };
+        spans().lock().expect("span buffer poisoned").push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is global, so tests that enable it must not run in
+    // parallel with each other; a local mutex serializes them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let _serial = lock();
+        disable();
+        reset_spans();
+        {
+            let mut g = span("ignored", "test");
+            g.attr("k", 1u64);
+            assert_eq!(g.id(), None);
+        }
+        assert!(!enabled());
+        assert!(take_spans().is_empty());
+        assert_eq!(current_span_id(), None);
+    }
+
+    #[test]
+    fn spans_nest_via_thread_local_stack() {
+        let _serial = lock();
+        enable();
+        reset_spans();
+        {
+            let outer = span("outer", "test");
+            let outer_id = outer.id().unwrap();
+            assert_eq!(current_span_id(), Some(outer_id));
+            {
+                let inner = span("inner", "test");
+                assert_eq!(inner.id().map(|_| ()), Some(()));
+            }
+            assert_eq!(current_span_id(), Some(outer_id));
+        }
+        disable();
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(outer.start_us <= inner.start_us);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _serial = lock();
+        enable();
+        reset_spans();
+        {
+            let outer = span("dispatch", "test");
+            let parent = outer.id();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let _child = span_with_parent("chunk", "test", parent);
+                });
+            });
+        }
+        disable();
+        let spans = take_spans();
+        let child = spans.iter().find(|s| s.name == "chunk").unwrap();
+        let outer = spans.iter().find(|s| s.name == "dispatch").unwrap();
+        assert_eq!(child.parent, Some(outer.id));
+        assert_ne!(child.tid, outer.tid);
+    }
+
+    #[test]
+    fn attrs_are_recorded() {
+        let _serial = lock();
+        enable();
+        reset_spans();
+        {
+            let mut g = span("with-attrs", "test");
+            g.attr("op", "Conv");
+            g.attr("flops", 1234u64);
+            g.attr("ratio", 0.5f64);
+        }
+        disable();
+        let spans = take_spans();
+        let s = spans.iter().find(|s| s.name == "with-attrs").unwrap();
+        assert_eq!(
+            s.attrs,
+            vec![
+                ("op", AttrValue::Str("Conv".to_string())),
+                ("flops", AttrValue::Int(1234)),
+                ("ratio", AttrValue::Float(0.5)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Trace container and exporters.
+//!
+//! A [`Trace`] is the set of spans drained from the recorder. It exports to
+//! two formats:
+//!
+//! * **Chrome trace** (`to_chrome_trace`) — a JSON array of complete (`"X"`)
+//!   events loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!   Nesting is positional: a child renders inside its parent because its
+//!   `[ts, ts+dur]` interval lies within the parent's on the same track.
+//! * **JSON lines** (`to_json_lines`) — one object per span with explicit
+//!   `id`/`parent` fields, for programmatic consumers that want the tree
+//!   structure rather than a timeline.
+
+use crate::json::escape_into;
+use crate::recorder::{AttrValue, SpanRecord};
+
+/// A drained collection of spans.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Finished spans, ordered by completion time.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Number of spans in the trace.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans belonging to `category`, in completion order.
+    pub fn by_category<'a>(&'a self, category: &str) -> impl Iterator<Item = &'a SpanRecord> {
+        let category = category.to_string();
+        self.spans.iter().filter(move |s| s.category == category)
+    }
+
+    /// Direct children of the span with id `parent`.
+    pub fn children_of(&self, parent: u64) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.parent == Some(parent))
+    }
+
+    /// String attribute `key` of a span, if present.
+    pub fn attr_str<'a>(span: &'a SpanRecord, key: &str) -> Option<&'a str> {
+        span.attrs.iter().find_map(|(k, v)| match v {
+            AttrValue::Str(s) if *k == key => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Integer attribute `key` of a span, if present.
+    pub fn attr_int(span: &SpanRecord, key: &str) -> Option<i64> {
+        span.attrs.iter().find_map(|(k, v)| match v {
+            AttrValue::Int(i) if *k == key => Some(*i),
+            _ => None,
+        })
+    }
+
+    /// Renders the trace in Chrome trace-event format (a JSON array of
+    /// complete events, timestamps in microseconds).
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        let mut sorted: Vec<&SpanRecord> = self.spans.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.start_us
+                .partial_cmp(&b.start_us)
+                .expect("span timestamps are finite")
+        });
+        for (i, span) in sorted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"name\": \"");
+            escape_into(&mut out, &span.name);
+            out.push_str("\", \"cat\": \"");
+            escape_into(&mut out, span.category);
+            out.push_str(&format!(
+                "\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}",
+                span.start_us, span.dur_us, span.tid
+            ));
+            out.push_str(", \"args\": {");
+            write_args(&mut out, span, false);
+            out.push_str("}}");
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Renders the trace as JSON lines: one object per span, carrying the
+    /// explicit `id`/`parent` tree structure.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str(&format!("{{\"id\": {}, \"parent\": ", span.id));
+            match span.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"name\": \"");
+            escape_into(&mut out, &span.name);
+            out.push_str("\", \"cat\": \"");
+            escape_into(&mut out, span.category);
+            out.push_str(&format!(
+                "\", \"start_us\": {:.3}, \"dur_us\": {:.3}, \"tid\": {}",
+                span.start_us, span.dur_us, span.tid
+            ));
+            write_args(&mut out, span, true);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn write_args(out: &mut String, span: &SpanRecord, leading_comma: bool) {
+    for (i, (k, v)) in span.attrs.iter().enumerate() {
+        if i > 0 || leading_comma {
+            out.push_str(", ");
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\": ");
+        match v {
+            AttrValue::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            AttrValue::Int(i) => out.push_str(&i.to_string()),
+            AttrValue::Float(f) => out.push_str(&format!("{f:.3}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "conv\"1\"".to_string(),
+                    category: "layer",
+                    start_us: 10.0,
+                    dur_us: 5.0,
+                    tid: 0,
+                    attrs: vec![
+                        ("op", AttrValue::Str("Conv".to_string())),
+                        ("flops", AttrValue::Int(42)),
+                    ],
+                },
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "run".to_string(),
+                    category: "engine",
+                    start_us: 0.0,
+                    dur_us: 20.0,
+                    tid: 0,
+                    attrs: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_sorted_and_escaped() {
+        let json = sample().to_chrome_trace();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        // The parent starts earlier, so it must be emitted first.
+        let run_pos = json.find("\"run\"").unwrap();
+        let conv_pos = json.find("conv").unwrap();
+        assert!(run_pos < conv_pos);
+        assert!(json.contains(r#"conv\"1\""#));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"args\": {\"op\": \"Conv\", \"flops\": 42}"));
+    }
+
+    #[test]
+    fn json_lines_carry_tree_structure() {
+        let lines = sample().to_json_lines();
+        let mut it = lines.lines();
+        let first = it.next().unwrap();
+        let second = it.next().unwrap();
+        assert!(first.contains("\"id\": 2") && first.contains("\"parent\": 1"));
+        assert!(second.contains("\"id\": 1") && second.contains("\"parent\": null"));
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.by_category("layer").count(), 1);
+        let child = t.children_of(1).next().unwrap();
+        assert_eq!(Trace::attr_str(child, "op"), Some("Conv"));
+        assert_eq!(Trace::attr_int(child, "flops"), Some(42));
+        assert_eq!(Trace::attr_int(child, "missing"), None);
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_array() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.to_chrome_trace(), "[\n]\n");
+        assert_eq!(t.to_json_lines(), "");
+    }
+}

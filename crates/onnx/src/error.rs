@@ -50,8 +50,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(OnnxError::Wire("truncated".into()).to_string().contains("truncated"));
-        assert!(OnnxError::Unsupported("LSTM".into()).to_string().contains("LSTM"));
+        assert!(OnnxError::Wire("truncated".into())
+            .to_string()
+            .contains("truncated"));
+        assert!(OnnxError::Unsupported("LSTM".into())
+            .to_string()
+            .contains("LSTM"));
     }
 
     #[test]

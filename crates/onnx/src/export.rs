@@ -131,10 +131,7 @@ mod tests {
         assert_eq!(back.name, "rt");
         assert_eq!(back.nodes().len(), 2);
         assert_eq!(back.nodes()[0].op, OpKind::Conv);
-        assert_eq!(
-            back.nodes()[0].attrs.ints_or("pads", &[]),
-            vec![1, 1, 1, 1]
-        );
+        assert_eq!(back.nodes()[0].attrs.ints_or("pads", &[]), vec![1, 1, 1, 1]);
         assert_eq!(back.inputs()[0].dims, vec![1, 2, 4, 4]);
         assert_eq!(
             back.initializer("w").unwrap().as_slice(),
@@ -147,9 +144,8 @@ mod tests {
         let mut g = Graph::new("rs");
         g.add_input(ValueInfo::new("x", &[1, 6]));
         g.add_node(
-            Node::new("rs", OpKind::Reshape, &["x"], &["y"]).with_attrs(
-                Attributes::new().with("shape", AttrValue::Ints(vec![2, 3])),
-            ),
+            Node::new("rs", OpKind::Reshape, &["x"], &["y"])
+                .with_attrs(Attributes::new().with("shape", AttrValue::Ints(vec![2, 3]))),
         );
         g.add_output("y");
         let bytes = export_model(&g).unwrap();

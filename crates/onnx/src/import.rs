@@ -230,11 +230,20 @@ mod tests {
             }],
             initializers: vec![float_init("w", &[1, 1, 1, 1], vec![2.0])],
             inputs: vec![
-                ValueInfoProto { name: "x".into(), dims: vec![1, 1, 2, 2] },
+                ValueInfoProto {
+                    name: "x".into(),
+                    dims: vec![1, 1, 2, 2],
+                },
                 // Weight also listed as an input, as some exporters do.
-                ValueInfoProto { name: "w".into(), dims: vec![1, 1, 1, 1] },
+                ValueInfoProto {
+                    name: "w".into(),
+                    dims: vec![1, 1, 1, 1],
+                },
             ],
-            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+            outputs: vec![ValueInfoProto {
+                name: "y".into(),
+                dims: vec![],
+            }],
         });
         let g = import_model(&bytes).unwrap();
         assert_eq!(g.inputs().len(), 1, "weight must not be a graph input");
@@ -262,16 +271,19 @@ mod tests {
                 float_data: vec![],
                 int64_data: vec![1, -1],
             }],
-            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1, 4] }],
-            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+            inputs: vec![ValueInfoProto {
+                name: "x".into(),
+                dims: vec![1, 4],
+            }],
+            outputs: vec![ValueInfoProto {
+                name: "y".into(),
+                dims: vec![],
+            }],
         });
         let g = import_model(&bytes).unwrap();
         let node = &g.nodes()[0];
         assert_eq!(node.inputs.len(), 1);
-        assert_eq!(
-            node.attrs.get("shape"),
-            Some(&AttrValue::Ints(vec![1, -1]))
-        );
+        assert_eq!(node.attrs.get("shape"), Some(&AttrValue::Ints(vec![1, -1])));
     }
 
     #[test]
@@ -289,8 +301,14 @@ mod tests {
                 float_init("lo", &[], vec![0.0]),
                 float_init("hi", &[], vec![6.0]),
             ],
-            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1, 4] }],
-            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+            inputs: vec![ValueInfoProto {
+                name: "x".into(),
+                dims: vec![1, 4],
+            }],
+            outputs: vec![ValueInfoProto {
+                name: "y".into(),
+                dims: vec![],
+            }],
         });
         let g = import_model(&bytes).unwrap();
         let node = &g.nodes()[0];
@@ -311,8 +329,14 @@ mod tests {
                 attributes: vec![],
             }],
             initializers: vec![],
-            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1, 4] }],
-            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+            inputs: vec![ValueInfoProto {
+                name: "x".into(),
+                dims: vec![1, 4],
+            }],
+            outputs: vec![ValueInfoProto {
+                name: "y".into(),
+                dims: vec![],
+            }],
         });
         let g = import_model(&bytes).unwrap();
         assert_eq!(g.nodes()[0].outputs, vec!["y".to_string()]);
@@ -354,8 +378,14 @@ mod tests {
                 attributes: vec![],
             }],
             initializers: vec![],
-            inputs: vec![ValueInfoProto { name: "x".into(), dims: vec![1] }],
-            outputs: vec![ValueInfoProto { name: "y".into(), dims: vec![] }],
+            inputs: vec![ValueInfoProto {
+                name: "x".into(),
+                dims: vec![1],
+            }],
+            outputs: vec![ValueInfoProto {
+                name: "y".into(),
+                dims: vec![],
+            }],
         });
         let g = import_model(&bytes).unwrap();
         assert_eq!(g.nodes()[0].op, OpKind::Custom("WeirdOp".into()));

@@ -160,7 +160,9 @@ impl GraphProto {
             match field {
                 1 => graph.nodes.push(NodeProto::parse(r.read_bytes()?)?),
                 2 => graph.name = r.read_string()?,
-                5 => graph.initializers.push(TensorProto::parse(r.read_bytes()?)?),
+                5 => graph
+                    .initializers
+                    .push(TensorProto::parse(r.read_bytes()?)?),
                 11 => graph.inputs.push(ValueInfoProto::parse(r.read_bytes()?)?),
                 12 => graph.outputs.push(ValueInfoProto::parse(r.read_bytes()?)?),
                 _ => r.skip(wt)?,
@@ -199,7 +201,9 @@ impl NodeProto {
                 2 => node.outputs.push(r.read_string()?),
                 3 => node.name = r.read_string()?,
                 4 => node.op_type = r.read_string()?,
-                5 => node.attributes.push(AttributeProto::parse(r.read_bytes()?)?),
+                5 => node
+                    .attributes
+                    .push(AttributeProto::parse(r.read_bytes()?)?),
                 _ => r.skip(wt)?,
             }
         }

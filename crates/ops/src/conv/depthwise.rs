@@ -16,6 +16,8 @@ use super::Conv2dParams;
 ///
 /// Requires `params.is_depthwise()`. Parallelizes over `(image, channel)`
 /// planes.
+// Index loops keep the kernel's strided access order explicit for codegen.
+#[allow(clippy::needless_range_loop)]
 pub(crate) fn conv2d_depthwise_into(
     params: &Conv2dParams,
     input: &Tensor,
@@ -135,14 +137,19 @@ mod tests {
 
     #[test]
     fn matches_direct_3x3_padded() {
-        compare_to_direct(Conv2dParams::depthwise(6, 3).with_padding(1, 1), [1, 6, 8, 8]);
+        compare_to_direct(
+            Conv2dParams::depthwise(6, 3).with_padding(1, 1),
+            [1, 6, 8, 8],
+        );
     }
 
     #[test]
     fn matches_direct_stride2() {
         // MobileNet's downsampling depthwise layers.
         compare_to_direct(
-            Conv2dParams::depthwise(4, 3).with_stride(2, 2).with_padding(1, 1),
+            Conv2dParams::depthwise(4, 3)
+                .with_stride(2, 2)
+                .with_padding(1, 1),
             [1, 4, 9, 9],
         );
     }
@@ -154,18 +161,26 @@ mod tests {
 
     #[test]
     fn matches_direct_5x5_kernel() {
-        compare_to_direct(Conv2dParams::depthwise(2, 5).with_padding(2, 2), [1, 2, 9, 9]);
+        compare_to_direct(
+            Conv2dParams::depthwise(2, 5).with_padding(2, 2),
+            [1, 2, 9, 9],
+        );
     }
 
     #[test]
     fn matches_direct_batched() {
-        compare_to_direct(Conv2dParams::depthwise(5, 3).with_padding(1, 1), [3, 5, 6, 6]);
+        compare_to_direct(
+            Conv2dParams::depthwise(5, 3).with_padding(1, 1),
+            [3, 5, 6, 6],
+        );
     }
 
     #[test]
     fn matches_direct_dilated() {
         compare_to_direct(
-            Conv2dParams::depthwise(2, 3).with_dilation(2, 2).with_padding(2, 2),
+            Conv2dParams::depthwise(2, 3)
+                .with_dilation(2, 2)
+                .with_padding(2, 2),
             [1, 2, 8, 8],
         );
     }

@@ -49,8 +49,7 @@ pub(crate) fn conv2d_direct_into(
                 for ox in 0..ow {
                     let mut acc = 0.0f32;
                     for ic in 0..cig {
-                        let in_plane =
-                            &in_data[((img * ci) + g * cig + ic) * ih * iw..][..ih * iw];
+                        let in_plane = &in_data[((img * ci) + g * cig + ic) * ih * iw..][..ih * iw];
                         let w_base = ((oc * cig) + ic) * kh * kw;
                         for ky in 0..kh {
                             let iy = (oy * params.stride_h + ky * params.dilation_h) as isize
@@ -115,8 +114,11 @@ mod tests {
     fn channels_sum() {
         // Two input channels, weights all one: output = sum over channels.
         let p = Conv2dParams::square(2, 1, 1);
-        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let weight = Tensor::ones(&[1, 2, 1, 1]);
         let out = run_direct(p, &input, weight);
         assert_eq!(out.as_slice(), &[11.0, 22.0, 33.0, 44.0]);

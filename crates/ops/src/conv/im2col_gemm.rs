@@ -82,8 +82,7 @@ pub(crate) fn conv2d_im2col_into(
 
     for img in 0..n {
         for g in 0..params.groups {
-            let group_input =
-                &in_data[img * in_image + g * cig * ih * iw..][..cig * ih * iw];
+            let group_input = &in_data[img * in_image + g * cig * ih * iw..][..cig * ih * iw];
             let b: &[f32] = if pointwise {
                 group_input
             } else {
@@ -92,8 +91,7 @@ pub(crate) fn conv2d_im2col_into(
             };
             // Weight rows for this group form a contiguous [cog x k] matrix.
             let w_group = &w_data[g * cog * k..(g + 1) * cog * k];
-            let out_group =
-                &mut out_data[img * out_image + g * cog * cols..][..cog * cols];
+            let out_group = &mut out_data[img * out_image + g * cog * cols..][..cog * cols];
             gemm_parallel(
                 kernel, pool, cog, cols, k, w_group, k, b, cols, out_group, cols, 0.0,
             );
@@ -119,8 +117,7 @@ mod tests {
     fn compare_to_direct(params: Conv2dParams, dims: [usize; 4], kernel: GemmKernel) {
         let input = Tensor::from_vec(pseudo(dims.iter().product(), 1), &dims).unwrap();
         let wd = params.weight_dims();
-        let weight =
-            Tensor::from_vec(pseudo(wd.iter().product(), 2), &wd).unwrap();
+        let weight = Tensor::from_vec(pseudo(wd.iter().product(), 2), &wd).unwrap();
         let pool = ThreadPool::single();
         let direct = Conv2d::new(params, weight.clone(), None, ConvAlgorithm::Direct)
             .unwrap()
@@ -146,8 +143,16 @@ mod tests {
     #[test]
     fn matches_direct_pointwise_fast_path() {
         // 1x1/s1/p0 skips the column-matrix copy entirely.
-        compare_to_direct(Conv2dParams::square(16, 8, 1), [2, 16, 7, 7], GemmKernel::Packed);
-        compare_to_direct(Conv2dParams::square(3, 5, 1), [1, 3, 4, 4], GemmKernel::Naive);
+        compare_to_direct(
+            Conv2dParams::square(16, 8, 1),
+            [2, 16, 7, 7],
+            GemmKernel::Packed,
+        );
+        compare_to_direct(
+            Conv2dParams::square(3, 5, 1),
+            [1, 3, 4, 4],
+            GemmKernel::Naive,
+        );
     }
 
     #[test]
@@ -163,7 +168,9 @@ mod tests {
     #[test]
     fn matches_direct_strided_7x7() {
         compare_to_direct(
-            Conv2dParams::square(3, 4, 7).with_stride(2, 2).with_padding(3, 3),
+            Conv2dParams::square(3, 4, 7)
+                .with_stride(2, 2)
+                .with_padding(3, 3),
             [1, 3, 17, 17],
             GemmKernel::Blocked,
         );
@@ -172,7 +179,9 @@ mod tests {
     #[test]
     fn matches_direct_grouped() {
         compare_to_direct(
-            Conv2dParams::square(4, 6, 3).with_groups(2).with_padding(1, 1),
+            Conv2dParams::square(4, 6, 3)
+                .with_groups(2)
+                .with_padding(1, 1),
             [2, 4, 6, 6],
             GemmKernel::Packed,
         );
@@ -199,7 +208,9 @@ mod tests {
     #[test]
     fn matches_direct_dilated() {
         compare_to_direct(
-            Conv2dParams::square(2, 2, 3).with_dilation(2, 2).with_padding(2, 2),
+            Conv2dParams::square(2, 2, 3)
+                .with_dilation(2, 2)
+                .with_padding(2, 2),
             [1, 2, 8, 8],
             GemmKernel::Packed,
         );

@@ -133,7 +133,9 @@ impl Conv2dParams {
                 "all extents, strides, dilations and groups must be positive".into(),
             ));
         }
-        if !self.in_channels.is_multiple_of(self.groups) || !self.out_channels.is_multiple_of(self.groups) {
+        if !self.in_channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
+        {
             return Err(OpError::InvalidParams(format!(
                 "channels ({}, {}) not divisible by groups {}",
                 self.in_channels, self.out_channels, self.groups
@@ -150,12 +152,24 @@ impl Conv2dParams {
 
     /// Output height for an input of height `in_h`.
     pub fn out_h(&self, in_h: usize) -> usize {
-        conv_out_dim(in_h, self.kernel_h, self.stride_h, self.pad_h, self.dilation_h)
+        conv_out_dim(
+            in_h,
+            self.kernel_h,
+            self.stride_h,
+            self.pad_h,
+            self.dilation_h,
+        )
     }
 
     /// Output width for an input of width `in_w`.
     pub fn out_w(&self, in_w: usize) -> usize {
-        conv_out_dim(in_w, self.kernel_w, self.stride_w, self.pad_w, self.dilation_w)
+        conv_out_dim(
+            in_w,
+            self.kernel_w,
+            self.stride_w,
+            self.pad_w,
+            self.dilation_w,
+        )
     }
 
     /// Expected weight tensor dims.
@@ -465,9 +479,8 @@ impl Conv2d {
         if let Some(bias) = &self.bias {
             let b = bias.as_slice();
             for img in 0..n {
-                for c in 0..co {
+                for (c, &bc) in b.iter().enumerate() {
                     let start = (img * co + c) * plane;
-                    let bc = b[c];
                     for x in &mut data[start..start + plane] {
                         *x += bc;
                     }

@@ -137,6 +137,8 @@ fn pad_image(
 /// scalar replacement gives up as soon as the tile is conditionally reloaded
 /// from memory, which costs ~4x; measured while calibrating this kernel).
 #[allow(clippy::too_many_arguments)]
+// Index loops keep the tile scatter's access order explicit for codegen.
+#[allow(clippy::needless_range_loop)]
 fn compute_image(
     params: &Conv2dParams,
     padded: &[f32],
@@ -242,13 +244,19 @@ mod tests {
 
     #[test]
     fn matches_direct_3x3_padded() {
-        compare_to_direct(Conv2dParams::square(3, 16, 3).with_padding(1, 1), [1, 3, 8, 8]);
+        compare_to_direct(
+            Conv2dParams::square(3, 16, 3).with_padding(1, 1),
+            [1, 3, 8, 8],
+        );
     }
 
     #[test]
     fn matches_direct_ragged_channels_and_width() {
         // co=11 (ragged VC tile), ow=13 (ragged VW tile).
-        compare_to_direct(Conv2dParams::square(2, 11, 3).with_padding(1, 1), [1, 2, 13, 13]);
+        compare_to_direct(
+            Conv2dParams::square(2, 11, 3).with_padding(1, 1),
+            [1, 2, 13, 13],
+        );
     }
 
     #[test]
@@ -259,7 +267,9 @@ mod tests {
     #[test]
     fn matches_direct_strided() {
         compare_to_direct(
-            Conv2dParams::square(3, 8, 3).with_stride(2, 2).with_padding(1, 1),
+            Conv2dParams::square(3, 8, 3)
+                .with_stride(2, 2)
+                .with_padding(1, 1),
             [1, 3, 9, 9],
         );
     }
@@ -267,14 +277,19 @@ mod tests {
     #[test]
     fn matches_direct_7x7_stride2() {
         compare_to_direct(
-            Conv2dParams::square(3, 10, 7).with_stride(2, 2).with_padding(3, 3),
+            Conv2dParams::square(3, 10, 7)
+                .with_stride(2, 2)
+                .with_padding(3, 3),
             [1, 3, 15, 15],
         );
     }
 
     #[test]
     fn matches_direct_batched() {
-        compare_to_direct(Conv2dParams::square(2, 9, 3).with_padding(1, 1), [3, 2, 5, 5]);
+        compare_to_direct(
+            Conv2dParams::square(2, 9, 3).with_padding(1, 1),
+            [3, 2, 5, 5],
+        );
     }
 
     #[test]
@@ -305,6 +320,9 @@ mod tests {
         let packed = pack_weights(&p, &w);
         assert_eq!(packed.co_tiles, 1);
         assert_eq!(&packed.data[0..2], &[3.0, 5.0]);
-        assert!(packed.data[2..].iter().all(|&x| x == 0.0), "ragged lanes zero");
+        assert!(
+            packed.data[2..].iter().all(|&x| x == 0.0),
+            "ragged lanes zero"
+        );
     }
 }

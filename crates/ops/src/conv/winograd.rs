@@ -95,8 +95,7 @@ pub(crate) fn conv2d_winograd_into(
         for c in 0..ci {
             for y in 0..ih {
                 let src = &in_data[((img * ci + c) * ih + y) * iw..][..iw];
-                let dst =
-                    &mut padded[(c * ph + y + params.pad_h) * pw + params.pad_w..][..iw];
+                let dst = &mut padded[(c * ph + y + params.pad_h) * pw + params.pad_w..][..iw];
                 dst.copy_from_slice(src);
             }
         }
@@ -226,13 +225,19 @@ mod tests {
 
     #[test]
     fn matches_direct_even_output() {
-        compare_to_direct(Conv2dParams::square(4, 8, 3).with_padding(1, 1), [1, 4, 8, 8]);
+        compare_to_direct(
+            Conv2dParams::square(4, 8, 3).with_padding(1, 1),
+            [1, 4, 8, 8],
+        );
     }
 
     #[test]
     fn matches_direct_odd_output() {
         // 7x7 output exercises the ragged bottom/right tile clipping.
-        compare_to_direct(Conv2dParams::square(3, 5, 3).with_padding(1, 1), [1, 3, 7, 7]);
+        compare_to_direct(
+            Conv2dParams::square(3, 5, 3).with_padding(1, 1),
+            [1, 3, 7, 7],
+        );
     }
 
     #[test]
@@ -242,7 +247,10 @@ mod tests {
 
     #[test]
     fn matches_direct_batched() {
-        compare_to_direct(Conv2dParams::square(3, 6, 3).with_padding(1, 1), [2, 3, 6, 6]);
+        compare_to_direct(
+            Conv2dParams::square(3, 6, 3).with_padding(1, 1),
+            [2, 3, 6, 6],
+        );
     }
 
     #[test]

@@ -63,15 +63,26 @@ mod tests {
     fn add_sub_mul() {
         let a = t(&[1.0, 2.0]);
         let b = t(&[10.0, -1.0]);
-        assert_eq!(binary(BinaryOp::Add, &a, &b).unwrap().as_slice(), &[11.0, 1.0]);
-        assert_eq!(binary(BinaryOp::Sub, &a, &b).unwrap().as_slice(), &[-9.0, 3.0]);
-        assert_eq!(binary(BinaryOp::Mul, &a, &b).unwrap().as_slice(), &[10.0, -2.0]);
+        assert_eq!(
+            binary(BinaryOp::Add, &a, &b).unwrap().as_slice(),
+            &[11.0, 1.0]
+        );
+        assert_eq!(
+            binary(BinaryOp::Sub, &a, &b).unwrap().as_slice(),
+            &[-9.0, 3.0]
+        );
+        assert_eq!(
+            binary(BinaryOp::Mul, &a, &b).unwrap().as_slice(),
+            &[10.0, -2.0]
+        );
     }
 
     #[test]
     fn shape_mismatch_rejected() {
         assert!(binary(BinaryOp::Add, &Tensor::zeros(&[2]), &Tensor::zeros(&[3])).is_err());
-        assert!(add_activate(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]), Activation::Relu).is_err());
+        assert!(
+            add_activate(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]), Activation::Relu).is_err()
+        );
     }
 
     #[test]

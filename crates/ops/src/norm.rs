@@ -42,7 +42,7 @@ impl BatchNorm {
                 .into());
             }
         }
-        if !(eps > 0.0) {
+        if eps.is_nan() || eps <= 0.0 {
             return Err(OpError::InvalidParams(format!(
                 "batchnorm eps must be positive, got {eps}"
             )));

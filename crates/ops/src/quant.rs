@@ -85,7 +85,11 @@ impl QuantizedTensor {
     /// calibrated over a dataset rather than one tensor).
     pub fn quantize_with(tensor: &Tensor, qparams: QuantParams) -> Self {
         QuantizedTensor {
-            data: tensor.as_slice().iter().map(|&x| qparams.quantize(x)).collect(),
+            data: tensor
+                .as_slice()
+                .iter()
+                .map(|&x| qparams.quantize(x))
+                .collect(),
             dims: tensor.dims().to_vec(),
             qparams,
         }
@@ -94,7 +98,10 @@ impl QuantizedTensor {
     /// Reconstructs the float tensor (lossy).
     pub fn dequantize(&self) -> Tensor {
         Tensor::from_vec(
-            self.data.iter().map(|&q| self.qparams.dequantize(q)).collect(),
+            self.data
+                .iter()
+                .map(|&q| self.qparams.dequantize(q))
+                .collect(),
             &self.dims,
         )
         .expect("dims match data by construction")
@@ -158,7 +165,9 @@ impl QuantConv2d {
             .into());
         }
         if params.dilation_h != 1 || params.dilation_w != 1 {
-            return Err(OpError::Unsupported("quantized conv has no dilation".into()));
+            return Err(OpError::Unsupported(
+                "quantized conv has no dilation".into(),
+            ));
         }
         if let Some(b) = bias {
             if b.dims() != [params.out_channels] {
@@ -261,14 +270,13 @@ impl QuantConv2d {
                         // contributes q = z_x ⇒ real 0, handled by skipping
                         // and correcting with per-tap weight values.
                         for ic in 0..cig {
-                            let in_plane = &in_data
-                                [((img * ci) + g * cig + ic) * ih * iw..][..ih * iw];
+                            let in_plane =
+                                &in_data[((img * ci) + g * cig + ic) * ih * iw..][..ih * iw];
                             let w_ic = &w_oc[ic * kh * kw..(ic + 1) * kh * kw];
                             for ky in 0..kh {
                                 let iy = (oy * p.stride_h + ky) as isize - p.pad_h as isize;
                                 for kx in 0..kw {
-                                    let ix =
-                                        (ox * p.stride_w + kx) as isize - p.pad_w as isize;
+                                    let ix = (ox * p.stride_w + kx) as isize - p.pad_w as isize;
                                     let q = if iy < 0
                                         || iy >= ih as isize
                                         || ix < 0
@@ -337,17 +345,24 @@ mod tests {
     #[test]
     fn quantized_conv_tracks_float_conv() {
         let params = Conv2dParams::square(3, 8, 3).with_padding(1, 1);
-        let weight =
-            Tensor::from_vec(pseudo(params.weight_dims().iter().product(), 7, 0.5), &params.weight_dims())
-                .unwrap();
+        let weight = Tensor::from_vec(
+            pseudo(params.weight_dims().iter().product(), 7, 0.5),
+            &params.weight_dims(),
+        )
+        .unwrap();
         let bias = Tensor::from_vec(pseudo(8, 8, 0.2), &[8]).unwrap();
         let input = Tensor::from_vec(pseudo(3 * 100, 9, 2.0), &[1, 3, 10, 10]).unwrap();
         let pool = ThreadPool::single();
 
-        let float_out = Conv2d::new(params, weight.clone(), Some(bias.clone()), ConvAlgorithm::Direct)
-            .unwrap()
-            .run(&input, &pool)
-            .unwrap();
+        let float_out = Conv2d::new(
+            params,
+            weight.clone(),
+            Some(bias.clone()),
+            ConvAlgorithm::Direct,
+        )
+        .unwrap()
+        .run(&input, &pool)
+        .unwrap();
         let qconv = QuantConv2d::new(params, &weight, Some(&bias)).unwrap();
         let q_in = QuantizedTensor::quantize(&input);
         let q_out = qconv.run(&q_in, &pool).unwrap();

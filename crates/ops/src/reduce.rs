@@ -39,7 +39,10 @@ pub fn reduce_mean(input: &Tensor, axes: &[usize], keepdims: bool) -> Result<Ten
         .into());
     }
     let in_dims = input.dims();
-    let kept_dims: Vec<usize> = (0..rank).filter(|&d| !reduce[d]).map(|d| in_dims[d]).collect();
+    let kept_dims: Vec<usize> = (0..rank)
+        .filter(|&d| !reduce[d])
+        .map(|d| in_dims[d])
+        .collect();
     let out_count: usize = kept_dims.iter().product::<usize>().max(1);
     let reduce_count: usize = (0..rank)
         .filter(|&d| reduce[d])
@@ -74,7 +77,9 @@ pub fn reduce_mean(input: &Tensor, axes: &[usize], keepdims: bool) -> Result<Ten
         *s /= reduce_count as f32;
     }
     let out_dims: Vec<usize> = if keepdims {
-        (0..rank).map(|d| if reduce[d] { 1 } else { in_dims[d] }).collect()
+        (0..rank)
+            .map(|d| if reduce[d] { 1 } else { in_dims[d] })
+            .collect()
     } else {
         kept_dims
     };

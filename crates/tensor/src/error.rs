@@ -111,7 +111,10 @@ mod tests {
             expected: 6,
             actual: 4,
         };
-        assert_eq!(e.to_string(), "shape implies 6 elements but 4 were provided");
+        assert_eq!(
+            e.to_string(),
+            "shape implies 6 elements but 4 were provided"
+        );
     }
 
     #[test]

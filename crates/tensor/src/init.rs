@@ -5,9 +5,7 @@
 //! here are deterministic given a seed so that experiments and tests are
 //! reproducible bit-for-bit.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SmallRng;
 use crate::tensor::Tensor;
 
 /// A named weight-initialization scheme.
@@ -49,9 +47,9 @@ impl Initializer {
 
 /// Fills `tensor` with values drawn uniformly from `[-limit, limit]`.
 pub fn fill_uniform(tensor: &mut Tensor, limit: f32, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     for x in tensor.as_mut_slice() {
-        *x = rng.gen_range(-limit..=limit);
+        *x = rng.gen_range(-limit, limit);
     }
 }
 
@@ -60,10 +58,10 @@ pub fn fill_uniform(tensor: &mut Tensor, limit: f32, seed: u64) {
 /// Uses the Box-Muller transform so we only depend on uniform sampling.
 pub fn fill_he_normal(tensor: &mut Tensor, fan_in: usize, seed: u64) {
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     for x in tensor.as_mut_slice() {
-        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = rng.gen_range(0.0..1.0);
+        let u1: f32 = rng.gen_range(f32::EPSILON, 1.0);
+        let u2: f32 = rng.gen_range(0.0, 1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         *x = z * std;
     }

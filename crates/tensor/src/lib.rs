@@ -20,6 +20,7 @@ mod approx;
 mod error;
 mod init;
 mod io;
+pub mod rng;
 mod shape;
 mod tensor;
 
@@ -27,5 +28,6 @@ pub use approx::{allclose, max_abs_diff, max_rel_diff, AllcloseReport};
 pub use error::{ShapeError, TensorError};
 pub use init::{fill_he_normal, fill_uniform, fill_xavier_uniform, Initializer};
 pub use io::{read_tensor, write_tensor};
+pub use rng::SmallRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,0 +1,91 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workspace previously used the `rand` crate for seeded synthetic
+//! weights; the sandboxed build environment has no registry access, and the
+//! actual requirement — reproducible, well-mixed `f32` streams from a `u64`
+//! seed — is tiny, so this SplitMix64 generator replaces it. SplitMix64
+//! passes BigCrush and is the canonical seeder for larger generators; for
+//! filling weight tensors its statistical quality is far beyond sufficient.
+
+/// A small deterministic generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed. Identical seeds yield
+    /// identical streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 explicit mantissa-sized bits → every value representable.
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "gen_range requires lo <= hi, got {lo} > {hi}");
+        lo + self.next_f32() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.5, 0.5);
+            assert!((-0.5..0.5).contains(&v));
+            seen_low |= v < -0.25;
+            seen_high |= v > 0.25;
+        }
+        assert!(seen_low && seen_high, "stream does not cover the range");
+    }
+
+    #[test]
+    fn next_f32_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.next_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

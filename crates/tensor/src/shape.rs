@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ShapeError;
 
 /// The shape of a dense, row-major (C-order) tensor.
@@ -21,7 +19,7 @@ use crate::error::ShapeError;
 /// assert_eq!(s.num_elements(), 3 * 224 * 224);
 /// assert_eq!(s.strides(), vec![3 * 224 * 224, 224 * 224, 224, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
     dims: Vec<usize>,
 }
@@ -87,9 +85,7 @@ impl Shape {
     /// Returns [`ShapeError::IndexOutOfBounds`] if the index has the wrong rank
     /// or any coordinate exceeds its extent.
     pub fn offset_of(&self, index: &[usize]) -> Result<usize, ShapeError> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
             return Err(ShapeError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),

@@ -347,7 +347,10 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
         let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
         assert_eq!(a.map(|x| -x).as_slice(), &[-1.0, -2.0]);
-        assert_eq!(a.zip_with(&b, |x, y| x + y).unwrap().as_slice(), &[11.0, 22.0]);
+        assert_eq!(
+            a.zip_with(&b, |x, y| x + y).unwrap().as_slice(),
+            &[11.0, 22.0]
+        );
         assert!(a.zip_with(&Tensor::zeros(&[3]), |x, _| x).is_err());
     }
 

@@ -4,7 +4,7 @@
 //! operator implementations. This crate is the Rust substitute: a
 //! [`ThreadPool`] with a [`ThreadPool::parallel_for`] primitive that splits an
 //! index range into contiguous chunks and runs each chunk on a worker via
-//! `crossbeam::scope`, so closures may borrow stack data exactly like an
+//! `std::thread::scope`, so closures may borrow stack data exactly like an
 //! OpenMP parallel region.
 //!
 //! The pool is a *configuration* object: the number of threads is chosen at

@@ -24,7 +24,7 @@ impl Error for PoolError {}
 /// A data-parallel chunking executor, Orpheus's OpenMP substitute.
 ///
 /// `ThreadPool` splits index ranges into contiguous chunks and executes them
-/// with `crossbeam::scope`, so the worker closures may borrow stack data.
+/// with `std::thread::scope`, so the worker closures may borrow stack data.
 /// With one thread (the paper's Figure 2 configuration) every primitive
 /// degenerates to a plain sequential loop with no synchronization cost.
 ///
@@ -93,17 +93,21 @@ impl ThreadPool {
             body(0, len);
             return;
         }
-        crossbeam::scope(|scope| {
+        let parent = orpheus_observe::current_span_id();
+        std::thread::scope(|scope| {
             // Run all but the first chunk on spawned workers; the caller's
             // thread takes chunk 0 so a two-thread pool uses two threads.
             for &(start, end) in &chunks[1..] {
                 let body = &body;
-                scope.spawn(move |_| body(start, end));
+                scope.spawn(move || {
+                    let _chunk = chunk_span(parent, start, end);
+                    body(start, end)
+                });
             }
             let (start, end) = chunks[0];
+            let _chunk = chunk_span(parent, start, end);
             body(start, end);
-        })
-        .expect("worker panicked inside parallel_for");
+        });
     }
 
     /// Splits a mutable slice into contiguous chunks and hands each chunk
@@ -136,16 +140,21 @@ impl ThreadPool {
             rest = tail;
             consumed = end;
         }
-        crossbeam::scope(|scope| {
+        let parent = orpheus_observe::current_span_id();
+        std::thread::scope(|scope| {
             let mut iter = pieces.into_iter();
             let first = iter.next().expect("at least one chunk");
             for (start, chunk) in iter {
                 let body = &body;
-                scope.spawn(move |_| body(start, chunk));
+                let len = chunk.len();
+                scope.spawn(move || {
+                    let _chunk = chunk_span(parent, start, start + len);
+                    body(start, chunk)
+                });
             }
+            let _chunk = chunk_span(parent, first.0, first.0 + first.1.len());
             body(first.0, first.1);
-        })
-        .expect("worker panicked inside parallel_for_mut");
+        });
     }
 
     /// Splits a mutable slice that represents `len / row_len` rows of
@@ -186,16 +195,22 @@ impl ThreadPool {
             pieces.push((start, head));
             rest = tail;
         }
-        crossbeam::scope(|scope| {
+        let parent = orpheus_observe::current_span_id();
+        std::thread::scope(|scope| {
             let mut iter = pieces.into_iter();
             let first = iter.next().expect("at least one chunk");
             for (start, chunk) in iter {
                 let body = &body;
-                scope.spawn(move |_| body(start, chunk));
+                let rows = chunk.len() / row_len;
+                scope.spawn(move || {
+                    let _chunk = chunk_span(parent, start, start + rows);
+                    body(start, chunk)
+                });
             }
+            let first_rows = first.1.len() / row_len;
+            let _chunk = chunk_span(parent, first.0, first.0 + first_rows);
             body(first.0, first.1);
-        })
-        .expect("worker panicked inside parallel_for_rows");
+        });
     }
 
     /// Computes the chunk boundaries for a range of `len` iterations.
@@ -215,6 +230,15 @@ impl ThreadPool {
         debug_assert_eq!(start, len);
         chunks
     }
+}
+
+/// Opens a per-chunk span parented to the span that was current on the
+/// dispatching thread. Inert (and allocation-free) while tracing is off.
+fn chunk_span(parent: Option<u64>, start: usize, end: usize) -> orpheus_observe::SpanGuard {
+    let mut span = orpheus_observe::span_with_parent("chunk", "threads", parent);
+    span.attr("start", start);
+    span.attr("end", end);
+    span
 }
 
 impl Default for ThreadPool {
@@ -273,8 +297,8 @@ mod tests {
         let pool = ThreadPool::new(4).unwrap();
         let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
         pool.parallel_for(97, 1, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::SeqCst);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::SeqCst);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     native.run(&image)?;
     let start = Instant::now();
     let want = native.run(&image)?;
-    println!("native (packed GEMM): {:8.2} ms", start.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "native (packed GEMM): {:8.2} ms",
+        start.elapsed().as_secs_f64() * 1e3
+    );
 
     for vendor in [VendorBackend::Vnnl, VendorBackend::Vcl] {
         let network = Engine::new(1)?

@@ -23,8 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two geometries that sit on opposite sides of the paper's crossover:
     // a small WRN-style layer and a big ResNet-style layer.
     let cases = [
-        ("WRN-style 32ch @ 32x32", Conv2dParams::square(32, 32, 3).with_padding(1, 1), 32),
-        ("ResNet-style 128ch @ 28x28", Conv2dParams::square(128, 128, 3).with_padding(1, 1), 28),
+        (
+            "WRN-style 32ch @ 32x32",
+            Conv2dParams::square(32, 32, 3).with_padding(1, 1),
+            32,
+        ),
+        (
+            "ResNet-style 128ch @ 28x28",
+            Conv2dParams::square(128, 128, 3).with_padding(1, 1),
+            28,
+        ),
     ];
 
     for (label, params, hw) in cases {
@@ -33,10 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let input = Tensor::from_fn(&[1, params.in_channels, hw, hw], |i| {
             ((i % 17) as f32 - 8.0) * 0.05
         });
-        let reference = Conv2d::new(params, weight.clone(), None, ConvAlgorithm::Direct)?
-            .run(&input, &pool)?;
+        let reference =
+            Conv2d::new(params, weight.clone(), None, ConvAlgorithm::Direct)?.run(&input, &pool)?;
 
-        println!("{:<26} {:>12} {:>10}", "algorithm", "time (us)", "max |err|");
+        println!(
+            "{:<26} {:>12} {:>10}",
+            "algorithm", "time (us)", "max |err|"
+        );
         for algo in [
             ConvAlgorithm::Direct,
             ConvAlgorithm::Im2colGemm(GemmKernel::Naive),
@@ -55,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 conv.run(&input, &pool)?;
             }
             let micros = start.elapsed().as_secs_f64() * 1e6 / runs as f64;
-            println!("{:<26} {:>12.1} {:>10.2e}", algo.to_string(), micros, report.max_abs);
+            println!(
+                "{:<26} {:>12.1} {:>10.2e}",
+                algo.to_string(),
+                micros,
+                report.max_abs
+            );
         }
     }
     println!("\nAll implementations agree; pick by geometry (see the heuristic policy).");

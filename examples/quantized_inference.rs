@@ -21,9 +21,21 @@ use orpheus_threads::ThreadPool;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pool = ThreadPool::single();
     let layers = [
-        ("stem 3->32 @56", Conv2dParams::square(3, 32, 3).with_padding(1, 1), 56),
-        ("body 64->64 @28", Conv2dParams::square(64, 64, 3).with_padding(1, 1), 28),
-        ("pointwise 128->128 @14", Conv2dParams::square(128, 128, 1), 14),
+        (
+            "stem 3->32 @56",
+            Conv2dParams::square(3, 32, 3).with_padding(1, 1),
+            56,
+        ),
+        (
+            "body 64->64 @28",
+            Conv2dParams::square(64, 64, 3).with_padding(1, 1),
+            28,
+        ),
+        (
+            "pointwise 128->128 @14",
+            Conv2dParams::square(128, 128, 1),
+            14,
+        ),
     ];
 
     println!(
@@ -44,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let want = float_conv.run(&input, &pool)?;
         let got = qconv.run(&q_input, &pool)?;
-        let rel = max_abs_diff(&got, &want) / want.norm().max(1e-9)
-            * (want.len() as f32).sqrt();
+        let rel = max_abs_diff(&got, &want) / want.norm().max(1e-9) * (want.len() as f32).sqrt();
 
         let time = |f: &dyn Fn()| {
             f(); // warm-up

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full workspace test suite.
+# Network-free — every dependency is an in-tree path crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "all checks passed"

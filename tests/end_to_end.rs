@@ -22,7 +22,9 @@ fn all_five_paper_models_classify() {
         let hw = test_hw(model);
         let graph = build_model_with_input(model, hw, hw);
         let engine = Engine::new(1).expect("engine");
-        let network = engine.load(graph).unwrap_or_else(|e| panic!("{model}: {e}"));
+        let network = engine
+            .load(graph)
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
         let out = network
             .run(&synthetic_image(3, hw))
             .unwrap_or_else(|e| panic!("{model}: {e}"));
@@ -47,7 +49,11 @@ fn onnx_round_trip_preserves_inference_for_every_model() {
         let graph = build_model_with_input(model, hw, hw);
         let bytes = export_model(&graph).unwrap_or_else(|e| panic!("{model}: export: {e}"));
         let reimported = import_model(&bytes).unwrap_or_else(|e| panic!("{model}: import: {e}"));
-        assert_eq!(reimported.nodes().len(), graph.nodes().len(), "{model} nodes");
+        assert_eq!(
+            reimported.nodes().len(),
+            graph.nodes().len(),
+            "{model} nodes"
+        );
 
         let engine = Engine::new(1).expect("engine");
         let input = synthetic_image(3, hw);
@@ -124,7 +130,11 @@ fn profile_accounts_for_total_time() {
     let graph = build_model_with_input(ModelKind::LeNet5, 28, 28);
     let network = Engine::new(1).unwrap().load(graph).unwrap();
     let (_, profile) = network.run_profiled(&synthetic_image(1, 28)).unwrap();
-    let layer_sum: f64 = profile.timings.iter().map(|t| t.duration.as_secs_f64()).sum();
+    let layer_sum: f64 = profile
+        .timings
+        .iter()
+        .map(|t| t.duration.as_secs_f64())
+        .sum();
     let total = profile.total.as_secs_f64();
     assert!(layer_sum <= total, "layer times exceed wall clock");
     assert!(

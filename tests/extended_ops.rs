@@ -13,8 +13,14 @@ use orpheus_threads::ThreadPool;
 fn exporter_style_graph() -> Graph {
     let mut g = Graph::new("exporter-style");
     g.add_input(ValueInfo::new("x", &[1, 3, 8, 8]));
-    g.add_initializer("w", Tensor::from_fn(&[8, 3, 3, 3], |i| ((i % 11) as f32 - 5.0) * 0.05));
-    g.add_initializer("fc_w", Tensor::from_fn(&[4, 8], |i| ((i % 7) as f32 - 3.0) * 0.1));
+    g.add_initializer(
+        "w",
+        Tensor::from_fn(&[8, 3, 3, 3], |i| ((i % 11) as f32 - 5.0) * 0.05),
+    );
+    g.add_initializer(
+        "fc_w",
+        Tensor::from_fn(&[4, 8], |i| ((i % 7) as f32 - 3.0) * 0.1),
+    );
     g.add_node(
         Node::new("pad", OpKind::Pad, &["x"], &["xp"]).with_attrs(
             Attributes::new()
@@ -90,7 +96,9 @@ fn manual_pad_conv_equals_padded_conv() {
     // pad_constant + unpadded conv == padded conv, at the operator level.
     let params_padded = Conv2dParams::square(2, 4, 3).with_padding(1, 1);
     let params_plain = Conv2dParams::square(2, 4, 3);
-    let weight = Tensor::from_fn(&params_padded.weight_dims(), |i| ((i % 5) as f32 - 2.0) * 0.1);
+    let weight = Tensor::from_fn(&params_padded.weight_dims(), |i| {
+        ((i % 5) as f32 - 2.0) * 0.1
+    });
     let input = Tensor::from_fn(&[1, 2, 6, 6], |i| ((i * 7 % 13) as f32 - 6.0) * 0.2);
     let pool = ThreadPool::single();
 
