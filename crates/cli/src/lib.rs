@@ -967,6 +967,59 @@ pub fn run_repeat(
     Ok(LatencyStats::from_histogram(&histogram))
 }
 
+/// EXP-ROB: deterministic fault-injection fuzzing of the ONNX importer.
+///
+/// Exports each model to ONNX bytes and feeds `iters` structure-aware
+/// mutations per model through [`orpheus_onnx::fuzz_import`] under the
+/// default [`orpheus_onnx::ImportLimits`]. Model `i` fuzzes with seed
+/// `seed + i`, so a campaign is reproducible from its command line alone.
+///
+/// Returns the per-model report table.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Execution`] if any mutant panicked the importer or
+/// was accepted despite exceeding the limits — both are importer bugs, never
+/// acceptable outcomes.
+pub fn run_fuzz(models: &[ModelKind], iters: u64, seed: u64) -> Result<String, EngineError> {
+    use orpheus_onnx::{fuzz_import, FuzzReport, ImportLimits};
+    let limits = ImportLimits::default();
+    let mut total = FuzzReport::default();
+    let mut out = String::new();
+    for (i, &model) in models.iter().enumerate() {
+        let graph = orpheus_models::build_model(model);
+        let bytes = orpheus_onnx::export_model(&graph)
+            .map_err(|e| EngineError::Config(format!("exporting {model}: {e}")))?;
+        let report = fuzz_import(&bytes, &limits, seed.wrapping_add(i as u64), iters);
+        out.push_str(&format!("{:<14} {report}\n", model.name()));
+        total.merge(&report);
+    }
+    if models.len() > 1 {
+        out.push_str(&format!("{:<14} {total}\n", "total"));
+    }
+    if !total.is_clean() {
+        return Err(EngineError::Execution(format!(
+            "importer contract violated: {} panic(s), {} over-limit accept(s)\n{out}",
+            total.panics, total.limit_violations
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_runner_is_deterministic_and_clean() {
+        let a = run_fuzz(&[ModelKind::TinyCnn], 64, 7).unwrap();
+        let b = run_fuzz(&[ModelKind::TinyCnn], 64, 7).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same campaign");
+        assert!(a.contains("64 iters"));
+        assert!(a.contains("0 panics"));
+    }
+}
+
 #[cfg(test)]
 mod observe_tests {
     use super::*;

@@ -14,6 +14,7 @@
 //! orpheus-cli sweep [--channels a,b] [--hws a,b] [--k N] [--stride N]
 //! orpheus-cli policy --model M [--hw N] [--repeats N]
 //! orpheus-cli export --model M --out FILE.onnx
+//! orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
 //! ```
 
 use std::process::ExitCode;
@@ -52,7 +53,8 @@ const USAGE: &str = "usage:
   orpheus-cli sweep [--channels a,b] [--hws a,b] [--k N] [--stride N]
   orpheus-cli export --model M --out FILE.onnx
   orpheus-cli policy --model M [--hw N] [--repeats N]
-  orpheus-cli validate (--model M | --onnx FILE) [--hw N]";
+  orpheus-cli validate (--model M | --onnx FILE) [--hw N]
+  orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]";
 
 /// Tiny `--flag value` argument scanner.
 struct Args<'a> {
@@ -278,16 +280,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "validate" => {
-            let hw_default;
             let graph = if let Some(path) = args.value("--onnx") {
                 let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
-                let g = orpheus_onnx::import_model(&bytes).map_err(|e| e.to_string())?;
-                hw_default = g.inputs().first().map(|i| i.dims[2]).unwrap_or(32);
-                g
+                orpheus_onnx::import_model(&bytes).map_err(|e| e.to_string())?
             } else {
                 let model = required_model(&args)?;
-                hw_default = InputScale::Quick.input_hw(model);
-                let hw = args.usize_or("--hw", hw_default)?;
+                let hw = args.usize_or("--hw", InputScale::Quick.input_hw(model))?;
                 orpheus_models::build_model_with_input(model, hw, hw)
             };
             let dims = graph
@@ -295,7 +293,6 @@ fn run(argv: &[String]) -> Result<(), String> {
                 .first()
                 .map(|i| i.dims.clone())
                 .ok_or_else(|| "model has no input".to_string())?;
-            let _ = hw_default;
             let input =
                 orpheus_tensor::Tensor::from_fn(&dims, |i| ((i * 31 % 97) as f32 / 97.0) - 0.5);
             let rows =
@@ -319,6 +316,25 @@ fn run(argv: &[String]) -> Result<(), String> {
             if failures > 0 {
                 return Err(format!("{failures} backend(s) failed validation"));
             }
+            Ok(())
+        }
+        "fuzz" => {
+            let models = match args.value("--model") {
+                None | Some("all") => ModelKind::FIGURE2.to_vec(),
+                Some(name) => {
+                    vec![ModelKind::from_name(name)
+                        .ok_or_else(|| format!("unknown model {name:?}"))?]
+                }
+            };
+            let iters = args.usize_or("--iters", 1000)? as u64;
+            let seed = args.usize_or("--seed", 0x0e5)? as u64;
+            println!(
+                "fuzzing the ONNX importer: {} model(s), {iters} mutants each, seed {seed}",
+                models.len()
+            );
+            let table = orpheus_cli::run_fuzz(&models, iters, seed).map_err(|e| e.to_string())?;
+            print!("{table}");
+            println!("importer contract held: no panics, no over-limit accepts");
             Ok(())
         }
         "export" => {

@@ -1,0 +1,52 @@
+//! Fuzz smoke: the untrusted-model import contract over the model zoo.
+//!
+//! Runs ≥10k deterministic structure-aware mutations of real exported models
+//! through the importer and asserts the robustness contract: every mutant is
+//! either imported within the configured limits or rejected with a typed
+//! error — never a panic, never an over-limit accept.
+//!
+//! The campaign uses the small zoo models (TinyCNN, LeNet-5) so it stays
+//! fast in debug builds; `scripts/check.sh` additionally smokes all five
+//! Figure 2 models through the release `orpheus-cli fuzz` subcommand.
+
+use orpheus_models::ModelKind;
+use orpheus_onnx::{export_model, fuzz_import, FuzzReport, ImportLimits};
+
+const SEED: u64 = 0x0e5_f0ce;
+
+#[test]
+fn ten_thousand_mutants_never_panic_or_exceed_limits() {
+    let limits = ImportLimits::default();
+    let mut total = FuzzReport::default();
+    for (model, iters) in [(ModelKind::TinyCnn, 8000u64), (ModelKind::LeNet5, 2000)] {
+        let graph = orpheus_models::build_model(model);
+        let bytes = export_model(&graph).expect("zoo model exports");
+        let report = fuzz_import(&bytes, &limits, SEED ^ iters, iters);
+        assert_eq!(report.iterations, iters);
+        // Iteration 0 is the identity mutation: the unmutated export must
+        // import cleanly, so a broken baseline cannot hide in the noise.
+        assert!(report.ok >= 1, "{model}: baseline import failed: {report}");
+        assert!(
+            report.is_clean(),
+            "{model}: importer contract violated: {report}"
+        );
+        total.merge(&report);
+    }
+    assert!(total.iterations >= 10_000);
+    // The mutators are actually reaching rejection paths, not just
+    // producing importable models.
+    assert!(
+        total.wire_errors + total.model_errors + total.graph_errors + total.unsupported > 0,
+        "no mutant was ever rejected — mutator is too gentle: {total}"
+    );
+}
+
+#[test]
+fn fuzz_campaign_is_deterministic_across_runs() {
+    let graph = orpheus_models::build_model(ModelKind::TinyCnn);
+    let bytes = export_model(&graph).expect("zoo model exports");
+    let limits = ImportLimits::default();
+    let a = fuzz_import(&bytes, &limits, SEED, 300);
+    let b = fuzz_import(&bytes, &limits, SEED, 300);
+    assert_eq!(a, b, "same seed and corpus must reproduce the same report");
+}

@@ -33,6 +33,7 @@ pub struct Engine {
     policy: SelectionPolicy,
     simplify: bool,
     vendor: Option<VendorBackend>,
+    fault_injection: Option<String>,
 }
 
 impl Engine {
@@ -70,6 +71,7 @@ impl Engine {
             simplify: personality.simplifies_graph(),
             personality,
             vendor: None,
+            fault_injection: None,
         })
     }
 
@@ -90,6 +92,14 @@ impl Engine {
     /// Routes plain convolutions to a simulated vendor backend.
     pub fn with_vendor_backend(mut self, vendor: VendorBackend) -> Self {
         self.vendor = Some(vendor);
+        self
+    }
+
+    /// Injects a runtime fault into every lowered layer whose implementation
+    /// string contains `needle` (robustness drill: the wrapped layers fail
+    /// every `run`, exercising the reference-fallback path).
+    pub fn with_fault_injection(mut self, needle: &str) -> Self {
+        self.fault_injection = Some(needle.to_string());
         self
     }
 
@@ -131,12 +141,24 @@ impl Engine {
         if self.simplify {
             PassManager::standard().run_to_fixpoint(&mut graph)?;
         }
-        let plan = {
+        let mut plan = {
             let mut lower_span = observe::span("lower", "engine");
             let plan = lower(self, &graph)?;
             lower_span.attr("layers", plan.steps.len());
             plan
         };
+        if let Some(needle) = &self.fault_injection {
+            plan.steps = plan
+                .steps
+                .into_iter()
+                .map(|mut step| {
+                    if step.layer.implementation().contains(needle.as_str()) {
+                        step.layer = Box::new(crate::fault::FaultyLayer::new(step.layer));
+                    }
+                    step
+                })
+                .collect();
+        }
         Ok(Network {
             name: graph.name.clone(),
             plan,
@@ -267,7 +289,21 @@ impl Network {
             layer_span.attr("implementation", step.layer.implementation());
             layer_span.attr("flops", step.layer.flops());
             let layer_start = Instant::now();
-            let output = step.layer.run(&inputs, &self.pool)?;
+            let output = match step.layer.run(&inputs, &self.pool) {
+                Ok(out) => out,
+                Err(primary) => {
+                    // Graceful degradation: rebuild the layer on its
+                    // reference implementation and retry once. The original
+                    // error wins if even the reference path cannot run.
+                    let Some(fallback) = step.layer.reference_fallback() else {
+                        return Err(primary);
+                    };
+                    let out = fallback.run(&inputs, &self.pool).map_err(|_| primary)?;
+                    layer_span.attr("fallback", fallback.implementation());
+                    observe::counter_add("selection.fallback", 1);
+                    out
+                }
+            };
             drop(layer_span);
             if profiled {
                 timings.push(LayerTiming {
@@ -466,6 +502,70 @@ mod tests {
         let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
         assert!(network.flops() > 0);
         assert!(network.describe().contains("Conv"));
+    }
+
+    #[test]
+    fn injected_conv_fault_degrades_to_reference_and_counts() {
+        // Break every optimized convolution implementation at run time; the
+        // network must still produce a correct answer through the Direct
+        // reference path and record each rescue.
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 3) % 7) as f32 * 0.1);
+        let expected = Engine::new(1)
+            .unwrap()
+            .load(graph.clone())
+            .unwrap()
+            .run(&input)
+            .unwrap();
+
+        observe::enable();
+        observe::reset();
+        let network = Engine::new(1)
+            .unwrap()
+            // TinyCnn's plain convs lower to im2col-gemm(packed) or
+            // spatial-pack — both contain "pack", neither is the Direct
+            // reference, so this breaks every optimized conv.
+            .with_fault_injection("pack")
+            .load(graph)
+            .unwrap();
+        assert!(
+            network.describe().contains("faulty("),
+            "fault injection selected no layer:\n{}",
+            network.describe()
+        );
+        let out = network.run(&input).unwrap();
+        let snapshot = observe::metrics_snapshot();
+        observe::disable();
+        observe::reset();
+
+        let r = orpheus_tensor::allclose(&out, &expected, 1e-3, 1e-4);
+        assert!(r.ok, "fallback output disagrees: {r:?}");
+        assert!(
+            snapshot
+                .counters
+                .get("selection.fallback")
+                .copied()
+                .unwrap_or(0)
+                >= 1,
+            "selection.fallback not incremented: {:?}",
+            snapshot.counters
+        );
+    }
+
+    #[test]
+    fn fault_without_fallback_surfaces_the_original_error() {
+        // Pool layers have no reference twin; the injected fault must come
+        // back as the run error instead of silently degrading.
+        let network = Engine::new(1)
+            .unwrap()
+            .with_fault_injection("max")
+            .load(build_model(ModelKind::LeNet5))
+            .unwrap();
+        let err = network.run(&Tensor::ones(&[1, 1, 28, 28])).unwrap_err();
+        assert!(
+            err.to_string().contains("injected fault"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Deterministic fault injection for robustness drills.
+//!
+//! [`FaultyLayer`] wraps a real layer and fails every `run`, while passing
+//! [`Layer::reference_fallback`] through to the wrapped layer. Loading a
+//! model with [`Engine::with_fault_injection`](crate::Engine::with_fault_injection)
+//! wraps every layer whose implementation string contains the configured
+//! needle, which lets tests (and operators reproducing an incident) prove
+//! that inference still completes through the reference path when a selected
+//! implementation breaks at runtime.
+
+use orpheus_tensor::Tensor;
+use orpheus_threads::ThreadPool;
+
+use crate::error::EngineError;
+use crate::layer::Layer;
+
+/// A layer whose selected implementation always fails at `run` time.
+#[derive(Debug)]
+pub(crate) struct FaultyLayer {
+    inner: Box<dyn Layer>,
+}
+
+impl FaultyLayer {
+    pub(crate) fn new(inner: Box<dyn Layer>) -> Self {
+        FaultyLayer { inner }
+    }
+}
+
+impl Layer for FaultyLayer {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn op_name(&self) -> &str {
+        self.inner.op_name()
+    }
+    fn implementation(&self) -> String {
+        format!("faulty({})", self.inner.implementation())
+    }
+    fn run(&self, _inputs: &[&Tensor], _pool: &ThreadPool) -> Result<Tensor, EngineError> {
+        Err(EngineError::Execution(format!(
+            "injected fault in layer {:?} ({})",
+            self.inner.name(),
+            self.inner.implementation()
+        )))
+    }
+    fn flops(&self) -> u64 {
+        self.inner.flops()
+    }
+    fn reference_fallback(&self) -> Option<Box<dyn Layer>> {
+        self.inner.reference_fallback()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::native::ActivationLayer;
+    use orpheus_ops::activation::Activation;
+
+    #[test]
+    fn faulty_layer_always_fails_and_reports() {
+        let layer = FaultyLayer::new(Box::new(ActivationLayer::new("a", Activation::Relu)));
+        assert_eq!(layer.name(), "a");
+        assert_eq!(layer.op_name(), "Activation");
+        assert!(layer.implementation().starts_with("faulty("));
+        let t = Tensor::ones(&[2]);
+        let err = layer.run(&[&t], &ThreadPool::single()).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        // An activation layer has no reference twin to fall back to.
+        assert!(layer.reference_fallback().is_none());
+    }
+}

@@ -41,6 +41,16 @@ pub trait Layer: fmt::Debug + Send + Sync {
     fn flops(&self) -> u64 {
         0
     }
+
+    /// A reference implementation of this layer to run when the selected
+    /// implementation fails at execution time, or `None` when the layer has
+    /// no slower-but-safer twin (or already *is* the reference).
+    ///
+    /// The executor calls this lazily — only after a `run` failure — so
+    /// supporting graceful degradation costs no memory on the happy path.
+    fn reference_fallback(&self) -> Option<Box<dyn Layer>> {
+        None
+    }
 }
 
 /// Checks the arity of a layer's inputs — shared helper for implementations.

@@ -83,6 +83,29 @@ impl Layer for ConvLayer {
     fn flops(&self) -> u64 {
         self.flops
     }
+    fn reference_fallback(&self) -> Option<Box<dyn Layer>> {
+        // `Direct` is the reference: it supports every geometry and shares no
+        // code with the optimized paths, so a bug in packing or tiling cannot
+        // take it down too.
+        if self.conv.algorithm() == ConvAlgorithm::Direct {
+            return None;
+        }
+        let mut conv = Conv2d::new(
+            *self.conv.params(),
+            self.conv.weight().clone(),
+            self.conv.bias().cloned(),
+            ConvAlgorithm::Direct,
+        )
+        .ok()?;
+        if let Some(act) = self.conv.activation() {
+            conv = conv.with_activation(act);
+        }
+        Some(Box::new(ConvLayer {
+            name: self.name.clone(),
+            conv,
+            flops: self.flops,
+        }))
+    }
 }
 
 /// Fully-connected layer.
@@ -629,6 +652,48 @@ mod tests {
         assert_eq!(layer.op_name(), "Conv");
         assert!(layer.flops() > 0);
         assert_eq!(layer.implementation(), "im2col-gemm(packed)");
+    }
+
+    #[test]
+    fn conv_layer_reference_fallback_agrees() {
+        let params = Conv2dParams::square(2, 3, 3).with_padding(1, 1);
+        let layer = ConvLayer::new(
+            "c0",
+            params,
+            Tensor::from_fn(&[3, 2, 3, 3], |i| (i % 5) as f32 * 0.1 - 0.2),
+            Some(Tensor::from_fn(&[3], |i| i as f32)),
+            ConvAlgorithm::default(),
+            Some(Activation::Relu),
+            (4, 4),
+        )
+        .unwrap();
+        let fallback = layer
+            .reference_fallback()
+            .expect("optimized conv has a twin");
+        assert_eq!(fallback.implementation(), "direct");
+        assert_eq!(fallback.name(), layer.name());
+        assert_eq!(fallback.flops(), layer.flops());
+        let input = Tensor::from_fn(&[1, 2, 4, 4], |i| ((i * 7) % 11) as f32 * 0.1);
+        let a = layer.run(&[&input], &pool1()).unwrap();
+        let b = fallback.run(&[&input], &pool1()).unwrap();
+        let r = orpheus_tensor::allclose(&a, &b, 1e-4, 1e-5);
+        assert!(r.ok, "fallback disagrees with primary: {r:?}");
+    }
+
+    #[test]
+    fn direct_conv_has_no_fallback() {
+        let params = Conv2dParams::square(1, 1, 1);
+        let layer = ConvLayer::new(
+            "c",
+            params,
+            Tensor::ones(&[1, 1, 1, 1]),
+            None,
+            ConvAlgorithm::Direct,
+            None,
+            (2, 2),
+        )
+        .unwrap();
+        assert!(layer.reference_fallback().is_none());
     }
 
     #[test]

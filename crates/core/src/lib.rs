@@ -51,6 +51,7 @@
 
 mod engine;
 mod error;
+mod fault;
 mod layer;
 pub mod layers;
 mod lower;

@@ -131,10 +131,12 @@ fn auto_tune(
             orpheus_observe::span("", "selection")
         };
         let Ok(conv) = Conv2d::new(*params, weight.clone(), None, algo) else {
+            orpheus_observe::counter_add("selection.candidate_error", 1);
             continue;
         };
         // Warm-up (also allocates scratch paths).
         if conv.run(&input, pool).is_err() {
+            orpheus_observe::counter_add("selection.candidate_error", 1);
             continue;
         }
         let start = Instant::now();
@@ -147,7 +149,13 @@ fn auto_tune(
             best = Some((algo, elapsed));
         }
     }
-    best.map(|(a, _)| a).unwrap_or_default()
+    best.map(|(a, _)| a).unwrap_or_else(|| {
+        // Every candidate failed to build or run: degrade to the reference
+        // implementation rather than guessing an optimized path that may be
+        // equally broken.
+        orpheus_observe::counter_add("selection.fallback", 1);
+        ConvAlgorithm::Direct
+    })
 }
 
 #[cfg(test)]

@@ -96,7 +96,10 @@ fn fold_pair(graph: &mut Graph, conv_idx: usize, bn_idx: usize) -> Result<(), Gr
         .initializer(&conv.inputs[1])
         .ok_or_else(|| perr("missing weight"))?;
 
-    let co = weight.dims()[0];
+    let co = match weight.dims().first() {
+        Some(&co) if co > 0 => co,
+        _ => return Err(perr("conv weight has no output-channel dim")),
+    };
     if scale.len() != co || shift.len() != co || mean.len() != co || var.len() != co {
         return Err(perr("BN parameter length != conv out_channels"));
     }
@@ -134,14 +137,17 @@ fn fold_pair(graph: &mut Graph, conv_idx: usize, bn_idx: usize) -> Result<(), Gr
     // dead-code elimination reclaims the originals.
     let w_name = format!("{}__bnfold_w", conv.name);
     let b_name = format!("{}__bnfold_b", conv.name);
+    let bias_tensor = Tensor::from_vec(new_bias, &[co])
+        .map_err(|_| perr("folded bias length != out_channels"))?;
     graph.add_initializer(&w_name, new_weight);
-    graph.add_initializer(
-        &b_name,
-        Tensor::from_vec(new_bias, &[co]).expect("bias length == co"),
-    );
+    graph.add_initializer(&b_name, bias_tensor);
 
     // The conv now produces the BN's output directly.
-    let bn_out = bn.outputs[0].clone();
+    let bn_out = bn
+        .outputs
+        .first()
+        .ok_or_else(|| perr("BN node has no outputs"))?
+        .clone();
     {
         let node = &mut graph.nodes_mut()[conv_idx];
         node.inputs.truncate(1);
@@ -221,6 +227,28 @@ mod tests {
         let mut g = conv_bn_graph(false, true);
         assert!(!BatchNormFold.run(&mut g).unwrap());
         assert_eq!(g.nodes().len(), 3);
+    }
+
+    #[test]
+    fn rank0_weight_errors_instead_of_panicking() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 1, 4, 4]));
+        g.add_initializer("w", Tensor::scalar(3.0)); // rank 0: no out-channel dim
+        g.add_node(Node::new("conv", OpKind::Conv, &["x", "w"], &["c"]));
+        for p in ["scale", "shift", "mean", "var"] {
+            g.add_initializer(p, Tensor::ones(&[2]));
+        }
+        g.add_node(Node::new(
+            "bn",
+            OpKind::BatchNormalization,
+            &["c", "scale", "shift", "mean", "var"],
+            &["y"],
+        ));
+        g.add_output("y");
+        assert!(matches!(
+            BatchNormFold.run(&mut g),
+            Err(GraphError::Pass { .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,10 @@ impl Pass for PadFold {
     }
 
     fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        let perr = |reason: &str| GraphError::Pass {
+            pass: "pad-fold".into(),
+            reason: reason.into(),
+        };
         let mut changed = false;
         while let Some((pad_idx, conv_idx)) = find_foldable_pair(graph) {
             let pad = graph.nodes()[pad_idx].clone();
@@ -27,20 +31,32 @@ impl Pass for PadFold {
             // [n_b, c_b, h_b, w_b, n_e, c_e, h_e, w_e]; symmetric spatial
             // guaranteed by find_foldable_pair.
             let (extra_h, extra_w) = (pads[2], pads[3]);
+            let pad_in = pad
+                .inputs
+                .first()
+                .ok_or_else(|| perr("Pad node has no input"))?
+                .clone();
             {
                 let conv = &mut graph.nodes_mut()[conv_idx];
                 let mut conv_pads = conv.attrs.ints_or("pads", &[0, 0, 0, 0]);
                 if conv_pads.len() != 4 {
                     conv_pads = vec![0, 0, 0, 0];
                 }
+                // Attribute values are untrusted; combined pads must stay
+                // within i64 or the fold is invalid.
+                let combine = |base: usize, extra: usize| -> Result<i64, GraphError> {
+                    base.checked_add(extra)
+                        .and_then(|v| i64::try_from(v).ok())
+                        .ok_or_else(|| perr("combined pads overflow"))
+                };
                 let new_pads: Vec<i64> = vec![
-                    (conv_pads[0] + extra_h) as i64,
-                    (conv_pads[1] + extra_w) as i64,
-                    (conv_pads[2] + extra_h) as i64,
-                    (conv_pads[3] + extra_w) as i64,
+                    combine(conv_pads[0], extra_h)?,
+                    combine(conv_pads[1], extra_w)?,
+                    combine(conv_pads[2], extra_h)?,
+                    combine(conv_pads[3], extra_w)?,
                 ];
                 conv.attrs.set("pads", AttrValue::Ints(new_pads));
-                conv.inputs[0] = pad.inputs[0].clone();
+                conv.inputs[0] = pad_in;
             }
             graph.nodes_mut().remove(pad_idx);
             changed = true;
@@ -58,7 +74,11 @@ fn find_foldable_pair(graph: &Graph) -> Option<(usize, usize)> {
         if conv.op != OpKind::Conv {
             continue;
         }
-        let conv_in = conv.inputs.first()?;
+        // A conv with no inputs is malformed but must not abort the whole
+        // search (`?` here would skip every later candidate).
+        let Some(conv_in) = conv.inputs.first() else {
+            continue;
+        };
         let Some(&pad_idx) = producers.get(conv_in.as_str()) else {
             continue;
         };
@@ -147,6 +167,28 @@ mod tests {
     fn skips_asymmetric_spatial_padding() {
         let mut g = pad_conv_graph(vec![0, 0, 1, 0, 0, 0, 0, 1], 0.0);
         assert!(!PadFold.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn inputless_conv_does_not_abort_the_search() {
+        // Regression: `conv.inputs.first()?` used to return None from the
+        // whole search when ANY conv lacked inputs, skipping later pairs.
+        let mut g = pad_conv_graph(vec![0, 0, 1, 1, 0, 0, 1, 1], 0.0);
+        g.nodes_mut()
+            .insert(0, Node::new("broken", OpKind::Conv, &[], &["z"]));
+        assert!(PadFold.run(&mut g).unwrap());
+        assert_eq!(g.nodes().len(), 2, "pad folded despite the broken conv");
+    }
+
+    #[test]
+    fn huge_pads_error_instead_of_overflowing() {
+        let big = i64::MAX;
+        let mut g = pad_conv_graph(vec![0, 0, big, big, 0, 0, big, big], 0.0);
+        // Give the conv near-max pads so the combined value overflows i64.
+        g.nodes_mut()[1]
+            .attrs
+            .set("pads", AttrValue::Ints(vec![big, big, big, big]));
+        assert!(matches!(PadFold.run(&mut g), Err(GraphError::Pass { .. })));
     }
 
     #[test]

@@ -58,15 +58,47 @@ fn input_shape<'a>(
 }
 
 /// Output extent of one spatial convolution/pooling dimension.
+///
+/// All arithmetic is checked: attribute values come straight from untrusted
+/// model bytes, so a huge kernel, pad, or dilation must surface as a shape
+/// error rather than overflow.
 fn spatial_out(
     input: usize,
     kernel: usize,
     stride: usize,
     pad_total: usize,
     dilation: usize,
-) -> usize {
-    let effective = dilation * (kernel - 1) + 1;
-    (input + pad_total).saturating_sub(effective) / stride.max(1) + 1
+) -> Result<usize, String> {
+    if kernel == 0 {
+        return Err("kernel extent is 0".into());
+    }
+    let effective = dilation
+        .checked_mul(kernel - 1)
+        .and_then(|v| v.checked_add(1))
+        .ok_or_else(|| format!("dilated kernel overflows: dilation {dilation} kernel {kernel}"))?;
+    let padded = input
+        .checked_add(pad_total)
+        .ok_or_else(|| format!("padded extent overflows: input {input} pads {pad_total}"))?;
+    Ok(padded.saturating_sub(effective) / stride.max(1) + 1)
+}
+
+/// Product of dims, or `None` on overflow.
+fn checked_product<'a>(dims: impl IntoIterator<Item = &'a usize>) -> Option<usize> {
+    dims.into_iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+}
+
+/// Reads a 2-element spatial attribute (kernel/strides/dilations), rejecting
+/// lists of any other length so indexing can never panic.
+fn spatial_pair(node: &Node, name: &str, default: [usize; 2]) -> Result<[usize; 2], GraphError> {
+    let v = node.attrs.ints_or(name, &default);
+    match v.as_slice() {
+        [h, w] => Ok([*h, *w]),
+        other => Err(err(
+            node,
+            format!("{name} expects 2 values, got {}", other.len()),
+        )),
+    }
 }
 
 fn infer_node(
@@ -81,16 +113,24 @@ fn infer_node(
             if x.len() != 4 || w.len() != 4 {
                 return Err(err(node, "Conv expects rank-4 input and weight"));
             }
-            let kernel = node.attrs.ints_or("kernel_shape", &[w[2], w[3]]);
-            let strides = node.attrs.ints_or("strides", &[1, 1]);
+            let kernel = spatial_pair(node, "kernel_shape", [w[2], w[3]])?;
+            let strides = spatial_pair(node, "strides", [1, 1])?;
             let pads = node.attrs.ints_or("pads", &[0, 0, 0, 0]);
-            let dilations = node.attrs.ints_or("dilations", &[1, 1]);
+            let dilations = spatial_pair(node, "dilations", [1, 1])?;
             let (pt, pl, pb, pr) = pads_4(&pads);
+            let pad_h = pt
+                .checked_add(pb)
+                .ok_or_else(|| err(node, "pads overflow"))?;
+            let pad_w = pl
+                .checked_add(pr)
+                .ok_or_else(|| err(node, "pads overflow"))?;
             vec![
                 x[0],
                 w[0],
-                spatial_out(x[2], kernel[0], strides[0], pt + pb, dilations[0]),
-                spatial_out(x[3], kernel[1], strides[1], pl + pr, dilations[1]),
+                spatial_out(x[2], kernel[0], strides[0], pad_h, dilations[0])
+                    .map_err(|m| err(node, m))?,
+                spatial_out(x[3], kernel[1], strides[1], pad_w, dilations[1])
+                    .map_err(|m| err(node, m))?,
             ]
         }
         OpKind::MaxPool | OpKind::AveragePool => {
@@ -98,15 +138,21 @@ fn infer_node(
             if x.len() != 4 {
                 return Err(err(node, "pooling expects rank-4 input"));
             }
-            let kernel = node.attrs.ints_or("kernel_shape", &[1, 1]);
-            let strides = node.attrs.ints_or("strides", &kernel);
+            let kernel = spatial_pair(node, "kernel_shape", [1, 1])?;
+            let strides = spatial_pair(node, "strides", kernel)?;
             let pads = node.attrs.ints_or("pads", &[0, 0, 0, 0]);
             let (pt, pl, pb, pr) = pads_4(&pads);
+            let pad_h = pt
+                .checked_add(pb)
+                .ok_or_else(|| err(node, "pads overflow"))?;
+            let pad_w = pl
+                .checked_add(pr)
+                .ok_or_else(|| err(node, "pads overflow"))?;
             vec![
                 x[0],
                 x[1],
-                spatial_out(x[2], kernel[0], strides[0], pt + pb, 1),
-                spatial_out(x[3], kernel[1], strides[1], pl + pr, 1),
+                spatial_out(x[2], kernel[0], strides[0], pad_h, 1).map_err(|m| err(node, m))?,
+                spatial_out(x[3], kernel[1], strides[1], pad_w, 1).map_err(|m| err(node, m))?,
             ]
         }
         OpKind::GlobalAveragePool => {
@@ -126,7 +172,8 @@ fn infer_node(
                 return Err(err(node, "only transB=1 Gemm is supported"));
             }
             let batch = x.first().copied().unwrap_or(1);
-            let features: usize = x.iter().skip(1).product();
+            let features = checked_product(x.iter().skip(1))
+                .ok_or_else(|| err(node, "Gemm feature count overflows"))?;
             if features != w[1] {
                 return Err(err(
                     node,
@@ -163,7 +210,9 @@ fn infer_node(
                         return Err(err(node, "concat non-axis dims must match"));
                     }
                 }
-                total += s[axis];
+                total = s[axis]
+                    .checked_add(total)
+                    .ok_or_else(|| err(node, "concat extent overflows"))?;
             }
             let mut out = first;
             out[axis] = total;
@@ -180,8 +229,13 @@ fn infer_node(
             }
             x.iter()
                 .enumerate()
-                .map(|(d, &extent)| extent + pads[d] + pads[x.len() + d])
-                .collect()
+                .map(|(d, &extent)| {
+                    extent
+                        .checked_add(pads[d])
+                        .and_then(|v| v.checked_add(pads[x.len() + d]))
+                        .ok_or_else(|| err(node, "padded extent overflows"))
+                })
+                .collect::<Result<_, _>>()?
         }
         OpKind::ReduceMean => {
             let x = input_shape(node, shapes, 0)?;
@@ -208,13 +262,16 @@ fn infer_node(
             let x = input_shape(node, shapes, 0)?;
             let axis = node.attrs.int_or("axis", 1).max(0) as usize;
             let axis = axis.min(x.len());
-            let lead: usize = x[..axis].iter().product();
-            let trail: usize = x[axis..].iter().product();
+            let lead = checked_product(&x[..axis])
+                .ok_or_else(|| err(node, "Flatten lead extent overflows"))?;
+            let trail = checked_product(&x[axis..])
+                .ok_or_else(|| err(node, "Flatten trail extent overflows"))?;
             vec![lead.max(1), trail.max(1)]
         }
         OpKind::Reshape => {
             let x = input_shape(node, shapes, 0)?;
-            let total: usize = x.iter().product();
+            let total = checked_product(x.iter())
+                .ok_or_else(|| err(node, "Reshape input extent overflows"))?;
             let spec = node
                 .attrs
                 .get("shape")
@@ -273,7 +330,7 @@ fn resolve_reshape(spec: &[i64], total: usize) -> Result<Vec<usize>, String> {
             _ => return Err(format!("invalid reshape dim {d}")),
         }
     }
-    let known: usize = out.iter().product();
+    let known = checked_product(out.iter()).ok_or("reshape spec overflows")?;
     if let Some(i) = infer_at {
         if known == 0 || !total.is_multiple_of(known) {
             return Err(format!("cannot infer reshape dim: {total} / {known}"));
@@ -394,6 +451,52 @@ mod tests {
         assert_eq!(resolve_reshape(&[10], 10).unwrap(), vec![10]);
         assert!(resolve_reshape(&[-1, -1], 10).is_err());
         assert!(resolve_reshape(&[3], 10).is_err());
+    }
+
+    #[test]
+    fn conv_with_huge_attrs_errors_instead_of_overflowing() {
+        // Attribute values come from untrusted bytes; i64::MAX clamps to a
+        // huge usize in `ints_or` and used to overflow the spatial math.
+        let huge = i64::MAX;
+        for (name, values) in [
+            ("pads", vec![huge, huge, huge, huge]),
+            ("kernel_shape", vec![0, 0]),
+            ("kernel_shape", vec![3]), // wrong arity must not panic on index
+        ] {
+            let mut g = Graph::new("t");
+            g.add_input(ValueInfo::new("x", &[1, 1, 8, 8]));
+            g.add_initializer("w", Tensor::zeros(&[1, 1, 3, 3]));
+            g.add_node(
+                Node::new("c", OpKind::Conv, &["x", "w"], &["y"])
+                    .with_attrs(Attributes::new().with(name, AttrValue::Ints(values))),
+            );
+            g.add_output("y");
+            assert!(
+                matches!(infer_shapes(&g), Err(GraphError::ShapeInference { .. })),
+                "attr {name} must yield a shape error"
+            );
+        }
+    }
+
+    #[test]
+    fn pad_with_huge_pads_errors() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 1, 4, 4]));
+        g.add_node(
+            Node::new("p", OpKind::Pad, &["x"], &["y"])
+                .with_attrs(Attributes::new().with("pads", AttrValue::Ints(vec![i64::MAX; 8]))),
+        );
+        g.add_output("y");
+        assert!(matches!(
+            infer_shapes(&g),
+            Err(GraphError::ShapeInference { .. })
+        ));
+    }
+
+    #[test]
+    fn reshape_overflow_spec_errors() {
+        let big = i64::MAX;
+        assert!(resolve_reshape(&[big, big], 10).is_err());
     }
 
     #[test]

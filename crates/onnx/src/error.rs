@@ -16,6 +16,16 @@ pub enum OnnxError {
     Unsupported(String),
     /// The translated graph failed validation.
     Graph(GraphError),
+    /// The input exceeded a configured [`ImportLimits`](crate::ImportLimits)
+    /// bound; checked before the offending allocation is made.
+    LimitExceeded {
+        /// Which limit tripped (e.g. `"model bytes"`, `"graph nodes"`).
+        what: String,
+        /// The configured bound.
+        limit: u64,
+        /// The observed value.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for OnnxError {
@@ -25,6 +35,11 @@ impl fmt::Display for OnnxError {
             OnnxError::Model(msg) => write!(f, "invalid onnx model: {msg}"),
             OnnxError::Unsupported(msg) => write!(f, "unsupported onnx feature: {msg}"),
             OnnxError::Graph(e) => write!(f, "imported graph invalid: {e}"),
+            OnnxError::LimitExceeded {
+                what,
+                limit,
+                actual,
+            } => write!(f, "import limit exceeded: {what} {actual} > limit {limit}"),
         }
     }
 }

@@ -6,6 +6,7 @@ use orpheus_graph::{AttrValue, Attributes, Graph, Node, OpKind, ValueInfo};
 use orpheus_tensor::Tensor;
 
 use crate::error::OnnxError;
+use crate::limits::ImportLimits;
 use crate::proto::{ModelProto, TensorProto, DATA_TYPE_FLOAT, DATA_TYPE_INT64};
 
 /// Imports an ONNX model from its serialized bytes.
@@ -25,8 +26,23 @@ use crate::proto::{ModelProto, TensorProto, DATA_TYPE_FLOAT, DATA_TYPE_INT64};
 /// * [`OnnxError::Model`] for structurally invalid models.
 /// * [`OnnxError::Unsupported`] for features outside the supported subset.
 /// * [`OnnxError::Graph`] if the translated graph fails validation.
+/// * [`OnnxError::LimitExceeded`] if the model crosses [`ImportLimits::default`].
 pub fn import_model(bytes: &[u8]) -> Result<Graph, OnnxError> {
-    let model = ModelProto::parse(bytes)?;
+    import_model_with_limits(bytes, &ImportLimits::default())
+}
+
+/// Imports an ONNX model under explicit resource limits.
+///
+/// Same normalizations as [`import_model`]; every limit in `limits` is
+/// enforced before the corresponding allocation, so untrusted bytes cannot
+/// drive memory use past the configured budget.
+///
+/// # Errors
+///
+/// As [`import_model`], with [`OnnxError::LimitExceeded`] reported against
+/// the provided `limits`.
+pub fn import_model_with_limits(bytes: &[u8], limits: &ImportLimits) -> Result<Graph, OnnxError> {
+    let model = ModelProto::parse_with_limits(bytes, limits)?;
     let graph_proto = model
         .graph
         .ok_or_else(|| OnnxError::Model("model has no graph".into()))?;
@@ -45,7 +61,7 @@ pub fn import_model(bytes: &[u8]) -> Result<Graph, OnnxError> {
         initializer_names.insert(init.name.clone());
         match init.data_type {
             DATA_TYPE_FLOAT => {
-                graph.add_initializer(&init.name, tensor_from_proto(init)?);
+                graph.add_initializer(&init.name, tensor_from_proto(init, limits)?);
             }
             DATA_TYPE_INT64 => {
                 int_constants.insert(init.name.clone(), init.int64_data.clone());
@@ -59,7 +75,8 @@ pub fn import_model(bytes: &[u8]) -> Result<Graph, OnnxError> {
         }
     }
 
-    // Graph inputs, minus any that are really weights.
+    // Graph inputs, minus any that are really weights. Dynamic dims
+    // (dim_param, imported as 0) and negative dims normalize to 1.
     for input in &graph_proto.inputs {
         if initializer_names.contains(&input.name) {
             continue;
@@ -69,6 +86,23 @@ pub fn import_model(bytes: &[u8]) -> Result<Graph, OnnxError> {
             .iter()
             .map(|&d| if d <= 0 { 1 } else { d as usize })
             .collect();
+        // The engine allocates an input-sized buffer later; bound it now.
+        let elems = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| {
+                OnnxError::Model(format!(
+                    "input {}: dims {:?} overflow",
+                    input.name, input.dims
+                ))
+            })?;
+        if elems > limits.max_tensor_elements {
+            return Err(OnnxError::LimitExceeded {
+                what: format!("input {} elements", input.name),
+                limit: limits.max_tensor_elements as u64,
+                actual: elems as u64,
+            });
+        }
         graph.add_input(ValueInfo::new(&input.name, &dims));
     }
 
@@ -176,8 +210,37 @@ pub fn import_model(bytes: &[u8]) -> Result<Graph, OnnxError> {
 }
 
 /// Converts a float `TensorProto` to a dense tensor.
-fn tensor_from_proto(proto: &TensorProto) -> Result<Tensor, OnnxError> {
-    let dims: Vec<usize> = proto.dims.iter().map(|&d| d.max(0) as usize).collect();
+///
+/// Dims must be positive (a weight with a zero or negative dim is malformed,
+/// and downstream passes assume non-empty tensors), their product must not
+/// overflow, and the element count must fit the configured limits — all
+/// checked before the payload is cloned.
+fn tensor_from_proto(proto: &TensorProto, limits: &ImportLimits) -> Result<Tensor, OnnxError> {
+    let mut elems: usize = 1;
+    let mut dims = Vec::with_capacity(proto.dims.len());
+    for &d in &proto.dims {
+        if d <= 0 {
+            return Err(OnnxError::Model(format!(
+                "initializer {}: non-positive dim {d} (dims {:?})",
+                proto.name, proto.dims
+            )));
+        }
+        let d = d as usize;
+        elems = elems.checked_mul(d).ok_or_else(|| {
+            OnnxError::Model(format!(
+                "initializer {}: dims {:?} overflow",
+                proto.name, proto.dims
+            ))
+        })?;
+        dims.push(d);
+    }
+    if elems > limits.max_tensor_elements {
+        return Err(OnnxError::LimitExceeded {
+            what: format!("initializer {} elements", proto.name),
+            limit: limits.max_tensor_elements as u64,
+            actual: elems as u64,
+        });
+    }
     Tensor::from_vec(proto.float_data.clone(), &dims).map_err(|e| {
         OnnxError::Model(format!(
             "initializer {}: {e} (dims {:?}, {} values)",

@@ -27,12 +27,19 @@
 //! assert_eq!(back.nodes().len(), 1);
 //! ```
 
+// Untrusted-input crate: panicking escape hatches are forbidden outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod error;
 pub mod export;
+pub mod fuzz;
 pub mod import;
+pub mod limits;
 pub mod proto;
 pub mod wire;
 
 pub use error::OnnxError;
 pub use export::export_model;
-pub use import::import_model;
+pub use fuzz::{fuzz_import, FuzzReport};
+pub use import::{import_model, import_model_with_limits};
+pub use limits::ImportLimits;

@@ -1,0 +1,130 @@
+//! Resource limits enforced while parsing untrusted model bytes.
+//!
+//! A serialized ONNX model is attacker-controlled input: length-prefixed
+//! fields, repeated messages, and packed arrays all translate directly into
+//! allocations. [`ImportLimits`] bounds every such allocation *before* it
+//! happens, so a hostile model is rejected with a typed
+//! [`OnnxError::LimitExceeded`](crate::OnnxError::LimitExceeded) instead of
+//! exhausting memory or panicking.
+//!
+//! The defaults are sized for the paper's model zoo (the largest export,
+//! ResNet-50, is ~100 MiB with no tensor above ~3 M elements) with an order
+//! of magnitude of headroom; callers with stricter budgets can tighten them
+//! per import via [`import_model_with_limits`](crate::import_model_with_limits).
+
+/// Bounds applied to untrusted model bytes during parsing and import.
+///
+/// Every limit is checked before the corresponding allocation is made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportLimits {
+    /// Maximum serialized model size in bytes (default 1 GiB).
+    pub max_model_bytes: usize,
+    /// Maximum number of graph nodes, and also of declared graph
+    /// inputs/outputs (default 65 536).
+    pub max_nodes: usize,
+    /// Maximum number of initializer tensors (default 65 536).
+    pub max_initializers: usize,
+    /// Maximum element count for any single tensor payload or packed array
+    /// (default 2²⁸ ≈ 268 M elements, 1 GiB of f32).
+    pub max_tensor_elements: usize,
+    /// Maximum byte length of any string field — names, op types, string
+    /// attributes (default 64 KiB).
+    pub max_string_bytes: usize,
+    /// Maximum protobuf message nesting depth (default 16; a well-formed
+    /// ONNX model needs 6).
+    pub max_nesting_depth: usize,
+}
+
+impl Default for ImportLimits {
+    fn default() -> Self {
+        ImportLimits {
+            max_model_bytes: 1 << 30,
+            max_nodes: 1 << 16,
+            max_initializers: 1 << 16,
+            max_tensor_elements: 1 << 28,
+            max_string_bytes: 1 << 16,
+            max_nesting_depth: 16,
+        }
+    }
+}
+
+impl ImportLimits {
+    /// Limits that never trigger; parsing behaves as if unguarded.
+    pub fn unlimited() -> Self {
+        ImportLimits {
+            max_model_bytes: usize::MAX,
+            max_nodes: usize::MAX,
+            max_initializers: usize::MAX,
+            max_tensor_elements: usize::MAX,
+            max_string_bytes: usize::MAX,
+            max_nesting_depth: usize::MAX,
+        }
+    }
+
+    /// Returns a copy with a different model-byte budget.
+    #[must_use]
+    pub fn with_max_model_bytes(mut self, n: usize) -> Self {
+        self.max_model_bytes = n;
+        self
+    }
+
+    /// Returns a copy with a different node-count budget.
+    #[must_use]
+    pub fn with_max_nodes(mut self, n: usize) -> Self {
+        self.max_nodes = n;
+        self
+    }
+
+    /// Returns a copy with a different tensor-element budget.
+    #[must_use]
+    pub fn with_max_tensor_elements(mut self, n: usize) -> Self {
+        self.max_tensor_elements = n;
+        self
+    }
+
+    /// Returns a copy with a different string-length budget.
+    #[must_use]
+    pub fn with_max_string_bytes(mut self, n: usize) -> Self {
+        self.max_string_bytes = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fit_the_model_zoo() {
+        let l = ImportLimits::default();
+        // ResNet-50 export: ~100 MiB, ~180 nodes, largest tensor ~2.4 M elems.
+        assert!(l.max_model_bytes >= 512 << 20);
+        assert!(l.max_nodes >= 1024);
+        assert!(l.max_tensor_elements >= 1 << 24);
+        assert!(l.max_nesting_depth >= 6);
+    }
+
+    #[test]
+    fn builders_override_single_fields() {
+        let l = ImportLimits::default()
+            .with_max_model_bytes(10)
+            .with_max_nodes(2)
+            .with_max_tensor_elements(3)
+            .with_max_string_bytes(4);
+        assert_eq!(l.max_model_bytes, 10);
+        assert_eq!(l.max_nodes, 2);
+        assert_eq!(l.max_tensor_elements, 3);
+        assert_eq!(l.max_string_bytes, 4);
+        assert_eq!(
+            l.max_nesting_depth,
+            ImportLimits::default().max_nesting_depth
+        );
+    }
+
+    #[test]
+    fn unlimited_never_triggers() {
+        let l = ImportLimits::unlimited();
+        assert_eq!(l.max_model_bytes, usize::MAX);
+        assert_eq!(l.max_nesting_depth, usize::MAX);
+    }
+}

@@ -6,6 +6,7 @@
 //! metadata, etc.) still parse.
 
 use crate::error::OnnxError;
+use crate::limits::ImportLimits;
 use crate::wire::{Reader, WireType, Writer};
 
 /// ONNX `TensorProto.DataType.FLOAT`.
@@ -101,23 +102,108 @@ pub struct ValueInfoProto {
 // Parsing
 // ---------------------------------------------------------------------------
 
+/// Tracks limit budgets while a message tree is parsed.
+///
+/// Every check runs *before* the allocation it guards: string bytes before
+/// `to_vec`, packed element counts before decoding, repeated-message counts
+/// before the `push`, nesting depth before recursing into a child message.
+pub(crate) struct LimitGuard<'l> {
+    limits: &'l ImportLimits,
+    depth: usize,
+}
+
+impl<'l> LimitGuard<'l> {
+    pub(crate) fn new(limits: &'l ImportLimits) -> Self {
+        LimitGuard { limits, depth: 0 }
+    }
+
+    fn exceeded(what: &str, actual: usize, limit: usize) -> OnnxError {
+        OnnxError::LimitExceeded {
+            what: what.into(),
+            limit: limit as u64,
+            actual: actual as u64,
+        }
+    }
+
+    /// Descends into a nested message; callers pair with [`Self::exit`].
+    fn enter(&mut self) -> Result<(), OnnxError> {
+        if self.depth >= self.limits.max_nesting_depth {
+            return Err(Self::exceeded(
+                "message nesting depth",
+                self.depth + 1,
+                self.limits.max_nesting_depth,
+            ));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    fn check_count(&self, what: &str, next: usize, limit: usize) -> Result<(), OnnxError> {
+        if next > limit {
+            return Err(Self::exceeded(what, next, limit));
+        }
+        Ok(())
+    }
+
+    /// Reads a length-delimited string, bounding its byte length before the
+    /// copy out of the wire buffer.
+    fn read_string(&self, r: &mut Reader, what: &str) -> Result<String, OnnxError> {
+        let bytes = r.read_bytes()?;
+        self.check_count(what, bytes.len(), self.limits.max_string_bytes)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| OnnxError::Wire("invalid utf-8 string".into()))
+    }
+
+    /// Decodes a packed int64 array; each varint occupies at least one byte,
+    /// so the payload length bounds the element count before allocation.
+    fn packed_i64(&self, payload: &[u8], what: &str) -> Result<Vec<i64>, OnnxError> {
+        self.check_count(what, payload.len(), self.limits.max_tensor_elements)?;
+        Reader::decode_packed_i64(payload)
+    }
+
+    /// Decodes a packed float array, bounding the element count first.
+    fn packed_f32(&self, payload: &[u8], what: &str) -> Result<Vec<f32>, OnnxError> {
+        self.check_count(what, payload.len() / 4, self.limits.max_tensor_elements)?;
+        Reader::decode_packed_f32(payload)
+    }
+}
+
 impl ModelProto {
-    /// Parses a serialized `ModelProto`.
+    /// Parses a serialized `ModelProto` under [`ImportLimits::default`].
     ///
     /// # Errors
     ///
-    /// Returns [`OnnxError::Wire`] for malformed protobuf.
+    /// Returns [`OnnxError::Wire`] for malformed protobuf and
+    /// [`OnnxError::LimitExceeded`] for inputs over the default limits.
     pub fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+        Self::parse_with_limits(bytes, &ImportLimits::default())
+    }
+
+    /// Parses a serialized `ModelProto` under explicit [`ImportLimits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnxError::Wire`] for malformed protobuf and
+    /// [`OnnxError::LimitExceeded`] when a bound would be crossed; the check
+    /// always fires before the allocation it guards.
+    pub fn parse_with_limits(bytes: &[u8], limits: &ImportLimits) -> Result<Self, OnnxError> {
+        let mut g = LimitGuard::new(limits);
+        g.check_count("model bytes", bytes.len(), limits.max_model_bytes)?;
         let mut model = ModelProto::default();
         let mut r = Reader::new(bytes);
         while !r.is_at_end() {
             let (field, wt) = r.read_tag()?;
             match field {
                 1 => model.ir_version = r.read_i64()?,
-                2 => model.producer_name = r.read_string()?,
-                7 => model.graph = Some(GraphProto::parse(r.read_bytes()?)?),
+                2 => model.producer_name = g.read_string(&mut r, "producer name bytes")?,
+                7 => model.graph = Some(GraphProto::parse(r.read_bytes()?, &mut g)?),
                 8 => {
                     // OperatorSetIdProto { domain = 1, version = 2 }
+                    g.enter()?;
                     let mut sub = Reader::new(r.read_bytes()?);
                     while !sub.is_at_end() {
                         let (sf, swt) = sub.read_tag()?;
@@ -126,6 +212,7 @@ impl ModelProto {
                             _ => sub.skip(swt)?,
                         }
                     }
+                    g.exit();
                 }
                 _ => r.skip(wt)?,
             }
@@ -152,22 +239,44 @@ impl ModelProto {
 }
 
 impl GraphProto {
-    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+    fn parse(bytes: &[u8], g: &mut LimitGuard) -> Result<Self, OnnxError> {
+        g.enter()?;
         let mut graph = GraphProto::default();
         let mut r = Reader::new(bytes);
         while !r.is_at_end() {
             let (field, wt) = r.read_tag()?;
             match field {
-                1 => graph.nodes.push(NodeProto::parse(r.read_bytes()?)?),
-                2 => graph.name = r.read_string()?,
-                5 => graph
-                    .initializers
-                    .push(TensorProto::parse(r.read_bytes()?)?),
-                11 => graph.inputs.push(ValueInfoProto::parse(r.read_bytes()?)?),
-                12 => graph.outputs.push(ValueInfoProto::parse(r.read_bytes()?)?),
+                1 => {
+                    g.check_count("graph nodes", graph.nodes.len() + 1, g.limits.max_nodes)?;
+                    graph.nodes.push(NodeProto::parse(r.read_bytes()?, g)?);
+                }
+                2 => graph.name = g.read_string(&mut r, "graph name bytes")?,
+                5 => {
+                    g.check_count(
+                        "graph initializers",
+                        graph.initializers.len() + 1,
+                        g.limits.max_initializers,
+                    )?;
+                    graph
+                        .initializers
+                        .push(TensorProto::parse(r.read_bytes()?, g)?);
+                }
+                11 => {
+                    g.check_count("graph inputs", graph.inputs.len() + 1, g.limits.max_nodes)?;
+                    graph
+                        .inputs
+                        .push(ValueInfoProto::parse(r.read_bytes()?, g)?);
+                }
+                12 => {
+                    g.check_count("graph outputs", graph.outputs.len() + 1, g.limits.max_nodes)?;
+                    graph
+                        .outputs
+                        .push(ValueInfoProto::parse(r.read_bytes()?, g)?);
+                }
                 _ => r.skip(wt)?,
             }
         }
+        g.exit();
         Ok(graph)
     }
 
@@ -191,22 +300,28 @@ impl GraphProto {
 }
 
 impl NodeProto {
-    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+    fn parse(bytes: &[u8], g: &mut LimitGuard) -> Result<Self, OnnxError> {
+        g.enter()?;
         let mut node = NodeProto::default();
         let mut r = Reader::new(bytes);
         while !r.is_at_end() {
             let (field, wt) = r.read_tag()?;
             match field {
-                1 => node.inputs.push(r.read_string()?),
-                2 => node.outputs.push(r.read_string()?),
-                3 => node.name = r.read_string()?,
-                4 => node.op_type = r.read_string()?,
+                1 => node
+                    .inputs
+                    .push(g.read_string(&mut r, "node input name bytes")?),
+                2 => node
+                    .outputs
+                    .push(g.read_string(&mut r, "node output name bytes")?),
+                3 => node.name = g.read_string(&mut r, "node name bytes")?,
+                4 => node.op_type = g.read_string(&mut r, "node op type bytes")?,
                 5 => node
                     .attributes
-                    .push(AttributeProto::parse(r.read_bytes()?)?),
+                    .push(AttributeProto::parse(r.read_bytes()?, g)?),
                 _ => r.skip(wt)?,
             }
         }
+        g.exit();
         Ok(node)
     }
 
@@ -230,29 +345,37 @@ impl NodeProto {
 }
 
 impl AttributeProto {
-    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+    fn parse(bytes: &[u8], g: &mut LimitGuard) -> Result<Self, OnnxError> {
+        g.enter()?;
         let mut attr = AttributeProto::default();
         let mut r = Reader::new(bytes);
         while !r.is_at_end() {
             let (field, wt) = r.read_tag()?;
             match (field, wt) {
-                (1, _) => attr.name = r.read_string()?,
+                (1, _) => attr.name = g.read_string(&mut r, "attribute name bytes")?,
                 (2, _) => attr.f = Some(r.read_f32()?),
                 (3, _) => attr.i = Some(r.read_i64()?),
                 (4, _) => {
-                    attr.s = Some(String::from_utf8_lossy(r.read_bytes()?).into_owned());
+                    let payload = r.read_bytes()?;
+                    g.check_count(
+                        "attribute string bytes",
+                        payload.len(),
+                        g.limits.max_string_bytes,
+                    )?;
+                    attr.s = Some(String::from_utf8_lossy(payload).into_owned());
                 }
                 (7, WireType::LengthDelimited) => {
-                    attr.floats = Reader::decode_packed_f32(r.read_bytes()?)?;
+                    attr.floats = g.packed_f32(r.read_bytes()?, "attribute float elements")?;
                 }
                 (7, WireType::Fixed32) => attr.floats.push(r.read_f32()?),
                 (8, WireType::LengthDelimited) => {
-                    attr.ints = Reader::decode_packed_i64(r.read_bytes()?)?;
+                    attr.ints = g.packed_i64(r.read_bytes()?, "attribute int elements")?;
                 }
                 (8, WireType::Varint) => attr.ints.push(r.read_i64()?),
                 _ => r.skip(wt)?,
             }
         }
+        g.exit();
         Ok(attr)
     }
 
@@ -286,28 +409,31 @@ impl AttributeProto {
 }
 
 impl TensorProto {
-    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+    fn parse(bytes: &[u8], g: &mut LimitGuard) -> Result<Self, OnnxError> {
+        g.enter()?;
         let mut t = TensorProto::default();
-        let mut raw: Option<Vec<u8>> = None;
+        // Raw data stays a borrowed slice until the dtype is known, so no
+        // copy of an over-limit payload is ever made.
+        let mut raw: Option<&[u8]> = None;
         let mut r = Reader::new(bytes);
         while !r.is_at_end() {
             let (field, wt) = r.read_tag()?;
             match (field, wt) {
                 (1, WireType::LengthDelimited) => {
-                    t.dims = Reader::decode_packed_i64(r.read_bytes()?)?;
+                    t.dims = g.packed_i64(r.read_bytes()?, "tensor dims")?;
                 }
                 (1, WireType::Varint) => t.dims.push(r.read_i64()?),
                 (2, _) => t.data_type = r.read_i64()?,
                 (4, WireType::LengthDelimited) => {
-                    t.float_data = Reader::decode_packed_f32(r.read_bytes()?)?;
+                    t.float_data = g.packed_f32(r.read_bytes()?, "tensor float elements")?;
                 }
                 (4, WireType::Fixed32) => t.float_data.push(r.read_f32()?),
                 (7, WireType::LengthDelimited) => {
-                    t.int64_data = Reader::decode_packed_i64(r.read_bytes()?)?;
+                    t.int64_data = g.packed_i64(r.read_bytes()?, "tensor int64 elements")?;
                 }
                 (7, WireType::Varint) => t.int64_data.push(r.read_i64()?),
-                (8, _) => t.name = r.read_string()?,
-                (9, _) => raw = Some(r.read_bytes()?.to_vec()),
+                (8, _) => t.name = g.read_string(&mut r, "tensor name bytes")?,
+                (9, _) => raw = Some(r.read_bytes()?),
                 _ => r.skip(wt)?,
             }
         }
@@ -317,18 +443,28 @@ impl TensorProto {
                     if raw.len() % 4 != 0 {
                         return Err(OnnxError::Wire("raw float data not 4-aligned".into()));
                     }
+                    g.check_count(
+                        "tensor raw float elements",
+                        raw.len() / 4,
+                        g.limits.max_tensor_elements,
+                    )?;
                     t.float_data = raw
                         .chunks_exact(4)
-                        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                        .map(|c| f32::from_le_bytes(c.try_into().unwrap_or([0; 4])))
                         .collect();
                 }
                 DATA_TYPE_INT64 => {
                     if raw.len() % 8 != 0 {
                         return Err(OnnxError::Wire("raw int64 data not 8-aligned".into()));
                     }
+                    g.check_count(
+                        "tensor raw int64 elements",
+                        raw.len() / 8,
+                        g.limits.max_tensor_elements,
+                    )?;
                     t.int64_data = raw
                         .chunks_exact(8)
-                        .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .map(|c| i64::from_le_bytes(c.try_into().unwrap_or([0; 8])))
                         .collect();
                 }
                 other => {
@@ -339,6 +475,7 @@ impl TensorProto {
                 }
             }
         }
+        g.exit();
         Ok(t)
     }
 
@@ -366,17 +503,19 @@ impl TensorProto {
 }
 
 impl ValueInfoProto {
-    fn parse(bytes: &[u8]) -> Result<Self, OnnxError> {
+    fn parse(bytes: &[u8], g: &mut LimitGuard) -> Result<Self, OnnxError> {
+        g.enter()?;
         let mut info = ValueInfoProto::default();
         let mut r = Reader::new(bytes);
         while !r.is_at_end() {
             let (field, wt) = r.read_tag()?;
             match field {
-                1 => info.name = r.read_string()?,
-                2 => info.dims = parse_type_proto(r.read_bytes()?)?,
+                1 => info.name = g.read_string(&mut r, "value info name bytes")?,
+                2 => info.dims = parse_type_proto(r.read_bytes()?, g)?,
                 _ => r.skip(wt)?,
             }
         }
+        g.exit();
         Ok(info)
     }
 
@@ -403,23 +542,31 @@ impl ValueInfoProto {
 }
 
 /// Extracts static dims from a `TypeProto`.
-fn parse_type_proto(bytes: &[u8]) -> Result<Vec<i64>, OnnxError> {
+fn parse_type_proto(bytes: &[u8], g: &mut LimitGuard) -> Result<Vec<i64>, OnnxError> {
+    g.enter()?;
     let mut r = Reader::new(bytes);
     while !r.is_at_end() {
         let (field, wt) = r.read_tag()?;
         if field == 1 && wt == WireType::LengthDelimited {
             // TypeProto.Tensor
+            g.enter()?;
             let mut tr = Reader::new(r.read_bytes()?);
             while !tr.is_at_end() {
                 let (tf, twt) = tr.read_tag()?;
                 if tf == 2 && twt == WireType::LengthDelimited {
                     // TensorShapeProto
+                    g.enter()?;
                     let mut dims = Vec::new();
                     let mut sr = Reader::new(tr.read_bytes()?);
                     while !sr.is_at_end() {
                         let (sf, swt) = sr.read_tag()?;
                         if sf == 1 && swt == WireType::LengthDelimited {
                             // Dimension: dim_value = 1 varint, dim_param = 2 string.
+                            g.check_count(
+                                "shape dims",
+                                dims.len() + 1,
+                                g.limits.max_tensor_elements,
+                            )?;
                             let mut dr = Reader::new(sr.read_bytes()?);
                             let mut value = 0i64;
                             while !dr.is_at_end() {
@@ -435,20 +582,35 @@ fn parse_type_proto(bytes: &[u8]) -> Result<Vec<i64>, OnnxError> {
                             sr.skip(swt)?;
                         }
                     }
+                    g.exit();
+                    g.exit();
+                    g.exit();
                     return Ok(dims);
                 }
                 tr.skip(twt)?;
             }
+            g.exit();
         } else {
             r.skip(wt)?;
         }
     }
+    g.exit();
     Ok(Vec::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse_tensor(bytes: &[u8]) -> Result<TensorProto, OnnxError> {
+        let limits = ImportLimits::default();
+        TensorProto::parse(bytes, &mut LimitGuard::new(&limits))
+    }
+
+    fn parse_value_info(bytes: &[u8]) -> Result<ValueInfoProto, OnnxError> {
+        let limits = ImportLimits::default();
+        ValueInfoProto::parse(bytes, &mut LimitGuard::new(&limits))
+    }
 
     fn sample_model() -> ModelProto {
         ModelProto {
@@ -536,7 +698,7 @@ mod tests {
             int64_data: vec![],
         };
         let bytes = t.to_writer().into_bytes();
-        let back = TensorProto::parse(&bytes).unwrap();
+        let back = parse_tensor(&bytes).unwrap();
         assert_eq!(back.float_data, vec![1.0, 2.5, -3.0]);
     }
 
@@ -550,7 +712,7 @@ mod tests {
             int64_data: vec![-1, 512],
         };
         let bytes = t.to_writer().into_bytes();
-        let back = TensorProto::parse(&bytes).unwrap();
+        let back = parse_tensor(&bytes).unwrap();
         assert_eq!(back.int64_data, vec![-1, 512]);
     }
 
@@ -559,7 +721,7 @@ mod tests {
         let mut w = Writer::new();
         w.write_i64(2, DATA_TYPE_FLOAT);
         w.write_bytes(9, &[1, 2, 3]); // 3 bytes, not 4-aligned
-        assert!(TensorProto::parse(&w.into_bytes()).is_err());
+        assert!(parse_tensor(&w.into_bytes()).is_err());
     }
 
     #[test]
@@ -568,7 +730,7 @@ mod tests {
         w.write_i64(2, 10); // FLOAT16
         w.write_bytes(9, &[0, 0]);
         assert!(matches!(
-            TensorProto::parse(&w.into_bytes()),
+            parse_tensor(&w.into_bytes()),
             Err(OnnxError::Unsupported(_))
         ));
     }
@@ -580,7 +742,7 @@ mod tests {
             dims: vec![1, 3, 299, 299],
         };
         let bytes = info.to_writer().into_bytes();
-        let back = ValueInfoProto::parse(&bytes).unwrap();
+        let back = parse_value_info(&bytes).unwrap();
         assert_eq!(back, info);
     }
 

@@ -1,0 +1,207 @@
+//! Malformed-model fixture corpus.
+//!
+//! Each fixture in `tests/malformed/` is a small ONNX byte sequence broken
+//! in one specific way; the tests pin the exact error variant the importer
+//! must return for it. The wire-level fixtures are handcrafted bytes; the
+//! graph-level ones are serialized through the crate's own proto types.
+//!
+//! Regenerate the corpus after changing the exporter or proto layer with:
+//!
+//! ```text
+//! cargo test -p orpheus-onnx --test malformed regenerate_fixtures -- --ignored
+//! ```
+
+use orpheus_graph::GraphError;
+use orpheus_onnx::proto::{
+    GraphProto, ModelProto, NodeProto, TensorProto, ValueInfoProto, DATA_TYPE_FLOAT,
+};
+use orpheus_onnx::{import_model, OnnxError};
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/malformed")
+        .join(name)
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_path(name))
+        .unwrap_or_else(|e| panic!("fixture {name} missing ({e}); run regenerate_fixtures"))
+}
+
+/// A model whose last varint sets the continuation bit and then hits EOF.
+fn truncated_varint() -> Vec<u8> {
+    vec![0x08, 0xFF] // field 1 (ir_version), varint never terminates
+}
+
+/// A tag carrying protobuf wiretype 3 (start-group), which ONNX never uses.
+fn bad_wiretype() -> Vec<u8> {
+    vec![0x0B] // field 1, wiretype 3
+}
+
+/// A length-delimited graph field claiming ~4 GiB of payload in a 6-byte file.
+fn huge_length_prefix() -> Vec<u8> {
+    vec![0x3A, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F] // field 7 (graph), len = u32::MAX
+}
+
+fn wrap_graph(graph: GraphProto) -> Vec<u8> {
+    // The exporter refuses to serialize invalid graphs, so the graph-level
+    // fixtures are assembled straight from the proto types it would emit.
+    ModelProto {
+        ir_version: 7,
+        producer_name: "malformed-corpus".into(),
+        opset_version: 11,
+        graph: Some(graph),
+    }
+    .serialize()
+}
+
+fn relu(name: &str, input: &str, output: &str) -> NodeProto {
+    NodeProto {
+        name: name.into(),
+        op_type: "Relu".into(),
+        inputs: vec![input.into()],
+        outputs: vec![output.into()],
+        attributes: vec![],
+    }
+}
+
+/// Two nodes feeding each other: `a -> b -> a`.
+fn cyclic_graph() -> Vec<u8> {
+    wrap_graph(GraphProto {
+        name: "cyclic".into(),
+        nodes: vec![relu("a", "v2", "v1"), relu("b", "v1", "v2")],
+        initializers: vec![],
+        inputs: vec![ValueInfoProto {
+            name: "x".into(),
+            dims: vec![1, 4],
+        }],
+        outputs: vec![ValueInfoProto {
+            name: "v1".into(),
+            dims: vec![],
+        }],
+    })
+}
+
+/// A node consuming a value that no input, node, or initializer produces.
+fn dangling_input() -> Vec<u8> {
+    wrap_graph(GraphProto {
+        name: "dangling".into(),
+        nodes: vec![relu("r", "ghost", "y")],
+        initializers: vec![],
+        inputs: vec![ValueInfoProto {
+            name: "x".into(),
+            dims: vec![1, 4],
+        }],
+        outputs: vec![ValueInfoProto {
+            name: "y".into(),
+            dims: vec![],
+        }],
+    })
+}
+
+fn init_with_dims(dims: Vec<i64>) -> Vec<u8> {
+    wrap_graph(GraphProto {
+        name: "bad-init".into(),
+        nodes: vec![],
+        initializers: vec![TensorProto {
+            name: "w".into(),
+            dims,
+            data_type: DATA_TYPE_FLOAT,
+            float_data: vec![],
+            int64_data: vec![],
+        }],
+        inputs: vec![],
+        outputs: vec![],
+    })
+}
+
+type Builder = fn() -> Vec<u8>;
+
+const FIXTURES: [(&str, Builder); 7] = [
+    ("truncated_varint.onnx", truncated_varint),
+    ("bad_wiretype.onnx", bad_wiretype),
+    ("huge_length_prefix.onnx", huge_length_prefix),
+    ("cyclic_graph.onnx", cyclic_graph),
+    ("dangling_input.onnx", dangling_input),
+    ("zero_dim.onnx", || init_with_dims(vec![0, 3])),
+    ("negative_dim.onnx", || init_with_dims(vec![-1, 3])),
+];
+
+#[test]
+#[ignore = "writes into the source tree; run explicitly to refresh the corpus"]
+fn regenerate_fixtures() {
+    let dir = fixture_path("");
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    for (name, build) in FIXTURES {
+        std::fs::write(fixture_path(name), build()).expect("write fixture");
+    }
+}
+
+#[test]
+fn fixtures_match_their_generators() {
+    // The committed corpus must stay in sync with the builders above, so a
+    // format change cannot silently turn the fixtures into stale no-ops.
+    for (name, build) in FIXTURES {
+        assert_eq!(fixture(name), build(), "{name} is stale; regenerate");
+    }
+}
+
+#[test]
+fn truncated_varint_is_a_wire_error() {
+    assert!(matches!(
+        import_model(&fixture("truncated_varint.onnx")),
+        Err(OnnxError::Wire(_))
+    ));
+}
+
+#[test]
+fn bad_wiretype_is_a_wire_error() {
+    assert!(matches!(
+        import_model(&fixture("bad_wiretype.onnx")),
+        Err(OnnxError::Wire(_))
+    ));
+}
+
+#[test]
+fn huge_length_prefix_is_a_wire_error_not_an_allocation() {
+    // The length prefix claims ~4 GiB; a parser that trusted it would try to
+    // allocate that much before discovering the truth.
+    assert!(matches!(
+        import_model(&fixture("huge_length_prefix.onnx")),
+        Err(OnnxError::Wire(_))
+    ));
+}
+
+#[test]
+fn cyclic_graph_is_a_graph_cycle_error() {
+    assert!(matches!(
+        import_model(&fixture("cyclic_graph.onnx")),
+        Err(OnnxError::Graph(GraphError::Cycle))
+    ));
+}
+
+#[test]
+fn dangling_input_is_a_missing_value_error() {
+    match import_model(&fixture("dangling_input.onnx")) {
+        Err(OnnxError::Graph(GraphError::MissingValue { value, .. })) => {
+            assert_eq!(value, "ghost");
+        }
+        other => panic!("expected MissingValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_dim_initializer_is_a_model_error() {
+    match import_model(&fixture("zero_dim.onnx")) {
+        Err(OnnxError::Model(msg)) => assert!(msg.contains("non-positive dim"), "{msg}"),
+        other => panic!("expected Model error, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_dim_initializer_is_a_model_error() {
+    match import_model(&fixture("negative_dim.onnx")) {
+        Err(OnnxError::Model(msg)) => assert!(msg.contains("non-positive dim"), "{msg}"),
+        other => panic!("expected Model error, got {other:?}"),
+    }
+}

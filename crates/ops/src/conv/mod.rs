@@ -369,6 +369,21 @@ impl Conv2d {
         self.algorithm
     }
 
+    /// The weight tensor as passed at construction (`[co, ci/g, kh, kw]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias tensor, if any.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
+    /// The fused activation, if any.
+    pub fn activation(&self) -> Option<Activation> {
+        self.activation
+    }
+
     /// Output dims for an input of `dims` (must be `[n, c, h, w]`).
     ///
     /// # Errors

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== fuzz smoke (release, all zoo models) =="
+# The workspace tests already run a >=10k-iteration campaign on the small
+# models; this release pass additionally mutates all five Figure 2 exports.
+cargo build --release -p orpheus-cli -q
+./target/release/orpheus-cli fuzz --model all --iters 400
+
 echo "all checks passed"
