@@ -17,6 +17,8 @@
 //! ([`VnnlConv`], [`VclConv`]) are what the core's `third_party` layer
 //! module adapts into `Layer` implementations.
 
+#![forbid(unsafe_code)]
+
 pub mod vcl;
 pub mod vnnl;
 

@@ -8,6 +8,8 @@
 //! EXPERIMENTS.md come from `orpheus-cli figure2` (same measurement code,
 //! no Criterion sampling overhead).
 
+#![forbid(unsafe_code)]
+
 use orpheus::{Engine, Network, Personality};
 use orpheus_cli::InputScale;
 use orpheus_models::{build_model_with_input, ModelKind};

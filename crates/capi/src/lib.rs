@@ -16,6 +16,26 @@
 //! * On failure, [`orpheus_last_error_message`] retrieves a thread-local
 //!   human-readable description.
 //!
+//! ## Safety
+//!
+//! This is the only crate in the workspace that contains `unsafe` code
+//! (every other crate carries `#![forbid(unsafe_code)]`), and all of it is
+//! FFI pointer handling at the boundary. The contract, uniform across entry
+//! points and repeated in each function's `# Safety` section:
+//!
+//! * Handle pointers (`*mut OrpheusEngine`, `*mut OrpheusNetwork`) must be
+//!   null or values previously returned by this library that have not been
+//!   freed. Double-free and use-after-free are undefined behaviour, exactly
+//!   as in any C API.
+//! * Buffer pointers must be null or valid for the byte/element length
+//!   passed alongside them; lengths are trusted.
+//! * C strings must be null or NUL-terminated.
+//!
+//! Null never trips UB — every entry point checks pointers before
+//! dereferencing and returns [`ORPHEUS_STATUS_NULL_ARGUMENT`]. Beyond the
+//! boundary checks, no `unsafe` appears in the call paths: handles wrap
+//! ordinary safe Rust objects from `orpheus-core`.
+//!
 //! ## Python sketch
 //!
 //! ```python

@@ -7,6 +7,8 @@
 //! subcommands. The Criterion benches in `orpheus-bench` reuse the same
 //! functions, so the CLI and the benches always agree on methodology.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use orpheus::{Engine, EngineError, Personality, CAPABILITY_CRITERIA};
@@ -1004,6 +1006,42 @@ pub fn run_fuzz(models: &[ModelKind], iters: u64, seed: u64) -> Result<String, E
         )));
     }
     Ok(out)
+}
+
+/// Lints every model in `models` at quick input scale (or `hw` when given),
+/// returning one report per model in order.
+///
+/// This is the whole-zoo path `scripts/check.sh` exercises: each model is
+/// built, pushed through the verifier and dataflow analyses, and expected to
+/// come back with zero error-severity findings.
+pub fn run_lint_zoo(models: &[ModelKind], hw: Option<usize>) -> Vec<orpheus_verify::LintReport> {
+    models
+        .iter()
+        .map(|&model| {
+            let hw = hw.unwrap_or_else(|| InputScale::Quick.input_hw(model));
+            let graph = build_model_with_input(model, hw, hw);
+            orpheus_verify::lint(&graph)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod lint_tests {
+    use super::*;
+
+    #[test]
+    fn zoo_models_lint_clean() {
+        for report in run_lint_zoo(&[ModelKind::TinyCnn, ModelKind::LeNet5], None) {
+            assert_eq!(
+                report.errors(),
+                0,
+                "zoo model has lint errors:\n{}",
+                report.render()
+            );
+            let memory = report.memory.as_ref().expect("memory report");
+            assert!(memory.peak_bytes > 0);
+        }
+    }
 }
 
 #[cfg(test)]

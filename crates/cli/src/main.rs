@@ -14,6 +14,7 @@
 //! orpheus-cli sweep [--channels a,b] [--hws a,b] [--k N] [--stride N]
 //! orpheus-cli policy --model M [--hw N] [--repeats N]
 //! orpheus-cli export --model M --out FILE.onnx
+//! orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--json]
 //! orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
 //! ```
 
@@ -54,6 +55,7 @@ const USAGE: &str = "usage:
   orpheus-cli export --model M --out FILE.onnx
   orpheus-cli policy --model M [--hw N] [--repeats N]
   orpheus-cli validate (--model M | --onnx FILE) [--hw N]
+  orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--json]
   orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]";
 
 /// Tiny `--flag value` argument scanner.
@@ -315,6 +317,41 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
             if failures > 0 {
                 return Err(format!("{failures} backend(s) failed validation"));
+            }
+            Ok(())
+        }
+        "lint" => {
+            let json = args.flag("--json");
+            // Positional FILE.onnx, or --model M|all for in-tree zoo models.
+            let path = args.args.first().filter(|a| !a.starts_with("--"));
+            let reports = if let Some(path) = path {
+                let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+                let graph = orpheus_onnx::import_model(&bytes).map_err(|e| e.to_string())?;
+                vec![orpheus_verify::lint(&graph)]
+            } else {
+                let models = match args.value("--model") {
+                    None => return Err("lint needs FILE.onnx or --model M|all".into()),
+                    Some("all") => ModelKind::FIGURE2.to_vec(),
+                    Some(name) => vec![ModelKind::from_name(name)
+                        .ok_or_else(|| format!("unknown model {name:?}"))?],
+                };
+                let hw = match args.value("--hw") {
+                    None => None,
+                    Some(_) => Some(args.usize_or("--hw", 0)?),
+                };
+                orpheus_cli::run_lint_zoo(&models, hw)
+            };
+            let mut errors = 0;
+            for report in &reports {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render());
+                }
+                errors += report.errors();
+            }
+            if errors > 0 {
+                return Err(format!("lint found {errors} error(s)"));
             }
             Ok(())
         }

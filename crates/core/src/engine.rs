@@ -128,18 +128,42 @@ impl Engine {
         self.simplify
     }
 
-    /// Loads a graph: simplify (per configuration), select implementations,
-    /// and lower to an executable network.
+    /// Loads a graph: simplify (per configuration), verify, select
+    /// implementations, and lower to an executable network.
+    ///
+    /// In debug builds the pass pipeline runs in sanitizer mode — the IR
+    /// verifier re-checks the graph after every pass and attributes the
+    /// first violation to the pass that introduced it. Release builds verify
+    /// once, post-simplification, before lowering.
     ///
     /// # Errors
     ///
-    /// Propagates graph validation and lowering failures.
+    /// Propagates graph validation, verification, and lowering failures.
     pub fn load(&self, mut graph: Graph) -> Result<Network, EngineError> {
         let mut load_span = observe::span("load", "engine");
         load_span.attr("model", graph.name.as_str());
         load_span.attr("personality", self.personality.to_string());
         if self.simplify {
-            PassManager::standard().run_to_fixpoint(&mut graph)?;
+            let mut pipeline = PassManager::standard();
+            if cfg!(debug_assertions) {
+                orpheus_verify::install_sanitizer(&mut pipeline);
+            }
+            pipeline.run_to_fixpoint(&mut graph)?;
+        }
+        if !(cfg!(debug_assertions) && self.simplify) {
+            // The sanitizer already verified every intermediate graph above;
+            // otherwise (release, or simplification disabled) verify the
+            // final graph once before trusting it for lowering.
+            let diagnostics = orpheus_verify::verify_graph(&graph);
+            if let Some(first) = diagnostics
+                .iter()
+                .find(|d| d.severity == orpheus_verify::Severity::Error)
+            {
+                return Err(EngineError::Graph(orpheus_graph::GraphError::Pass {
+                    pass: "post-simplify-verify".to_string(),
+                    reason: first.to_string(),
+                }));
+            }
         }
         let mut plan = {
             let mut lower_span = observe::span("lower", "engine");
@@ -566,6 +590,39 @@ mod tests {
             err.to_string().contains("injected fault"),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn load_rejects_malformed_graph_with_verifier_diagnostic() {
+        use orpheus_graph::{Node, OpKind};
+        // A structurally broken graph (dangling input) must be refused by
+        // the verifier with a typed ORV diagnostic, not surface as a
+        // lowering panic or wrong answer.
+        let mut graph = Graph::new("broken");
+        graph.add_node(Node::new("a", OpKind::Relu, &["ghost"], &["y"]));
+        graph.add_output("y");
+        let err = Engine::new(1)
+            .unwrap()
+            .with_simplification(false)
+            .load(graph)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("ORV002"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn sanitized_load_accepts_every_small_zoo_model() {
+        // In debug builds this exercises the PassManager sanitizer on the
+        // full standard pipeline (scripts/check.sh runs it by name).
+        for kind in [ModelKind::TinyCnn, ModelKind::LeNet5] {
+            let engine = Engine::new(1).unwrap();
+            assert!(
+                engine.load(build_model(kind)).is_ok(),
+                "{kind:?} failed sanitized load"
+            );
+        }
     }
 
     #[test]

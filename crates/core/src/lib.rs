@@ -49,6 +49,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+// Engine crate: panicking escape hatches are forbidden outside tests —
+// load/run failures must surface as `EngineError`s, never as panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod engine;
 mod error;
 mod fault;

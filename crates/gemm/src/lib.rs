@@ -31,6 +31,8 @@
 //! assert_eq!(c, b);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod driver;
 mod im2col;
 mod kernels;

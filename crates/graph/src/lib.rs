@@ -27,6 +27,12 @@
 //! assert_eq!(g.topo_order().unwrap().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+// IR integrity crate: panicking escape hatches are forbidden outside tests —
+// malformed graphs must surface as `GraphError`s (or ORV diagnostics via
+// orpheus-verify), never as panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod attributes;
 mod error;
 #[allow(clippy::module_inception)]

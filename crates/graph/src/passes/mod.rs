@@ -38,10 +38,30 @@ pub trait Pass {
     fn run(&self, graph: &mut Graph) -> Result<bool, GraphError>;
 }
 
+/// A point in a [`PassManager::run_to_fixpoint`] pipeline at which the
+/// installed [`PipelineCheck`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineEvent<'a> {
+    /// Before the first pass runs (checks the pipeline's input graph and
+    /// lets a stateful check snapshot a baseline).
+    PipelineStart,
+    /// Immediately after one application of the named pass.
+    AfterPass(&'a str),
+}
+
+/// A post-pass invariant check (see `orpheus-verify::install_sanitizer`).
+///
+/// Returning `Err` aborts the pipeline; [`PassManager::run_to_fixpoint`]
+/// wraps the message in a [`GraphError::Pass`] naming the pass that ran
+/// last, so a broken rewrite is attributed to its author instead of
+/// surfacing as a wrong answer or panic layers later.
+pub type PipelineCheck = Box<dyn Fn(&Graph, PipelineEvent<'_>) -> Result<(), String>>;
+
 /// Runs a pipeline of passes to a fixpoint.
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
+    check: Option<PipelineCheck>,
 }
 
 impl std::fmt::Debug for PassManager {
@@ -49,6 +69,7 @@ impl std::fmt::Debug for PassManager {
         let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
         f.debug_struct("PassManager")
             .field("passes", &names)
+            .field("checked", &self.check.is_some())
             .finish()
     }
 }
@@ -82,6 +103,31 @@ impl PassManager {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
+    /// Installs a [`PipelineCheck`] that runs at pipeline start and after
+    /// every pass application (the sanitizer mode `orpheus-verify`
+    /// provides). Replaces any previously installed check.
+    pub fn set_pipeline_check(&mut self, check: PipelineCheck) {
+        self.check = Some(check);
+    }
+
+    /// Whether a pipeline check is installed.
+    pub fn has_pipeline_check(&self) -> bool {
+        self.check.is_some()
+    }
+
+    fn run_check(&self, graph: &Graph, event: PipelineEvent<'_>) -> Result<(), GraphError> {
+        let Some(check) = &self.check else {
+            return Ok(());
+        };
+        check(graph, event).map_err(|reason| GraphError::Pass {
+            pass: match event {
+                PipelineEvent::PipelineStart => "pipeline-input".to_string(),
+                PipelineEvent::AfterPass(name) => name.to_string(),
+            },
+            reason,
+        })
+    }
+
     /// Runs the pipeline until no pass reports a change (bounded at 10
     /// rounds, far above what any real model needs).
     ///
@@ -93,9 +139,14 @@ impl PassManager {
     ///
     /// # Errors
     ///
-    /// Propagates the first pass failure.
+    /// Propagates the first pass failure. When a [`PipelineCheck`] is
+    /// installed it runs on the input graph and after every pass
+    /// application; a check failure aborts the pipeline as a
+    /// [`GraphError::Pass`] naming the pass that introduced the violation
+    /// (or `"pipeline-input"` when the input graph was already bad).
     pub fn run_to_fixpoint(&self, graph: &mut Graph) -> Result<usize, GraphError> {
         let mut simplify_span = orpheus_observe::span("simplify", "pass");
+        self.run_check(graph, PipelineEvent::PipelineStart)?;
         let mut total_changes = 0;
         for round in 0..10 {
             let mut changed = false;
@@ -104,6 +155,7 @@ impl PassManager {
                 pass_span.attr("round", round as u64);
                 let pass_changed = pass.run(graph)?;
                 pass_span.attr("changed", pass_changed as u64);
+                self.run_check(graph, PipelineEvent::AfterPass(pass.name()))?;
                 if pass_changed {
                     if orpheus_observe::enabled() {
                         orpheus_observe::counter_add(
@@ -177,6 +229,71 @@ mod tests {
         assert!(names.contains(&"fuse-activation"));
         assert!(names.contains(&"constant-fold"));
         assert!(names.contains(&"dead-code-elim"));
+    }
+
+    /// A pass that deliberately corrupts the graph: it rewires the first
+    /// node to read a value nothing produces.
+    struct BreakingPass;
+    impl Pass for BreakingPass {
+        fn name(&self) -> &str {
+            "breaker"
+        }
+        fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+            if let Some(node) = graph.nodes_mut().first_mut() {
+                node.inputs = vec!["__ghost__".to_string()];
+            }
+            Ok(true)
+        }
+    }
+
+    fn relu_graph() -> Graph {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1]));
+        g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+        g.add_output("y");
+        g
+    }
+
+    #[test]
+    fn pipeline_check_attributes_failure_to_the_breaking_pass() {
+        let mut pm = PassManager::new();
+        pm.add(NoopPass);
+        pm.add(BreakingPass);
+        pm.set_pipeline_check(Box::new(|graph, _event| {
+            graph.validate().map_err(|e| e.to_string())
+        }));
+        assert!(pm.has_pipeline_check());
+        let err = pm.run_to_fixpoint(&mut relu_graph()).unwrap_err();
+        assert!(
+            matches!(&err, GraphError::Pass { pass, .. } if pass == "breaker"),
+            "wrong attribution: {err}"
+        );
+    }
+
+    #[test]
+    fn pipeline_check_flags_bad_input_graph_before_any_pass() {
+        let mut g = relu_graph();
+        g.add_output("never-produced");
+        let mut pm = PassManager::new();
+        pm.add(NoopPass);
+        pm.set_pipeline_check(Box::new(|graph, _event| {
+            graph.validate().map_err(|e| e.to_string())
+        }));
+        let err = pm.run_to_fixpoint(&mut g).unwrap_err();
+        assert!(
+            matches!(&err, GraphError::Pass { pass, .. } if pass == "pipeline-input"),
+            "wrong attribution: {err}"
+        );
+    }
+
+    #[test]
+    fn pipeline_check_passes_clean_pipelines_through() {
+        let mut pm = PassManager::standard();
+        pm.set_pipeline_check(Box::new(|graph, _event| {
+            graph.validate().map_err(|e| e.to_string())
+        }));
+        let mut g = relu_graph();
+        assert!(pm.run_to_fixpoint(&mut g).is_ok());
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! assert_eq!(graph.inputs()[0].dims, vec![1, 1, 28, 28]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod inception;
 mod mobilenet;

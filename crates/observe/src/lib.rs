@@ -39,6 +39,8 @@
 //! assert_eq!(metrics.counters["graph.pass.constant-fold.rewrites"], 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod histogram;
 pub mod json;
 mod metrics;

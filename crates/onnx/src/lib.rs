@@ -27,6 +27,7 @@
 //! assert_eq!(back.nodes().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 // Untrusted-input crate: panicking escape hatches are forbidden outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 

@@ -36,6 +36,8 @@
 //! assert_eq!(out.dims(), &[1, 8, 16, 16]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod concat;
 pub mod conv;

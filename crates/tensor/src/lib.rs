@@ -16,6 +16,8 @@
 //! assert_eq!(doubled.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod approx;
 mod error;
 mod init;

@@ -27,6 +27,8 @@
 //! assert_eq!(out[7], 14);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod pool;
 
 pub use pool::{PoolError, ThreadPool};

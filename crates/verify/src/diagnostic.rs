@@ -1,0 +1,251 @@
+//! Machine-readable diagnostics emitted by the verifier and lints.
+
+use std::fmt;
+
+use orpheus_observe::json;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the graph is executable but wasteful or suspicious.
+    Warning,
+    /// The graph violates an invariant the backends rely on.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes (`ORV0xx`).
+///
+/// Every code maps to exactly one invariant; tests pin codes, tools match on
+/// them, and ARCHITECTURE.md documents each one. Codes are append-only —
+/// never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// ORV001: a value name has more than one producer.
+    DuplicateValue,
+    /// ORV002: a node consumes a value no input, initializer, or node
+    /// produces.
+    UndefinedValue,
+    /// ORV003: a declared graph output is never produced.
+    MissingGraphOutput,
+    /// ORV004: the node dependencies contain a cycle.
+    Cycle,
+    /// ORV005: two nodes share a name.
+    DuplicateNodeName,
+    /// ORV006: a node declares no outputs, or an empty output name.
+    MissingNodeOutput,
+    /// ORV007: an operator attribute is malformed for its op.
+    MalformedAttribute,
+    /// ORV008: shape inference fails on the graph.
+    ShapeInference,
+    /// ORV009: a value's inferred shape diverges from the recorded baseline.
+    ShapeMismatch,
+    /// ORV010: a node cannot affect any graph output.
+    DeadNode,
+    /// ORV011: an initializer is read by no node or output.
+    UnusedInitializer,
+    /// ORV012: a node output overwrites a graph input or initializer name
+    /// (single-writer violation).
+    ImmutableOverwrite,
+    /// ORV013: a declared graph input is read by nothing.
+    UnusedGraphInput,
+    /// ORV014: the graph declares no outputs.
+    NoGraphOutputs,
+}
+
+impl Code {
+    /// The stable `ORV0xx` string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::DuplicateValue => "ORV001",
+            Code::UndefinedValue => "ORV002",
+            Code::MissingGraphOutput => "ORV003",
+            Code::Cycle => "ORV004",
+            Code::DuplicateNodeName => "ORV005",
+            Code::MissingNodeOutput => "ORV006",
+            Code::MalformedAttribute => "ORV007",
+            Code::ShapeInference => "ORV008",
+            Code::ShapeMismatch => "ORV009",
+            Code::DeadNode => "ORV010",
+            Code::UnusedInitializer => "ORV011",
+            Code::ImmutableOverwrite => "ORV012",
+            Code::UnusedGraphInput => "ORV013",
+            Code::NoGraphOutputs => "ORV014",
+        }
+    }
+
+    /// The severity this code is reported at.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::DeadNode | Code::UnusedInitializer | Code::UnusedGraphInput => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line human description of the invariant, used by docs and `--json`
+    /// consumers that want a legend.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Code::DuplicateValue => "value name has more than one producer",
+            Code::UndefinedValue => "node consumes a value nothing produces",
+            Code::MissingGraphOutput => "graph output is never produced",
+            Code::Cycle => "node dependencies form a cycle",
+            Code::DuplicateNodeName => "two nodes share a name",
+            Code::MissingNodeOutput => "node declares no (or an empty) output",
+            Code::MalformedAttribute => "operator attribute malformed for its op",
+            Code::ShapeInference => "shape inference failed",
+            Code::ShapeMismatch => "inferred shape diverges from baseline annotation",
+            Code::DeadNode => "node cannot affect any graph output",
+            Code::UnusedInitializer => "initializer is never read",
+            Code::ImmutableOverwrite => "node output overwrites an input or initializer",
+            Code::UnusedGraphInput => "graph input is never read",
+            Code::NoGraphOutputs => "graph declares no outputs",
+        }
+    }
+
+    /// Every code, in numbering order (docs and legends iterate this).
+    pub const ALL: [Code; 14] = [
+        Code::DuplicateValue,
+        Code::UndefinedValue,
+        Code::MissingGraphOutput,
+        Code::Cycle,
+        Code::DuplicateNodeName,
+        Code::MissingNodeOutput,
+        Code::MalformedAttribute,
+        Code::ShapeInference,
+        Code::ShapeMismatch,
+        Code::DeadNode,
+        Code::UnusedInitializer,
+        Code::ImmutableOverwrite,
+        Code::UnusedGraphInput,
+        Code::NoGraphOutputs,
+    ];
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (derived from the code).
+    pub severity: Severity,
+    /// The node the finding anchors to, when one is identifiable.
+    pub node: Option<String>,
+    /// What went wrong, with concrete names and shapes.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic anchored to a node.
+    pub fn at(code: Code, node: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            node: Some(node.to_string()),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a graph-level diagnostic.
+    pub fn graph(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            node: None,
+            message: message.into(),
+        }
+    }
+
+    /// One JSON object, no trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"code\":\"");
+        out.push_str(self.code.as_str());
+        out.push_str("\",\"severity\":\"");
+        out.push_str(&self.severity.to_string());
+        out.push_str("\",\"node\":");
+        match &self.node {
+            Some(n) => {
+                out.push('"');
+                json::escape_into(&mut out, n);
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"message\":\"");
+        json::escape_into(&mut out, &self.message);
+        out.push_str("\"}");
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.code)?;
+        if let Some(node) = &self.node {
+            write!(f, " at {node:?}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Whether any diagnostic in the slice is an error.
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for code in Code::ALL {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            assert!(code.as_str().starts_with("ORV"));
+            assert!(!code.description().is_empty());
+        }
+        assert_eq!(seen.len(), Code::ALL.len());
+    }
+
+    #[test]
+    fn display_names_node_and_code() {
+        let d = Diagnostic::at(Code::UndefinedValue, "conv0", "reads ghost value \"w\"");
+        let text = d.to_string();
+        assert!(text.contains("ORV002"));
+        assert!(text.contains("conv0"));
+        assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let d = Diagnostic::at(Code::DeadNode, "a\"b", "x");
+        assert!(d.to_json().contains("a\\\"b"));
+        assert!(d.to_json().contains("\"severity\":\"warning\""));
+        let g = Diagnostic::graph(Code::NoGraphOutputs, "empty");
+        assert!(g.to_json().contains("\"node\":null"));
+    }
+
+    #[test]
+    fn has_errors_ignores_warnings() {
+        let warn = Diagnostic::graph(Code::DeadNode, "w");
+        let err = Diagnostic::graph(Code::Cycle, "e");
+        assert!(!has_errors(std::slice::from_ref(&warn)));
+        assert!(has_errors(&[warn, err]));
+    }
+}

@@ -1,0 +1,50 @@
+//! # orpheus-verify — static analysis for the Orpheus graph IR
+//!
+//! Every graph rewrite in `orpheus-graph::passes` is a chance to silently
+//! corrupt the IR that all downstream backends trust. This crate turns that
+//! risk into typed diagnostics:
+//!
+//! * the [`Verifier`] checks **structural** invariants (acyclicity,
+//!   def-before-use, no dangling references, unique value and node names,
+//!   single-writer, per-op attribute well-formedness) and **semantic**
+//!   invariants (re-running shape inference and diffing against a baseline),
+//!   emitting machine-readable [`Diagnostic`]s with stable `ORV0xx`
+//!   [`Code`]s;
+//! * the [`dataflow`] module builds def-use chains and derives liveness —
+//!   yielding a static peak activation-memory estimate ([`MemoryReport`]) —
+//!   plus dead-node and unused-initializer detection;
+//! * [`install_sanitizer`] hooks the verifier into a
+//!   [`PassManager`](orpheus_graph::passes::PassManager) so every pass
+//!   application is checked and the first violation is attributed to the
+//!   pass that introduced it;
+//! * [`lint`] bundles everything into the [`LintReport`] that
+//!   `orpheus-cli lint` prints as text or JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use orpheus_graph::{Graph, Node, OpKind, ValueInfo};
+//! use orpheus_verify::{verify_graph, Code};
+//!
+//! let mut g = Graph::new("bad");
+//! g.add_node(Node::new("a", OpKind::Relu, &["ghost"], &["y"]));
+//! g.add_output("y");
+//! let diagnostics = verify_graph(&g);
+//! assert!(diagnostics.iter().any(|d| d.code == Code::UndefinedValue));
+//! assert_eq!(diagnostics[0].code.as_str(), "ORV002");
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod dataflow;
+mod diagnostic;
+mod report;
+mod sanitizer;
+mod verifier;
+
+pub use dataflow::{memory_report, DefUse, MemoryReport};
+pub use diagnostic::{has_errors, Code, Diagnostic, Severity};
+pub use report::{lint, LintReport};
+pub use sanitizer::{install_sanitizer, sanitized_standard_pipeline};
+pub use verifier::{verify_graph, Verifier};

@@ -1,0 +1,146 @@
+//! The combined lint report the CLI prints: diagnostics + memory analysis.
+
+use orpheus_graph::Graph;
+use orpheus_observe::json;
+
+use crate::dataflow::{self, MemoryReport};
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::verifier::Verifier;
+
+/// Everything `orpheus-cli lint` reports for one model.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Model name (from the graph).
+    pub model: String,
+    /// Node count at lint time.
+    pub nodes: usize,
+    /// Total weight parameters.
+    pub parameters: usize,
+    /// All verifier findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Static memory analysis; `None` when errors prevent shape inference.
+    pub memory: Option<MemoryReport>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "lint {}: {} node(s), {} parameter(s)\n",
+            self.model, self.nodes, self.parameters
+        );
+        for diagnostic in &self.diagnostics {
+            out.push_str(&format!("  {diagnostic}\n"));
+        }
+        if let Some(memory) = &self.memory {
+            out.push_str("static memory report:\n");
+            out.push_str(&memory.render());
+        }
+        out.push_str(&format!(
+            "result: {} error(s), {} warning(s)\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// One JSON object (no trailing newline), machine-readable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"model\":\"");
+        json::escape_into(&mut out, &self.model);
+        out.push_str(&format!(
+            "\",\"nodes\":{},\"parameters\":{},\"errors\":{},\"warnings\":{},",
+            self.nodes,
+            self.parameters,
+            self.errors(),
+            self.warnings()
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, diagnostic) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&diagnostic.to_json());
+        }
+        out.push_str("],\"memory\":");
+        match &self.memory {
+            Some(memory) => out.push_str(&memory.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Lints a graph: full verification plus, when the graph is sound enough to
+/// infer shapes, the static memory report.
+pub fn lint(graph: &Graph) -> LintReport {
+    let diagnostics = Verifier::new().verify(graph);
+    let memory = if crate::diagnostic::has_errors(&diagnostics) {
+        None
+    } else {
+        dataflow::memory_report(graph).ok()
+    };
+    LintReport {
+        model: graph.name.clone(),
+        nodes: graph.nodes().len(),
+        parameters: graph.num_parameters(),
+        diagnostics,
+        memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_graph::{Node, OpKind, ValueInfo};
+
+    fn tiny() -> Graph {
+        let mut g = Graph::new("tiny");
+        g.add_input(ValueInfo::new("x", &[1, 4]));
+        g.add_node(Node::new("relu", OpKind::Relu, &["x"], &["y"]));
+        g.add_output("y");
+        g
+    }
+
+    #[test]
+    fn clean_report_has_memory_and_no_findings() {
+        let report = lint(&tiny());
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.warnings(), 0);
+        let memory = report.memory.as_ref().expect("memory report");
+        assert_eq!(memory.peak_bytes, 32);
+        assert!(report.render().contains("0 error(s)"));
+        assert!(report.to_json().contains("\"errors\":0"));
+    }
+
+    #[test]
+    fn broken_report_skips_memory() {
+        let mut g = tiny();
+        g.add_node(Node::new("b", OpKind::Relu, &["ghost"], &["z"]));
+        g.add_output("z");
+        let report = lint(&g);
+        assert!(report.errors() > 0);
+        assert!(report.memory.is_none());
+        assert!(report.to_json().contains("\"memory\":null"));
+        assert!(report.render().contains("ORV002"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Pass-pipeline sanitizer: verifies the graph after every pass and
+//! attributes the first violation to the pass that introduced it.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use orpheus_graph::passes::{PassManager, PipelineEvent};
+use orpheus_graph::{infer_shapes, Graph};
+
+use crate::diagnostic::Severity;
+use crate::verifier::Verifier;
+
+/// Installs a pipeline check on `pm` that re-verifies the graph at pipeline
+/// start and after every pass application.
+///
+/// At pipeline start the sanitizer snapshots the inferred shapes as the
+/// baseline; after each pass it re-runs the full verifier (with the baseline
+/// diff) and fails on the first error-severity finding. `PassManager`
+/// attributes the failure to the pass that just ran, turning "a pass
+/// produced a malformed graph" into a typed error naming the culprit at the
+/// exact pipeline position — instead of a wrong answer or panic layers
+/// later.
+///
+/// Warnings (dead nodes, unused initializers) never fail the pipeline:
+/// passes legitimately create garbage that `DeadCodeElim` collects later in
+/// the same round.
+pub fn install_sanitizer(pm: &mut PassManager) {
+    let baseline: RefCell<Option<HashMap<String, Vec<usize>>>> = RefCell::new(None);
+    pm.set_pipeline_check(Box::new(move |graph: &Graph, event: PipelineEvent<'_>| {
+        if matches!(event, PipelineEvent::PipelineStart) {
+            // A fresh pipeline run: re-snapshot the baseline. Failing to
+            // infer shapes on the *input* graph is not the pipeline's fault;
+            // the structural verifier below decides whether it is sound.
+            *baseline.borrow_mut() = infer_shapes(graph).ok();
+        }
+        let verifier = match baseline.borrow().clone() {
+            Some(shapes) => Verifier::new().with_baseline_shapes(shapes),
+            None => Verifier::new(),
+        };
+        let first_error = verifier
+            .verify(graph)
+            .into_iter()
+            .find(|d| d.severity == Severity::Error);
+        match first_error {
+            Some(diagnostic) => Err(diagnostic.to_string()),
+            None => Ok(()),
+        }
+    }));
+}
+
+/// A `PassManager::standard()` pipeline with the sanitizer installed.
+pub fn sanitized_standard_pipeline() -> PassManager {
+    let mut pm = PassManager::standard();
+    install_sanitizer(&mut pm);
+    pm
+}

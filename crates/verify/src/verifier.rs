@@ -1,0 +1,403 @@
+//! The graph IR verifier: structural and semantic invariant checks.
+
+use std::collections::{HashMap, HashSet};
+
+use orpheus_graph::{infer_shapes, AttrValue, Graph, Node, OpKind};
+use orpheus_observe as observe;
+
+use crate::dataflow;
+use crate::diagnostic::{Code, Diagnostic};
+
+/// Checks every IR invariant the lowering and backends rely on, collecting
+/// *all* violations instead of stopping at the first (unlike
+/// `Graph::validate`, which is a cheap fail-fast gate).
+///
+/// Structural checks need no shape information; semantic checks re-run shape
+/// inference and, when a baseline is supplied, diff the inferred shapes
+/// against it — the contract a simplification pass must honour is that every
+/// value surviving the rewrite keeps its shape.
+#[derive(Debug, Default)]
+pub struct Verifier {
+    baseline: Option<HashMap<String, Vec<usize>>>,
+    structural_only: bool,
+}
+
+impl Verifier {
+    /// A verifier with structural + semantic checks and no baseline.
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// Diffs inferred shapes against `shapes` (typically captured before a
+    /// pass pipeline); values present in both maps must agree.
+    pub fn with_baseline_shapes(mut self, shapes: HashMap<String, Vec<usize>>) -> Self {
+        self.baseline = Some(shapes);
+        self
+    }
+
+    /// Skips shape inference (used on graphs already known shape-broken).
+    pub fn structural_only(mut self) -> Self {
+        self.structural_only = true;
+        self
+    }
+
+    /// Runs every check, returning all findings (errors first is *not*
+    /// guaranteed; callers filter by [`Diagnostic::severity`]).
+    ///
+    /// When tracing is enabled, the run is recorded as a `verify` span and
+    /// every error-severity finding bumps the `verify.violations` counter.
+    pub fn verify(&self, graph: &Graph) -> Vec<Diagnostic> {
+        let mut span = observe::span("verify", "verify");
+        span.attr("nodes", graph.nodes().len());
+
+        let mut diagnostics = Vec::new();
+        self.check_structure(graph, &mut diagnostics);
+        let structurally_sound = !crate::diagnostic::has_errors(&diagnostics);
+        if structurally_sound && !self.structural_only {
+            self.check_shapes(graph, &mut diagnostics);
+        }
+        self.check_dataflow(graph, &mut diagnostics);
+
+        let errors = diagnostics
+            .iter()
+            .filter(|d| d.severity == crate::diagnostic::Severity::Error)
+            .count();
+        span.attr("errors", errors);
+        span.attr("warnings", diagnostics.len() - errors);
+        if errors > 0 && observe::enabled() {
+            observe::counter_add("verify.violations", errors as u64);
+        }
+        diagnostics
+    }
+
+    fn check_structure(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        // Node names are unique.
+        let mut node_names: HashSet<&str> = HashSet::new();
+        for node in graph.nodes() {
+            if !node_names.insert(&node.name) {
+                out.push(Diagnostic::at(
+                    Code::DuplicateNodeName,
+                    &node.name,
+                    format!("node name {:?} used more than once", node.name),
+                ));
+            }
+        }
+
+        // Every node produces at least one non-empty value.
+        for node in graph.nodes() {
+            if node.outputs.is_empty() || node.outputs.iter().any(String::is_empty) {
+                out.push(Diagnostic::at(
+                    Code::MissingNodeOutput,
+                    &node.name,
+                    "node declares no outputs or an empty output name",
+                ));
+            }
+        }
+
+        // Single writer: graph inputs and initializers are immutable; node
+        // outputs must not redefine them, and no two nodes may write the
+        // same value.
+        let input_names: HashSet<&str> = graph.inputs().iter().map(|i| i.name.as_str()).collect();
+        let initializer_names: HashSet<&str> =
+            graph.initializers().keys().map(String::as_str).collect();
+        let mut written: HashMap<&str, &str> = HashMap::new(); // value -> writer node
+        for node in graph.nodes() {
+            for value in node.outputs.iter().filter(|o| !o.is_empty()) {
+                if input_names.contains(value.as_str())
+                    || initializer_names.contains(value.as_str())
+                {
+                    out.push(Diagnostic::at(
+                        Code::ImmutableOverwrite,
+                        &node.name,
+                        format!(
+                            "output {value:?} overwrites a graph {}",
+                            if input_names.contains(value.as_str()) {
+                                "input"
+                            } else {
+                                "initializer"
+                            }
+                        ),
+                    ));
+                }
+                if let Some(first) = written.insert(value.as_str(), &node.name) {
+                    out.push(Diagnostic::at(
+                        Code::DuplicateValue,
+                        &node.name,
+                        format!("value {value:?} is already produced by node {first:?}"),
+                    ));
+                }
+            }
+        }
+
+        // Def-before-use: every consumed value has some definition.
+        let mut defined: HashSet<&str> = input_names.union(&initializer_names).copied().collect();
+        defined.extend(written.keys().copied());
+        for node in graph.nodes() {
+            for input in node.inputs.iter().filter(|i| !i.is_empty()) {
+                if !defined.contains(input.as_str()) {
+                    out.push(Diagnostic::at(
+                        Code::UndefinedValue,
+                        &node.name,
+                        format!("consumes value {input:?}, which nothing produces"),
+                    ));
+                }
+            }
+        }
+
+        // Graph outputs exist and are produced.
+        if graph.outputs().is_empty() {
+            out.push(Diagnostic::graph(
+                Code::NoGraphOutputs,
+                "graph declares no outputs",
+            ));
+        }
+        for output in graph.outputs() {
+            if !defined.contains(output.as_str()) {
+                out.push(Diagnostic::graph(
+                    Code::MissingGraphOutput,
+                    format!("graph output {output:?} is never produced"),
+                ));
+            }
+        }
+
+        // Acyclicity (def-before-use in the dependency sense).
+        if graph.topo_order().is_err() {
+            out.push(Diagnostic::graph(
+                Code::Cycle,
+                "node dependencies contain a cycle",
+            ));
+        }
+
+        // Per-op attribute well-formedness.
+        for node in graph.nodes() {
+            check_attributes(node, out);
+        }
+    }
+
+    fn check_shapes(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        let shapes = match infer_shapes(graph) {
+            Ok(shapes) => shapes,
+            Err(err) => {
+                out.push(Diagnostic::graph(Code::ShapeInference, err.to_string()));
+                return;
+            }
+        };
+        if let Some(baseline) = &self.baseline {
+            for (value, dims) in &shapes {
+                if let Some(expected) = baseline.get(value) {
+                    if expected != dims {
+                        out.push(Diagnostic::graph(
+                            Code::ShapeMismatch,
+                            format!(
+                                "value {value:?} inferred as {dims:?}, baseline annotation says \
+                                 {expected:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_dataflow(&self, graph: &Graph, out: &mut Vec<Diagnostic>) {
+        for idx in dataflow::dead_nodes(graph) {
+            let node = &graph.nodes()[idx];
+            out.push(Diagnostic::at(
+                Code::DeadNode,
+                &node.name,
+                format!("{} node cannot affect any graph output", node.op),
+            ));
+        }
+        for name in dataflow::unused_initializers(graph) {
+            out.push(Diagnostic::graph(
+                Code::UnusedInitializer,
+                format!("initializer {name:?} is never read"),
+            ));
+        }
+        for name in dataflow::unused_inputs(graph) {
+            out.push(Diagnostic::graph(
+                Code::UnusedGraphInput,
+                format!("graph input {name:?} is never read"),
+            ));
+        }
+    }
+}
+
+/// Convenience: full verification with default options.
+pub fn verify_graph(graph: &Graph) -> Vec<Diagnostic> {
+    Verifier::new().verify(graph)
+}
+
+/// Attribute checks that need no shape information: arity, sign, and range
+/// of the attributes each op's lowering indexes into. `Attributes::ints_or`
+/// silently clamps negatives to zero, so raw negative entries would
+/// otherwise change meaning without a trace.
+fn check_attributes(node: &Node, out: &mut Vec<Diagnostic>) {
+    let mut bad = |message: String| {
+        out.push(Diagnostic::at(
+            Code::MalformedAttribute,
+            &node.name,
+            message,
+        ));
+    };
+    let ints = |key: &str| match node.attrs.get(key) {
+        Some(AttrValue::Ints(v)) => Some(v.clone()),
+        _ => None,
+    };
+
+    match &node.op {
+        OpKind::Conv | OpKind::MaxPool | OpKind::AveragePool => {
+            for key in ["kernel_shape", "strides", "dilations"] {
+                if let Some(values) = ints(key) {
+                    if values.len() != 2 {
+                        bad(format!("{key} expects 2 entries, got {}", values.len()));
+                    }
+                    if values.iter().any(|&v| v <= 0) {
+                        bad(format!("{key} entries must be positive, got {values:?}"));
+                    }
+                }
+            }
+            if let Some(pads) = ints("pads") {
+                if pads.len() != 2 && pads.len() != 4 {
+                    bad(format!("pads expects 2 or 4 entries, got {}", pads.len()));
+                }
+                if pads.iter().any(|&v| v < 0) {
+                    bad(format!("pads entries must be non-negative, got {pads:?}"));
+                }
+            }
+            if node.op == OpKind::Conv && node.attrs.int_or("group", 1) < 1 {
+                bad(format!(
+                    "group must be >= 1, got {}",
+                    node.attrs.int_or("group", 1)
+                ));
+            }
+        }
+        OpKind::Concat if node.attrs.int_or("axis", 1) < 0 => {
+            bad(format!(
+                "axis must be non-negative, got {}",
+                node.attrs.int_or("axis", 1)
+            ));
+        }
+        OpKind::Clip => {
+            let min = node.attrs.float_or("min", f32::NEG_INFINITY);
+            let max = node.attrs.float_or("max", f32::INFINITY);
+            if min.is_nan() || max.is_nan() || min > max {
+                bad(format!("clip bounds are invalid: min {min}, max {max}"));
+            }
+        }
+        OpKind::BatchNormalization => {
+            let epsilon = node.attrs.float_or("epsilon", 1e-5);
+            if !epsilon.is_finite() || epsilon < 0.0 {
+                bad(format!(
+                    "epsilon must be finite and non-negative: {epsilon}"
+                ));
+            }
+        }
+        OpKind::LeakyRelu => {
+            let alpha = node.attrs.float_or("alpha", 0.01);
+            if !alpha.is_finite() {
+                bad(format!("alpha must be finite: {alpha}"));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::has_errors;
+    use orpheus_graph::{Attributes, ValueInfo};
+    use orpheus_tensor::Tensor;
+
+    fn codes(diagnostics: &[Diagnostic]) -> Vec<Code> {
+        diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_graph_verifies_clean() {
+        let mut g = Graph::new("clean");
+        g.add_input(ValueInfo::new("x", &[1, 4]));
+        g.add_node(Node::new("relu", OpKind::Relu, &["x"], &["y"]));
+        g.add_output("y");
+        assert!(verify_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn collects_multiple_violations_at_once() {
+        let mut g = Graph::new("broken");
+        g.add_node(Node::new("a", OpKind::Relu, &["ghost"], &["y"]));
+        g.add_node(Node::new("a", OpKind::Relu, &["ghost2"], &["y"]));
+        g.add_output("nope");
+        let diagnostics = verify_graph(&g);
+        let found = codes(&diagnostics);
+        assert!(found.contains(&Code::UndefinedValue));
+        assert!(found.contains(&Code::DuplicateNodeName));
+        assert!(found.contains(&Code::DuplicateValue));
+        assert!(found.contains(&Code::MissingGraphOutput));
+    }
+
+    #[test]
+    fn immutable_overwrite_is_flagged() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 4]));
+        g.add_initializer("w", Tensor::ones(&[4]));
+        g.add_node(Node::new("a", OpKind::Relu, &["x"], &["x"]));
+        g.add_node(Node::new("b", OpKind::Relu, &["x"], &["w"]));
+        g.add_output("x");
+        let found = codes(&verify_graph(&g));
+        assert_eq!(
+            found
+                .iter()
+                .filter(|c| **c == Code::ImmutableOverwrite)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn baseline_shape_drift_is_an_error() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 4]));
+        g.add_node(Node::new("relu", OpKind::Relu, &["x"], &["y"]));
+        g.add_output("y");
+        let mut baseline = HashMap::new();
+        baseline.insert("y".to_string(), vec![1, 8]); // stale annotation
+        let diagnostics = Verifier::new().with_baseline_shapes(baseline).verify(&g);
+        assert!(codes(&diagnostics).contains(&Code::ShapeMismatch));
+        assert!(has_errors(&diagnostics));
+    }
+
+    #[test]
+    fn malformed_conv_attributes_are_flagged() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 1, 8, 8]));
+        g.add_initializer("w", Tensor::zeros(&[1, 1, 3, 3]));
+        g.add_node(
+            Node::new("c", OpKind::Conv, &["x", "w"], &["y"]).with_attrs(
+                Attributes::new()
+                    .with("strides", AttrValue::Ints(vec![0, 1]))
+                    .with("pads", AttrValue::Ints(vec![-1, 0, 0, 0])),
+            ),
+        );
+        g.add_output("y");
+        let diagnostics = Verifier::new().structural_only().verify(&g);
+        assert_eq!(
+            codes(&diagnostics)
+                .iter()
+                .filter(|c| **c == Code::MalformedAttribute)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn structural_errors_suppress_shape_inference() {
+        let mut g = Graph::new("t");
+        g.add_node(Node::new("a", OpKind::Relu, &["ghost"], &["y"]));
+        g.add_output("y");
+        let found = codes(&verify_graph(&g));
+        assert!(found.contains(&Code::UndefinedValue));
+        assert!(!found.contains(&Code::ShapeInference));
+    }
+}

@@ -1,0 +1,207 @@
+//! A corpus of hand-built known-bad graphs, each pinning the exact `ORV`
+//! diagnostic code the verifier must emit for it.
+//!
+//! This is the contract test for diagnostic stability: codes are
+//! machine-readable API (tools filter on them, ARCHITECTURE.md documents
+//! them), so every invariant gets a minimal graph that violates exactly it.
+
+use std::collections::HashMap;
+
+use orpheus_graph::{AttrValue, Attributes, Graph, Node, OpKind, ValueInfo};
+use orpheus_tensor::Tensor;
+use orpheus_verify::{verify_graph, Code, Severity, Verifier};
+
+fn assert_pins(graph: &Graph, code: Code, expected_severity: Severity) {
+    let diagnostics = verify_graph(graph);
+    let hit = diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| {
+            panic!(
+                "expected {code} in diagnostics for {:?}, got: {:?}",
+                graph.name, diagnostics
+            )
+        });
+    assert_eq!(hit.severity, expected_severity, "{code} severity");
+}
+
+#[test]
+fn orv001_duplicate_value_name() {
+    let mut g = Graph::new("dup-value");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+    g.add_node(Node::new("b", OpKind::Sigmoid, &["x"], &["y"]));
+    g.add_output("y");
+    assert_pins(&g, Code::DuplicateValue, Severity::Error);
+}
+
+#[test]
+fn orv002_dangling_input_reference() {
+    let mut g = Graph::new("dangling");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_node(Node::new("a", OpKind::Add, &["x", "ghost"], &["y"]));
+    g.add_output("y");
+    assert_pins(&g, Code::UndefinedValue, Severity::Error);
+}
+
+#[test]
+fn orv003_missing_graph_output() {
+    let mut g = Graph::new("no-such-output");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+    g.add_output("z");
+    assert_pins(&g, Code::MissingGraphOutput, Severity::Error);
+}
+
+#[test]
+fn orv004_cycle() {
+    let mut g = Graph::new("cycle");
+    g.add_node(Node::new("a", OpKind::Relu, &["b_out"], &["a_out"]));
+    g.add_node(Node::new("b", OpKind::Relu, &["a_out"], &["b_out"]));
+    g.add_output("b_out");
+    assert_pins(&g, Code::Cycle, Severity::Error);
+}
+
+#[test]
+fn orv005_duplicate_node_name() {
+    let mut g = Graph::new("dup-node");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_node(Node::new("same", OpKind::Relu, &["x"], &["y"]));
+    g.add_node(Node::new("same", OpKind::Sigmoid, &["y"], &["z"]));
+    g.add_output("z");
+    assert_pins(&g, Code::DuplicateNodeName, Severity::Error);
+}
+
+#[test]
+fn orv006_node_without_outputs() {
+    let mut g = Graph::new("no-node-output");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_node(Node {
+        name: "sink".to_string(),
+        op: OpKind::Relu,
+        inputs: vec!["x".to_string()],
+        outputs: Vec::new(),
+        attrs: Attributes::new(),
+    });
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+    g.add_output("y");
+    assert_pins(&g, Code::MissingNodeOutput, Severity::Error);
+}
+
+#[test]
+fn orv007_malformed_attribute() {
+    let mut g = Graph::new("bad-attrs");
+    g.add_input(ValueInfo::new("x", &[1, 1, 8, 8]));
+    g.add_initializer("w", Tensor::zeros(&[1, 1, 3, 3]));
+    g.add_node(
+        Node::new("c", OpKind::Conv, &["x", "w"], &["y"])
+            .with_attrs(Attributes::new().with("kernel_shape", AttrValue::Ints(vec![3, 3, 3]))),
+    );
+    g.add_output("y");
+    assert_pins(&g, Code::MalformedAttribute, Severity::Error);
+}
+
+#[test]
+fn orv008_shape_inference_failure() {
+    let mut g = Graph::new("gemm-mismatch");
+    g.add_input(ValueInfo::new("x", &[1, 100]));
+    g.add_initializer("w", Tensor::zeros(&[10, 99]));
+    g.add_node(Node::new("fc", OpKind::Gemm, &["x", "w"], &["y"]));
+    g.add_output("y");
+    assert_pins(&g, Code::ShapeInference, Severity::Error);
+}
+
+#[test]
+fn orv009_shape_mismatch_after_fake_pass() {
+    // Simulate a pass that changed a value's shape behind the verifier's
+    // back: the baseline says y is [1, 4]; the "rewritten" graph infers
+    // [1, 8].
+    let mut baseline = HashMap::new();
+    baseline.insert("y".to_string(), vec![1, 4]);
+
+    let mut g = Graph::new("shape-drift");
+    g.add_input(ValueInfo::new("x", &[1, 8]));
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+    g.add_output("y");
+
+    let diagnostics = Verifier::new().with_baseline_shapes(baseline).verify(&g);
+    let hit = diagnostics
+        .iter()
+        .find(|d| d.code == Code::ShapeMismatch)
+        .expect("ORV009 expected");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.message.contains("[1, 8]"), "message: {}", hit.message);
+}
+
+#[test]
+fn orv010_dead_node() {
+    let mut g = Graph::new("dead-node");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_node(Node::new("live", OpKind::Relu, &["x"], &["y"]));
+    g.add_node(Node::new("dead", OpKind::Sigmoid, &["x"], &["unused"]));
+    g.add_output("y");
+    assert_pins(&g, Code::DeadNode, Severity::Warning);
+}
+
+#[test]
+fn orv011_unused_initializer() {
+    let mut g = Graph::new("unused-init");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_initializer("w_orphan", Tensor::ones(&[4]));
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+    g.add_output("y");
+    assert_pins(&g, Code::UnusedInitializer, Severity::Warning);
+}
+
+#[test]
+fn orv012_single_writer_violation() {
+    let mut g = Graph::new("overwrite");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_initializer("w", Tensor::ones(&[1, 4]));
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["w"]));
+    g.add_output("w");
+    assert_pins(&g, Code::ImmutableOverwrite, Severity::Error);
+}
+
+#[test]
+fn orv013_unused_graph_input() {
+    let mut g = Graph::new("unused-input");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_input(ValueInfo::new("never_read", &[1, 4]));
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+    g.add_output("y");
+    assert_pins(&g, Code::UnusedGraphInput, Severity::Warning);
+}
+
+#[test]
+fn orv014_no_graph_outputs() {
+    let mut g = Graph::new("no-outputs");
+    g.add_input(ValueInfo::new("x", &[1, 4]));
+    g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+    assert_pins(&g, Code::NoGraphOutputs, Severity::Error);
+}
+
+#[test]
+fn corpus_covers_every_code() {
+    // Meta-test: the corpus above pins all 14 codes; if a code is added to
+    // `Code::ALL` without a corpus entry, this fails.
+    assert_eq!(Code::ALL.len(), 14);
+}
+
+#[test]
+fn clean_zoo_model_emits_nothing() {
+    let graph = orpheus_models::build_model(orpheus_models::ModelKind::TinyCnn);
+    let diagnostics = verify_graph(&graph);
+    assert!(
+        diagnostics.iter().all(|d| d.severity != Severity::Error),
+        "zoo model must verify clean: {diagnostics:?}"
+    );
+}
+
+#[test]
+fn onnx_round_trip_verifies_clean() {
+    let graph = orpheus_models::build_model(orpheus_models::ModelKind::LeNet5);
+    let bytes = orpheus_onnx::export_model(&graph).expect("export");
+    let back = orpheus_onnx::import_model(&bytes).expect("import");
+    assert!(!orpheus_verify::has_errors(&verify_graph(&back)));
+}

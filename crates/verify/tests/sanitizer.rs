@@ -1,0 +1,121 @@
+//! Pass-pipeline sanitizer integration tests: a deliberately broken pass
+//! must be caught and attributed *by name* at the pipeline position that
+//! introduced the violation.
+
+use orpheus_graph::passes::{Pass, PassManager};
+use orpheus_graph::{AttrValue, Graph, GraphError, Node, OpKind, ValueInfo};
+use orpheus_models::{build_model, ModelKind};
+use orpheus_tensor::Tensor;
+use orpheus_verify::{install_sanitizer, sanitized_standard_pipeline};
+
+/// A pass that corrupts the graph structurally: it rewires the last node to
+/// read a value nothing produces.
+struct DanglingRewrite;
+impl Pass for DanglingRewrite {
+    fn name(&self) -> &str {
+        "dangling-rewrite"
+    }
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        if let Some(node) = graph.nodes_mut().last_mut() {
+            node.inputs = vec!["__nowhere__".to_string()];
+        }
+        Ok(true)
+    }
+}
+
+/// A pass that corrupts the graph semantically: it doubles a Conv stride,
+/// silently changing every downstream shape while staying structurally
+/// valid. Exactly the class of bug only the baseline shape diff catches.
+struct StrideDoubler;
+impl Pass for StrideDoubler {
+    fn name(&self) -> &str {
+        "stride-doubler"
+    }
+    fn run(&self, graph: &mut Graph) -> Result<bool, GraphError> {
+        for node in graph.nodes_mut() {
+            if node.op == OpKind::Conv {
+                node.attrs.set("strides", AttrValue::Ints(vec![2, 2]));
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn conv_graph() -> Graph {
+    let mut g = Graph::new("conv");
+    g.add_input(ValueInfo::new("x", &[1, 3, 8, 8]));
+    g.add_initializer("w", Tensor::zeros(&[4, 3, 3, 3]));
+    g.add_node(
+        Node::new("conv0", OpKind::Conv, &["x", "w"], &["y"]).with_attrs(
+            orpheus_graph::Attributes::new()
+                .with("kernel_shape", AttrValue::Ints(vec![3, 3]))
+                .with("pads", AttrValue::Ints(vec![1, 1, 1, 1])),
+        ),
+    );
+    g.add_node(Node::new("relu0", OpKind::Relu, &["y"], &["z"]));
+    g.add_output("z");
+    g
+}
+
+#[test]
+fn sanitizer_attributes_structural_breakage_to_the_pass() {
+    let mut pm = PassManager::new();
+    pm.add(DanglingRewrite);
+    install_sanitizer(&mut pm);
+    let err = pm.run_to_fixpoint(&mut conv_graph()).unwrap_err();
+    match &err {
+        GraphError::Pass { pass, reason } => {
+            assert_eq!(pass, "dangling-rewrite");
+            assert!(reason.contains("ORV002"), "reason: {reason}");
+        }
+        other => panic!("expected pass attribution, got {other}"),
+    }
+}
+
+#[test]
+fn sanitizer_catches_silent_shape_drift() {
+    let mut pm = PassManager::new();
+    pm.add(StrideDoubler);
+    install_sanitizer(&mut pm);
+    let err = pm.run_to_fixpoint(&mut conv_graph()).unwrap_err();
+    match &err {
+        GraphError::Pass { pass, reason } => {
+            assert_eq!(pass, "stride-doubler");
+            assert!(reason.contains("ORV009"), "reason: {reason}");
+        }
+        other => panic!("expected pass attribution, got {other}"),
+    }
+}
+
+#[test]
+fn sanitizer_rejects_already_broken_input_graphs() {
+    let mut g = Graph::new("pre-broken");
+    g.add_node(Node::new("a", OpKind::Relu, &["ghost"], &["y"]));
+    g.add_output("y");
+    let pm = sanitized_standard_pipeline();
+    let err = pm.run_to_fixpoint(&mut g).unwrap_err();
+    assert!(
+        matches!(&err, GraphError::Pass { pass, .. } if pass == "pipeline-input"),
+        "wrong attribution: {err}"
+    );
+    // The same pipeline still works on a sound graph.
+    let mut clean = conv_graph();
+    assert!(pm.run_to_fixpoint(&mut clean).is_ok());
+}
+
+#[test]
+fn sanitizer_passes_the_standard_pipeline_on_zoo_models() {
+    for model in [ModelKind::TinyCnn, ModelKind::LeNet5, ModelKind::Wrn40_2] {
+        let mut graph = build_model(model);
+        let pm = sanitized_standard_pipeline();
+        let changes = pm
+            .run_to_fixpoint(&mut graph)
+            .unwrap_or_else(|e| panic!("sanitized pipeline failed on {model:?}: {e}"));
+        assert!(changes > 0, "{model:?} expected simplification rewrites");
+        assert!(
+            !orpheus_verify::has_errors(&orpheus_verify::verify_graph(&graph)),
+            "{model:?} must verify clean after simplification"
+        );
+    }
+}

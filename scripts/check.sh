@@ -13,10 +13,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== pass-pipeline sanitizer (debug assertions) =="
+# Debug builds run the orpheus-verify sanitizer after every simplification
+# pass; this exercises it on the standard pipeline plus the broken-pass
+# attribution tests.
+cargo test -q -p orpheus-verify --test sanitizer
+
 echo "== fuzz smoke (release, all zoo models) =="
 # The workspace tests already run a >=10k-iteration campaign on the small
 # models; this release pass additionally mutates all five Figure 2 exports.
 cargo build --release -p orpheus-cli -q
 ./target/release/orpheus-cli fuzz --model all --iters 400
+
+echo "== lint (release, all zoo models + ONNX round trip) =="
+# Every zoo model must verify clean (0 errors); the file path exercises the
+# ONNX import half of the lint pipeline.
+./target/release/orpheus-cli lint --model all
+LINT_TMP="$(mktemp -d)"
+trap 'rm -rf "$LINT_TMP"' EXIT
+./target/release/orpheus-cli export --model wrn40_2 --out "$LINT_TMP/wrn40_2.onnx"
+./target/release/orpheus-cli lint "$LINT_TMP/wrn40_2.onnx" --json > /dev/null
 
 echo "all checks passed"
