@@ -36,6 +36,13 @@ def main() -> int:
             top = max(range(len(probs)), key=probs.__getitem__)
             print(f"probabilities sum to {sum(probs):.4f}")
             print(f"predicted class {top} (p = {probs[top]:.3f})")
+            # Serving loop: a session reuses one preallocated activation
+            # arena across runs (and must agree with the one-shot API).
+            with network.session() as session:
+                for _ in range(3):
+                    again = session.run(synthetic_digit())
+                    assert again == probs, "session diverged from one-shot run"
+            print("session runs reproduce the one-shot result")
             # The zoo uses synthetic weights, so the class is arbitrary —
             # the point is the full Python -> C ABI -> engine round trip.
             assert abs(sum(probs) - 1.0) < 1e-3

@@ -80,6 +80,21 @@ def _load(path: str | None = None) -> ctypes.CDLL:
         ctypes.c_size_t,
         ctypes.POINTER(ctypes.c_size_t),
     ]
+    lib.orpheus_session_new.restype = ctypes.c_int32
+    lib.orpheus_session_new.argtypes = [
+        ctypes.c_void_p,
+        ctypes.POINTER(ctypes.c_void_p),
+    ]
+    lib.orpheus_session_run.restype = ctypes.c_int32
+    lib.orpheus_session_run.argtypes = [
+        ctypes.c_void_p,
+        ctypes.POINTER(ctypes.c_float),
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_float),
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_size_t),
+    ]
+    lib.orpheus_session_free.argtypes = [ctypes.c_void_p]
     lib.orpheus_last_error_message.restype = ctypes.c_size_t
     lib.orpheus_last_error_message.argtypes = [ctypes.c_char_p, ctypes.c_size_t]
     return lib
@@ -132,12 +147,62 @@ class Network:
         )
         return list(out[: written.value])
 
+    def session(self) -> "Session":
+        """Creates a reusable session over this network's activation arena.
+
+        The session stays valid after the network is closed (it shares the
+        immutable execution plan); steady-state ``Session.run`` calls recycle
+        the preallocated arena instead of allocating.
+        """
+        handle = ctypes.c_void_p()
+        _check(
+            self._lib,
+            self._lib.orpheus_session_new(self._handle, ctypes.byref(handle)),
+        )
+        return Session(self._lib, handle)
+
     def close(self) -> None:
         if self._handle:
             self._lib.orpheus_network_free(self._handle)
             self._handle = None
 
     def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Session:
+    """A reusable execution context with a preallocated activation arena.
+
+    Not thread-safe: one session serves one inference at a time. Create one
+    session per thread for concurrent serving.
+    """
+
+    def __init__(self, lib: ctypes.CDLL, handle: ctypes.c_void_p):
+        self._lib = lib
+        self._handle = handle
+
+    def run(self, image: Sequence[float], max_outputs: int = 4096) -> List[float]:
+        """Runs one inference on a flat NCHW float sequence."""
+        arr = (ctypes.c_float * len(image))(*image)
+        out = (ctypes.c_float * max_outputs)()
+        written = ctypes.c_size_t()
+        _check(
+            self._lib,
+            self._lib.orpheus_session_run(
+                self._handle, arr, len(image), out, max_outputs, ctypes.byref(written)
+            ),
+        )
+        return list(out[: written.value])
+
+    def close(self) -> None:
+        if self._handle:
+            self._lib.orpheus_session_free(self._handle)
+            self._handle = None
+
+    def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -17,7 +17,11 @@ fn fig2(c: &mut Criterion) {
     let max = orpheus_threads::ThreadPool::max_hardware().num_threads();
     if max != 1 {
         assert!(
-            Engine::with_personality(Personality::TfliteSim, 1).is_err(),
+            Engine::builder()
+                .personality(Personality::TfliteSim)
+                .threads(1)
+                .build()
+                .is_err(),
             "tflite-sim must refuse single-thread runs"
         );
     }

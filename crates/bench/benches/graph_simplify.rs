@@ -24,9 +24,10 @@ fn graph_simplify(c: &mut Criterion) {
         let graph = build_model_with_input(model, hw, hw);
         let input = Tensor::full(&[1, 3, hw, hw], 0.5);
         for (label, simplify) in [("simplified", true), ("plain", false)] {
-            let network = Engine::new(1)
+            let network = Engine::builder()
+                .simplification(simplify)
+                .build()
                 .unwrap()
-                .with_simplification(simplify)
                 .load(graph.clone())
                 .unwrap();
             group.bench_function(format!("{}/{label}", model.name()), |b| {

@@ -38,9 +38,10 @@ fn selection_policy(c: &mut Criterion) {
         for (label, policy) in policies {
             // Loading (including any auto-tune measurement) happens once,
             // outside the timed region — tuning is a deploy-time cost.
-            let network = Engine::new(1)
+            let network = Engine::builder()
+                .policy(policy)
+                .build()
                 .unwrap()
-                .with_policy(policy)
                 .load(graph.clone())
                 .unwrap();
             group.bench_function(format!("{}/{label}", model.name()), |b| {

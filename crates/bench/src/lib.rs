@@ -32,11 +32,14 @@ pub fn load_network(
     threads: usize,
 ) -> (Network, Tensor) {
     let hw = bench_scale().input_hw(model);
-    let engine = Engine::with_personality(personality, threads)
+    let engine = Engine::builder()
+        .personality(personality)
+        .threads(threads)
+        .build()
         .expect("bench engine configuration is valid");
     let graph = build_model_with_input(model, hw, hw);
     let network = engine.load(graph).expect("zoo model lowers");
-    let input = Tensor::full(&[1, 3, hw, hw], 0.5);
+    let input = Tensor::full(&[1, model.input_dims()[1], hw, hw], 0.5);
     (network, input)
 }
 

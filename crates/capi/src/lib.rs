@@ -54,7 +54,7 @@
 use std::cell::RefCell;
 use std::ffi::{c_char, CStr};
 
-use orpheus::{Engine, Network, Personality};
+use orpheus::{Engine, Network, Personality, Session};
 use orpheus_tensor::Tensor;
 
 /// Status codes returned by every fallible entry point.
@@ -91,6 +91,12 @@ pub struct OrpheusNetwork {
     network: Network,
 }
 
+/// Opaque session handle: a reusable execution context whose activation
+/// arena is preallocated once and recycled across runs.
+pub struct OrpheusSession {
+    session: Session,
+}
+
 /// Creates an engine.
 ///
 /// `personality` is a NUL-terminated name (`"orpheus"`, `"tvm-sim"`,
@@ -120,7 +126,11 @@ pub unsafe extern "C" fn orpheus_engine_new(
         set_error(format!("unknown personality {name:?}"));
         return ORPHEUS_STATUS_INVALID_ARGUMENT;
     };
-    match Engine::with_personality(personality, threads) {
+    match Engine::builder()
+        .personality(personality)
+        .threads(threads)
+        .build()
+    {
         Ok(engine) => {
             *out = Box::into_raw(Box::new(OrpheusEngine { engine }));
             ORPHEUS_STATUS_OK
@@ -290,6 +300,108 @@ pub unsafe extern "C" fn orpheus_network_run(
     }
 }
 
+/// Creates a reusable inference session for a network.
+///
+/// The session owns a preallocated activation arena sized by the network's
+/// static memory plan; repeated [`orpheus_session_run`] calls recycle it
+/// instead of allocating. The session shares the network's (immutable)
+/// execution plan, so the network handle may be freed before the session.
+///
+/// # Safety
+///
+/// `network` must be a live network handle and `out` a valid pointer; the
+/// returned handle must be released with [`orpheus_session_free`] and must
+/// not be used from two threads at once (sessions are single-flight; create
+/// one session per thread to run concurrently).
+#[no_mangle]
+pub unsafe extern "C" fn orpheus_session_new(
+    network: *const OrpheusNetwork,
+    out: *mut *mut OrpheusSession,
+) -> OrpheusStatus {
+    if network.is_null() || out.is_null() {
+        set_error("null argument to orpheus_session_new");
+        return ORPHEUS_STATUS_NULL_ARGUMENT;
+    }
+    let session = (*network).network.session();
+    *out = Box::into_raw(Box::new(OrpheusSession { session }));
+    ORPHEUS_STATUS_OK
+}
+
+/// Runs one inference through a session, recycling its activation arena.
+///
+/// Argument and buffer semantics are identical to [`orpheus_network_run`];
+/// the difference is steady-state cost — after the first call the session
+/// performs no activation allocations.
+///
+/// # Safety
+///
+/// `session` must be a live session handle (exclusive to this call —
+/// sessions are not thread-safe); `input` must point to `input_len`
+/// readable floats; `output` to `output_capacity` writable floats;
+/// `written_out` must be valid.
+#[no_mangle]
+pub unsafe extern "C" fn orpheus_session_run(
+    session: *mut OrpheusSession,
+    input: *const f32,
+    input_len: usize,
+    output: *mut f32,
+    output_capacity: usize,
+    written_out: *mut usize,
+) -> OrpheusStatus {
+    if session.is_null() || input.is_null() || output.is_null() || written_out.is_null() {
+        set_error("null argument to orpheus_session_run");
+        return ORPHEUS_STATUS_NULL_ARGUMENT;
+    }
+    let in_slice = std::slice::from_raw_parts(input, input_len);
+    let dims = (*session).session.input_dims().to_vec();
+    let expected: usize = dims.iter().product();
+    if input_len != expected {
+        set_error(format!(
+            "input has {input_len} floats, model expects {expected} ({dims:?})"
+        ));
+        return ORPHEUS_STATUS_RUN;
+    }
+    let tensor = match Tensor::from_vec(in_slice.to_vec(), &dims) {
+        Ok(t) => t,
+        Err(e) => {
+            set_error(e.to_string());
+            return ORPHEUS_STATUS_RUN;
+        }
+    };
+    match (*session).session.run(&tensor) {
+        Ok(result) => {
+            let data = result.as_slice();
+            if data.len() > output_capacity {
+                set_error(format!(
+                    "output needs {} floats, buffer holds {output_capacity}",
+                    data.len()
+                ));
+                return ORPHEUS_STATUS_RUN;
+            }
+            std::ptr::copy_nonoverlapping(data.as_ptr(), output, data.len());
+            *written_out = data.len();
+            ORPHEUS_STATUS_OK
+        }
+        Err(e) => {
+            set_error(e.to_string());
+            ORPHEUS_STATUS_RUN
+        }
+    }
+}
+
+/// Releases a session. Freeing null is a no-op.
+///
+/// # Safety
+///
+/// `session` must be null or a handle from [`orpheus_session_new`] not yet
+/// freed.
+#[no_mangle]
+pub unsafe extern "C" fn orpheus_session_free(session: *mut OrpheusSession) {
+    if !session.is_null() {
+        drop(Box::from_raw(session));
+    }
+}
+
 /// Copies the thread-local last error message (NUL-terminated, truncated to
 /// `capacity`) into `buf`; returns the untruncated length in bytes.
 ///
@@ -452,8 +564,93 @@ mod tests {
         unsafe {
             orpheus_engine_free(std::ptr::null_mut());
             orpheus_network_free(std::ptr::null_mut());
+            orpheus_session_free(std::ptr::null_mut());
         }
         assert_eq!(unsafe { orpheus_network_num_layers(std::ptr::null()) }, 0);
+    }
+
+    #[test]
+    fn session_reuses_across_runs_and_outlives_network() {
+        let bytes = export_model(&build_model(ModelKind::TinyCnn)).unwrap();
+        unsafe {
+            let mut engine: *mut OrpheusEngine = std::ptr::null_mut();
+            orpheus_engine_new(c"orpheus".as_ptr(), 1, &mut engine);
+            let mut network: *mut OrpheusNetwork = std::ptr::null_mut();
+            orpheus_engine_load_onnx(engine, bytes.as_ptr(), bytes.len(), &mut network);
+
+            let mut session: *mut OrpheusSession = std::ptr::null_mut();
+            assert_eq!(
+                orpheus_session_new(network, &mut session),
+                ORPHEUS_STATUS_OK
+            );
+
+            // One-shot answer to compare the session against.
+            let input = vec![0.25f32; 3 * 8 * 8];
+            let mut expected = vec![0.0f32; 16];
+            let mut written = 0usize;
+            assert_eq!(
+                orpheus_network_run(
+                    network,
+                    input.as_ptr(),
+                    input.len(),
+                    expected.as_mut_ptr(),
+                    expected.len(),
+                    &mut written
+                ),
+                ORPHEUS_STATUS_OK
+            );
+
+            // The session shares the plan, not the network handle.
+            orpheus_network_free(network);
+
+            let mut output = vec![0.0f32; 16];
+            for _ in 0..3 {
+                let mut got = 0usize;
+                assert_eq!(
+                    orpheus_session_run(
+                        session,
+                        input.as_ptr(),
+                        input.len(),
+                        output.as_mut_ptr(),
+                        output.len(),
+                        &mut got
+                    ),
+                    ORPHEUS_STATUS_OK
+                );
+                assert_eq!(got, written);
+                assert_eq!(&output[..got], &expected[..written]);
+            }
+
+            // Bad input length errors without poisoning the session.
+            let short = [0.0f32; 3];
+            let mut got = 0usize;
+            assert_eq!(
+                orpheus_session_run(
+                    session,
+                    short.as_ptr(),
+                    short.len(),
+                    output.as_mut_ptr(),
+                    output.len(),
+                    &mut got
+                ),
+                ORPHEUS_STATUS_RUN
+            );
+            assert!(last_error().contains("expects"));
+            assert_eq!(
+                orpheus_session_run(
+                    session,
+                    input.as_ptr(),
+                    input.len(),
+                    output.as_mut_ptr(),
+                    output.len(),
+                    &mut got
+                ),
+                ORPHEUS_STATUS_OK
+            );
+
+            orpheus_session_free(session);
+            orpheus_engine_free(engine);
+        }
     }
 
     #[test]

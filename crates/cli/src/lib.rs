@@ -73,15 +73,19 @@ pub fn measure_model(
     threads: usize,
     repeats: usize,
 ) -> Result<Measurement, EngineError> {
-    let engine = Engine::with_personality(personality, threads)?;
+    let engine = Engine::builder()
+        .personality(personality)
+        .threads(threads)
+        .build()?;
     let graph = build_model_with_input(model, input_hw, input_hw);
     let network = engine.load(graph)?;
     let input = Tensor::full(&[1, 3, input_hw, input_hw], 0.5);
-    network.run(&input)?; // warm-up
+    let mut session = network.session();
+    session.run(&input)?; // warm-up
     let mut samples = Vec::with_capacity(repeats.max(1));
     for _ in 0..repeats.max(1) {
         let start = Instant::now();
-        network.run(&input)?;
+        session.run(&input)?;
         samples.push(start.elapsed().as_secs_f64() * 1e3);
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
@@ -247,7 +251,11 @@ pub fn run_figure2(config: &Figure2Config) -> Result<Figure2Result, EngineError>
         ));
     }
     // EXP-F2c: TF-Lite cannot run with one thread.
-    match Engine::with_personality(Personality::TfliteSim, config.threads) {
+    match Engine::builder()
+        .personality(Personality::TfliteSim)
+        .threads(config.threads)
+        .build()
+    {
         Err(e) => result
             .exclusions
             .push((Personality::TfliteSim, e.to_string())),
@@ -424,7 +432,10 @@ pub fn profile_model(
     input_hw: usize,
     threads: usize,
 ) -> Result<orpheus::Profile, EngineError> {
-    let engine = Engine::with_personality(personality, threads)?;
+    let engine = Engine::builder()
+        .personality(personality)
+        .threads(threads)
+        .build()?;
     let graph = build_model_with_input(model, input_hw, input_hw);
     let network = engine.load(graph)?;
     let dims = [1, model.input_dims()[1], input_hw, input_hw];
@@ -543,7 +554,7 @@ pub fn run_simplify_ablation(
     let mut layers = [0usize; 2];
     let mut times = [0.0f64; 2];
     for (i, simplify) in [false, true].into_iter().enumerate() {
-        let engine = Engine::new(1)?.with_simplification(simplify);
+        let engine = Engine::builder().simplification(simplify).build()?;
         let network = engine.load(graph.clone())?;
         layers[i] = network.num_layers();
         network.run(&input)?;
@@ -600,7 +611,10 @@ pub fn run_policy_comparison(
     let input = Tensor::full(&dims, 0.5);
     let mut rows = Vec::new();
     for (label, policy) in policies {
-        let network = Engine::new(1)?.with_policy(policy).load(graph.clone())?;
+        let network = Engine::builder()
+            .policy(policy)
+            .build()?
+            .load(graph.clone())?;
         network.run(&input)?;
         let mut samples = Vec::new();
         for _ in 0..repeats.max(1) {
@@ -706,7 +720,7 @@ pub fn run_backend_validation(
     input: &Tensor,
 ) -> Result<Vec<ValidationRow>, EngineError> {
     use orpheus::VendorBackend;
-    let reference = Engine::new(1)?.load(graph.clone())?.run(input)?;
+    let reference = Engine::builder().build()?.load(graph.clone())?.run(input)?;
     let mut rows = Vec::new();
     let mut check = |label: String, result: Result<Tensor, EngineError>| {
         let row = match result {
@@ -733,7 +747,9 @@ pub fn run_backend_validation(
     ] {
         check(
             format!("personality {personality}"),
-            Engine::with_personality(personality, 1)
+            Engine::builder()
+                .personality(personality)
+                .build()
                 .and_then(|e| e.load(graph.clone()))
                 .and_then(|n| n.run(input)),
         );
@@ -741,23 +757,26 @@ pub fn run_backend_validation(
     for (name, vendor) in [("vnnl", VendorBackend::Vnnl), ("vcl", VendorBackend::Vcl)] {
         check(
             format!("vendor {name}"),
-            Engine::new(1)
-                .map(|e| e.with_vendor_backend(vendor))
+            Engine::builder()
+                .vendor_backend(vendor)
+                .build()
                 .and_then(|e| e.load(graph.clone()))
                 .and_then(|n| n.run(input)),
         );
     }
     check(
         "policy heuristic".into(),
-        Engine::new(1)
-            .map(|e| e.with_policy(orpheus::SelectionPolicy::Heuristic))
+        Engine::builder()
+            .policy(orpheus::SelectionPolicy::Heuristic)
+            .build()
             .and_then(|e| e.load(graph.clone()))
             .and_then(|n| n.run(input)),
     );
     check(
         "policy auto-tune".into(),
-        Engine::new(1)
-            .map(|e| e.with_policy(orpheus::SelectionPolicy::AutoTune { trials: 1 }))
+        Engine::builder()
+            .policy(orpheus::SelectionPolicy::AutoTune { trials: 1 })
+            .build()
             .and_then(|e| e.load(graph.clone()))
             .and_then(|n| n.run(input)),
     );
@@ -880,7 +899,10 @@ pub fn run_traced_profile(
     threads: usize,
     runs: usize,
 ) -> Result<TraceReport, EngineError> {
-    let engine = Engine::with_personality(personality, threads)?;
+    let engine = Engine::builder()
+        .personality(personality)
+        .threads(threads)
+        .build()?;
     let graph = build_model_with_input(model, input_hw, input_hw);
     let bytes = orpheus_onnx::export_model(&graph)
         .map_err(|e| EngineError::Config(format!("onnx round-trip failed: {e}")))?;
@@ -889,14 +911,16 @@ pub fn run_traced_profile(
     let runs = runs.max(1);
     let (outcome, trace, metrics) = with_recording(|| -> Result<(), EngineError> {
         let network = engine.load_onnx(&bytes)?;
+        // One session across all runs, mirroring a deployed steady state.
         // Warm-up is invisible to the recorder: only steady-state runs land
         // in the trace and the latency histogram.
+        let mut session = network.session();
         orpheus_observe::disable();
-        let warmup = network.run(&input);
+        let warmup = session.run(&input).map(|_| ());
         orpheus_observe::enable();
         warmup?;
         for _ in 0..runs {
-            network.run(&input)?;
+            session.run(&input)?;
         }
         Ok(())
     });
@@ -916,7 +940,7 @@ pub fn run_traced_profile(
         });
     // The per-layer table describes ONE pass over the network, so rebuild it
     // from the first timed run's subtree only.
-    let profile = match trace.by_category("engine").find(|s| s.name == "run") {
+    let profile = match trace.by_category("session").find(|s| s.name == "run") {
         Some(run) => {
             let spans = trace
                 .spans
@@ -941,6 +965,11 @@ pub fn run_traced_profile(
 /// a local [`Histogram`](orpheus_observe::Histogram) rather than the global
 /// recorder, so it composes with any concurrent recording.
 ///
+/// By default the timed loop reuses one [`orpheus::Session`], so it measures
+/// the zero-allocation arena executor. With `legacy` set it measures the
+/// per-run allocating executor instead (`Network::run_unplanned`) — the
+/// pair is the session-vs-legacy smoke comparison `scripts/check.sh` runs.
+///
 /// # Errors
 ///
 /// Propagates engine failures.
@@ -951,20 +980,36 @@ pub fn run_repeat(
     threads: usize,
     runs: usize,
     warmup: usize,
+    legacy: bool,
 ) -> Result<LatencyStats, EngineError> {
-    let engine = Engine::with_personality(personality, threads)?;
+    let engine = Engine::builder()
+        .personality(personality)
+        .threads(threads)
+        .build()?;
     let graph = build_model_with_input(model, input_hw, input_hw);
     let network = engine.load(graph)?;
     let dims = [1, model.input_dims()[1], input_hw, input_hw];
     let input = Tensor::full(&dims, 0.5);
-    for _ in 0..warmup {
-        network.run(&input)?;
-    }
     let mut histogram = orpheus_observe::Histogram::default();
-    for _ in 0..runs.max(1) {
-        let start = Instant::now();
-        network.run(&input)?;
-        histogram.record(start.elapsed().as_micros() as u64);
+    if legacy {
+        for _ in 0..warmup {
+            network.run_unplanned(&input)?;
+        }
+        for _ in 0..runs.max(1) {
+            let start = Instant::now();
+            network.run_unplanned(&input)?;
+            histogram.record(start.elapsed().as_micros() as u64);
+        }
+    } else {
+        let mut session = network.session();
+        for _ in 0..warmup {
+            session.run(&input)?;
+        }
+        for _ in 0..runs.max(1) {
+            let start = Instant::now();
+            session.run(&input)?;
+            histogram.record(start.elapsed().as_micros() as u64);
+        }
     }
     Ok(LatencyStats::from_histogram(&histogram))
 }
@@ -1083,7 +1128,7 @@ mod observe_tests {
         assert!(t.by_category("pass").count() > 1, "per-pass spans missing");
         assert!(t.by_category("selection").count() > 0);
         let run = t
-            .by_category("engine")
+            .by_category("session")
             .find(|s| s.name == "run")
             .expect("run span");
         let layers = t
@@ -1124,7 +1169,8 @@ mod observe_tests {
 
     #[test]
     fn repeat_reports_monotonic_percentiles() {
-        let stats = run_repeat(Personality::Orpheus, ModelKind::TinyCnn, 8, 1, 5, 1).unwrap();
+        let stats =
+            run_repeat(Personality::Orpheus, ModelKind::TinyCnn, 8, 1, 5, 1, false).unwrap();
         assert_eq!(stats.runs, 5);
         assert!(stats.min_us > 0);
         assert!(stats.p50_us >= stats.min_us);
@@ -1134,6 +1180,13 @@ mod observe_tests {
         let text = stats.render();
         assert!(text.contains("p99"));
         assert!(text.contains("runs: 5"));
+    }
+
+    #[test]
+    fn repeat_legacy_mode_uses_unplanned_executor() {
+        let stats = run_repeat(Personality::Orpheus, ModelKind::TinyCnn, 8, 1, 3, 1, true).unwrap();
+        assert_eq!(stats.runs, 3);
+        assert!(stats.min_us > 0);
     }
 }
 

@@ -6,7 +6,7 @@
 //! orpheus-cli table1 [--measured]
 //! orpheus-cli profile --model M [--personality P] [--hw N] [--runs N]
 //!                     [--trace-out F] [--events-out F] [--metrics-out F]
-//! orpheus-cli repeat --model M [--personality P] [--hw N] [--runs N] [--warmup N]
+//! orpheus-cli repeat --model M [--personality P] [--hw N] [--runs N] [--warmup N] [--legacy]
 //! orpheus-cli layers --model M [--personality P] [--hw N]
 //! orpheus-cli depthwise [--hw N]
 //! orpheus-cli simplify --model M [--hw N] [--repeats N]
@@ -46,7 +46,7 @@ const USAGE: &str = "usage:
   orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b] [--include-darknet] [--csv] [--trace-out F] [--metrics-out F]
   orpheus-cli table1 [--measured]
   orpheus-cli profile --model M [--personality P] [--hw N] [--threads N] [--runs N] [--trace-out F] [--events-out F] [--metrics-out F]
-  orpheus-cli repeat --model M [--personality P] [--hw N] [--threads N] [--runs N] [--warmup N]
+  orpheus-cli repeat --model M [--personality P] [--hw N] [--threads N] [--runs N] [--warmup N] [--legacy]
   orpheus-cli layers --model M [--personality P] [--hw N]
   orpheus-cli depthwise [--hw N]
   orpheus-cli simplify --model M [--hw N] [--repeats N]
@@ -175,10 +175,16 @@ fn run(argv: &[String]) -> Result<(), String> {
             let threads = args.usize_or("--threads", 1)?;
             let runs = args.usize_or("--runs", 30)?;
             let warmup = args.usize_or("--warmup", 3)?;
-            let stats = run_repeat(personality, model, hw, threads, runs, warmup)
+            let legacy = args.flag("--legacy");
+            let stats = run_repeat(personality, model, hw, threads, runs, warmup, legacy)
                 .map_err(|e| e.to_string())?;
+            let executor = if legacy {
+                "legacy per-run allocator"
+            } else {
+                "session arena"
+            };
             println!(
-                "repeat: {model} under {personality} at {hw}x{hw}, {threads} thread(s), {warmup} warm-up run(s) discarded"
+                "repeat: {model} under {personality} at {hw}x{hw}, {threads} thread(s), {warmup} warm-up run(s) discarded, {executor}"
             );
             print!("{}", stats.render());
             Ok(())

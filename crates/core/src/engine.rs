@@ -1,5 +1,6 @@
 //! The engine (model loading) and network (execution) types.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use orpheus_graph::{passes::PassManager, Graph};
@@ -12,8 +13,10 @@ use crate::error::EngineError;
 use crate::lower::{lower, Plan};
 use crate::memory::MemoryTracker;
 use crate::personality::{Personality, ThreadPolicy};
+use crate::plan::{plan_memory, MemoryPlan};
 use crate::profile::{LayerTiming, Profile};
 use crate::selection::SelectionPolicy;
+use crate::session::Session;
 
 /// Which simulated vendor library convolution layers are routed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +25,112 @@ pub enum VendorBackend {
     Vnnl,
     /// VCL (ACL-style).
     Vcl,
+}
+
+/// Fluent configuration for an [`Engine`].
+///
+/// Obtain one with [`Engine::builder`]; every knob has a sensible default
+/// (1 thread, the Orpheus personality, the personality's selection policy
+/// and simplification behaviour, no vendor routing, no fault injection).
+///
+/// # Examples
+///
+/// ```
+/// use orpheus::{Engine, Personality};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::builder()
+///     .threads(1)
+///     .personality(Personality::Orpheus)
+///     .build()?;
+/// # let _ = engine;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    personality: Option<Personality>,
+    policy: Option<SelectionPolicy>,
+    simplify: Option<bool>,
+    vendor: Option<VendorBackend>,
+    fault_injection: Option<String>,
+}
+
+impl EngineBuilder {
+    /// Sets the thread-pool size (default 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the framework personality (default [`Personality::Orpheus`]).
+    pub fn personality(mut self, personality: Personality) -> Self {
+        self.personality = Some(personality);
+        self
+    }
+
+    /// Overrides the convolution selection policy (e.g. heuristic or
+    /// auto-tune instead of the personality's fixed algorithm).
+    pub fn policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enables or disables graph simplification (the `graph_simplify`
+    /// ablation knob); defaults to the personality's behaviour.
+    pub fn simplification(mut self, simplify: bool) -> Self {
+        self.simplify = Some(simplify);
+        self
+    }
+
+    /// Routes plain convolutions to a simulated vendor backend.
+    pub fn vendor_backend(mut self, vendor: VendorBackend) -> Self {
+        self.vendor = Some(vendor);
+        self
+    }
+
+    /// Injects a runtime fault into every lowered layer whose implementation
+    /// string contains `needle` (robustness drill: the wrapped layers fail
+    /// every `run`, exercising the reference-fallback path).
+    pub fn fault_injection(mut self, needle: &str) -> Self {
+        self.fault_injection = Some(needle.to_string());
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for a zero thread count, or when the
+    /// personality's thread policy rejects the thread count — notably
+    /// `tflite-sim` only accepts the maximum hardware thread count,
+    /// reproducing the paper's reason for excluding TF-Lite from its
+    /// single-thread Figure 2.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let personality = self.personality.unwrap_or(Personality::Orpheus);
+        let threads = self.threads.unwrap_or(1);
+        let pool = ThreadPool::new(threads).map_err(|e| EngineError::Config(e.to_string()))?;
+        if personality.thread_policy() == ThreadPolicy::MaxOnly {
+            let max = ThreadPool::max_hardware().num_threads();
+            if threads != max {
+                return Err(EngineError::Config(format!(
+                    "{personality} always selects the maximum number of threads \
+                     ({max}); requested {threads}"
+                )));
+            }
+        }
+        Ok(Engine {
+            pool,
+            policy: self.policy.unwrap_or_else(|| personality.conv_policy()),
+            simplify: self
+                .simplify
+                .unwrap_or_else(|| personality.simplifies_graph()),
+            personality,
+            vendor: self.vendor,
+            fault_injection: self.fault_injection,
+        })
+    }
 }
 
 /// Model loader: holds the execution configuration (threads, personality,
@@ -37,13 +146,19 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
     /// Creates an engine with the Orpheus personality.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Config`] for a zero thread count.
+    #[deprecated(since = "0.2.0", note = "use `Engine::builder().threads(n).build()`")]
     pub fn new(threads: usize) -> Result<Self, EngineError> {
-        Engine::with_personality(Personality::Orpheus, threads)
+        Engine::builder().threads(threads).build()
     }
 
     /// Creates an engine configured as a framework personality.
@@ -54,50 +169,40 @@ impl Engine {
     /// personality's thread policy rejects `threads` — notably `tflite-sim`
     /// only accepts the maximum hardware thread count, reproducing the
     /// paper's reason for excluding TF-Lite from its single-thread Figure 2.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::builder().personality(p).threads(n).build()`"
+    )]
     pub fn with_personality(personality: Personality, threads: usize) -> Result<Self, EngineError> {
-        let pool = ThreadPool::new(threads).map_err(|e| EngineError::Config(e.to_string()))?;
-        if personality.thread_policy() == ThreadPolicy::MaxOnly {
-            let max = ThreadPool::max_hardware().num_threads();
-            if threads != max {
-                return Err(EngineError::Config(format!(
-                    "{personality} always selects the maximum number of threads \
-                     ({max}); requested {threads}"
-                )));
-            }
-        }
-        Ok(Engine {
-            pool,
-            policy: personality.conv_policy(),
-            simplify: personality.simplifies_graph(),
-            personality,
-            vendor: None,
-            fault_injection: None,
-        })
+        Engine::builder()
+            .personality(personality)
+            .threads(threads)
+            .build()
     }
 
-    /// Overrides the convolution selection policy (e.g. heuristic or
-    /// auto-tune instead of the personality's fixed algorithm).
+    /// Overrides the convolution selection policy.
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::policy`")]
     pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
         self.policy = policy;
         self
     }
 
-    /// Enables or disables graph simplification (the `graph_simplify`
-    /// ablation knob).
+    /// Enables or disables graph simplification.
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::simplification`")]
     pub fn with_simplification(mut self, simplify: bool) -> Self {
         self.simplify = simplify;
         self
     }
 
     /// Routes plain convolutions to a simulated vendor backend.
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::vendor_backend`")]
     pub fn with_vendor_backend(mut self, vendor: VendorBackend) -> Self {
         self.vendor = Some(vendor);
         self
     }
 
-    /// Injects a runtime fault into every lowered layer whose implementation
-    /// string contains `needle` (robustness drill: the wrapped layers fail
-    /// every `run`, exercising the reference-fallback path).
+    /// Injects a runtime fault into matching layers.
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::fault_injection`")]
     pub fn with_fault_injection(mut self, needle: &str) -> Self {
         self.fault_injection = Some(needle.to_string());
         self
@@ -178,14 +283,21 @@ impl Engine {
                 .map(|mut step| {
                     if step.layer.implementation().contains(needle.as_str()) {
                         step.layer = Box::new(crate::fault::FaultyLayer::new(step.layer));
+                        // A wrapped view must execute (and fail, and fall
+                        // back) as a compute step — it cannot be aliased
+                        // away by the memory planner.
+                        step.viewable = false;
                     }
                     step
                 })
                 .collect();
         }
+        // Plan activation memory once, after the step list is final: every
+        // session preallocates exactly these buffers.
+        plan.memory = Some(plan_memory(&plan));
         Ok(Network {
             name: graph.name.clone(),
-            plan,
+            plan: Arc::new(plan),
             pool: self.pool.clone(),
         })
     }
@@ -211,7 +323,7 @@ impl Engine {
 #[derive(Debug)]
 pub struct Network {
     name: String,
-    plan: Plan,
+    plan: Arc<Plan>,
     pool: ThreadPool,
 }
 
@@ -236,7 +348,8 @@ impl Network {
         self.plan.steps.iter().map(|s| s.layer.flops()).sum()
     }
 
-    /// One line per layer: name, op, selected implementation.
+    /// One line per layer (name, op, selected implementation) plus the
+    /// static memory-plan summary.
     pub fn describe(&self) -> String {
         let mut out = format!("network {} ({} layers)\n", self.name, self.num_layers());
         for step in &self.plan.steps {
@@ -247,16 +360,58 @@ impl Network {
                 step.layer.implementation()
             ));
         }
+        if let Some(memory) = &self.plan.memory {
+            out.push_str(&format!("  {}\n", memory.summary()));
+        }
         out
     }
 
+    /// The static activation-memory plan computed at load time.
+    pub fn memory_plan(&self) -> Option<&MemoryPlan> {
+        self.plan.memory.as_ref()
+    }
+
+    /// Creates a reusable execution session with its own preallocated
+    /// activation arena. Hold one session across repeated inferences for
+    /// zero steady-state activation allocations.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.plan), self.pool.clone(), self.name.clone())
+    }
+
     /// Runs one inference.
+    ///
+    /// This creates a throwaway [`Session`] per call; repeated callers
+    /// should hold a session (or use [`Network::run_batch`]) to recycle the
+    /// activation arena.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Execution`] if the input dims do not match the
     /// loaded model, or if a layer fails.
     pub fn run(&self, input: &Tensor) -> Result<Tensor, EngineError> {
+        let mut session = self.session();
+        Ok(session.run(input)?.clone())
+    }
+
+    /// Runs every input through one shared session, amortising the arena.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::run`]; the first failing input aborts the batch.
+    pub fn run_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, EngineError> {
+        self.session().run_batch(inputs)
+    }
+
+    /// Runs one inference on the legacy per-run-allocating executor.
+    ///
+    /// Kept for differential testing against the planned arena path and as
+    /// the engine the profiler instruments; answers are bit-identical to
+    /// [`Network::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::run`].
+    pub fn run_unplanned(&self, input: &Tensor) -> Result<Tensor, EngineError> {
         self.execute(input, false).map(|(t, _)| t)
     }
 
@@ -373,21 +528,32 @@ mod tests {
 
     #[test]
     fn zero_threads_rejected() {
-        assert!(matches!(Engine::new(0), Err(EngineError::Config(_))));
+        assert!(matches!(
+            Engine::builder().threads(0).build(),
+            Err(EngineError::Config(_))
+        ));
     }
 
     #[test]
     fn tflite_sim_rejects_non_max_threads() {
         let max = ThreadPool::max_hardware().num_threads();
         // On a 1-core host max == 1, so ask for max+1 to trigger the error.
-        let err = Engine::with_personality(Personality::TfliteSim, max + 1).unwrap_err();
+        let err = Engine::builder()
+            .personality(Personality::TfliteSim)
+            .threads(max + 1)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("maximum number of threads"));
-        assert!(Engine::with_personality(Personality::TfliteSim, max).is_ok());
+        assert!(Engine::builder()
+            .personality(Personality::TfliteSim)
+            .threads(max)
+            .build()
+            .is_ok());
     }
 
     #[test]
     fn tiny_cnn_runs_end_to_end() {
-        let engine = Engine::new(1).unwrap();
+        let engine = Engine::builder().build().unwrap();
         let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
         let input = Tensor::ones(&[1, 3, 8, 8]);
         let out = network.run(&input).unwrap();
@@ -399,12 +565,13 @@ mod tests {
     #[test]
     fn simplification_shrinks_plan() {
         let graph = build_model(ModelKind::TinyCnn);
-        let plain = Engine::new(1)
+        let plain = Engine::builder()
+            .simplification(false)
+            .build()
             .unwrap()
-            .with_simplification(false)
             .load(graph.clone())
             .unwrap();
-        let simplified = Engine::new(1).unwrap().load(graph).unwrap();
+        let simplified = Engine::builder().build().unwrap().load(graph).unwrap();
         assert!(
             simplified.num_layers() < plain.num_layers(),
             "{} !< {}",
@@ -417,14 +584,16 @@ mod tests {
     fn simplified_and_plain_agree_numerically() {
         let graph = build_model(ModelKind::TinyCnn);
         let input = Tensor::from_fn(&[1, 3, 8, 8], |i| (i % 7) as f32 * 0.1);
-        let plain = Engine::new(1)
+        let plain = Engine::builder()
+            .simplification(false)
+            .build()
             .unwrap()
-            .with_simplification(false)
             .load(graph.clone())
             .unwrap()
             .run(&input)
             .unwrap();
-        let simplified = Engine::new(1)
+        let simplified = Engine::builder()
+            .build()
             .unwrap()
             .load(graph)
             .unwrap()
@@ -438,7 +607,8 @@ mod tests {
     fn personalities_agree_numerically() {
         let graph = build_model(ModelKind::TinyCnn);
         let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 13) % 11) as f32 * 0.05);
-        let reference = Engine::with_personality(Personality::Orpheus, 1)
+        let reference = Engine::builder()
+            .build()
             .unwrap()
             .load(graph.clone())
             .unwrap()
@@ -449,7 +619,9 @@ mod tests {
             Personality::PytorchSim,
             Personality::DarknetSim,
         ] {
-            let out = Engine::with_personality(p, 1)
+            let out = Engine::builder()
+                .personality(p)
+                .build()
                 .unwrap()
                 .load(graph.clone())
                 .unwrap()
@@ -462,7 +634,7 @@ mod tests {
 
     #[test]
     fn profiled_run_reports_every_layer() {
-        let engine = Engine::new(1).unwrap();
+        let engine = Engine::builder().build().unwrap();
         let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
         let input = Tensor::ones(&[1, 3, 8, 8]);
         let (_, profile) = network.run_profiled(&input).unwrap();
@@ -474,7 +646,7 @@ mod tests {
 
     #[test]
     fn wrong_input_dims_rejected() {
-        let engine = Engine::new(1).unwrap();
+        let engine = Engine::builder().build().unwrap();
         let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
         assert!(network.run(&Tensor::ones(&[1, 3, 9, 9])).is_err());
     }
@@ -483,7 +655,7 @@ mod tests {
     fn onnx_round_trip_through_engine() {
         let graph = build_model(ModelKind::TinyCnn);
         let bytes = orpheus_onnx::export_model(&graph).unwrap();
-        let engine = Engine::new(1).unwrap();
+        let engine = Engine::builder().build().unwrap();
         let network = engine.load_onnx(&bytes).unwrap();
         let direct = engine.load(graph).unwrap();
         let input = Tensor::from_fn(&[1, 3, 8, 8], |i| (i % 5) as f32 * 0.2);
@@ -497,16 +669,18 @@ mod tests {
     fn vendor_backends_agree_with_native() {
         let graph = build_model(ModelKind::TinyCnn);
         let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 7) % 9) as f32 * 0.1);
-        let native = Engine::new(1)
+        let native = Engine::builder()
+            .build()
             .unwrap()
             .load(graph.clone())
             .unwrap()
             .run(&input)
             .unwrap();
         for vendor in [VendorBackend::Vnnl, VendorBackend::Vcl] {
-            let net = Engine::new(1)
+            let net = Engine::builder()
+                .vendor_backend(vendor)
+                .build()
                 .unwrap()
-                .with_vendor_backend(vendor)
                 .load(graph.clone())
                 .unwrap();
             assert!(
@@ -522,7 +696,7 @@ mod tests {
 
     #[test]
     fn network_flops_positive_for_conv_nets() {
-        let engine = Engine::new(1).unwrap();
+        let engine = Engine::builder().build().unwrap();
         let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
         assert!(network.flops() > 0);
         assert!(network.describe().contains("Conv"));
@@ -535,7 +709,8 @@ mod tests {
         // reference path and record each rescue.
         let graph = build_model(ModelKind::TinyCnn);
         let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 3) % 7) as f32 * 0.1);
-        let expected = Engine::new(1)
+        let expected = Engine::builder()
+            .build()
             .unwrap()
             .load(graph.clone())
             .unwrap()
@@ -544,12 +719,13 @@ mod tests {
 
         observe::enable();
         observe::reset();
-        let network = Engine::new(1)
-            .unwrap()
+        let network = Engine::builder()
             // TinyCnn's plain convs lower to im2col-gemm(packed) or
             // spatial-pack — both contain "pack", neither is the Direct
             // reference, so this breaks every optimized conv.
-            .with_fault_injection("pack")
+            .fault_injection("pack")
+            .build()
+            .unwrap()
             .load(graph)
             .unwrap();
         assert!(
@@ -580,9 +756,10 @@ mod tests {
     fn fault_without_fallback_surfaces_the_original_error() {
         // Pool layers have no reference twin; the injected fault must come
         // back as the run error instead of silently degrading.
-        let network = Engine::new(1)
+        let network = Engine::builder()
+            .fault_injection("max")
+            .build()
             .unwrap()
-            .with_fault_injection("max")
             .load(build_model(ModelKind::LeNet5))
             .unwrap();
         let err = network.run(&Tensor::ones(&[1, 1, 28, 28])).unwrap_err();
@@ -601,9 +778,10 @@ mod tests {
         let mut graph = Graph::new("broken");
         graph.add_node(Node::new("a", OpKind::Relu, &["ghost"], &["y"]));
         graph.add_output("y");
-        let err = Engine::new(1)
+        let err = Engine::builder()
+            .simplification(false)
+            .build()
             .unwrap()
-            .with_simplification(false)
             .load(graph)
             .unwrap_err();
         assert!(
@@ -617,7 +795,7 @@ mod tests {
         // In debug builds this exercises the PassManager sanitizer on the
         // full standard pipeline (scripts/check.sh runs it by name).
         for kind in [ModelKind::TinyCnn, ModelKind::LeNet5] {
-            let engine = Engine::new(1).unwrap();
+            let engine = Engine::builder().build().unwrap();
             assert!(
                 engine.load(build_model(kind)).is_ok(),
                 "{kind:?} failed sanitized load"
@@ -627,11 +805,84 @@ mod tests {
 
     #[test]
     fn auto_tune_policy_loads_and_runs() {
-        let engine = Engine::new(1)
-            .unwrap()
-            .with_policy(SelectionPolicy::AutoTune { trials: 1 });
+        let engine = Engine::builder()
+            .policy(SelectionPolicy::AutoTune { trials: 1 })
+            .build()
+            .unwrap();
         let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
         let out = network.run(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
         assert_eq!(out.dims(), &[1, 4]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        // The 0.1 API keeps working through the shims until removal.
+        let network = Engine::new(1)
+            .unwrap()
+            .with_simplification(false)
+            .load(build_model(ModelKind::TinyCnn))
+            .unwrap();
+        let legacy = network.run(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
+        let modern = Engine::builder()
+            .simplification(false)
+            .build()
+            .unwrap()
+            .load(build_model(ModelKind::TinyCnn))
+            .unwrap()
+            .run(&Tensor::ones(&[1, 3, 8, 8]))
+            .unwrap();
+        assert_eq!(legacy.as_slice(), modern.as_slice());
+        assert!(Engine::with_personality(Personality::Orpheus, 1).is_ok());
+    }
+
+    #[test]
+    fn describe_includes_memory_plan_summary() {
+        let engine = Engine::builder().build().unwrap();
+        let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
+        let description = network.describe();
+        assert!(
+            description.contains("memory plan:"),
+            "missing plan summary:\n{description}"
+        );
+        let mp = network.memory_plan().expect("plan attached at load");
+        assert!(mp.arena_bytes() > 0);
+        assert!(mp.num_buffers() > 0);
+        assert!(mp.reuse_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn planned_and_unplanned_execution_bit_identical() {
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 11) % 17) as f32 * 0.07);
+        let network = Engine::builder().build().unwrap().load(graph).unwrap();
+        let planned = network.run(&input).unwrap();
+        let unplanned = network.run_unplanned(&input).unwrap();
+        assert_eq!(planned.as_slice(), unplanned.as_slice());
+    }
+
+    #[test]
+    fn fault_injection_runs_through_session_fallback() {
+        // The arena executor must take the same graceful-degradation path
+        // as the legacy executor when a layer faults.
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 3) % 7) as f32 * 0.1);
+        let expected = Engine::builder()
+            .build()
+            .unwrap()
+            .load(graph.clone())
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let network = Engine::builder()
+            .fault_injection("pack")
+            .build()
+            .unwrap()
+            .load(graph)
+            .unwrap();
+        let mut session = network.session();
+        let out = session.run(&input).unwrap();
+        let r = orpheus_tensor::allclose(out, &expected, 1e-3, 1e-4);
+        assert!(r.ok, "session fallback disagrees: {r:?}");
     }
 }

@@ -36,6 +36,37 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// Returns [`EngineError`] when input shapes do not match the layer.
     fn run(&self, inputs: &[&Tensor], pool: &ThreadPool) -> Result<Tensor, EngineError>;
 
+    /// Executes the layer into a preallocated output tensor of the planned
+    /// output dims.
+    ///
+    /// The arena executor calls this so steady-state inference writes into
+    /// recycled buffers. The default delegates to [`Layer::run`] and copies
+    /// the result (allocating); layers on the hot path override it to write
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when input shapes do not match the layer or
+    /// `output` does not have the layer's output dims.
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let result = self.run(inputs, pool)?;
+        if result.dims() != output.dims() {
+            return Err(EngineError::Execution(format!(
+                "layer {:?} produced dims {:?} but the plan expects {:?}",
+                self.name(),
+                result.dims(),
+                output.dims()
+            )));
+        }
+        output.as_mut_slice().copy_from_slice(result.as_slice());
+        Ok(())
+    }
+
     /// Floating-point operations per invocation (0 when unknown or
     /// negligible); used by the profiler to report effective GFLOP/s.
     fn flops(&self) -> u64 {
@@ -51,6 +82,24 @@ pub trait Layer: fmt::Debug + Send + Sync {
     fn reference_fallback(&self) -> Option<Box<dyn Layer>> {
         None
     }
+}
+
+/// Copies `input`'s storage into `output`, which may carry different dims of
+/// the same element count — the view layers' copying execution path.
+pub(crate) fn copy_data_into(
+    layer: &str,
+    input: &Tensor,
+    output: &mut Tensor,
+) -> Result<(), EngineError> {
+    if input.len() != output.len() {
+        return Err(EngineError::Execution(format!(
+            "layer {layer:?} output has {} element(s) but the plan expects {}",
+            input.len(),
+            output.len()
+        )));
+    }
+    output.as_mut_slice().copy_from_slice(input.as_slice());
+    Ok(())
 }
 
 /// Checks the arity of a layer's inputs — shared helper for implementations.

@@ -2,18 +2,20 @@
 
 use orpheus_gemm::GemmKernel;
 use orpheus_ops::activation::Activation;
-use orpheus_ops::concat::concat_channels;
+use orpheus_ops::concat::{concat_channels, concat_channels_into};
 use orpheus_ops::conv::{Conv2d, Conv2dParams, ConvAlgorithm};
 use orpheus_ops::dense::{Dense, DenseAlgorithm};
-use orpheus_ops::elementwise::{add_activate, binary, BinaryOp};
+use orpheus_ops::elementwise::{add_activate, add_activate_into, binary, binary_into, BinaryOp};
 use orpheus_ops::norm::BatchNorm;
-use orpheus_ops::pool::{global_average_pool, pool2d, Pool2dParams};
-use orpheus_ops::softmax::softmax;
+use orpheus_ops::pool::{
+    global_average_pool, global_average_pool_into, pool2d, pool2d_into, Pool2dParams,
+};
+use orpheus_ops::softmax::{softmax, softmax_into};
 use orpheus_tensor::Tensor;
 use orpheus_threads::ThreadPool;
 
 use crate::error::EngineError;
-use crate::layer::{expect_inputs, Layer};
+use crate::layer::{copy_data_into, expect_inputs, Layer};
 
 /// 2-D convolution layer. Wraps [`Conv2d`], which carries the selected
 /// algorithm and pre-packed weights.
@@ -79,6 +81,15 @@ impl Layer for ConvLayer {
     fn run(&self, inputs: &[&Tensor], pool: &ThreadPool) -> Result<Tensor, EngineError> {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(self.conv.run(inputs[0], pool)?)
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        Ok(self.conv.run_into(inputs[0], output, pool)?)
     }
     fn flops(&self) -> u64 {
         self.flops
@@ -156,6 +167,15 @@ impl Layer for DenseLayer {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(self.dense.run(inputs[0], pool)?)
     }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        Ok(self.dense.run_into(inputs[0], output, pool)?)
+    }
     fn flops(&self) -> u64 {
         self.flops
     }
@@ -192,6 +212,15 @@ impl Layer for PoolLayer {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(pool2d(&self.params, inputs[0], pool)?)
     }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        Ok(pool2d_into(&self.params, inputs[0], output, pool)?)
+    }
 }
 
 /// Global average pooling layer.
@@ -222,6 +251,15 @@ impl Layer for GlobalPoolLayer {
     fn run(&self, inputs: &[&Tensor], pool: &ThreadPool) -> Result<Tensor, EngineError> {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(global_average_pool(inputs[0], pool)?)
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        Ok(global_average_pool_into(inputs[0], output, pool)?)
     }
 }
 
@@ -267,6 +305,15 @@ impl Layer for BatchNormLayer {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(self.bn.run(inputs[0])?)
     }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        Ok(self.bn.run_into(inputs[0], output)?)
+    }
 }
 
 /// Standalone activation layer.
@@ -299,6 +346,17 @@ impl Layer for ActivationLayer {
     fn run(&self, inputs: &[&Tensor], _pool: &ThreadPool) -> Result<Tensor, EngineError> {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(self.activation.run(inputs[0]))
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        copy_data_into(&self.name, inputs[0], output)?;
+        self.activation.apply_slice(output.as_mut_slice());
+        Ok(())
     }
 }
 
@@ -339,6 +397,18 @@ impl Layer for AddLayer {
             None => Ok(binary(BinaryOp::Add, inputs[0], inputs[1])?),
         }
     }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 2)?;
+        match self.activation {
+            Some(act) => Ok(add_activate_into(inputs[0], inputs[1], act, output)?),
+            None => Ok(binary_into(BinaryOp::Add, inputs[0], inputs[1], output)?),
+        }
+    }
 }
 
 /// Element-wise multiplication layer.
@@ -369,6 +439,15 @@ impl Layer for MulLayer {
     fn run(&self, inputs: &[&Tensor], _pool: &ThreadPool) -> Result<Tensor, EngineError> {
         let inputs = expect_inputs(&self.name, inputs, 2)?;
         Ok(binary(BinaryOp::Mul, inputs[0], inputs[1])?)
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 2)?;
+        Ok(binary_into(BinaryOp::Mul, inputs[0], inputs[1], output)?)
     }
 }
 
@@ -403,6 +482,15 @@ impl Layer for ConcatLayer {
         let inputs = expect_inputs(&self.name, inputs, self.arity)?;
         Ok(concat_channels(inputs)?)
     }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, self.arity)?;
+        Ok(concat_channels_into(inputs, output)?)
+    }
 }
 
 /// Softmax layer.
@@ -433,6 +521,15 @@ impl Layer for SoftmaxLayer {
     fn run(&self, inputs: &[&Tensor], _pool: &ThreadPool) -> Result<Tensor, EngineError> {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(softmax(inputs[0])?)
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        Ok(softmax_into(inputs[0], output)?)
     }
 }
 
@@ -469,6 +566,17 @@ impl Layer for FlattenLayer {
         x.reshaped(&[batch, rest])
             .map_err(|e| EngineError::Execution(e.to_string()))
     }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        // `output` already carries the planned (flattened) dims; views copy
+        // storage byte-for-byte.
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        copy_data_into(&self.name, inputs[0], output)
+    }
 }
 
 /// Reshape to a static target shape (resolved at lowering time).
@@ -503,6 +611,15 @@ impl Layer for ReshapeLayer {
         inputs[0]
             .reshaped(&self.target)
             .map_err(|e| EngineError::Execution(e.to_string()))
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        copy_data_into(&self.name, inputs[0], output)
     }
 }
 
@@ -621,6 +738,15 @@ impl Layer for IdentityLayer {
     fn run(&self, inputs: &[&Tensor], _pool: &ThreadPool) -> Result<Tensor, EngineError> {
         let inputs = expect_inputs(&self.name, inputs, 1)?;
         Ok(inputs[0].clone())
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        copy_data_into(&self.name, inputs[0], output)
     }
 }
 

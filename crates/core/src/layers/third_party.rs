@@ -101,6 +101,26 @@ impl Layer for VnnlConvLayer {
         self.epilogue.apply(&mut out);
         Ok(out)
     }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        let want = self.conv.output_dims(inputs[0].dims());
+        if output.dims() != want {
+            return Err(EngineError::Execution(format!(
+                "layer {:?} output dims {:?} do not match the plan's {:?}",
+                self.name,
+                want,
+                output.dims()
+            )));
+        }
+        self.conv.run_into(inputs[0], output)?;
+        self.epilogue.apply(output);
+        Ok(())
+    }
     fn flops(&self) -> u64 {
         self.flops
     }
@@ -164,6 +184,25 @@ impl Layer for VclConvLayer {
         self.conv.run_into(inputs[0], &mut out)?;
         self.epilogue.apply(&mut out);
         Ok(out)
+    }
+    fn run_into(
+        &self,
+        inputs: &[&Tensor],
+        output: &mut Tensor,
+        _pool: &ThreadPool,
+    ) -> Result<(), EngineError> {
+        let inputs = expect_inputs(&self.name, inputs, 1)?;
+        if output.dims() != self.out_dims {
+            return Err(EngineError::Execution(format!(
+                "layer {:?} output dims {:?} do not match the plan's {:?}",
+                self.name,
+                self.out_dims,
+                output.dims()
+            )));
+        }
+        self.conv.run_into(inputs[0], output)?;
+        self.epilogue.apply(output);
+        Ok(())
     }
     fn flops(&self) -> u64 {
         self.flops

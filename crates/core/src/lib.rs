@@ -31,6 +31,9 @@
 //!   model the baselines of the paper's Figure 2 and Table I.
 //! * [`Engine`] / [`Network`] — model loading and execution with per-layer
 //!   profiling and liveness-based memory management.
+//! * [`Session`] — a reusable execution context over the load-time
+//!   [`MemoryPlan`]: steady-state inference runs entirely out of a
+//!   preallocated, liveness-recycled activation arena.
 //!
 //! ## Quickstart
 //!
@@ -40,11 +43,23 @@
 //! use orpheus_tensor::Tensor;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let engine = Engine::with_personality(Personality::Orpheus, 1)?;
+//! let engine = Engine::builder()
+//!     .personality(Personality::Orpheus)
+//!     .threads(1)
+//!     .build()?;
 //! let network = engine.load(build_model(ModelKind::TinyCnn))?;
 //! let input = Tensor::ones(&[1, 3, 8, 8]);
+//!
+//! // One-shot inference…
 //! let probs = network.run(&input)?;
 //! assert_eq!(probs.dims(), &[1, 4]);
+//!
+//! // …or a reusable session that recycles its activation arena.
+//! let mut session = network.session();
+//! for _ in 0..3 {
+//!     let probs = session.run(&input)?;
+//!     assert_eq!(probs.dims(), &[1, 4]);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -62,13 +77,17 @@ pub mod layers;
 mod lower;
 mod memory;
 mod personality;
+mod plan;
 mod profile;
 mod selection;
+mod session;
 
-pub use engine::{Engine, Network, VendorBackend};
+pub use engine::{Engine, EngineBuilder, Network, VendorBackend};
 pub use error::EngineError;
 pub use layer::Layer;
 pub use memory::MemoryStats;
 pub use personality::{Capability, Personality, ThreadPolicy, CAPABILITY_CRITERIA};
+pub use plan::MemoryPlan;
 pub use profile::{LayerTiming, Profile};
 pub use selection::SelectionPolicy;
+pub use session::Session;

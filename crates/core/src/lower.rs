@@ -31,6 +31,11 @@ pub(crate) struct PlanStep {
     pub layer: Box<dyn Layer>,
     pub inputs: Vec<usize>,
     pub output: usize,
+    /// Whether the layer is a pure view (Flatten/Reshape/Identity): the
+    /// output is the input's storage with different dims, so the memory
+    /// planner may alias the two slots and the executor may move the buffer
+    /// instead of copying. Fault-injection wrapping clears this flag.
+    pub viewable: bool,
 }
 
 impl std::fmt::Debug for PlanStep {
@@ -56,6 +61,11 @@ pub(crate) struct Plan {
     /// For each slot, the index of the last step reading it
     /// (`usize::MAX` = never read / graph output).
     pub last_use: Vec<usize>,
+    /// Inferred dims of each slot's value (from graph shape inference).
+    pub slot_dims: Vec<Vec<usize>>,
+    /// Static buffer-reuse plan; populated by `plan::plan_memory` after any
+    /// fault-injection wrapping, before the plan is frozen into a `Network`.
+    pub memory: Option<crate::plan::MemoryPlan>,
 }
 
 /// Lowers a validated graph into a plan under the engine's configuration.
@@ -78,13 +88,13 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
 
     // Assign a dense slot to every activation value (not initializers).
     let mut slot_of: HashMap<String, usize> = HashMap::new();
-    let mut next_slot = 0usize;
+    let mut slot_names: Vec<String> = Vec::new();
     let mut intern = |name: &str, slot_of: &mut HashMap<String, usize>| -> usize {
         if let Some(&s) = slot_of.get(name) {
             return s;
         }
-        let s = next_slot;
-        next_slot += 1;
+        let s = slot_names.len();
+        slot_names.push(name.to_string());
         slot_of.insert(name.to_string(), s);
         s
     };
@@ -103,10 +113,15 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
             .map(|name| intern(name, &mut slot_of))
             .collect();
         let output = intern(&node.outputs[0], &mut slot_of);
+        let viewable = matches!(
+            node.op,
+            OpKind::Flatten | OpKind::Reshape | OpKind::Identity | OpKind::Dropout
+        );
         steps.push(PlanStep {
             layer,
             inputs,
             output,
+            viewable,
         });
     }
 
@@ -116,7 +131,8 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
         .ok_or_else(|| EngineError::Config(format!("output {output_name:?} was never produced")))?;
 
     // Liveness: last step index that reads each slot.
-    let mut last_use = vec![usize::MAX; next_slot];
+    let num_slots = slot_names.len();
+    let mut last_use = vec![usize::MAX; num_slots];
     for (step_idx, step) in steps.iter().enumerate() {
         for &input in &step.inputs {
             last_use[input] = step_idx;
@@ -124,13 +140,26 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
     }
     last_use[output_slot] = usize::MAX; // keep the output alive
 
+    // Per-slot dims from shape inference (input dims come from the graph).
+    let slot_dims: Vec<Vec<usize>> = slot_names
+        .iter()
+        .map(|name| {
+            shapes
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| input_dims.clone())
+        })
+        .collect();
+
     Ok(Plan {
         steps,
-        num_slots: next_slot,
+        num_slots,
         input_slot,
         input_dims,
         output_slot,
         last_use,
+        slot_dims,
+        memory: None,
     })
 }
 

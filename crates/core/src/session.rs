@@ -1,0 +1,367 @@
+//! Reusable inference sessions over the static memory plan.
+//!
+//! A [`Session`] owns every buffer an inference needs — the planned
+//! activation arena, the per-slot shape cache, and a handle to the engine's
+//! thread pool — so repeated `run` calls recycle the same storage instead of
+//! allocating. After the first call warms the arena (and the thread-local
+//! kernel scratch pool), steady-state single-thread inference performs zero
+//! activation heap allocations: tensors are assembled from recycled `Vec`s
+//! via [`Tensor::from_parts`] and dismantled back into the arena with
+//! [`Tensor::into_parts`] when liveness says their value is dead.
+//!
+//! [`Network::run`](crate::Network::run) is a thin wrapper that creates a
+//! throwaway session; batch workloads should hold one session (or use
+//! [`Network::run_batch`](crate::Network::run_batch)) to amortise the arena.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use orpheus_observe as observe;
+use orpheus_tensor::{Shape, Tensor};
+use orpheus_threads::ThreadPool;
+
+use crate::error::EngineError;
+use crate::lower::Plan;
+use crate::plan::MemoryPlan;
+
+/// Steps with at most this many inputs borrow their input refs from a stack
+/// array; wider fan-in (absent from the model zoo) falls back to a `Vec`.
+const MAX_FAN_IN: usize = 16;
+
+/// A reusable, preallocated execution context for one [`Network`].
+///
+/// Not `Sync`: one session serves one inference at a time. Create several
+/// sessions from the same network to run concurrently — they share the plan
+/// (immutable) and thread pool but own private arenas.
+///
+/// [`Network`]: crate::Network
+#[derive(Debug)]
+pub struct Session {
+    plan: Arc<Plan>,
+    pool: ThreadPool,
+    model: String,
+    /// Current tensor per slot (`None` = value dead, storage in the arena).
+    slots: Vec<Option<Tensor>>,
+    /// Free storage per planned buffer; empty `Vec` while lent to a slot.
+    arena: Vec<Vec<f32>>,
+    /// Per-slot `Shape` cache, round-tripped through
+    /// `Tensor::from_parts`/`into_parts` so shapes are built exactly once.
+    shapes: Vec<Option<Shape>>,
+    /// Element count of each slot's value.
+    slot_elems: Vec<usize>,
+    /// Placeholder for the input-ref stack array.
+    empty: Tensor,
+}
+
+impl Session {
+    pub(crate) fn new(plan: Arc<Plan>, pool: ThreadPool, model: String) -> Session {
+        let mp = plan
+            .memory
+            .as_ref()
+            .expect("Engine::load always attaches a memory plan");
+        let arena: Vec<Vec<f32>> = mp
+            .buffer_elems
+            .iter()
+            .map(|&elems| Vec::with_capacity(elems))
+            .collect();
+        let shapes: Vec<Option<Shape>> = plan
+            .slot_dims
+            .iter()
+            .map(|dims| Some(Shape::new(dims)))
+            .collect();
+        let slot_elems: Vec<usize> = plan
+            .slot_dims
+            .iter()
+            .map(|dims| {
+                dims.iter()
+                    .product::<usize>()
+                    .max(usize::from(dims.is_empty()))
+            })
+            .collect();
+        if observe::enabled() {
+            observe::gauge_set("session.arena.bytes", mp.arena_bytes() as f64);
+            observe::gauge_set("session.arena.buffers", mp.num_buffers() as f64);
+            observe::gauge_set("session.arena.reuse_ratio", mp.reuse_ratio());
+        }
+        Session {
+            slots: (0..plan.num_slots).map(|_| None).collect(),
+            arena,
+            shapes,
+            slot_elems,
+            empty: Tensor::zeros(&[0]),
+            plan,
+            pool,
+            model,
+        }
+    }
+
+    /// The planned arena size in bytes (what `run` keeps resident).
+    pub fn arena_bytes(&self) -> usize {
+        self.memory_plan().arena_bytes()
+    }
+
+    /// The expected input dims.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.plan.input_dims
+    }
+
+    /// The arena capacity actually resident right now, in bytes.
+    ///
+    /// Returns every live value (including the last output) to the arena
+    /// first, so the sum covers all planned buffers. Tests use this to pin
+    /// the runtime footprint to the static [`MemoryPlan`] prediction.
+    pub fn measured_arena_bytes(&mut self) -> usize {
+        self.reset();
+        self.arena.iter().map(Vec::capacity).sum::<usize>() * std::mem::size_of::<f32>()
+    }
+
+    fn memory_plan(&self) -> &MemoryPlan {
+        self.plan
+            .memory
+            .as_ref()
+            .expect("Engine::load always attaches a memory plan")
+    }
+
+    /// Returns every live slot's storage to the arena and its shape to the
+    /// cache. Run-to-run this reclaims the previous output (and, after a
+    /// failed run, any stranded intermediates).
+    fn reset(&mut self) {
+        let plan = Arc::clone(&self.plan);
+        let mp = plan.memory.as_ref().expect("memory plan");
+        for slot in 0..plan.num_slots {
+            if let Some(t) = self.slots[slot].take() {
+                let (shape, data) = t.into_parts();
+                self.shapes[slot] = Some(shape);
+                self.arena[mp.buffer_of[slot]] = data;
+            }
+        }
+    }
+
+    /// Takes the planned buffer for `slot` out of the arena, zeroed to the
+    /// slot's element count, together with its cached shape.
+    fn materialize(&mut self, slot: usize, buffer: usize) -> (Shape, Vec<f32>) {
+        let mut data = std::mem::take(&mut self.arena[buffer]);
+        data.clear();
+        data.resize(self.slot_elems[slot], 0.0);
+        let shape = self.shapes[slot]
+            .take()
+            // Only reachable when a prior failed run lost a shape to an
+            // error path; rebuilding allocates, steady state never does.
+            .unwrap_or_else(|| Shape::new(&self.plan.slot_dims[slot]));
+        (shape, data)
+    }
+
+    /// Runs one inference, returning a reference to the output tensor.
+    ///
+    /// The output stays valid (and its buffer stays out of the arena) until
+    /// the next `run` on this session; clone it to keep it longer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Execution`] if the input dims do not match the
+    /// loaded model, or if a layer fails and has no reference fallback.
+    pub fn run(&mut self, input: &Tensor) -> Result<&Tensor, EngineError> {
+        self.run_inner(input)?;
+        self.slots[self.plan.output_slot]
+            .as_ref()
+            .ok_or_else(|| EngineError::Execution("output slot empty after run".into()))
+    }
+
+    /// Runs every input through the session in order, cloning each output.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`]; the first failing input aborts the batch.
+    pub fn run_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, EngineError> {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            outputs.push(self.run(input)?.clone());
+        }
+        Ok(outputs)
+    }
+
+    fn run_inner(&mut self, input: &Tensor) -> Result<(), EngineError> {
+        let plan = Arc::clone(&self.plan);
+        let mp = plan.memory.as_ref().expect("memory plan");
+        if input.dims() != plan.input_dims {
+            return Err(EngineError::Execution(format!(
+                "input dims {:?} do not match model input {:?}",
+                input.dims(),
+                plan.input_dims
+            )));
+        }
+        let mut run_span = observe::span("run", "session");
+        run_span.attr("model", self.model.as_str());
+        let start = Instant::now();
+        self.reset();
+
+        // Materialize the input into its planned buffer.
+        {
+            let slot = plan.input_slot;
+            let mut data = std::mem::take(&mut self.arena[mp.buffer_of[slot]]);
+            data.clear();
+            data.extend_from_slice(input.as_slice());
+            let shape = self.shapes[slot]
+                .take()
+                .unwrap_or_else(|| Shape::new(&plan.input_dims));
+            self.slots[slot] = Some(
+                Tensor::from_parts(shape, data)
+                    .map_err(|e| EngineError::Execution(e.to_string()))?,
+            );
+        }
+
+        for (step_idx, step) in plan.steps.iter().enumerate() {
+            if mp.view_move[step_idx] {
+                // Pure view over a dying value: move the buffer, skip the
+                // layer entirely.
+                let src = self.slots[step.inputs[0]].take().ok_or_else(|| {
+                    EngineError::Execution(format!(
+                        "layer {:?} reads slot {} before it is produced",
+                        step.layer.name(),
+                        step.inputs[0]
+                    ))
+                })?;
+                let (shape_in, data) = src.into_parts();
+                self.shapes[step.inputs[0]] = Some(shape_in);
+                let shape_out = self.shapes[step.output]
+                    .take()
+                    .unwrap_or_else(|| Shape::new(&plan.slot_dims[step.output]));
+                self.slots[step.output] = Some(
+                    Tensor::from_parts(shape_out, data)
+                        .map_err(|e| EngineError::Execution(e.to_string()))?,
+                );
+                continue;
+            }
+
+            let (shape, data) = self.materialize(step.output, mp.buffer_of[step.output]);
+            let mut out = Tensor::from_parts(shape, data)
+                .map_err(|e| EngineError::Execution(e.to_string()))?;
+            {
+                let mut stack: [&Tensor; MAX_FAN_IN] = [&self.empty; MAX_FAN_IN];
+                let mut heap: Vec<&Tensor> = Vec::new();
+                let inputs: &[&Tensor] = if step.inputs.len() <= MAX_FAN_IN {
+                    for (i, &slot) in step.inputs.iter().enumerate() {
+                        stack[i] = self.slots[slot].as_ref().ok_or_else(|| {
+                            EngineError::Execution(format!(
+                                "layer {:?} reads slot {slot} before it is produced",
+                                step.layer.name()
+                            ))
+                        })?;
+                    }
+                    &stack[..step.inputs.len()]
+                } else {
+                    for &slot in &step.inputs {
+                        heap.push(self.slots[slot].as_ref().ok_or_else(|| {
+                            EngineError::Execution(format!(
+                                "layer {:?} reads slot {slot} before it is produced",
+                                step.layer.name()
+                            ))
+                        })?);
+                    }
+                    &heap
+                };
+                let mut layer_span = observe::span(step.layer.name(), "layer");
+                // `implementation()` builds a String; skip the attrs entirely
+                // when the recorder is off so steady state stays alloc-free.
+                if observe::enabled() {
+                    layer_span.attr("op", step.layer.op_name());
+                    layer_span.attr("implementation", step.layer.implementation());
+                    layer_span.attr("flops", step.layer.flops());
+                }
+                if let Err(primary) = step.layer.run_into(inputs, &mut out, &self.pool) {
+                    // Graceful degradation, mirroring the legacy executor:
+                    // retry once on the reference implementation (into a
+                    // re-zeroed buffer), surfacing the original error if even
+                    // that cannot run.
+                    let Some(fallback) = step.layer.reference_fallback() else {
+                        return Err(primary);
+                    };
+                    out.as_mut_slice().fill(0.0);
+                    fallback
+                        .run_into(inputs, &mut out, &self.pool)
+                        .map_err(|_| primary)?;
+                    layer_span.attr("fallback", fallback.implementation());
+                    observe::counter_add("selection.fallback", 1);
+                }
+            }
+            self.slots[step.output] = Some(out);
+
+            // Liveness-driven recycling: every slot last read by this step
+            // hands its storage back to the arena.
+            for &slot in &mp.reclaim_at[step_idx] {
+                if let Some(t) = self.slots[slot].take() {
+                    let (shape, data) = t.into_parts();
+                    self.shapes[slot] = Some(shape);
+                    self.arena[mp.buffer_of[slot]] = data;
+                }
+            }
+        }
+
+        observe::histogram_record("run.latency_us", start.elapsed().as_micros() as u64);
+        drop(run_span);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Engine;
+    use orpheus_models::{build_model, ModelKind};
+    use orpheus_tensor::Tensor;
+
+    fn tiny_network() -> crate::Network {
+        Engine::builder()
+            .build()
+            .unwrap()
+            .load(build_model(ModelKind::TinyCnn))
+            .unwrap()
+    }
+
+    #[test]
+    fn session_matches_one_shot_run() {
+        let network = tiny_network();
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 5) % 13) as f32 * 0.1);
+        let expected = network.run_unplanned(&input).unwrap();
+        let mut session = network.session();
+        for _ in 0..3 {
+            let got = session.run(&input).unwrap();
+            assert_eq!(got.dims(), expected.dims());
+            assert_eq!(got.as_slice(), expected.as_slice(), "bit-identity broken");
+        }
+    }
+
+    #[test]
+    fn session_rejects_wrong_dims_and_recovers() {
+        let network = tiny_network();
+        let mut session = network.session();
+        assert!(session.run(&Tensor::ones(&[1, 3, 9, 9])).is_err());
+        // The session stays usable after a rejected input.
+        let out = session.run(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
+        assert_eq!(out.dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let network = tiny_network();
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|k| Tensor::from_fn(&[1, 3, 8, 8], |i| ((i + k) % 7) as f32 * 0.2))
+            .collect();
+        let batch = network.run_batch(&inputs).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (input, got) in inputs.iter().zip(&batch) {
+            let want = network.run(input).unwrap();
+            assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn arena_is_bounded_by_plan() {
+        let network = tiny_network();
+        let session = network.session();
+        assert!(session.arena_bytes() > 0);
+        assert_eq!(
+            session.arena_bytes(),
+            network.memory_plan().map(|m| m.arena_bytes()).unwrap_or(0)
+        );
+    }
+}

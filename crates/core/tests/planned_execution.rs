@@ -1,0 +1,92 @@
+//! Zoo-wide contracts of the static memory planner and arena executor:
+//!
+//! * **Bit-identity** — for every zoo model, `Session::run` over the planned
+//!   arena produces byte-for-byte the same output as the legacy per-run
+//!   allocating executor (`Network::run_unplanned`), run after run.
+//! * **Footprint** — the arena capacity actually resident after real runs
+//!   never exceeds the static [`orpheus::MemoryPlan`] prediction, and the
+//!   plan itself never exceeds what a no-reuse executor would hold.
+
+use orpheus::{Engine, Personality};
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_tensor::Tensor;
+
+/// Every in-tree model, at its smallest legal input (keeps debug-mode
+/// runtime tolerable while still covering every layer kind in the zoo).
+const ZOO: [ModelKind; 7] = [
+    ModelKind::TinyCnn,
+    ModelKind::LeNet5,
+    ModelKind::Wrn40_2,
+    ModelKind::MobileNetV1,
+    ModelKind::ResNet18,
+    ModelKind::ResNet50,
+    ModelKind::InceptionV3,
+];
+
+fn load(model: ModelKind) -> (orpheus::Network, Tensor) {
+    let hw = model.min_input_hw();
+    let engine = Engine::builder()
+        .personality(Personality::Orpheus)
+        .threads(1)
+        .build()
+        .unwrap();
+    let network = engine.load(build_model_with_input(model, hw, hw)).unwrap();
+    let dims = [1, model.input_dims()[1], hw, hw];
+    let input = Tensor::from_fn(&dims, |i| ((i * 31 % 97) as f32 / 97.0) - 0.5);
+    (network, input)
+}
+
+#[test]
+fn arena_executor_is_bit_identical_across_zoo() {
+    for model in ZOO {
+        let (network, input) = load(model);
+        let expected = network.run_unplanned(&input).unwrap();
+        let mut session = network.session();
+        for run in 0..2 {
+            let got = session.run(&input).unwrap();
+            assert_eq!(got.dims(), expected.dims(), "{model}: dims diverged");
+            assert_eq!(
+                got.as_slice(),
+                expected.as_slice(),
+                "{model}: arena output differs from legacy executor (run {run})"
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_arena_never_exceeds_static_prediction() {
+    for model in ZOO {
+        let (network, input) = load(model);
+        let plan = network.memory_plan().expect("load attaches a memory plan");
+        let predicted = plan.arena_bytes();
+        assert!(predicted > 0, "{model}: empty memory plan");
+        // The plan must never be worse than a no-reuse executor.
+        assert!(
+            predicted <= plan.total_slot_bytes(),
+            "{model}: arena {predicted} B exceeds no-reuse footprint {} B",
+            plan.total_slot_bytes()
+        );
+        let mut session = network.session();
+        for _ in 0..2 {
+            session.run(&input).unwrap();
+        }
+        let measured = session.measured_arena_bytes();
+        assert!(
+            measured <= predicted,
+            "{model}: resident arena {measured} B exceeds static prediction {predicted} B"
+        );
+    }
+}
+
+#[test]
+fn describe_reports_the_memory_plan() {
+    let (network, _) = load(ModelKind::TinyCnn);
+    let text = network.describe();
+    assert!(
+        text.contains("memory plan:"),
+        "describe() must surface the plan summary:\n{text}"
+    );
+    let plan = network.memory_plan().unwrap();
+    assert!(text.contains(&format!("{} buffer(s)", plan.num_buffers())));
+}

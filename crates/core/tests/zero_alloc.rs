@@ -1,0 +1,97 @@
+//! Counting-allocator proof of the arena executor's core promise: after
+//! warm-up, steady-state [`orpheus::Session::run`] performs **zero** heap
+//! allocations. Activations live in the planned arena, kernel scratch in the
+//! thread-local scratch pool, and nothing else should touch the allocator.
+//!
+//! The counter is per-thread (single-thread engine ⇒ all work on the test
+//! thread), so the two model tests cannot pollute each other even when the
+//! harness runs them in parallel.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use orpheus::{Engine, Personality};
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_tensor::Tensor;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+struct CountingAlloc;
+
+fn bump() {
+    // `try_with` so allocations during thread teardown never panic.
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn assert_steady_state_zero_alloc(model: ModelKind) {
+    let hw = model.min_input_hw();
+    let engine = Engine::builder()
+        .personality(Personality::Orpheus)
+        .threads(1)
+        .build()
+        .unwrap();
+    let network = engine.load(build_model_with_input(model, hw, hw)).unwrap();
+    let dims = [1, model.input_dims()[1], hw, hw];
+    let input = Tensor::from_fn(&dims, |i| ((i % 17) as f32) * 0.05 - 0.4);
+
+    let mut session = network.session();
+    // Warm-up: first runs populate the arena and the TLS kernel scratch
+    // pool (and any lazily-selected implementation state).
+    for _ in 0..3 {
+        session.run(&input).unwrap();
+    }
+
+    let before = thread_allocs();
+    for _ in 0..5 {
+        let out = session.run(&input).unwrap();
+        assert!(!out.as_slice().is_empty());
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "{model}: steady-state session runs must not allocate \
+         ({} allocation(s) over 5 runs)",
+        after - before
+    );
+}
+
+#[test]
+fn tiny_cnn_steady_state_is_allocation_free() {
+    assert_steady_state_zero_alloc(ModelKind::TinyCnn);
+}
+
+#[test]
+fn lenet5_steady_state_is_allocation_free() {
+    assert_steady_state_zero_alloc(ModelKind::LeNet5);
+}

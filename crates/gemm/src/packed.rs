@@ -49,8 +49,8 @@ pub(crate) fn gemm_packed(
         return;
     }
 
-    let mut a_pack = vec![0.0f32; MC * KC];
-    let mut b_pack = vec![0.0f32; KC * n.div_ceil(NR) * NR];
+    let mut a_pack = orpheus_threads::take_scratch(MC * KC);
+    let mut b_pack = orpheus_threads::take_scratch(KC * n.div_ceil(NR) * NR);
 
     // Pack vs. compute attribution, recorded only while tracing is on so the
     // production path keeps its single atomic-load cost.
@@ -132,7 +132,7 @@ pub(crate) fn gemm_small_n(
         return;
     }
     // Bᵀ: row j holds column j of B, contiguous along k.
-    let mut bt = vec![0.0f32; n * k];
+    let mut bt = orpheus_threads::take_scratch(n * k);
     for p in 0..k {
         let src = &b[p * ldb..p * ldb + n];
         for (j, &v) in src.iter().enumerate() {

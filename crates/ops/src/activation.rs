@@ -78,6 +78,17 @@ impl Activation {
         self.apply_slice(out.as_mut_slice());
         out
     }
+
+    /// Applies the activation into a preallocated output tensor of the
+    /// input's dims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ (the copy is length-checked).
+    pub fn run_into(&self, input: &Tensor, output: &mut Tensor) {
+        output.as_mut_slice().copy_from_slice(input.as_slice());
+        self.apply_slice(output.as_mut_slice());
+    }
 }
 
 #[cfg(test)]

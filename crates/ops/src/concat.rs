@@ -14,6 +14,44 @@ use crate::error::OpError;
 /// Returns [`OpError::InvalidParams`] for an empty input list and
 /// [`OpError::Shape`] for rank or dimension mismatches.
 pub fn concat_channels(inputs: &[&Tensor]) -> Result<Tensor, OpError> {
+    let (n, total_c, h, w) = concat_dims(inputs)?;
+    let mut out = Tensor::zeros(&[n, total_c, h, w]);
+    concat_channels_into(inputs, &mut out)?;
+    Ok(out)
+}
+
+/// [`concat_channels`] writing into a preallocated output tensor.
+///
+/// # Errors
+///
+/// Same as [`concat_channels`], plus [`OpError::Shape`] if `output` does not
+/// have the concatenated dims.
+pub fn concat_channels_into(inputs: &[&Tensor], output: &mut Tensor) -> Result<(), OpError> {
+    let (n, total_c, h, w) = concat_dims(inputs)?;
+    if output.dims() != [n, total_c, h, w] {
+        return Err(ShapeError::Mismatch {
+            left: output.dims().to_vec(),
+            right: vec![n, total_c, h, w],
+        }
+        .into());
+    }
+    let plane = h * w;
+    let out_data = output.as_mut_slice();
+    for img in 0..n {
+        let mut c_off = 0;
+        for t in inputs {
+            let c = t.dims()[1];
+            let src = &t.as_slice()[img * c * plane..(img + 1) * c * plane];
+            let dst = &mut out_data[(img * total_c + c_off) * plane..][..c * plane];
+            dst.copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    Ok(())
+}
+
+/// Validates the concat inputs and returns the `[n, total_c, h, w]` dims.
+fn concat_dims(inputs: &[&Tensor]) -> Result<(usize, usize, usize, usize), OpError> {
     let first = inputs
         .first()
         .ok_or_else(|| OpError::InvalidParams("concat needs at least one input".into()))?;
@@ -42,20 +80,7 @@ pub fn concat_channels(inputs: &[&Tensor]) -> Result<Tensor, OpError> {
         }
         total_c += d[1];
     }
-    let mut out = Tensor::zeros(&[n, total_c, h, w]);
-    let plane = h * w;
-    let out_data = out.as_mut_slice();
-    for img in 0..n {
-        let mut c_off = 0;
-        for t in inputs {
-            let c = t.dims()[1];
-            let src = &t.as_slice()[img * c * plane..(img + 1) * c * plane];
-            let dst = &mut out_data[(img * total_c + c_off) * plane..][..c * plane];
-            dst.copy_from_slice(src);
-            c_off += c;
-        }
-    }
-    Ok(out)
+    Ok((n, total_c, h, w))
 }
 
 #[cfg(test)]

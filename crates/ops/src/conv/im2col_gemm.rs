@@ -68,11 +68,7 @@ pub(crate) fn conv2d_im2col_into(
         && params.stride_w == 1
         && params.pad_h == 0
         && params.pad_w == 0;
-    let mut col_buf = if pointwise {
-        Vec::new()
-    } else {
-        vec![0.0f32; k * cols]
-    };
+    let mut col_buf = orpheus_threads::take_scratch(if pointwise { 0 } else { k * cols });
 
     let in_data = input.as_slice();
     let w_data = weight.as_slice();

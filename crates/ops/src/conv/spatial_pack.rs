@@ -87,7 +87,7 @@ pub(crate) fn conv2d_spatial_pack_into(
         // Per-worker padded input buffer, reused across its images.
         let ph = ih + 2 * params.pad_h;
         let pw = iw + 2 * params.pad_w;
-        let mut padded = vec![0.0f32; ci * ph * pw];
+        let mut padded = orpheus_threads::take_scratch(ci * ph * pw);
         for (i, out_image) in images.chunks_mut(co * plane).enumerate() {
             let img = img0 + i;
             pad_image(

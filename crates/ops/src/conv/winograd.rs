@@ -83,9 +83,9 @@ pub(crate) fn conv2d_winograd_into(
     let ph = 2 * tiles_y + 2;
     let pw = 2 * tiles_x + 2;
 
-    let mut padded = vec![0.0f32; ci * ph * pw];
-    let mut v = vec![0.0f32; 16 * ci * p_total];
-    let mut m = vec![0.0f32; 16 * co * p_total];
+    let mut padded = orpheus_threads::take_scratch(ci * ph * pw);
+    let mut v = orpheus_threads::take_scratch(16 * ci * p_total);
+    let mut m = orpheus_threads::take_scratch(16 * co * p_total);
     let in_data = input.as_slice();
     let out_data = output.as_mut_slice();
 

@@ -102,23 +102,33 @@ impl Dense {
     /// Returns [`OpError::Shape`] if the flattened feature count does not
     /// match the weight.
     pub fn run(&self, input: &Tensor, pool: &ThreadPool) -> Result<Tensor, OpError> {
-        let total = input.len();
-        if !total.is_multiple_of(self.in_features) {
-            return Err(ShapeError::Mismatch {
-                left: input.dims().to_vec(),
-                right: vec![self.in_features],
-            }
-            .into());
-        }
-        let batch = total / self.in_features;
-        if input.dims().len() >= 2 && input.dims()[0] != batch {
-            return Err(ShapeError::Mismatch {
-                left: input.dims().to_vec(),
-                right: vec![batch, self.in_features],
-            }
-            .into());
-        }
+        let batch = self.batch_of(input)?;
         let mut output = Tensor::zeros(&[batch, self.out_features]);
+        self.run_into(input, &mut output, pool)?;
+        Ok(output)
+    }
+
+    /// [`Dense::run`] writing into a preallocated `[batch, out_features]`
+    /// output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dense::run`], plus [`OpError::Shape`] if `output` does not
+    /// have dims `[batch, out_features]`.
+    pub fn run_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        pool: &ThreadPool,
+    ) -> Result<(), OpError> {
+        let batch = self.batch_of(input)?;
+        if output.dims() != [batch, self.out_features] {
+            return Err(ShapeError::Mismatch {
+                left: output.dims().to_vec(),
+                right: vec![batch, self.out_features],
+            }
+            .into());
+        }
         let x = input.as_slice();
         let w = self.weight.as_slice();
         let y = output.as_mut_slice();
@@ -190,7 +200,28 @@ impl Dense {
         if let Some(act) = self.activation {
             act.apply_slice(y);
         }
-        Ok(output)
+        Ok(())
+    }
+
+    /// Validates the input dims and returns the batch size.
+    fn batch_of(&self, input: &Tensor) -> Result<usize, OpError> {
+        let total = input.len();
+        if !total.is_multiple_of(self.in_features) {
+            return Err(ShapeError::Mismatch {
+                left: input.dims().to_vec(),
+                right: vec![self.in_features],
+            }
+            .into());
+        }
+        let batch = total / self.in_features;
+        if input.dims().len() >= 2 && input.dims()[0] != batch {
+            return Err(ShapeError::Mismatch {
+                left: input.dims().to_vec(),
+                right: vec![batch, self.in_features],
+            }
+            .into());
+        }
+        Ok(batch)
     }
 }
 

@@ -30,6 +30,47 @@ pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor, OpError> {
     a.zip_with(b, f).map_err(Into::into)
 }
 
+/// [`binary`] writing into a preallocated output tensor of the inputs' dims.
+///
+/// # Errors
+///
+/// Returns [`OpError::Shape`] if the input or output shapes differ.
+pub fn binary_into(
+    op: BinaryOp,
+    a: &Tensor,
+    b: &Tensor,
+    output: &mut Tensor,
+) -> Result<(), OpError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::Mismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        }
+        .into());
+    }
+    if output.shape() != a.shape() {
+        return Err(ShapeError::Mismatch {
+            left: output.dims().to_vec(),
+            right: a.dims().to_vec(),
+        }
+        .into());
+    }
+    let f = match op {
+        BinaryOp::Add => |x: f32, y: f32| x + y,
+        BinaryOp::Sub => |x: f32, y: f32| x - y,
+        BinaryOp::Mul => |x: f32, y: f32| x * y,
+    };
+    for ((o, &x), &y) in output
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = f(x, y);
+    }
+    Ok(())
+}
+
 /// Fused `activation(a + b)` — the shape of every ResNet block join.
 /// Runs in one pass over the output.
 ///
@@ -49,6 +90,42 @@ pub fn add_activate(a: &Tensor, b: &Tensor, act: Activation) -> Result<Tensor, O
         *o = act.apply(*o + y);
     }
     Ok(out)
+}
+
+/// [`add_activate`] writing into a preallocated output tensor.
+///
+/// # Errors
+///
+/// Returns [`OpError::Shape`] if the input or output shapes differ.
+pub fn add_activate_into(
+    a: &Tensor,
+    b: &Tensor,
+    act: Activation,
+    output: &mut Tensor,
+) -> Result<(), OpError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::Mismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        }
+        .into());
+    }
+    if output.shape() != a.shape() {
+        return Err(ShapeError::Mismatch {
+            left: output.dims().to_vec(),
+            right: a.dims().to_vec(),
+        }
+        .into());
+    }
+    for ((o, &x), &y) in output
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = act.apply(x + y);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -74,6 +74,19 @@ impl BatchNorm {
     ///
     /// Returns [`OpError::Shape`] on rank/channel mismatch.
     pub fn run(&self, input: &Tensor) -> Result<Tensor, OpError> {
+        let mut out = Tensor::zeros(input.dims());
+        self.run_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`BatchNorm::run`] writing into a preallocated output tensor of the
+    /// input's dims.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BatchNorm::run`], plus [`OpError::Shape`] on an output dims
+    /// mismatch.
+    pub fn run_into(&self, input: &Tensor, output: &mut Tensor) -> Result<(), OpError> {
         if input.dims().len() != 4 {
             return Err(ShapeError::RankMismatch {
                 expected: 4,
@@ -94,9 +107,16 @@ impl BatchNorm {
             }
             .into());
         }
-        let mut out = input.clone();
+        if output.dims() != input.dims() {
+            return Err(ShapeError::Mismatch {
+                left: output.dims().to_vec(),
+                right: input.dims().to_vec(),
+            }
+            .into());
+        }
+        output.as_mut_slice().copy_from_slice(input.as_slice());
         let plane = h * w;
-        let data = out.as_mut_slice();
+        let data = output.as_mut_slice();
         for img in 0..n {
             for ch in 0..c {
                 let (a, b) = (self.alpha[ch], self.beta[ch]);
@@ -105,7 +125,7 @@ impl BatchNorm {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -111,8 +111,50 @@ pub fn pool2d(params: &Pool2dParams, input: &Tensor, pool: &ThreadPool) -> Resul
         input.dims()[2],
         input.dims()[3],
     ];
+    let mut output = Tensor::zeros(&[n, c, params.out_h(ih), params.out_w(iw)]);
+    pool2d_into(params, input, &mut output, pool)?;
+    Ok(output)
+}
+
+/// [`pool2d`] writing into a preallocated output tensor of the pooled dims.
+///
+/// # Errors
+///
+/// Same as [`pool2d`], plus [`OpError::Shape`] if `output` does not have the
+/// pooled output dims.
+pub fn pool2d_into(
+    params: &Pool2dParams,
+    input: &Tensor,
+    output: &mut Tensor,
+    pool: &ThreadPool,
+) -> Result<(), OpError> {
+    if input.dims().len() != 4 {
+        return Err(ShapeError::RankMismatch {
+            expected: 4,
+            actual: input.dims().len(),
+        }
+        .into());
+    }
+    if params.kernel_h == 0 || params.kernel_w == 0 || params.stride_h == 0 || params.stride_w == 0
+    {
+        return Err(OpError::InvalidParams(
+            "pooling extents and strides must be positive".into(),
+        ));
+    }
+    let [n, c, ih, iw] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
     let (oh, ow) = (params.out_h(ih), params.out_w(iw));
-    let mut output = Tensor::zeros(&[n, c, oh, ow]);
+    if output.dims() != [n, c, oh, ow] {
+        return Err(ShapeError::Mismatch {
+            left: output.dims().to_vec(),
+            right: vec![n, c, oh, ow],
+        }
+        .into());
+    }
     let plane = oh * ow;
     let in_data = input.as_slice();
     let out_data = output.as_mut_slice();
@@ -163,7 +205,7 @@ pub fn pool2d(params: &Pool2dParams, input: &Tensor, pool: &ThreadPool) -> Resul
             }
         }
     });
-    Ok(output)
+    Ok(())
 }
 
 /// Global average pooling: collapses each `[h, w]` plane to a single value,
@@ -172,7 +214,30 @@ pub fn pool2d(params: &Pool2dParams, input: &Tensor, pool: &ThreadPool) -> Resul
 /// # Errors
 ///
 /// Returns [`OpError::Shape`] if the input is not rank 4.
-pub fn global_average_pool(input: &Tensor, _pool: &ThreadPool) -> Result<Tensor, OpError> {
+pub fn global_average_pool(input: &Tensor, pool: &ThreadPool) -> Result<Tensor, OpError> {
+    if input.dims().len() != 4 {
+        return Err(ShapeError::RankMismatch {
+            expected: 4,
+            actual: input.dims().len(),
+        }
+        .into());
+    }
+    let mut output = Tensor::zeros(&[input.dims()[0], input.dims()[1], 1, 1]);
+    global_average_pool_into(input, &mut output, pool)?;
+    Ok(output)
+}
+
+/// [`global_average_pool`] writing into a preallocated `[n, c, 1, 1]` tensor.
+///
+/// # Errors
+///
+/// Returns [`OpError::Shape`] if the input is not rank 4 or `output` does not
+/// have dims `[n, c, 1, 1]`.
+pub fn global_average_pool_into(
+    input: &Tensor,
+    output: &mut Tensor,
+    _pool: &ThreadPool,
+) -> Result<(), OpError> {
     if input.dims().len() != 4 {
         return Err(ShapeError::RankMismatch {
             expected: 4,
@@ -186,12 +251,19 @@ pub fn global_average_pool(input: &Tensor, _pool: &ThreadPool) -> Result<Tensor,
         input.dims()[2],
         input.dims()[3],
     ];
+    if output.dims() != [n, c, 1, 1] {
+        return Err(ShapeError::Mismatch {
+            left: output.dims().to_vec(),
+            right: vec![n, c, 1, 1],
+        }
+        .into());
+    }
     let plane = (ih * iw).max(1);
     let data = input.as_slice();
-    let out = Tensor::from_fn(&[n, c, 1, 1], |i| {
-        data[i * plane..(i + 1) * plane].iter().sum::<f32>() / plane as f32
-    });
-    Ok(out)
+    for (i, out) in output.as_mut_slice().iter_mut().enumerate() {
+        *out = data[i * plane..(i + 1) * plane].iter().sum::<f32>() / plane as f32;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,6 +12,17 @@ use crate::error::OpError;
 ///
 /// Returns [`OpError::Shape`] for rank-0 input.
 pub fn softmax(input: &Tensor) -> Result<Tensor, OpError> {
+    let mut out = Tensor::zeros(input.dims());
+    softmax_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`softmax`] writing into a preallocated output tensor of the input's dims.
+///
+/// # Errors
+///
+/// Returns [`OpError::Shape`] for rank-0 input or an output dims mismatch.
+pub fn softmax_into(input: &Tensor, output: &mut Tensor) -> Result<(), OpError> {
     if input.shape().rank() == 0 {
         return Err(ShapeError::RankMismatch {
             expected: 1,
@@ -19,13 +30,20 @@ pub fn softmax(input: &Tensor) -> Result<Tensor, OpError> {
         }
         .into());
     }
+    if output.dims() != input.dims() {
+        return Err(ShapeError::Mismatch {
+            left: output.dims().to_vec(),
+            right: input.dims().to_vec(),
+        }
+        .into());
+    }
     let dims = input.dims();
     let row = dims[dims.len() - 1];
-    let mut out = input.clone();
+    output.as_mut_slice().copy_from_slice(input.as_slice());
     if row == 0 {
-        return Ok(out);
+        return Ok(());
     }
-    for chunk in out.as_mut_slice().chunks_mut(row) {
+    for chunk in output.as_mut_slice().chunks_mut(row) {
         let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for x in chunk.iter_mut() {
@@ -36,7 +54,7 @@ pub fn softmax(input: &Tensor) -> Result<Tensor, OpError> {
             *x /= sum;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

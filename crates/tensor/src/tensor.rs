@@ -113,6 +113,30 @@ impl Tensor {
         self.data
     }
 
+    /// Decomposes the tensor into its shape and storage without copying.
+    ///
+    /// The arena executor uses this (with [`Tensor::from_parts`]) to move a
+    /// planned buffer in and out of a tensor between layers.
+    pub fn into_parts(self) -> (Shape, Vec<f32>) {
+        (self.shape, self.data)
+    }
+
+    /// Reassembles a tensor from a shape and storage without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ElementCountMismatch`] if `data.len()` does not
+    /// equal the shape's element count.
+    pub fn from_parts(shape: Shape, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != shape.num_elements() {
+            return Err(ShapeError::ElementCountMismatch {
+                expected: shape.num_elements(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
     /// Reads the element at a multi-dimensional index.
     ///
     /// # Panics

@@ -30,5 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod pool;
+mod scratch;
 
 pub use pool::{PoolError, ThreadPool};
+pub use scratch::{take_scratch, ScratchGuard};

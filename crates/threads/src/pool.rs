@@ -88,11 +88,13 @@ impl ThreadPool {
         if len == 0 {
             return;
         }
-        let chunks = self.plan_chunks(len, min_chunk);
-        if chunks.len() <= 1 {
+        // Allocation-free fast path: a range that won't split runs inline
+        // without ever planning chunk boundaries.
+        if self.num_chunks(len, min_chunk) <= 1 {
             body(0, len);
             return;
         }
+        let chunks = self.plan_chunks(len, min_chunk);
         let parent = orpheus_observe::current_span_id();
         std::thread::scope(|scope| {
             // Run all but the first chunk on spawned workers; the caller's
@@ -124,11 +126,11 @@ impl ThreadPool {
         if len == 0 {
             return;
         }
-        let chunks = self.plan_chunks(len, min_chunk);
-        if chunks.len() <= 1 {
+        if self.num_chunks(len, min_chunk) <= 1 {
             body(0, data);
             return;
         }
+        let chunks = self.plan_chunks(len, min_chunk);
         // Carve the slice into disjoint &mut chunks up front.
         let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks.len());
         let mut rest = data;
@@ -183,11 +185,11 @@ impl ThreadPool {
         if rows == 0 {
             return;
         }
-        let chunks = self.plan_chunks(rows, min_rows.max(1));
-        if chunks.len() <= 1 {
+        if self.num_chunks(rows, min_rows.max(1)) <= 1 {
             body(0, data);
             return;
         }
+        let chunks = self.plan_chunks(rows, min_rows.max(1));
         let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks.len());
         let mut rest = data;
         for &(start, end) in &chunks {
@@ -213,11 +215,16 @@ impl ThreadPool {
         });
     }
 
+    /// How many chunks a range of `len` iterations would split into, without
+    /// materializing the boundaries.
+    fn num_chunks(&self, len: usize, min_chunk: usize) -> usize {
+        let min_chunk = min_chunk.max(1);
+        self.threads.min(len.div_ceil(min_chunk)).max(1)
+    }
+
     /// Computes the chunk boundaries for a range of `len` iterations.
     fn plan_chunks(&self, len: usize, min_chunk: usize) -> Vec<(usize, usize)> {
-        let min_chunk = min_chunk.max(1);
-        let max_chunks = len.div_ceil(min_chunk);
-        let n = self.threads.min(max_chunks).max(1);
+        let n = self.num_chunks(len, min_chunk);
         let base = len / n;
         let extra = len % n;
         let mut chunks = Vec::with_capacity(n);

@@ -1,0 +1,112 @@
+//! Thread-local reusable scratch buffers for kernel workspaces.
+//!
+//! Kernels that need a temporary `f32` workspace (GEMM pack panels, im2col
+//! column matrices, padded input images) historically allocated a fresh `Vec`
+//! on every call. [`take_scratch`] hands out a buffer from a small per-thread
+//! pool instead: the buffer reads as `vec![0.0; len]` — only the backing
+//! allocation is recycled, never the contents — and returns to the pool when
+//! the guard drops. After a warm-up call or two the pooled capacities have
+//! grown to the largest request and steady-state inference stops touching the
+//! heap for scratch entirely, which is what lets `Session::run` keep its
+//! zero-allocation guarantee on a single thread.
+//!
+//! Workers spawned by [`ThreadPool`](crate::ThreadPool) parallel regions are
+//! fresh scoped threads with their own (empty) pools, so multi-threaded runs
+//! still allocate scratch once per region; the zero-allocation property holds
+//! for single-threaded pools, the paper's headline configuration.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Buffers kept per thread. Scratch holders nest only a few levels deep (a
+/// conv kernel holding a column buffer while GEMM takes two pack panels), so
+/// a handful of pooled buffers covers the deepest chain.
+const MAX_POOLED: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A zeroed `f32` workspace of exactly the requested length.
+///
+/// Dereferences to `[f32]`. On drop the backing allocation returns to this
+/// thread's scratch pool for reuse.
+#[derive(Debug)]
+pub struct ScratchGuard {
+    buf: Vec<f32>,
+}
+
+/// Takes a zeroed scratch buffer of `len` elements from this thread's pool.
+///
+/// Allocation-free once the pooled buffer's capacity has grown to `len`.
+pub fn take_scratch(len: usize) -> ScratchGuard {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0.0);
+    ScratchGuard { buf }
+}
+
+impl Deref for ScratchGuard {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchGuard {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_zeroed_even_after_reuse() {
+        {
+            let mut s = take_scratch(16);
+            s[3] = 7.0;
+        }
+        let s = take_scratch(32);
+        assert_eq!(s.len(), 32);
+        assert!(s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scratch_reuses_the_backing_allocation() {
+        let ptr = {
+            let s = take_scratch(64);
+            s.as_ptr()
+        };
+        let s = take_scratch(8);
+        assert_eq!(s.as_ptr(), ptr, "pooled capacity should be recycled");
+    }
+
+    #[test]
+    fn nested_guards_get_distinct_buffers() {
+        let a = take_scratch(4);
+        let b = take_scratch(4);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn zero_length_scratch_is_fine() {
+        let s = take_scratch(0);
+        assert!(s.is_empty());
+    }
+}

@@ -39,12 +39,14 @@
 
 pub mod dataflow;
 mod diagnostic;
+pub mod plan;
 mod report;
 mod sanitizer;
 mod verifier;
 
 pub use dataflow::{memory_report, DefUse, MemoryReport};
 pub use diagnostic::{has_errors, Code, Diagnostic, Severity};
+pub use plan::{arena_report, plan_buffers, ArenaReport, BufferPlan, SlotInterval};
 pub use report::{lint, LintReport};
 pub use sanitizer::{install_sanitizer, sanitized_standard_pipeline};
 pub use verifier::{verify_graph, Verifier};

@@ -5,6 +5,7 @@ use orpheus_observe::json;
 
 use crate::dataflow::{self, MemoryReport};
 use crate::diagnostic::{Diagnostic, Severity};
+use crate::plan::{self, ArenaReport};
 use crate::verifier::Verifier;
 
 /// Everything `orpheus-cli lint` reports for one model.
@@ -20,6 +21,9 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Static memory analysis; `None` when errors prevent shape inference.
     pub memory: Option<MemoryReport>,
+    /// Planned buffer-reuse arena (the shared planner's static prediction);
+    /// `None` when errors prevent shape inference.
+    pub arena: Option<ArenaReport>,
 }
 
 impl LintReport {
@@ -53,6 +57,9 @@ impl LintReport {
             out.push_str("static memory report:\n");
             out.push_str(&memory.render());
         }
+        if let Some(arena) = &self.arena {
+            out.push_str(&arena.render());
+        }
         out.push_str(&format!(
             "result: {} error(s), {} warning(s)\n",
             self.errors(),
@@ -85,6 +92,11 @@ impl LintReport {
             Some(memory) => out.push_str(&memory.to_json()),
             None => out.push_str("null"),
         }
+        out.push_str(",\"arena\":");
+        match &self.arena {
+            Some(arena) => out.push_str(&arena.to_json()),
+            None => out.push_str("null"),
+        }
         out.push('}');
         out
     }
@@ -94,10 +106,13 @@ impl LintReport {
 /// infer shapes, the static memory report.
 pub fn lint(graph: &Graph) -> LintReport {
     let diagnostics = Verifier::new().verify(graph);
-    let memory = if crate::diagnostic::has_errors(&diagnostics) {
-        None
+    let (memory, arena) = if crate::diagnostic::has_errors(&diagnostics) {
+        (None, None)
     } else {
-        dataflow::memory_report(graph).ok()
+        (
+            dataflow::memory_report(graph).ok(),
+            plan::arena_report(graph).ok(),
+        )
     };
     LintReport {
         model: graph.name.clone(),
@@ -105,6 +120,7 @@ pub fn lint(graph: &Graph) -> LintReport {
         parameters: graph.num_parameters(),
         diagnostics,
         memory,
+        arena,
     }
 }
 

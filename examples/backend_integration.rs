@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = Tensor::from_fn(&[1, 3, hw, hw], |i| ((i % 31) as f32 / 31.0) - 0.5);
 
     // Native Orpheus execution is the baseline.
-    let native = Engine::new(1)?.load(graph.clone())?;
+    let native = Engine::builder().threads(1).build()?.load(graph.clone())?;
     native.run(&image)?;
     let start = Instant::now();
     let want = native.run(&image)?;
@@ -32,8 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for vendor in [VendorBackend::Vnnl, VendorBackend::Vcl] {
-        let network = Engine::new(1)?
-            .with_vendor_backend(vendor)
+        let network = Engine::builder()
+            .threads(1)
+            .vendor_backend(vendor)
+            .build()?
             .load(graph.clone())?;
         // Every plain convolution now reports a vendor implementation.
         let vendor_layers = network

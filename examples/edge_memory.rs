@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for model in ModelKind::FIGURE2 {
         // Reduced inputs keep the example quick; ratios are representative.
         let hw = model.min_input_hw().max(64).min(model.input_dims()[2]);
-        let engine = Engine::new(1)?;
+        let engine = Engine::builder().threads(1).build()?;
         let network = engine.load(build_model_with_input(model, hw, hw))?;
         let input = Tensor::full(&[1, 3, hw, hw], 0.5);
         let (_, profile) = network.run_profiled(&input)?;

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Personality::TvmSim,
         Personality::PytorchSim,
     ] {
-        let engine = Engine::with_personality(personality, 1)?;
+        let engine = Engine::builder()
+            .personality(personality)
+            .threads(1)
+            .build()?;
         let network = engine.load_onnx(&onnx_bytes)?;
         network.run(&image)?; // warm-up
         let start = Instant::now();
@@ -67,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // TF-Lite is excluded from the paper's single-thread figure; reproduce
     // its reason verbatim.
-    match Engine::with_personality(Personality::TfliteSim, 1) {
+    match Engine::builder()
+        .personality(Personality::TfliteSim)
+        .threads(1)
+        .build()
+    {
         Err(e) => println!("TF-Lite     excluded: {e}"),
         Ok(_) => println!("TF-Lite     runs (host maximum is 1 thread)"),
     }

@@ -11,7 +11,10 @@ use orpheus_tensor::Tensor;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An engine is a configuration: personality + thread count. The
     //    paper's headline experiments use one thread.
-    let engine = Engine::with_personality(Personality::Orpheus, 1)?;
+    let engine = Engine::builder()
+        .personality(Personality::Orpheus)
+        .threads(1)
+        .build()?;
 
     // 2. Load a model. The zoo builds the paper's five networks with
     //    synthetic weights; LeNet-5 keeps this example instant.

@@ -34,4 +34,28 @@ trap 'rm -rf "$LINT_TMP"' EXIT
 ./target/release/orpheus-cli export --model wrn40_2 --out "$LINT_TMP/wrn40_2.onnx"
 ./target/release/orpheus-cli lint "$LINT_TMP/wrn40_2.onnx" --json > /dev/null
 
+echo "== zero-allocation arena executor =="
+# Counting-allocator proof that steady-state Session::run never touches the
+# heap, plus zoo-wide bit-identity vs. the legacy executor and the
+# runtime-footprint <= static-prediction pin.
+cargo test -q -p orpheus --test zero_alloc --test planned_execution
+
+echo "== session-vs-legacy repeat smoke (release) =="
+# The arena executor must not regress steady-state latency: fail if its p50
+# exceeds 3x the legacy per-run allocator's (generous bound — debug-free
+# release numbers are typically at parity or better).
+session_p50="$(./target/release/orpheus-cli repeat --model tiny_cnn --runs 30 --warmup 5 \
+  | awk '/^ *p50/ { printf "%d", $2 * 1000 }')"
+legacy_p50="$(./target/release/orpheus-cli repeat --model tiny_cnn --runs 30 --warmup 5 --legacy \
+  | awk '/^ *p50/ { printf "%d", $2 * 1000 }')"
+echo "p50: session ${session_p50}us, legacy ${legacy_p50}us"
+if [ -z "$session_p50" ] || [ -z "$legacy_p50" ]; then
+  echo "FAIL: could not parse repeat p50 output" >&2
+  exit 1
+fi
+if [ "$session_p50" -gt $((legacy_p50 * 3)) ]; then
+  echo "FAIL: session p50 ${session_p50}us > 3x legacy p50 ${legacy_p50}us" >&2
+  exit 1
+fi
+
 echo "all checks passed"

@@ -21,7 +21,7 @@ fn all_five_paper_models_classify() {
     for model in ModelKind::FIGURE2 {
         let hw = test_hw(model);
         let graph = build_model_with_input(model, hw, hw);
-        let engine = Engine::new(1).expect("engine");
+        let engine = Engine::builder().threads(1).build().expect("engine");
         let network = engine
             .load(graph)
             .unwrap_or_else(|e| panic!("{model}: {e}"));
@@ -55,7 +55,7 @@ fn onnx_round_trip_preserves_inference_for_every_model() {
             "{model} nodes"
         );
 
-        let engine = Engine::new(1).expect("engine");
+        let engine = Engine::builder().threads(1).build().expect("engine");
         let input = synthetic_image(3, hw);
         let direct = engine.load(graph).unwrap().run(&input).unwrap();
         let via_onnx = engine.load(reimported).unwrap().run(&input).unwrap();
@@ -68,7 +68,10 @@ fn onnx_round_trip_preserves_inference_for_every_model() {
 fn every_personality_agrees_on_lenet() {
     let graph = build_model_with_input(ModelKind::LeNet5, 28, 28);
     let input = synthetic_image(1, 28);
-    let reference = Engine::with_personality(Personality::Orpheus, 1)
+    let reference = Engine::builder()
+        .personality(Personality::Orpheus)
+        .threads(1)
+        .build()
         .unwrap()
         .load(graph.clone())
         .unwrap()
@@ -79,7 +82,10 @@ fn every_personality_agrees_on_lenet() {
         Personality::PytorchSim,
         Personality::DarknetSim,
     ] {
-        let out = Engine::with_personality(personality, 1)
+        let out = Engine::builder()
+            .personality(personality)
+            .threads(1)
+            .build()
             .unwrap()
             .load(graph.clone())
             .unwrap()
@@ -96,12 +102,19 @@ fn simplification_is_semantically_invisible_on_all_models() {
         let hw = test_hw(model);
         let graph = build_model_with_input(model, hw, hw);
         let input = synthetic_image(3, hw);
-        let plain = Engine::new(1)
+        let plain = Engine::builder()
+            .threads(1)
+            .simplification(false)
+            .build()
             .unwrap()
-            .with_simplification(false)
             .load(graph.clone())
             .unwrap();
-        let simplified = Engine::new(1).unwrap().load(graph).unwrap();
+        let simplified = Engine::builder()
+            .threads(1)
+            .build()
+            .unwrap()
+            .load(graph)
+            .unwrap();
         assert!(
             simplified.num_layers() < plain.num_layers(),
             "{model}: simplification did not remove layers ({} vs {})",
@@ -118,7 +131,12 @@ fn simplification_is_semantically_invisible_on_all_models() {
 #[test]
 fn repeated_runs_are_deterministic() {
     let graph = build_model_with_input(ModelKind::TinyCnn, 8, 8);
-    let network = Engine::new(1).unwrap().load(graph).unwrap();
+    let network = Engine::builder()
+        .threads(1)
+        .build()
+        .unwrap()
+        .load(graph)
+        .unwrap();
     let input = synthetic_image(3, 8);
     let a = network.run(&input).unwrap();
     let b = network.run(&input).unwrap();
@@ -128,7 +146,12 @@ fn repeated_runs_are_deterministic() {
 #[test]
 fn profile_accounts_for_total_time() {
     let graph = build_model_with_input(ModelKind::LeNet5, 28, 28);
-    let network = Engine::new(1).unwrap().load(graph).unwrap();
+    let network = Engine::builder()
+        .threads(1)
+        .build()
+        .unwrap()
+        .load(graph)
+        .unwrap();
     let (_, profile) = network.run_profiled(&synthetic_image(1, 28)).unwrap();
     let layer_sum: f64 = profile
         .timings

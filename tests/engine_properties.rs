@@ -95,7 +95,7 @@ proptest! {
             Personality::PytorchSim,
             Personality::DarknetSim,
         ] {
-            let engine = Engine::with_personality(personality, 1).expect("engine");
+            let engine = Engine::builder().personality(personality).threads(1).build().expect("engine");
             let network = engine.load_onnx(&onnx).expect("load");
             let got = network.run(&input).expect("run");
             let want = reference.reshaped(got.dims()).expect("same element count");
@@ -114,7 +114,7 @@ proptest! {
         prop_assume!(h >= k);
         let params = Conv2dParams::square(ci, co, k);
         let (graph, input, _) = conv_graph(&params, h, h, seed);
-        let reference = Engine::new(1)
+        let reference = Engine::builder().threads(1).build()
             .expect("engine")
             .load(graph.clone())
             .expect("load")
@@ -124,9 +124,11 @@ proptest! {
             orpheus::SelectionPolicy::Heuristic,
             orpheus::SelectionPolicy::AutoTune { trials: 1 },
         ] {
-            let got = Engine::new(1)
+            let got = Engine::builder()
+                .threads(1)
+                .policy(policy)
+                .build()
                 .expect("engine")
-                .with_policy(policy)
                 .load(graph.clone())
                 .expect("load")
                 .run(&input)

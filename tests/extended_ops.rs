@@ -66,12 +66,19 @@ fn pad_fold_absorbs_exporter_padding() {
 fn folded_and_unfolded_graphs_agree() {
     let g = exporter_style_graph();
     let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 13 % 31) as f32 / 31.0) - 0.4);
-    let plain = Engine::new(1)
+    let plain = Engine::builder()
+        .threads(1)
+        .simplification(false)
+        .build()
         .unwrap()
-        .with_simplification(false)
         .load(g.clone())
         .unwrap();
-    let simplified = Engine::new(1).unwrap().load(g).unwrap();
+    let simplified = Engine::builder()
+        .threads(1)
+        .build()
+        .unwrap()
+        .load(g)
+        .unwrap();
     assert!(simplified.num_layers() < plain.num_layers());
     let a = plain.run(&input).unwrap();
     let b = simplified.run(&input).unwrap();
@@ -83,7 +90,7 @@ fn folded_and_unfolded_graphs_agree() {
 fn survives_onnx_round_trip() {
     let g = exporter_style_graph();
     let bytes = orpheus_onnx::export_model(&g).unwrap();
-    let engine = Engine::new(1).unwrap();
+    let engine = Engine::builder().threads(1).build().unwrap();
     let input = Tensor::from_fn(&[1, 3, 8, 8], |i| (i % 9) as f32 * 0.1);
     let via_onnx = engine.load_onnx(&bytes).unwrap().run(&input).unwrap();
     let direct = engine.load(g).unwrap().run(&input).unwrap();
@@ -130,7 +137,9 @@ fn reduce_mean_without_keepdims_feeds_dense() {
     );
     g.add_node(Node::new("fc", OpKind::Gemm, &["m", "fc_w"], &["y"]));
     g.add_output("y");
-    let out = Engine::new(1)
+    let out = Engine::builder()
+        .threads(1)
+        .build()
         .unwrap()
         .load(g)
         .unwrap()

@@ -10,14 +10,18 @@ use orpheus_threads::ThreadPool;
 fn outputs_identical_across_thread_counts() {
     let graph = build_model_with_input(ModelKind::Wrn40_2, 8, 8);
     let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 7 % 23) as f32 / 23.0) - 0.5);
-    let reference = Engine::new(1)
+    let reference = Engine::builder()
+        .threads(1)
+        .build()
         .unwrap()
         .load(graph.clone())
         .unwrap()
         .run(&input)
         .unwrap();
     for threads in [2, 4] {
-        let out = Engine::new(threads)
+        let out = Engine::builder()
+            .threads(threads)
+            .build()
             .unwrap()
             .load(graph.clone())
             .unwrap()
@@ -32,11 +36,19 @@ fn outputs_identical_across_thread_counts() {
 fn tflite_personality_thread_gate() {
     let max = ThreadPool::max_hardware().num_threads();
     // Accepts exactly the hardware maximum...
-    assert!(Engine::with_personality(Personality::TfliteSim, max).is_ok());
+    assert!(Engine::builder()
+        .personality(Personality::TfliteSim)
+        .threads(max)
+        .build()
+        .is_ok());
     // ...and rejects anything else (this is why the paper excludes TF-Lite
     // from its single-thread Figure 2).
     let not_max = if max == 1 { 2 } else { 1 };
-    let err = Engine::with_personality(Personality::TfliteSim, not_max).unwrap_err();
+    let err = Engine::builder()
+        .personality(Personality::TfliteSim)
+        .threads(not_max)
+        .build()
+        .unwrap_err();
     assert!(
         err.to_string().contains("maximum number of threads"),
         "unexpected message: {err}"
@@ -46,7 +58,11 @@ fn tflite_personality_thread_gate() {
 #[test]
 fn tflite_runs_at_max_threads() {
     let max = ThreadPool::max_hardware().num_threads();
-    let engine = Engine::with_personality(Personality::TfliteSim, max).unwrap();
+    let engine = Engine::builder()
+        .personality(Personality::TfliteSim)
+        .threads(max)
+        .build()
+        .unwrap();
     let network = engine
         .load(build_model_with_input(ModelKind::TinyCnn, 8, 8))
         .unwrap();
