@@ -1,0 +1,713 @@
+//! The performance regression observatory: `orpheus-cli bench`.
+//!
+//! Every optimisation PR in this repository is supposed to be *pinned* by a
+//! `BENCH_<git-sha>.json` artifact rather than an anecdote. This module is
+//! the machinery behind that trajectory:
+//!
+//! * [`run_bench`] drives the model zoo through held [`orpheus::Session`]s
+//!   with a warm-up budget and fixed iteration rounds, collecting p50/p90/p99
+//!   latency, per-layer time attribution (folded from run spans), the static
+//!   memory plan's arena bytes versus the measured resident arena, and
+//!   steady-state allocation counts (when the binary installs a counting
+//!   allocator hook).
+//! * [`BenchReport::to_json`] / [`BenchReport::from_json`] round-trip the
+//!   result through a versioned schema (`schema_version`), so baselines
+//!   committed years apart stay comparable or fail loudly.
+//! * [`compare`] applies noise-aware thresholds: latency compares
+//!   median-of-round-medians against a configurable percentage budget
+//!   (machines differ; wall time jitters), while arena bytes and
+//!   steady-state allocation counts are deterministic and compare strictly
+//!   by default.
+//!
+//! `scripts/check.sh` runs `bench --quick --compare results/bench_baseline.json`
+//! as a smoke gate, and `reproduce_all.sh` emits the full artifact.
+
+use std::time::Instant;
+
+use orpheus::{Engine, EngineError};
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_observe::json::JsonValue;
+use orpheus_observe::{Attribution, AttributionRow, Histogram};
+use orpheus_tensor::Tensor;
+
+use crate::{with_recording, InputScale, LatencyStats};
+
+/// Version of the `BENCH_*.json` schema this build reads and writes.
+///
+/// Bump on any incompatible change to the JSON layout; [`compare`] refuses
+/// to diff reports across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Configuration for one bench campaign.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Models to measure.
+    pub models: Vec<ModelKind>,
+    /// Input scaling (quick keeps the whole zoo in CI range).
+    pub scale: InputScale,
+    /// Thread count (the paper's headline protocol uses 1).
+    pub threads: usize,
+    /// Untimed warm-up runs per model (arena + scratch-pool warming).
+    pub warmup: usize,
+    /// Timed iterations per round.
+    pub iters: usize,
+    /// Independent rounds; the comparison key is the median of the rounds'
+    /// medians, which is robust to a noisy neighbour hitting one round.
+    pub rounds: usize,
+    /// Git revision stamped into the report (see [`resolve_git_sha`]).
+    pub git_sha: String,
+    /// Monotonic per-thread allocation counter, when the hosting binary
+    /// installs a counting allocator. `None` skips allocation accounting.
+    pub alloc_counter: Option<fn() -> u64>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            models: ModelKind::FIGURE2.to_vec(),
+            scale: InputScale::Quick,
+            threads: 1,
+            warmup: 3,
+            iters: 20,
+            rounds: 3,
+            git_sha: resolve_git_sha(),
+            alloc_counter: None,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The small-budget configuration `scripts/check.sh` smokes with.
+    pub fn quick() -> BenchConfig {
+        BenchConfig {
+            warmup: 1,
+            iters: 5,
+            rounds: 2,
+            ..BenchConfig::default()
+        }
+    }
+}
+
+/// Resolves the git revision to stamp into the report: the
+/// `ORPHEUS_GIT_SHA` environment variable, then `git rev-parse --short
+/// HEAD`, then `"unknown"`.
+pub fn resolve_git_sha() -> String {
+    if let Ok(sha) = std::env::var("ORPHEUS_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The canonical artifact filename for a revision.
+pub fn bench_filename(git_sha: &str) -> String {
+    format!("BENCH_{git_sha}.json")
+}
+
+/// Everything measured for one model.
+#[derive(Debug, Clone)]
+pub struct ModelBench {
+    /// Model name (e.g. `"ResNet-18"`).
+    pub model: String,
+    /// Input spatial size used.
+    pub input_hw: u64,
+    /// Layers in the lowered plan.
+    pub layers: u64,
+    /// Total FLOPs per inference.
+    pub flops: u64,
+    /// Latency distribution over every timed run of every round.
+    pub latency: LatencyStats,
+    /// Median of the per-round median latencies — the noise-robust value
+    /// [`compare`] gates on.
+    pub p50_median_us: u64,
+    /// Each round's median latency, µs, in run order.
+    pub round_p50s_us: Vec<u64>,
+    /// Arena bytes the static memory plan promises.
+    pub arena_planned_bytes: u64,
+    /// Arena bytes actually resident after the timed runs.
+    pub arena_measured_bytes: u64,
+    /// Heap allocations per steady-state run (`None` without a counter).
+    pub steady_allocs_per_run: Option<u64>,
+    /// Per-layer self/total time attribution from an instrumented pass.
+    pub attribution: Vec<AttributionRow>,
+}
+
+/// A full bench campaign's result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Schema version of the serialized form (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Git revision the campaign ran at.
+    pub git_sha: String,
+    /// `"quick"` or `"full"` input scaling.
+    pub scale: String,
+    /// Thread count used.
+    pub threads: u64,
+    /// Warm-up runs per model.
+    pub warmup: u64,
+    /// Timed iterations per round.
+    pub iters: u64,
+    /// Rounds per model.
+    pub rounds: u64,
+    /// Per-model measurements.
+    pub models: Vec<ModelBench>,
+}
+
+/// Runs the campaign described by `config`.
+///
+/// # Errors
+///
+/// Propagates engine build, load, and execution failures.
+pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, EngineError> {
+    let mut report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_sha: config.git_sha.clone(),
+        scale: match config.scale {
+            InputScale::Quick => "quick".to_string(),
+            InputScale::Full => "full".to_string(),
+        },
+        threads: config.threads as u64,
+        warmup: config.warmup as u64,
+        iters: config.iters as u64,
+        rounds: config.rounds as u64,
+        models: Vec::new(),
+    };
+    for &model in &config.models {
+        report.models.push(bench_model(config, model)?);
+    }
+    Ok(report)
+}
+
+fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, EngineError> {
+    let hw = config.scale.input_hw(model);
+    let engine = Engine::builder().threads(config.threads).build()?;
+    let graph = build_model_with_input(model, hw, hw);
+    let network = engine.load(graph)?;
+    let dims = [1, model.input_dims()[1], hw, hw];
+    let input = Tensor::full(&dims, 0.5);
+
+    let mut session = network.session();
+    for _ in 0..config.warmup.max(1) {
+        session.run(&input)?;
+    }
+
+    // Steady-state allocation count: the delta the counting allocator sees
+    // across a few post-warm-up runs, per run. The arena executor's contract
+    // is zero, so any nonzero here is itself a regression to investigate.
+    let steady_allocs_per_run = match config.alloc_counter {
+        None => None,
+        Some(counter) => {
+            let probes = 3u64;
+            let before = counter();
+            for _ in 0..probes {
+                session.run(&input)?;
+            }
+            Some((counter() - before) / probes)
+        }
+    };
+
+    // Timed rounds through the held session. Each round gets its own
+    // histogram; the aggregate merges them (merge is order-independent, see
+    // the histogram property tests) and the compare key is the median of
+    // the rounds' medians.
+    let mut total = Histogram::new();
+    let mut round_p50s_us = Vec::with_capacity(config.rounds.max(1));
+    for _ in 0..config.rounds.max(1) {
+        let mut round = Histogram::new();
+        for _ in 0..config.iters.max(1) {
+            let start = Instant::now();
+            session.run(&input)?;
+            round.record(start.elapsed().as_micros() as u64);
+        }
+        round_p50s_us.push(round.percentile(0.50));
+        total.merge(&round);
+    }
+    let mut sorted = round_p50s_us.clone();
+    sorted.sort_unstable();
+    let p50_median_us = sorted[sorted.len() / 2];
+
+    let arena_planned_bytes = session.arena_bytes() as u64;
+    let arena_measured_bytes = session.measured_arena_bytes() as u64;
+
+    // Attribution pass: a separate short recording, so span bookkeeping
+    // never pollutes the timed rounds above.
+    let (outcome, trace, _metrics) = with_recording(|| -> Result<(), EngineError> {
+        let mut traced = network.session();
+        for _ in 0..2 {
+            traced.run(&input)?;
+        }
+        Ok(())
+    });
+    outcome?;
+    let attribution = Attribution::from_trace(&trace, "layer");
+
+    Ok(ModelBench {
+        model: model.name().to_string(),
+        input_hw: hw as u64,
+        layers: network.num_layers() as u64,
+        flops: network.flops(),
+        latency: LatencyStats::from_histogram(&total),
+        p50_median_us,
+        round_p50s_us,
+        arena_planned_bytes,
+        arena_measured_bytes,
+        steady_allocs_per_run,
+        attribution: attribution.rows,
+    })
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON (the `BENCH_*.json`
+    /// artifact format).
+    pub fn to_json(&self) -> String {
+        use orpheus_observe::json::escape;
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"git_sha\": \"{}\",\n  \"scale\": \"{}\",\n",
+            self.schema_version,
+            escape(&self.git_sha),
+            escape(&self.scale)
+        ));
+        out.push_str(&format!(
+            "  \"threads\": {},\n  \"warmup\": {},\n  \"iters\": {},\n  \"rounds\": {},\n",
+            self.threads, self.warmup, self.iters, self.rounds
+        ));
+        out.push_str("  \"models\": [\n");
+        for (i, m) in self.models.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"model\": \"{}\",\n      \"input_hw\": {},\n      \"layers\": {},\n      \"flops\": {},\n",
+                escape(&m.model), m.input_hw, m.layers, m.flops
+            ));
+            out.push_str(&format!("      \"latency_us\": {},\n", m.latency.to_json()));
+            out.push_str(&format!(
+                "      \"p50_median_us\": {},\n      \"round_p50s_us\": [{}],\n",
+                m.p50_median_us,
+                m.round_p50s_us
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            out.push_str(&format!(
+                "      \"arena_planned_bytes\": {},\n      \"arena_measured_bytes\": {},\n",
+                m.arena_planned_bytes, m.arena_measured_bytes
+            ));
+            match m.steady_allocs_per_run {
+                Some(n) => out.push_str(&format!("      \"steady_allocs_per_run\": {n},\n")),
+                None => out.push_str("      \"steady_allocs_per_run\": null,\n"),
+            }
+            out.push_str("      \"attribution\": [\n");
+            for (j, row) in m.attribution.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"name\": \"{}\", \"op\": \"{}\", \"implementation\": \"{}\", \"count\": {}, \"total_us\": {:.3}, \"self_us\": {:.3}}}{}\n",
+                    escape(&row.name),
+                    escape(&row.op),
+                    escape(&row.implementation),
+                    row.count,
+                    row.total_us,
+                    row.self_us,
+                    if j + 1 < m.attribution.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.models.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a serialized report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem. An
+    /// unknown `schema_version` parses (so [`compare`] can name it in its
+    /// verdict) but missing required fields do not.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = JsonValue::parse(text)?;
+        let req_u64 = |obj: &JsonValue, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing or non-integer {key:?}"))
+        };
+        let req_str = |obj: &JsonValue, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string {key:?}"))
+        };
+        let mut report = BenchReport {
+            schema_version: req_u64(&v, "schema_version")?,
+            git_sha: req_str(&v, "git_sha")?,
+            scale: req_str(&v, "scale")?,
+            threads: req_u64(&v, "threads")?,
+            warmup: req_u64(&v, "warmup")?,
+            iters: req_u64(&v, "iters")?,
+            rounds: req_u64(&v, "rounds")?,
+            models: Vec::new(),
+        };
+        let models = v
+            .get("models")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing \"models\" array")?;
+        for m in models {
+            let latency = m.get("latency_us").ok_or("model missing \"latency_us\"")?;
+            let lat_u64 = |key: &str| req_u64(latency, key);
+            let mut bench = ModelBench {
+                model: req_str(m, "model")?,
+                input_hw: req_u64(m, "input_hw")?,
+                layers: req_u64(m, "layers")?,
+                flops: req_u64(m, "flops")?,
+                latency: LatencyStats {
+                    runs: lat_u64("runs")?,
+                    min_us: lat_u64("min_us")?,
+                    max_us: lat_u64("max_us")?,
+                    mean_us: latency
+                        .get("mean_us")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("missing latency mean_us")?,
+                    p50_us: lat_u64("p50_us")?,
+                    p90_us: lat_u64("p90_us")?,
+                    p99_us: lat_u64("p99_us")?,
+                },
+                p50_median_us: req_u64(m, "p50_median_us")?,
+                round_p50s_us: m
+                    .get("round_p50s_us")
+                    .and_then(JsonValue::as_array)
+                    .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                    .unwrap_or_default(),
+                arena_planned_bytes: req_u64(m, "arena_planned_bytes")?,
+                arena_measured_bytes: req_u64(m, "arena_measured_bytes")?,
+                steady_allocs_per_run: m.get("steady_allocs_per_run").and_then(JsonValue::as_u64),
+                attribution: Vec::new(),
+            };
+            if let Some(rows) = m.get("attribution").and_then(JsonValue::as_array) {
+                for row in rows {
+                    bench.attribution.push(AttributionRow {
+                        name: req_str(row, "name")?,
+                        op: req_str(row, "op")?,
+                        implementation: req_str(row, "implementation")?,
+                        count: req_u64(row, "count")?,
+                        total_us: row
+                            .get("total_us")
+                            .and_then(JsonValue::as_f64)
+                            .unwrap_or(0.0),
+                        self_us: row
+                            .get("self_us")
+                            .and_then(JsonValue::as_f64)
+                            .unwrap_or(0.0),
+                    });
+                }
+            }
+            report.models.push(bench);
+        }
+        Ok(report)
+    }
+
+    /// Renders the human summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench @ {} ({} scale, {} thread(s), {} warmup + {}x{} timed runs per model)\n",
+            self.git_sha, self.scale, self.threads, self.warmup, self.rounds, self.iters
+        );
+        out.push_str(&format!(
+            "{:<14} {:>4} {:>6} {:>10} {:>10} {:>10} {:>11} {:>11} {:>7}\n",
+            "model",
+            "hw",
+            "layers",
+            "p50 (ms)",
+            "p90 (ms)",
+            "p99 (ms)",
+            "plan (KiB)",
+            "meas (KiB)",
+            "allocs"
+        ));
+        for m in &self.models {
+            out.push_str(&format!(
+                "{:<14} {:>4} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>11.1} {:>11.1} {:>7}\n",
+                orpheus_observe::truncate(&m.model, 14),
+                m.input_hw,
+                m.layers,
+                m.p50_median_us as f64 / 1e3,
+                m.latency.p90_us as f64 / 1e3,
+                m.latency.p99_us as f64 / 1e3,
+                m.arena_planned_bytes as f64 / 1024.0,
+                m.arena_measured_bytes as f64 / 1024.0,
+                m.steady_allocs_per_run
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+            ));
+        }
+        out
+    }
+}
+
+/// Per-metric regression budgets for [`compare`].
+#[derive(Debug, Clone)]
+pub struct CompareBudgets {
+    /// Allowed increase of per-model `p50_median_us`, percent. Latency is
+    /// machine- and load-dependent, so this is the knob to loosen in CI.
+    pub latency_pct: f64,
+    /// Allowed increase of the static arena plan, percent. The plan is
+    /// deterministic; growth means the memory planner got worse.
+    pub arena_pct: f64,
+    /// Allowed absolute increase of steady-state allocations per run. The
+    /// session executor's contract is zero, so the default budget is zero.
+    pub alloc_budget: u64,
+}
+
+impl Default for CompareBudgets {
+    fn default() -> Self {
+        CompareBudgets {
+            latency_pct: 25.0,
+            arena_pct: 0.0,
+            alloc_budget: 0,
+        }
+    }
+}
+
+/// One metric that regressed past its budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Model the metric belongs to (empty for report-level problems).
+    pub model: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Largest value the budget allowed.
+    pub allowed: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed: {} -> {} (allowed <= {})",
+            self.model, self.metric, self.baseline, self.current, self.allowed
+        )
+    }
+}
+
+/// Diffs `current` against `baseline` under `budgets`; returns every metric
+/// that regressed past its budget (empty = no regression).
+///
+/// Models present only in `current` are new work and never regressions;
+/// models present only in `baseline` are reported as missing. Reports with
+/// different schema versions refuse to compare.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    budgets: &CompareBudgets,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    if current.schema_version != baseline.schema_version {
+        regressions.push(Regression {
+            model: String::new(),
+            metric: "schema_version".into(),
+            baseline: baseline.schema_version as f64,
+            current: current.schema_version as f64,
+            allowed: baseline.schema_version as f64,
+        });
+        return regressions;
+    }
+    for base in &baseline.models {
+        let Some(cur) = current.models.iter().find(|m| m.model == base.model) else {
+            regressions.push(Regression {
+                model: base.model.clone(),
+                metric: "missing from current report".into(),
+                baseline: 1.0,
+                current: 0.0,
+                allowed: 1.0,
+            });
+            continue;
+        };
+        let lat_allowed = base.p50_median_us as f64 * (1.0 + budgets.latency_pct / 100.0);
+        if cur.p50_median_us as f64 > lat_allowed {
+            regressions.push(Regression {
+                model: base.model.clone(),
+                metric: "p50_median_us".into(),
+                baseline: base.p50_median_us as f64,
+                current: cur.p50_median_us as f64,
+                allowed: lat_allowed,
+            });
+        }
+        let arena_allowed = base.arena_planned_bytes as f64 * (1.0 + budgets.arena_pct / 100.0);
+        if cur.arena_planned_bytes as f64 > arena_allowed {
+            regressions.push(Regression {
+                model: base.model.clone(),
+                metric: "arena_planned_bytes".into(),
+                baseline: base.arena_planned_bytes as f64,
+                current: cur.arena_planned_bytes as f64,
+                allowed: arena_allowed,
+            });
+        }
+        if let (Some(cur_allocs), Some(base_allocs)) =
+            (cur.steady_allocs_per_run, base.steady_allocs_per_run)
+        {
+            let allowed = base_allocs + budgets.alloc_budget;
+            if cur_allocs > allowed {
+                regressions.push(Regression {
+                    model: base.model.clone(),
+                    metric: "steady_allocs_per_run".into(),
+                    baseline: base_allocs as f64,
+                    current: cur_allocs as f64,
+                    allowed: allowed as f64,
+                });
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        let config = BenchConfig {
+            models: vec![ModelKind::TinyCnn],
+            warmup: 1,
+            iters: 2,
+            rounds: 2,
+            git_sha: "testsha".into(),
+            ..BenchConfig::default()
+        };
+        run_bench(&config).unwrap()
+    }
+
+    #[test]
+    fn bench_measures_and_round_trips_through_json() {
+        let report = tiny_report();
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.models.len(), 1);
+        let m = &report.models[0];
+        assert_eq!(m.model, "TinyCNN");
+        assert!(m.latency.runs == 4, "2 rounds x 2 iters");
+        assert!(m.p50_median_us > 0);
+        assert_eq!(m.round_p50s_us.len(), 2);
+        assert!(m.arena_planned_bytes > 0);
+        assert!(m.arena_measured_bytes >= m.arena_planned_bytes);
+        assert!(!m.attribution.is_empty(), "layer attribution missing");
+        assert!(m.attribution.iter().all(|r| r.total_us >= r.self_us));
+
+        let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back.git_sha, "testsha");
+        assert_eq!(back.models.len(), 1);
+        let bm = &back.models[0];
+        assert_eq!(bm.model, m.model);
+        assert_eq!(bm.p50_median_us, m.p50_median_us);
+        assert_eq!(bm.round_p50s_us, m.round_p50s_us);
+        assert_eq!(bm.arena_planned_bytes, m.arena_planned_bytes);
+        assert_eq!(bm.latency.p99_us, m.latency.p99_us);
+        assert_eq!(bm.attribution.len(), m.attribution.len());
+        assert_eq!(bm.attribution[0].name, m.attribution[0].name);
+    }
+
+    #[test]
+    fn compare_passes_on_identical_reports() {
+        let report = tiny_report();
+        let regressions = compare(&report, &report, &CompareBudgets::default());
+        assert!(
+            regressions.is_empty(),
+            "self-compare regressed: {regressions:?}"
+        );
+    }
+
+    #[test]
+    fn compare_detects_synthetic_regressions() {
+        let baseline = tiny_report();
+        let mut current = baseline.clone();
+        // Inject a 10x latency regression, arena growth, and allocations.
+        current.models[0].p50_median_us = baseline.models[0].p50_median_us * 10 + 1000;
+        current.models[0].arena_planned_bytes += 4096;
+        current.models[0].steady_allocs_per_run = Some(7);
+        let mut with_allocs = baseline.clone();
+        with_allocs.models[0].steady_allocs_per_run = Some(0);
+        current.models[0].steady_allocs_per_run = Some(7);
+
+        let regressions = compare(&current, &with_allocs, &CompareBudgets::default());
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(
+            metrics.contains(&"p50_median_us"),
+            "latency not flagged: {regressions:?}"
+        );
+        assert!(
+            metrics.contains(&"arena_planned_bytes"),
+            "arena not flagged"
+        );
+        assert!(
+            metrics.contains(&"steady_allocs_per_run"),
+            "allocs not flagged"
+        );
+        for r in &regressions {
+            assert!(r.to_string().contains("regressed"));
+        }
+
+        // The same injected latency passes under a generous enough budget.
+        let generous = CompareBudgets {
+            latency_pct: 100_000.0,
+            arena_pct: 100.0,
+            alloc_budget: 100,
+        };
+        assert!(compare(&current, &with_allocs, &generous).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_missing_models_and_schema_mismatch() {
+        let baseline = tiny_report();
+        let mut empty = baseline.clone();
+        empty.models.clear();
+        let regressions = compare(&empty, &baseline, &CompareBudgets::default());
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].metric.contains("missing"));
+
+        let mut future = baseline.clone();
+        future.schema_version += 1;
+        let regressions = compare(&future, &baseline, &CompareBudgets::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "schema_version");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_missing_fields() {
+        assert!(BenchReport::from_json("not json").is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("{\"schema_version\": 1}").is_err());
+    }
+
+    #[test]
+    fn filename_and_sha_resolution() {
+        assert_eq!(bench_filename("abc123"), "BENCH_abc123.json");
+        // In this repository's checkout the sha resolves to something.
+        assert!(!resolve_git_sha().is_empty());
+    }
+
+    #[test]
+    fn render_lists_every_model() {
+        let report = tiny_report();
+        let text = report.render();
+        assert!(text.contains("TinyCNN"));
+        assert!(text.contains("p50 (ms)"));
+        assert!(text.contains("testsha"));
+    }
+}

@@ -9,6 +9,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench;
+
+pub use bench::{
+    bench_filename, compare, resolve_git_sha, run_bench, BenchConfig, BenchReport, CompareBudgets,
+    ModelBench, Regression, SCHEMA_VERSION,
+};
+
 use std::time::Instant;
 
 use orpheus::{Engine, EngineError, Personality, CAPABILITY_CRITERIA};
@@ -832,6 +839,15 @@ impl LatencyStats {
             p90_us: h.percentile(0.90),
             p99_us: h.percentile(0.99),
         }
+    }
+
+    /// Serializes the stats as a JSON object (microsecond fields, matching
+    /// the `BENCH_*.json` schema's `latency_us` objects).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"runs\": {}, \"min_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"mean_us\": {:.3}}}",
+            self.runs, self.min_us, self.p50_us, self.p90_us, self.p99_us, self.max_us, self.mean_us
+        )
     }
 
     /// Renders the latency summary table (milliseconds).

@@ -1,12 +1,15 @@
 //! `orpheus-cli` — the experiment runner binary.
 //!
 //! ```text
+//! orpheus-cli bench [--quick] [--full] [--models a,b] [--threads N] [--iters N]
+//!                   [--warmup N] [--rounds N] [--out F] [--compare BASELINE.json]
+//!                   [--budget-pct X] [--arena-pct X] [--alloc-budget N]
 //! orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b]
 //!                     [--include-darknet] [--csv] [--trace-out F] [--metrics-out F]
 //! orpheus-cli table1 [--measured]
-//! orpheus-cli profile --model M [--personality P] [--hw N] [--runs N]
+//! orpheus-cli profile --model M [--personality P] [--hw N] [--runs N] [--report]
 //!                     [--trace-out F] [--events-out F] [--metrics-out F]
-//! orpheus-cli repeat --model M [--personality P] [--hw N] [--runs N] [--warmup N] [--legacy]
+//! orpheus-cli repeat --model M [--personality P] [--hw N] [--runs N] [--warmup N] [--legacy] [--json]
 //! orpheus-cli layers --model M [--personality P] [--hw N]
 //! orpheus-cli depthwise [--hw N]
 //! orpheus-cli simplify --model M [--hw N] [--repeats N]
@@ -17,17 +20,70 @@
 //! orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--json]
 //! orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
 //! ```
+//!
+//! `bench --compare` exits with code 2 when a metric regresses past its
+//! budget, so CI can distinguish a performance regression from a usage
+//! error (exit 1). On any runtime error the binary dumps the flight
+//! recorder to stderr for post-mortem context.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::process::ExitCode;
 
 use orpheus::Personality;
 use orpheus_cli::{
-    profile_model, run_depthwise_ablation, run_figure2, run_layer_profile, run_layer_sweep,
-    run_repeat, run_simplify_ablation, run_table1, run_traced_profile, with_recording,
-    Figure2Config, InputScale,
+    bench_filename, compare, profile_model, run_bench, run_depthwise_ablation, run_figure2,
+    run_layer_profile, run_layer_sweep, run_repeat, run_simplify_ablation, run_table1,
+    run_traced_profile, with_recording, BenchConfig, BenchReport, CompareBudgets, Figure2Config,
+    InputScale,
 };
 use orpheus_graph::passes::PassManager;
 use orpheus_models::{build_model, ModelKind};
+
+// Counting allocator: lets `bench` report steady-state allocations per run
+// (the session executor's contract is zero). The library crate forbids
+// unsafe code; this binary is its own crate root, and the counting shim is
+// the same one `crates/core/tests/zero_alloc.rs` uses to prove the
+// invariant. The counter is per-thread, so the single-threaded bench reads
+// exactly its own traffic.
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_count() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+struct CountingAlloc;
+
+fn bump() {
+    // `try_with` so allocations during thread teardown never panic.
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +91,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
+            let events = orpheus_observe::flight_snapshot();
+            if !events.is_empty() {
+                eprintln!();
+                eprintln!("flight recorder (recent events, oldest first):");
+                eprint!("{}", orpheus_observe::flight_render(&events));
+            }
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::FAILURE
@@ -43,10 +105,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
+  orpheus-cli bench [--quick] [--full] [--models a,b] [--threads N] [--iters N] [--warmup N] [--rounds N] [--out F] [--compare BASELINE.json] [--budget-pct X] [--arena-pct X] [--alloc-budget N]
   orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b] [--include-darknet] [--csv] [--trace-out F] [--metrics-out F]
   orpheus-cli table1 [--measured]
-  orpheus-cli profile --model M [--personality P] [--hw N] [--threads N] [--runs N] [--trace-out F] [--events-out F] [--metrics-out F]
-  orpheus-cli repeat --model M [--personality P] [--hw N] [--threads N] [--runs N] [--warmup N] [--legacy]
+  orpheus-cli profile --model M [--personality P] [--hw N] [--threads N] [--runs N] [--report] [--trace-out F] [--events-out F] [--metrics-out F] [--openmetrics-out F] [--flight-out F]
+  orpheus-cli repeat --model M [--personality P] [--hw N] [--threads N] [--runs N] [--warmup N] [--legacy] [--json]
   orpheus-cli layers --model M [--personality P] [--hw N]
   orpheus-cli depthwise [--hw N]
   orpheus-cli simplify --model M [--hw N] [--repeats N]
@@ -84,6 +147,15 @@ impl<'a> Args<'a> {
                 .map_err(|_| format!("{name} expects an integer, got {v:?}")),
         }
     }
+
+    fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} expects a number, got {v:?}")),
+        }
+    }
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -92,6 +164,77 @@ fn run(argv: &[String]) -> Result<(), String> {
     };
     let args = Args { args: &argv[1..] };
     match command.as_str() {
+        "bench" => {
+            let mut config = if args.flag("--quick") {
+                BenchConfig::quick()
+            } else {
+                BenchConfig::default()
+            };
+            if args.flag("--full") {
+                config.scale = InputScale::Full;
+            }
+            if let Some(list) = args.value("--models") {
+                config.models = list
+                    .split(',')
+                    .map(|name| {
+                        ModelKind::from_name(name).ok_or_else(|| format!("unknown model {name:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            config.threads = args.usize_or("--threads", config.threads)?;
+            config.iters = args.usize_or("--iters", config.iters)?;
+            config.warmup = args.usize_or("--warmup", config.warmup)?;
+            config.rounds = args.usize_or("--rounds", config.rounds)?;
+            config.alloc_counter = Some(alloc_count);
+
+            let report = run_bench(&config).map_err(|e| e.to_string())?;
+            print!("{}", report.render());
+
+            let out = args
+                .value("--out")
+                .map(str::to_string)
+                .unwrap_or_else(|| bench_filename(&config.git_sha));
+            std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out:?}: {e}"))?;
+            println!(
+                "bench report written to {out} (schema v{})",
+                report.schema_version
+            );
+
+            if let Some(base_path) = args.value("--compare") {
+                let text = std::fs::read_to_string(base_path)
+                    .map_err(|e| format!("reading baseline {base_path:?}: {e}"))?;
+                let baseline = BenchReport::from_json(&text)
+                    .map_err(|e| format!("parsing baseline {base_path:?}: {e}"))?;
+                let budgets = CompareBudgets {
+                    latency_pct: args.f64_or("--budget-pct", 25.0)?,
+                    arena_pct: args.f64_or("--arena-pct", 0.0)?,
+                    alloc_budget: args.usize_or("--alloc-budget", 0)? as u64,
+                };
+                let regressions = compare(&report, &baseline, &budgets);
+                if regressions.is_empty() {
+                    println!(
+                        "compare vs {base_path} (baseline @ {}): OK, no regression past budgets \
+                         (latency +{}%, arena +{}%, allocs +{})",
+                        baseline.git_sha,
+                        budgets.latency_pct,
+                        budgets.arena_pct,
+                        budgets.alloc_budget
+                    );
+                } else {
+                    eprintln!(
+                        "compare vs {base_path} (baseline @ {}): {} regression(s):",
+                        baseline.git_sha,
+                        regressions.len()
+                    );
+                    for regression in &regressions {
+                        eprintln!("  {regression}");
+                    }
+                    // Exit 2: regression, distinct from usage errors (1).
+                    std::process::exit(2);
+                }
+            }
+            Ok(())
+        }
         "figure2" => {
             let models = match args.value("--models") {
                 None => ModelKind::FIGURE2.to_vec(),
@@ -165,6 +308,13 @@ fn run(argv: &[String]) -> Result<(), String> {
                     println!("  {algo:<28} x{count}");
                 }
             }
+            if args.flag("--report") {
+                let attribution = orpheus_observe::Attribution::from_trace(&report.trace, "layer");
+                println!("\nper-layer attribution (self excludes same-thread children):");
+                print!("{}", attribution.render());
+                println!("\nby selection algorithm:");
+                print!("{}", attribution.render_by_algorithm());
+            }
             write_observability(&args, &report.trace, &report.metrics)?;
             Ok(())
         }
@@ -178,6 +328,11 @@ fn run(argv: &[String]) -> Result<(), String> {
             let legacy = args.flag("--legacy");
             let stats = run_repeat(personality, model, hw, threads, runs, warmup, legacy)
                 .map_err(|e| e.to_string())?;
+            if args.flag("--json") {
+                // Same serialization the bench artifact uses for latency.
+                println!("{}", stats.to_json());
+                return Ok(());
+            }
             let executor = if legacy {
                 "legacy per-run allocator"
             } else {
@@ -415,7 +570,9 @@ fn personality_or_default(args: &Args) -> Result<Personality, String> {
 }
 
 /// Writes whichever of `--trace-out` (Chrome trace), `--events-out` (JSON
-/// lines), and `--metrics-out` (metrics summary JSON) the user asked for.
+/// lines), `--metrics-out` (metrics summary JSON), `--openmetrics-out`
+/// (OpenMetrics/Prometheus text), and `--flight-out` (flight-recorder JSON
+/// lines) the user asked for.
 fn write_observability(
     args: &Args,
     trace: &orpheus_observe::Trace,
@@ -434,6 +591,20 @@ fn write_observability(
     if let Some(path) = args.value("--metrics-out") {
         std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path:?}: {e}"))?;
         println!("metrics written to {path}");
+    }
+    if let Some(path) = args.value("--openmetrics-out") {
+        std::fs::write(path, metrics.to_openmetrics())
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("OpenMetrics exposition written to {path}");
+    }
+    if let Some(path) = args.value("--flight-out") {
+        let events = orpheus_observe::flight_snapshot();
+        std::fs::write(path, orpheus_observe::flight_to_json_lines(&events))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!(
+            "flight recorder written to {path} ({} event(s), one JSON object per line)",
+            events.len()
+        );
     }
     Ok(())
 }

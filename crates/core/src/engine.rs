@@ -282,6 +282,11 @@ impl Engine {
                 .into_iter()
                 .map(|mut step| {
                     if step.layer.implementation().contains(needle.as_str()) {
+                        observe::flight_record(
+                            "engine",
+                            "fault.injected",
+                            format!("{} ({})", step.layer.name(), step.layer.implementation()),
+                        );
                         step.layer = Box::new(crate::fault::FaultyLayer::new(step.layer));
                         // A wrapped view must execute (and fail, and fall
                         // back) as a compute step — it cannot be aliased
@@ -295,6 +300,11 @@ impl Engine {
         // Plan activation memory once, after the step list is final: every
         // session preallocates exactly these buffers.
         plan.memory = Some(plan_memory(&plan));
+        observe::flight_record(
+            "engine",
+            "load",
+            format!("{} ({} layers)", graph.name, plan.steps.len()),
+        );
         Ok(Network {
             name: graph.name.clone(),
             plan: Arc::new(plan),
@@ -475,11 +485,32 @@ impl Network {
                     // reference implementation and retry once. The original
                     // error wins if even the reference path cannot run.
                     let Some(fallback) = step.layer.reference_fallback() else {
+                        observe::flight_record(
+                            "selection",
+                            "fault.unrecoverable",
+                            format!("{}: {primary}", step.layer.name()),
+                        );
                         return Err(primary);
                     };
-                    let out = fallback.run(&inputs, &self.pool).map_err(|_| primary)?;
+                    let Ok(out) = fallback.run(&inputs, &self.pool) else {
+                        observe::flight_record(
+                            "selection",
+                            "fallback.failed",
+                            format!("{}: {primary}", step.layer.name()),
+                        );
+                        return Err(primary);
+                    };
                     layer_span.attr("fallback", fallback.implementation());
                     observe::counter_add("selection.fallback", 1);
+                    observe::flight_record(
+                        "selection",
+                        "fallback",
+                        format!(
+                            "{}: rescued by {} after: {primary}",
+                            step.layer.name(),
+                            fallback.implementation()
+                        ),
+                    );
                     out
                 }
             };

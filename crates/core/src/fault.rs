@@ -2,7 +2,7 @@
 //!
 //! [`FaultyLayer`] wraps a real layer and fails every `run`, while passing
 //! [`Layer::reference_fallback`] through to the wrapped layer. Loading a
-//! model with [`Engine::with_fault_injection`](crate::Engine::with_fault_injection)
+//! model with [`EngineBuilder::fault_injection`](crate::EngineBuilder::fault_injection)
 //! wraps every layer whose implementation string contains the configured
 //! needle, which lets tests (and operators reproducing an incident) prove
 //! that inference still completes through the reference path when a selected

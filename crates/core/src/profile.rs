@@ -179,13 +179,10 @@ impl Profile {
 ///
 /// Cuts on a char boundary: slicing by byte offset panics on multi-byte
 /// UTF-8 (layer names imported from ONNX are arbitrary user strings).
+/// Delegates to the shared implementation in `orpheus-observe` so every
+/// report renderer truncates identically.
 fn truncate(s: &str, n: usize) -> String {
-    if s.chars().count() <= n {
-        s.to_string()
-    } else {
-        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
-        format!("{cut}…")
-    }
+    orpheus_observe::truncate(s, n)
 }
 
 #[cfg(test)]

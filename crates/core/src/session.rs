@@ -161,10 +161,25 @@ impl Session {
     /// Returns [`EngineError::Execution`] if the input dims do not match the
     /// loaded model, or if a layer fails and has no reference fallback.
     pub fn run(&mut self, input: &Tensor) -> Result<&Tensor, EngineError> {
-        self.run_inner(input)?;
+        if let Err(e) = self.run_inner(input) {
+            // Error paths are cold: stamp the flight recorder so a post-hoc
+            // dump explains what the session was doing when it failed.
+            observe::flight_record("session", "run.error", format!("{}: {e}", self.model));
+            return Err(e);
+        }
         self.slots[self.plan.output_slot]
             .as_ref()
             .ok_or_else(|| EngineError::Execution("output slot empty after run".into()))
+    }
+
+    /// Renders the process-wide flight recorder's recent events — loads,
+    /// faults, fallback rescues, run errors — as human-readable lines.
+    ///
+    /// The recorder is always armed (see [`orpheus_observe::flight_record`]),
+    /// so this works even when tracing was never enabled; call it after a
+    /// failed [`Session::run`] for post-mortem context.
+    pub fn dump_flight_recorder(&self) -> String {
+        observe::flight_render(&observe::flight_snapshot())
     }
 
     /// Runs every input through the session in order, cloning each output.
@@ -272,16 +287,37 @@ impl Session {
                     // Graceful degradation, mirroring the legacy executor:
                     // retry once on the reference implementation (into a
                     // re-zeroed buffer), surfacing the original error if even
-                    // that cannot run.
+                    // that cannot run. This path only runs on a fault, so the
+                    // flight-recorder stamp does not touch the zero-alloc
+                    // steady state.
                     let Some(fallback) = step.layer.reference_fallback() else {
+                        observe::flight_record(
+                            "selection",
+                            "fault.unrecoverable",
+                            format!("{}: {primary}", step.layer.name()),
+                        );
                         return Err(primary);
                     };
                     out.as_mut_slice().fill(0.0);
-                    fallback
-                        .run_into(inputs, &mut out, &self.pool)
-                        .map_err(|_| primary)?;
+                    if fallback.run_into(inputs, &mut out, &self.pool).is_err() {
+                        observe::flight_record(
+                            "selection",
+                            "fallback.failed",
+                            format!("{}: {primary}", step.layer.name()),
+                        );
+                        return Err(primary);
+                    }
                     layer_span.attr("fallback", fallback.implementation());
                     observe::counter_add("selection.fallback", 1);
+                    observe::flight_record(
+                        "selection",
+                        "fallback",
+                        format!(
+                            "{}: rescued by {} after: {primary}",
+                            step.layer.name(),
+                            fallback.implementation()
+                        ),
+                    );
                 }
             }
             self.slots[step.output] = Some(out);

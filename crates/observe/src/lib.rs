@@ -13,8 +13,16 @@
 //!   [`histogram_record`]) with log-linear latency [`Histogram`]s that report
 //!   p50/p90/p99;
 //! * **exporters**: Chrome trace-event JSON for <https://ui.perfetto.dev>
-//!   ([`Trace::to_chrome_trace`]), JSON lines ([`Trace::to_json_lines`]), and
-//!   a metrics summary ([`MetricsSnapshot::to_json`]).
+//!   ([`Trace::to_chrome_trace`]), JSON lines ([`Trace::to_json_lines`]), a
+//!   metrics summary ([`MetricsSnapshot::to_json`]), and the
+//!   OpenMetrics/Prometheus text format
+//!   ([`MetricsSnapshot::to_openmetrics`]);
+//! * an always-on **flight recorder** ([`flight_record`],
+//!   [`flight_snapshot`]): a fixed-size lock-free ring of recent notable
+//!   events (faults, fallbacks, loads) for post-mortem dumps, armed even
+//!   when tracing is off;
+//! * an **attribution fold** ([`Attribution`]) that collapses span trees
+//!   into self/total time per layer and per selection algorithm.
 //!
 //! # Examples
 //!
@@ -41,12 +49,20 @@
 
 #![forbid(unsafe_code)]
 
+mod attribution;
+mod flight;
 mod histogram;
 pub mod json;
 mod metrics;
+mod openmetrics;
 mod recorder;
 mod trace;
 
+pub use attribution::{Attribution, AttributionRow};
+pub use flight::{
+    flight_capacity, flight_clear, flight_dropped, flight_record, flight_recorded, flight_render,
+    flight_snapshot, flight_to_json_lines, FlightEvent,
+};
 pub use histogram::Histogram;
 pub use metrics::{
     counter_add, gauge_set, histogram_record, metrics_snapshot, reset_metrics, MetricsSnapshot,
@@ -56,6 +72,20 @@ pub use recorder::{
     SpanRecord,
 };
 pub use trace::Trace;
+
+/// Truncates `s` to at most `max` characters, ending with `…` when cut.
+///
+/// UTF-8 safe (counts characters, not bytes). Shared by the attribution
+/// tables here and the CLI's report renderers.
+pub fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_string();
+    }
+    let keep = max.saturating_sub(1);
+    let mut out: String = s.chars().take(keep).collect();
+    out.push('…');
+    out
+}
 
 /// Removes and returns every span collected so far.
 pub fn take_trace() -> Trace {

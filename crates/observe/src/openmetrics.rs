@@ -1,0 +1,138 @@
+//! OpenMetrics / Prometheus text exposition for [`MetricsSnapshot`].
+//!
+//! The forthcoming concurrent server needs to be scrapeable from day one,
+//! so the metrics registry learns the one wire format every scraper speaks:
+//! the OpenMetrics text format (a superset-compatible profile of the
+//! Prometheus exposition format). Counters export as `counter` families
+//! with the mandatory `_total` suffix, gauges as `gauge`, and latency
+//! histograms as `summary` families carrying `quantile` labels plus `_sum`
+//! and `_count` series — quantiles are what the histograms already answer
+//! precisely, where exposing raw log-linear buckets would not round-trip.
+//!
+//! Metric names are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset
+//! (dots and dashes become underscores) and prefixed with `orpheus_`; the
+//! original registry key is preserved in a `key` label so dashboards can
+//! still distinguish `selection.algo.gemm` from `selection_algo_gemm`.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Sanitizes a registry key into an OpenMetrics metric-name suffix.
+fn metric_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for (i, c) in key.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (backslash, quote, LF).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the OpenMetrics text format, terminated by
+    /// the mandatory `# EOF` marker. Suitable for a Prometheus scrape
+    /// endpoint or for `promtool check metrics`.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.counters {
+            let name = format!("orpheus_{}", metric_name(key));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!(
+                "{name}_total{{key=\"{}\"}} {value}\n",
+                escape_label(key)
+            ));
+        }
+        for (key, value) in &self.gauges {
+            let name = format!("orpheus_{}", metric_name(key));
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!(
+                "{name}{{key=\"{}\"}} {value}\n",
+                escape_label(key)
+            ));
+        }
+        for (key, h) in &self.histograms {
+            let name = format!("orpheus_{}", metric_name(key));
+            let key = escape_label(key);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [
+                (0.5, h.percentile(0.50)),
+                (0.9, h.percentile(0.90)),
+                (0.99, h.percentile(0.99)),
+            ] {
+                out.push_str(&format!("{name}{{key=\"{key}\",quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_sum{{key=\"{key}\"}} {}\n",
+                h.mean() * h.count() as f64
+            ));
+            out.push_str(&format!("{name}_count{{key=\"{key}\"}} {}\n", h.count()));
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn sanitizes_names_and_keeps_original_in_label() {
+        assert_eq!(metric_name("run.latency_us"), "run_latency_us");
+        assert_eq!(
+            metric_name("selection.algo.im2col-gemm"),
+            "selection_algo_im2col_gemm"
+        );
+        assert_eq!(metric_name("9lives"), "_lives");
+    }
+
+    #[test]
+    fn exports_all_three_metric_kinds() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("graph.pass.rewrites".into(), 7);
+        snap.gauges.insert("session.arena.bytes".into(), 4096.0);
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        snap.histograms.insert("run.latency_us".into(), h);
+        let text = snap.to_openmetrics();
+
+        assert!(text.contains("# TYPE orpheus_graph_pass_rewrites counter"));
+        assert!(text.contains("orpheus_graph_pass_rewrites_total{key=\"graph.pass.rewrites\"} 7"));
+        assert!(text.contains("# TYPE orpheus_session_arena_bytes gauge"));
+        assert!(text.contains("orpheus_session_arena_bytes{key=\"session.arena.bytes\"} 4096"));
+        assert!(text.contains("# TYPE orpheus_run_latency_us summary"));
+        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("orpheus_run_latency_us_count{key=\"run.latency_us\"} 3"));
+        assert!(text.contains("orpheus_run_latency_us_sum{key=\"run.latency_us\"} 600"));
+        assert!(text.trim_end().ends_with("# EOF"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_the_eof_marker() {
+        assert_eq!(MetricsSnapshot::default().to_openmetrics(), "# EOF\n");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("odd\"key\\name".into(), 1);
+        let text = snap.to_openmetrics();
+        assert!(text.contains(r#"key="odd\"key\\name""#));
+    }
+}

@@ -26,6 +26,12 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Microseconds elapsed since the process trace epoch (shared with the
+/// flight recorder so both timelines line up).
+pub(crate) fn epoch_elapsed_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
 fn spans() -> &'static Mutex<Vec<SpanRecord>> {
     static SPANS: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
     SPANS.get_or_init(|| Mutex::new(Vec::new()))
@@ -36,7 +42,7 @@ thread_local! {
     static THREAD_ORDINAL: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
-fn thread_ordinal() -> u64 {
+pub(crate) fn thread_ordinal() -> u64 {
     THREAD_ORDINAL.with(|cell| match cell.get() {
         Some(t) => t,
         None => {

@@ -40,6 +40,16 @@ echo "== zero-allocation arena executor =="
 # runtime-footprint <= static-prediction pin.
 cargo test -q -p orpheus --test zero_alloc --test planned_execution
 
+echo "== bench regression gate (release, quick budgets) =="
+# The performance regression observatory: re-measure the zoo with small
+# iteration budgets and compare against the committed baseline. Latency gets
+# a generous budget (baselines travel across machines and CI neighbours are
+# noisy); arena bytes and steady-state allocation counts are deterministic
+# and compare strictly. Exit code 2 = regression.
+./target/release/orpheus-cli bench --quick \
+  --out "$LINT_TMP/BENCH_check.json" \
+  --compare results/bench_baseline.json --budget-pct 300
+
 echo "== session-vs-legacy repeat smoke (release) =="
 # The arena executor must not regress steady-state latency: fail if its p50
 # exceeds 3x the legacy per-run allocator's (generous bound — debug-free

@@ -31,6 +31,13 @@ $CLI policy --model wrn-40-2 --repeats 3 | tee results/policy_wrn.txt
 echo "== Backend validation =="
 $CLI validate --model tinycnn
 
+echo "== Bench artifact (BENCH_<git-sha>.json) =="
+# Full-input latency/arena/allocation snapshot of the zoo, pinned to the
+# current revision. Diff two revisions with `orpheus-cli bench --compare`.
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+$CLI bench --full --out "results/BENCH_${sha}.json"
+echo "wrote results/BENCH_${sha}.json"
+
 echo "== Python bindings round trip =="
 $CLI export --model lenet --out /tmp/lenet.onnx
 (cd bindings/python && python3 demo.py /tmp/lenet.onnx)
