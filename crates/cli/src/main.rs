@@ -19,6 +19,10 @@
 //! orpheus-cli export --model M --out FILE.onnx
 //! orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--json]
 //! orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
+//! orpheus-cli serve --model M [--load-gen] [--workers N] [--queue-depth N]
+//!                   [--deadline-ms N] [--requests N] [--clients N]
+//!                   [--fault NEEDLE] [--fault-mode error|panic|panic-first:N|flaky:PERMILLE[:SEED]]
+//!                   [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-timeout-ms N]
 //! ```
 //!
 //! `bench --compare` exits with code 2 when a metric regresses past its
@@ -119,7 +123,8 @@ const USAGE: &str = "usage:
   orpheus-cli policy --model M [--hw N] [--repeats N]
   orpheus-cli validate (--model M | --onnx FILE) [--hw N]
   orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--json]
-  orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]";
+  orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
+  orpheus-cli serve --model M [--load-gen] [--hw N] [--threads N] [--workers N] [--queue-depth N] [--deadline-ms N] [--requests N] [--clients N] [--fault NEEDLE] [--fault-mode error|panic|panic-first:N|flaky:PERMILLE[:SEED]] [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-timeout-ms N] [--openmetrics-out F] [--flight-out F] [--metrics-out F]";
 
 /// Tiny `--flag value` argument scanner.
 struct Args<'a> {
@@ -551,8 +556,134 @@ fn run(argv: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "serve" => {
+            let model = required_model(&args)?;
+            let hw = args.usize_or("--hw", InputScale::Quick.input_hw(model))?;
+            let threads = args.usize_or("--threads", 1)?;
+            let server_cfg = orpheus_serve::ServerConfig {
+                workers: args.usize_or("--workers", 2)?,
+                queue_depth: args.usize_or("--queue-depth", 64)?,
+                default_deadline: args
+                    .value("--deadline-ms")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map(std::time::Duration::from_millis)
+                            .map_err(|_| format!("--deadline-ms expects an integer, got {v:?}"))
+                    })
+                    .transpose()?,
+                breaker_threshold: args.usize_or("--breaker-threshold", 5)? as u32,
+                breaker_cooldown: std::time::Duration::from_millis(
+                    args.usize_or("--breaker-cooldown-ms", 250)? as u64,
+                ),
+                drain_timeout: std::time::Duration::from_millis(
+                    args.usize_or("--drain-timeout-ms", 5000)? as u64,
+                ),
+            };
+
+            let mut builder = orpheus::Engine::builder().threads(threads);
+            let mut injects_panics = false;
+            if let Some(needle) = args.value("--fault") {
+                builder = builder.fault_injection(needle);
+                let mode = parse_fault_mode(args.value("--fault-mode").unwrap_or("error"))?;
+                injects_panics = !matches!(mode, orpheus::FaultMode::Error);
+                builder = builder.fault_mode(mode);
+            } else if args.value("--fault-mode").is_some() {
+                return Err("--fault-mode needs --fault NEEDLE to select layers".into());
+            }
+            if injects_panics {
+                // Injected panics are caught by worker isolation; keep the
+                // default hook's backtrace spam out of the report.
+                suppress_injected_panic_output();
+            }
+            let engine = builder.build().map_err(|e| e.to_string())?;
+            let network = std::sync::Arc::new(
+                engine
+                    .load(orpheus_models::build_model_with_input(model, hw, hw))
+                    .map_err(|e| e.to_string())?,
+            );
+
+            let load_cfg = orpheus_serve::LoadGenConfig {
+                requests: args
+                    .usize_or("--requests", if args.flag("--load-gen") { 200 } else { 8 })?,
+                clients: args.usize_or("--clients", if args.flag("--load-gen") { 4 } else { 1 })?,
+                deadline: server_cfg.default_deadline,
+            };
+            println!(
+                "serve: {model} at {hw}x{hw}, {} worker(s) x {} thread(s), queue depth {}, {} client(s) x {} request(s)",
+                server_cfg.workers,
+                threads,
+                server_cfg.queue_depth,
+                load_cfg.clients,
+                load_cfg.requests
+            );
+            let (report, trace, metrics) =
+                with_recording(|| orpheus_serve::run_load_gen(network, server_cfg, load_cfg));
+            print!("{}", report.render());
+            write_observability(&args, &trace, &metrics)?;
+            if report.drain.worker_panics > 0 {
+                return Err(format!(
+                    "{} worker(s) died by panic: isolation failed",
+                    report.drain.worker_panics
+                ));
+            }
+            if !report.all_resolved() {
+                return Err("some requests never resolved".into());
+            }
+            Ok(())
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// Parses `--fault-mode`: `error`, `panic`, `panic-first:N`, or
+/// `flaky:PERMILLE[:SEED]`.
+fn parse_fault_mode(spec: &str) -> Result<orpheus::FaultMode, String> {
+    match spec {
+        "error" => return Ok(orpheus::FaultMode::Error),
+        "panic" => return Ok(orpheus::FaultMode::Panic),
+        _ => {}
+    }
+    if let Some(n) = spec.strip_prefix("panic-first:") {
+        let n = n
+            .parse()
+            .map_err(|_| format!("panic-first expects an integer, got {n:?}"))?;
+        return Ok(orpheus::FaultMode::PanicFirst(n));
+    }
+    if let Some(rest) = spec.strip_prefix("flaky:") {
+        let mut parts = rest.splitn(2, ':');
+        let per_mille = parts
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| format!("flaky expects PERMILLE[:SEED], got {rest:?}"))?;
+        let seed = match parts.next() {
+            None => 0x5eed,
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("flaky seed expects an integer, got {s:?}"))?,
+        };
+        return Ok(orpheus::FaultMode::Flaky { per_mille, seed });
+    }
+    Err(format!(
+        "unknown fault mode {spec:?} (expected error | panic | panic-first:N | flaky:PERMILLE[:SEED])"
+    ))
+}
+
+/// Replaces the panic hook with one that stays silent for injected-fault
+/// panics (they are expected and isolated) and delegates everything else.
+fn suppress_injected_panic_output() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|msg| msg.contains("injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
 }
 
 fn required_model(args: &Args) -> Result<ModelKind, String> {

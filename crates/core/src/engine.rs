@@ -10,6 +10,7 @@ use orpheus_tensor::Tensor;
 use orpheus_threads::ThreadPool;
 
 use crate::error::EngineError;
+use crate::fault::FaultMode;
 use crate::lower::{lower, Plan};
 use crate::memory::MemoryTracker;
 use crate::personality::{Personality, ThreadPolicy};
@@ -55,6 +56,7 @@ pub struct EngineBuilder {
     simplify: Option<bool>,
     vendor: Option<VendorBackend>,
     fault_injection: Option<String>,
+    fault_mode: Option<FaultMode>,
 }
 
 impl EngineBuilder {
@@ -91,10 +93,18 @@ impl EngineBuilder {
     }
 
     /// Injects a runtime fault into every lowered layer whose implementation
-    /// string contains `needle` (robustness drill: the wrapped layers fail
-    /// every `run`, exercising the reference-fallback path).
+    /// string contains `needle` (robustness drill: by default the wrapped
+    /// layers fail every `run`, exercising the reference-fallback path; see
+    /// [`EngineBuilder::fault_mode`] for panicking and flaky variants).
     pub fn fault_injection(mut self, needle: &str) -> Self {
         self.fault_injection = Some(needle.to_string());
+        self
+    }
+
+    /// Selects how injected faults manifest (default [`FaultMode::Error`]).
+    /// Only meaningful together with [`EngineBuilder::fault_injection`].
+    pub fn fault_mode(mut self, mode: FaultMode) -> Self {
+        self.fault_mode = Some(mode);
         self
     }
 
@@ -129,6 +139,7 @@ impl EngineBuilder {
             personality,
             vendor: self.vendor,
             fault_injection: self.fault_injection,
+            fault_mode: self.fault_mode.unwrap_or(FaultMode::Error),
         })
     }
 }
@@ -143,6 +154,7 @@ pub struct Engine {
     simplify: bool,
     vendor: Option<VendorBackend>,
     fault_injection: Option<String>,
+    fault_mode: FaultMode,
 }
 
 impl Engine {
@@ -287,7 +299,8 @@ impl Engine {
                             "fault.injected",
                             format!("{} ({})", step.layer.name(), step.layer.implementation()),
                         );
-                        step.layer = Box::new(crate::fault::FaultyLayer::new(step.layer));
+                        step.layer =
+                            Box::new(crate::fault::FaultyLayer::new(step.layer, self.fault_mode));
                         // A wrapped view must execute (and fail, and fall
                         // back) as a compute step — it cannot be aliased
                         // away by the memory planner.
@@ -385,7 +398,29 @@ impl Network {
     /// activation arena. Hold one session across repeated inferences for
     /// zero steady-state activation allocations.
     pub fn session(&self) -> Session {
-        Session::new(Arc::clone(&self.plan), self.pool.clone(), self.name.clone())
+        Session::new(
+            Arc::clone(&self.plan),
+            self.pool.clone(),
+            self.name.clone(),
+            false,
+        )
+    }
+
+    /// Creates a session that routes every layer with a reference fallback
+    /// through that reference implementation directly, instead of the
+    /// selected (possibly broken) one. Layers without a reference twin keep
+    /// their selected implementation.
+    ///
+    /// This is the degraded-mode execution path a serving circuit breaker
+    /// trips to: slower, but immune to faults confined to the optimized
+    /// implementations. It shares the load-time plan — no replanning.
+    pub fn reference_session(&self) -> Session {
+        Session::new(
+            Arc::clone(&self.plan),
+            self.pool.clone(),
+            self.name.clone(),
+            true,
+        )
     }
 
     /// Runs one inference.
@@ -781,6 +816,84 @@ mod tests {
             "selection.fallback not incremented: {:?}",
             snapshot.counters
         );
+    }
+
+    #[test]
+    fn reference_session_routes_around_faulty_implementations() {
+        // The circuit breaker's degraded path: a reference-preferring
+        // session never touches the (broken) selected implementations, so
+        // it must succeed without any rescue, and agree with a clean run.
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 3) % 7) as f32 * 0.1);
+        let expected = Engine::builder()
+            .build()
+            .unwrap()
+            .load(graph.clone())
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let network = Engine::builder()
+            .fault_injection("pack")
+            .fault_mode(crate::FaultMode::Panic)
+            .build()
+            .unwrap()
+            .load(graph)
+            .unwrap();
+        let mut session = network.reference_session();
+        assert!(session.prefers_reference());
+        // Three runs: a panicking layer would unwind out of `run`, so plain
+        // success proves the faulty implementations are never invoked.
+        for _ in 0..3 {
+            let out = session.run(&input).unwrap();
+            let r = orpheus_tensor::allclose(out, &expected, 1e-3, 1e-4);
+            assert!(r.ok, "reference session disagrees: {r:?}");
+        }
+    }
+
+    #[test]
+    fn session_reset_rearms_after_panic() {
+        // A panic mid-run strands session state; reset() must re-arm it.
+        let graph = build_model(ModelKind::TinyCnn);
+        let input = Tensor::from_fn(&[1, 3, 8, 8], |i| ((i * 5) % 11) as f32 * 0.1);
+        let network = Engine::builder()
+            .fault_injection("pack")
+            .fault_mode(crate::FaultMode::PanicFirst(1))
+            .build()
+            .unwrap()
+            .load(graph.clone())
+            .unwrap();
+        let expected = Engine::builder()
+            .build()
+            .unwrap()
+            .load(graph)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let mut session = network.session();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = session.run(&input);
+        }));
+        assert!(caught.is_err(), "first run must panic");
+        session.reset();
+        // Each wrapped layer panics only on its first call, and TinyCnn has
+        // more than one wrapped conv, so later runs may still panic once per
+        // remaining layer; retry until the session runs clean.
+        let mut out = None;
+        for _ in 0..8 {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.run(&input).cloned()
+            })) {
+                Ok(Ok(t)) => {
+                    out = Some(t);
+                    break;
+                }
+                Ok(Err(e)) => panic!("unexpected execution error: {e}"),
+                Err(_) => session.reset(),
+            }
+        }
+        let out = out.expect("session recovered after resets");
+        let r = orpheus_tensor::allclose(&out, &expected, 1e-3, 1e-4);
+        assert!(r.ok, "re-armed session disagrees: {r:?}");
     }
 
     #[test]

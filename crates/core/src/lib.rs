@@ -84,6 +84,7 @@ mod session;
 
 pub use engine::{Engine, EngineBuilder, Network, VendorBackend};
 pub use error::EngineError;
+pub use fault::FaultMode;
 pub use layer::Layer;
 pub use memory::MemoryStats;
 pub use personality::{Capability, Personality, ThreadPolicy, CAPABILITY_CRITERIA};

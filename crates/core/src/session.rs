@@ -21,6 +21,7 @@ use orpheus_tensor::{Shape, Tensor};
 use orpheus_threads::ThreadPool;
 
 use crate::error::EngineError;
+use crate::layer::Layer;
 use crate::lower::Plan;
 use crate::plan::MemoryPlan;
 
@@ -49,12 +50,22 @@ pub struct Session {
     shapes: Vec<Option<Shape>>,
     /// Element count of each slot's value.
     slot_elems: Vec<usize>,
+    /// Per-step reference implementations; populated only for sessions
+    /// created via [`Network::reference_session`](crate::Network::reference_session),
+    /// where a `Some` entry replaces the step's selected layer. Empty for
+    /// ordinary sessions, so the happy path pays nothing.
+    reference: Vec<Option<Box<dyn Layer>>>,
     /// Placeholder for the input-ref stack array.
     empty: Tensor,
 }
 
 impl Session {
-    pub(crate) fn new(plan: Arc<Plan>, pool: ThreadPool, model: String) -> Session {
+    pub(crate) fn new(
+        plan: Arc<Plan>,
+        pool: ThreadPool,
+        model: String,
+        prefer_reference: bool,
+    ) -> Session {
         let mp = plan
             .memory
             .as_ref()
@@ -83,16 +94,31 @@ impl Session {
             observe::gauge_set("session.arena.buffers", mp.num_buffers() as f64);
             observe::gauge_set("session.arena.reuse_ratio", mp.reuse_ratio());
         }
+        let reference: Vec<Option<Box<dyn Layer>>> = if prefer_reference {
+            plan.steps
+                .iter()
+                .map(|step| step.layer.reference_fallback())
+                .collect()
+        } else {
+            Vec::new()
+        };
         Session {
             slots: (0..plan.num_slots).map(|_| None).collect(),
             arena,
             shapes,
             slot_elems,
+            reference,
             empty: Tensor::zeros(&[0]),
             plan,
             pool,
             model,
         }
+    }
+
+    /// Whether this session prefers reference implementations (created via
+    /// [`Network::reference_session`](crate::Network::reference_session)).
+    pub fn prefers_reference(&self) -> bool {
+        !self.reference.is_empty()
     }
 
     /// The planned arena size in bytes (what `run` keeps resident).
@@ -122,10 +148,16 @@ impl Session {
             .expect("Engine::load always attaches a memory plan")
     }
 
-    /// Returns every live slot's storage to the arena and its shape to the
-    /// cache. Run-to-run this reclaims the previous output (and, after a
-    /// failed run, any stranded intermediates).
-    fn reset(&mut self) {
+    /// Re-arms the session after a fault without replanning: every live
+    /// slot's storage returns to the arena and its shape to the cache.
+    ///
+    /// `run` calls this on entry, so ordinary error recovery is automatic.
+    /// Call it explicitly after catching a panic that unwound through `run`
+    /// (e.g. a serving worker isolating a poisoned request): a panic can
+    /// strand slots mid-step and drop an in-flight buffer, and `reset`
+    /// restores the session's invariants so the next `run` proceeds —
+    /// re-growing at most the one lost buffer, never recomputing the plan.
+    pub fn reset(&mut self) {
         let plan = Arc::clone(&self.plan);
         let mp = plan.memory.as_ref().expect("memory plan");
         for slot in 0..plan.num_slots {
@@ -252,6 +284,13 @@ impl Session {
             let mut out = Tensor::from_parts(shape, data)
                 .map_err(|e| EngineError::Execution(e.to_string()))?;
             {
+                // Reference-preferring sessions (the circuit breaker's
+                // degraded path) swap in the prebuilt reference twin.
+                let layer: &dyn Layer = self
+                    .reference
+                    .get(step_idx)
+                    .and_then(|l| l.as_deref())
+                    .unwrap_or(step.layer.as_ref());
                 let mut stack: [&Tensor; MAX_FAN_IN] = [&self.empty; MAX_FAN_IN];
                 let mut heap: Vec<&Tensor> = Vec::new();
                 let inputs: &[&Tensor] = if step.inputs.len() <= MAX_FAN_IN {
@@ -275,26 +314,26 @@ impl Session {
                     }
                     &heap
                 };
-                let mut layer_span = observe::span(step.layer.name(), "layer");
+                let mut layer_span = observe::span(layer.name(), "layer");
                 // `implementation()` builds a String; skip the attrs entirely
                 // when the recorder is off so steady state stays alloc-free.
                 if observe::enabled() {
-                    layer_span.attr("op", step.layer.op_name());
-                    layer_span.attr("implementation", step.layer.implementation());
-                    layer_span.attr("flops", step.layer.flops());
+                    layer_span.attr("op", layer.op_name());
+                    layer_span.attr("implementation", layer.implementation());
+                    layer_span.attr("flops", layer.flops());
                 }
-                if let Err(primary) = step.layer.run_into(inputs, &mut out, &self.pool) {
+                if let Err(primary) = layer.run_into(inputs, &mut out, &self.pool) {
                     // Graceful degradation, mirroring the legacy executor:
                     // retry once on the reference implementation (into a
                     // re-zeroed buffer), surfacing the original error if even
                     // that cannot run. This path only runs on a fault, so the
                     // flight-recorder stamp does not touch the zero-alloc
                     // steady state.
-                    let Some(fallback) = step.layer.reference_fallback() else {
+                    let Some(fallback) = layer.reference_fallback() else {
                         observe::flight_record(
                             "selection",
                             "fault.unrecoverable",
-                            format!("{}: {primary}", step.layer.name()),
+                            format!("{}: {primary}", layer.name()),
                         );
                         return Err(primary);
                     };
@@ -303,7 +342,7 @@ impl Session {
                         observe::flight_record(
                             "selection",
                             "fallback.failed",
-                            format!("{}: {primary}", step.layer.name()),
+                            format!("{}: {primary}", layer.name()),
                         );
                         return Err(primary);
                     }
@@ -314,7 +353,7 @@ impl Session {
                         "fallback",
                         format!(
                             "{}: rescued by {} after: {primary}",
-                            step.layer.name(),
+                            layer.name(),
                             fallback.implementation()
                         ),
                     );

@@ -1,0 +1,235 @@
+//! The per-model circuit breaker: trip to the reference path, probe back.
+//!
+//! State machine (the classic three-state breaker, specialized for a server
+//! that always has somewhere to degrade *to* — the reference-implementation
+//! session from the robustness PR):
+//!
+//! ```text
+//!            N consecutive primary failures
+//!   Closed ───────────────────────────────► Open ──┐
+//!     ▲                                       │    │ requests route to the
+//!     │ probe succeeds        cooldown elapsed│    │ reference session
+//!     │                                       ▼    ◄┘
+//!     └────────────────────────────────── HalfOpen
+//!                                             │ probe fails
+//!                                             └──────────► Open (re-armed)
+//! ```
+//!
+//! While `Open`, every request is served by the reference session. Once the
+//! cooldown elapses, exactly one request is dispatched to the primary path
+//! as a probe (`HalfOpen`); its outcome decides between `Closed` (healthy
+//! again) and a re-armed `Open`. The breaker itself is time-driven but pure:
+//! callers pass `now`, which keeps the state machine deterministic under
+//! test.
+
+use std::time::{Duration, Instant};
+
+/// Where the breaker wants the next request executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The planned session with the selected implementations.
+    Primary,
+    /// The degraded reference-implementation session.
+    Reference,
+}
+
+/// Observable breaker state (for reports and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic on the primary path.
+    Closed,
+    /// Tripped: all traffic on the reference path until the cooldown ends.
+    Open,
+    /// Probing: one request is out on the primary path; the rest stay on
+    /// the reference path until it reports back.
+    HalfOpen,
+}
+
+/// What a state-changing call did, so the server can count and record trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// The breaker tripped open (threshold reached, or a probe failed).
+    Opened,
+    /// A probe succeeded and the breaker closed.
+    Closed,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed,
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker with a probe cooldown.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: State,
+    consecutive_failures: u32,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive primary failures
+    /// and half-opens `cooldown` after tripping. A zero threshold is
+    /// clamped to 1 (a breaker that can never trip shuts off the entire
+    /// robustness layer, which is never what a caller wants).
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            state: State::Closed,
+            consecutive_failures: 0,
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Decides where the next request should run. May transition
+    /// `Open → HalfOpen` when the cooldown has elapsed — the caller that
+    /// receives [`Route::Primary`] out of an open breaker *is* the probe
+    /// and must report back via `on_success`/`on_failure`.
+    pub fn route(&mut self, now: Instant) -> Route {
+        match self.state {
+            State::Closed => Route::Primary,
+            State::Open { since } if now.duration_since(since) >= self.cooldown => {
+                self.state = State::HalfOpen;
+                Route::Primary
+            }
+            State::Open { .. } => Route::Reference,
+            // A probe is already in flight; everyone else stays degraded.
+            State::HalfOpen => Route::Reference,
+        }
+    }
+
+    /// Reports a successful primary execution.
+    pub fn on_success(&mut self) -> Transition {
+        match self.state {
+            State::HalfOpen => {
+                self.state = State::Closed;
+                self.consecutive_failures = 0;
+                Transition::Closed
+            }
+            State::Closed => {
+                self.consecutive_failures = 0;
+                Transition::None
+            }
+            // A request dispatched before the trip finished late; the
+            // breaker already decided, ignore.
+            State::Open { .. } => Transition::None,
+        }
+    }
+
+    /// Reports a failed primary execution (error or isolated panic).
+    pub fn on_failure(&mut self, now: Instant) -> Transition {
+        match self.state {
+            State::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = State::Open { since: now };
+                    Transition::Opened
+                } else {
+                    Transition::None
+                }
+            }
+            State::HalfOpen => {
+                // The probe failed: re-arm the cooldown.
+                self.state = State::Open { since: now };
+                Transition::Opened
+            }
+            State::Open { .. } => Transition::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn now() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, Duration::from_secs(60));
+        let t = now();
+        assert_eq!(b.on_failure(t), Transition::None);
+        assert_eq!(b.on_failure(t), Transition::None);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.on_failure(t), Transition::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.route(t), Route::Reference);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(2, Duration::from_secs(60));
+        let t = now();
+        b.on_failure(t);
+        b.on_success();
+        assert_eq!(b.on_failure(t), Transition::None, "streak was reset");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_and_closes_on_probe_success() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(10));
+        let t0 = now();
+        assert_eq!(b.on_failure(t0), Transition::Opened);
+        // Before the cooldown: degraded.
+        assert_eq!(b.route(t0), Route::Reference);
+        // After the cooldown: exactly one probe goes primary…
+        let t1 = t0 + Duration::from_millis(20);
+        assert_eq!(b.route(t1), Route::Primary);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // …while concurrent requests stay degraded…
+        assert_eq!(b.route(t1), Route::Reference);
+        // …and a successful probe closes the breaker.
+        assert_eq!(b.on_success(), Transition::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.route(t1), Route::Primary);
+    }
+
+    #[test]
+    fn failed_probe_rearms_the_cooldown() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(10));
+        let t0 = now();
+        b.on_failure(t0);
+        let t1 = t0 + Duration::from_millis(20);
+        assert_eq!(b.route(t1), Route::Primary, "probe dispatched");
+        assert_eq!(
+            b.on_failure(t1),
+            Transition::Opened,
+            "probe failure re-trips"
+        );
+        // The cooldown restarts from the probe failure, not the first trip.
+        assert_eq!(b.route(t1 + Duration::from_millis(5)), Route::Reference);
+        assert_eq!(b.route(t1 + Duration::from_millis(20)), Route::Primary);
+    }
+
+    #[test]
+    fn zero_threshold_clamps_to_one() {
+        let mut b = CircuitBreaker::new(0, Duration::from_secs(1));
+        assert_eq!(b.on_failure(now()), Transition::Opened);
+    }
+
+    #[test]
+    fn late_success_while_open_is_ignored() {
+        let mut b = CircuitBreaker::new(1, Duration::from_secs(60));
+        let t = now();
+        b.on_failure(t);
+        assert_eq!(b.on_success(), Transition::None);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

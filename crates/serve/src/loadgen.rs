@@ -1,0 +1,270 @@
+//! Closed-loop load generator for the serving core.
+//!
+//! `clients` threads each issue their share of `requests` back-to-back
+//! against a freshly started [`Server`], then the server is drained and the
+//! outcome distribution, client-side latency percentiles, and the drain
+//! report are folded into one [`LoadGenReport`]. This is both the
+//! `orpheus-cli serve --load-gen` backend and the CI smoke probe: the
+//! report's `render()` output includes a machine-greppable `drain: clean`
+//! line.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use orpheus::Network;
+use orpheus_observe::Histogram;
+use orpheus_tensor::Tensor;
+
+use crate::server::{DrainReport, ServeError, Server, ServerConfig, StatsSnapshot};
+
+/// Load-generation knobs.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Per-request deadline budget (`None` = no deadline).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            requests: 200,
+            clients: 4,
+            deadline: None,
+        }
+    }
+}
+
+/// Per-client tallies, merged after the run.
+#[derive(Default)]
+struct ClientTally {
+    completed_primary: u64,
+    completed_reference: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
+    shed_shutdown: u64,
+    faulted: u64,
+    latency: Histogram,
+}
+
+/// Everything one load-generation run produced.
+#[derive(Debug)]
+pub struct LoadGenReport {
+    /// Requests issued.
+    pub total: u64,
+    /// Completions on the primary path (client-observed).
+    pub completed_primary: u64,
+    /// Completions on the reference path (client-observed).
+    pub completed_reference: u64,
+    /// Requests shed at intake (queue full).
+    pub shed_overload: u64,
+    /// Requests shed on deadline expiry.
+    pub shed_deadline: u64,
+    /// Requests shed by shutdown.
+    pub shed_shutdown: u64,
+    /// Requests that faulted on both paths.
+    pub faulted: u64,
+    /// Client-side end-to-end latency (microseconds) of completions.
+    pub latency: Histogram,
+    /// Wall time of the request phase (excludes drain).
+    pub wall: Duration,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// The server's own counters at drain time.
+    pub stats: StatsSnapshot,
+    /// How the graceful drain went.
+    pub drain: DrainReport,
+}
+
+impl LoadGenReport {
+    /// Every issued request got a terminal outcome (completed, shed, or
+    /// faulted) — the "no request left behind" invariant.
+    pub fn all_resolved(&self) -> bool {
+        self.completed_primary
+            + self.completed_reference
+            + self.shed_overload
+            + self.shed_deadline
+            + self.shed_shutdown
+            + self.faulted
+            == self.total
+    }
+
+    /// Human-readable summary; `drain: clean`/`drain: DIRTY` and
+    /// `worker panics: N` lines are stable for scripts to grep.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let completed = self.completed_primary + self.completed_reference;
+        out.push_str(&format!(
+            "load-gen: {} requests, {:.1} req/s over {:?}\n",
+            self.total, self.throughput_rps, self.wall
+        ));
+        out.push_str(&format!(
+            "  completed: {completed} (primary {}, reference {})\n",
+            self.completed_primary, self.completed_reference
+        ));
+        out.push_str(&format!(
+            "  shed: overload {}, deadline {}, shutdown {}; faulted: {}\n",
+            self.shed_overload, self.shed_deadline, self.shed_shutdown, self.faulted
+        ));
+        if self.latency.count() > 0 {
+            out.push_str(&format!(
+                "  latency us: p50 {} p90 {} p99 {} max {}\n",
+                self.latency.percentile(0.50),
+                self.latency.percentile(0.90),
+                self.latency.percentile(0.99),
+                self.latency.max()
+            ));
+        }
+        out.push_str(&format!(
+            "  faults isolated: {} panics, {} respawns; breaker: {} trips, {} closes\n",
+            self.stats.panics_isolated,
+            self.stats.respawns,
+            self.stats.breaker_trips,
+            self.stats.breaker_closes
+        ));
+        out.push_str(&format!(
+            "  drain: {} ({} force-shed in {:?})\n",
+            if self.drain.clean { "clean" } else { "DIRTY" },
+            self.drain.shed,
+            self.drain.waited
+        ));
+        out.push_str(&format!("  worker panics: {}\n", self.drain.worker_panics));
+        if !self.all_resolved() {
+            out.push_str("  WARNING: outcome counts do not sum to total\n");
+        }
+        out
+    }
+}
+
+/// Starts a server over `network`, drives `cfg.requests` through it from
+/// `cfg.clients` closed-loop threads, drains, and reports.
+pub fn run_load_gen(
+    network: Arc<Network>,
+    server_cfg: ServerConfig,
+    cfg: LoadGenConfig,
+) -> LoadGenReport {
+    let dims: Vec<usize> = network.input_dims().to_vec();
+    let server = Arc::new(Server::start(network, server_cfg));
+    let clients = cfg.clients.max(1);
+    let total = cfg.requests.max(1);
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let dims = dims.clone();
+                // Spread the remainder so counts sum exactly to `total`.
+                let share = total / clients + usize::from(c < total % clients);
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    for k in 0..share {
+                        let seed = c * 7919 + k;
+                        let input =
+                            Tensor::from_fn(&dims, move |i| ((i + seed) % 17) as f32 * 0.05);
+                        let outcome = match server.submit_with_deadline(input, cfg.deadline) {
+                            Ok(ticket) => ticket.wait(),
+                            Err(e) => Err(e),
+                        };
+                        match outcome {
+                            Ok(reply) => {
+                                tally.latency.record(reply.total.as_micros() as u64);
+                                match reply.route {
+                                    crate::breaker::Route::Primary => {
+                                        tally.completed_primary += 1;
+                                    }
+                                    crate::breaker::Route::Reference => {
+                                        tally.completed_reference += 1;
+                                    }
+                                }
+                            }
+                            Err(ServeError::Overloaded) => tally.shed_overload += 1,
+                            Err(ServeError::DeadlineExpired) => tally.shed_deadline += 1,
+                            Err(ServeError::ShuttingDown) => tally.shed_shutdown += 1,
+                            Err(ServeError::Faulted(_)) => tally.faulted += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall = start.elapsed();
+    let drain = server.shutdown();
+    let stats = server.stats();
+
+    let mut merged = ClientTally::default();
+    for tally in &tallies {
+        merged.completed_primary += tally.completed_primary;
+        merged.completed_reference += tally.completed_reference;
+        merged.shed_overload += tally.shed_overload;
+        merged.shed_deadline += tally.shed_deadline;
+        merged.shed_shutdown += tally.shed_shutdown;
+        merged.faulted += tally.faulted;
+        merged.latency.merge(&tally.latency);
+    }
+    let completed = merged.completed_primary + merged.completed_reference;
+    let throughput_rps = if wall.as_secs_f64() > 0.0 {
+        completed as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    LoadGenReport {
+        total: total as u64,
+        completed_primary: merged.completed_primary,
+        completed_reference: merged.completed_reference,
+        shed_overload: merged.shed_overload,
+        shed_deadline: merged.shed_deadline,
+        shed_shutdown: merged.shed_shutdown,
+        faulted: merged.faulted,
+        latency: merged.latency,
+        wall,
+        throughput_rps,
+        stats,
+        drain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus::Engine;
+    use orpheus_models::{build_model, ModelKind};
+
+    #[test]
+    fn load_gen_resolves_every_request_and_drains_clean() {
+        let network = Arc::new(
+            Engine::builder()
+                .build()
+                .unwrap()
+                .load(build_model(ModelKind::TinyCnn))
+                .unwrap(),
+        );
+        let report = run_load_gen(
+            network,
+            ServerConfig {
+                workers: 2,
+                queue_depth: 16,
+                ..ServerConfig::default()
+            },
+            LoadGenConfig {
+                requests: 64,
+                clients: 3,
+                deadline: None,
+            },
+        );
+        assert!(report.all_resolved(), "{}", report.render());
+        assert!(report.drain.clean, "{}", report.render());
+        assert_eq!(report.drain.worker_panics, 0);
+        assert!(report.completed_primary > 0);
+        let text = report.render();
+        assert!(text.contains("drain: clean"), "{text}");
+        assert!(text.contains("worker panics: 0"), "{text}");
+    }
+}

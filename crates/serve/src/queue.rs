@@ -1,0 +1,236 @@
+//! A bounded multi-producer multi-consumer queue with explicit rejection.
+//!
+//! The serving core's intake: producers (caller threads) `try_push` and are
+//! told *immediately* when the queue is full — load shedding is a return
+//! value, never silent unbounded growth — while consumers (inference
+//! workers) block on `pop` until work arrives or the queue is closed for
+//! drain.
+//!
+//! `std::sync::mpsc` is single-consumer and its bounded variant blocks
+//! producers instead of rejecting them, so the queue is built directly on a
+//! `Mutex<VecDeque>` + `Condvar`. All operations tolerate lock poisoning
+//! (a panicking worker must never wedge intake), which the serving layer
+//! relies on for its panic-isolation guarantee.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a `try_push` was rejected; the item comes back to the caller.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the request.
+    Full(T),
+    /// The queue was closed for shutdown — reject new intake.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: `try_push` rejects at capacity, `pop` blocks.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, or hands it back when the queue is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity (the shed path), [`PushError::Closed`]
+    /// after [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed *and* drained — the consumer
+    /// exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes intake: subsequent `try_push` calls are rejected, blocked
+    /// `pop` callers wake, and consumers exit once the backlog drains.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Removes and returns everything still queued (the forced-shed path
+    /// when a drain timeout expires).
+    pub fn drain(&self) -> Vec<T> {
+        self.lock().items.drain(..).collect()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Whether intake has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_rejects_intake_but_drains_backlog() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None, "closed+empty pops None");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give consumers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let produced = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let consumed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                let produced = Arc::clone(&produced);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        if q.try_push(t * 1000 + i).is_ok() {
+                            produced.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(
+            produced.load(std::sync::atomic::Ordering::SeqCst),
+            consumed.load(std::sync::atomic::Ordering::SeqCst),
+            "every accepted item must be consumed"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Chaos tests: hammer the serving core with injected layer faults and
+//! prove the robustness contract holds.
+//!
+//! The contract under test:
+//! 1. **No escaped panics** — every injected panic is caught by worker
+//!    isolation; no worker thread dies (`DrainReport::worker_panics == 0`).
+//! 2. **Every request resolves** — completed (primary or reference), shed,
+//!    or faulted; outcome counts sum exactly to the requests issued.
+//! 3. **The breaker works** — it trips open under consecutive failures,
+//!    serves the reference path while open, half-open-probes after the
+//!    cooldown, and closes again once the primary path heals.
+//! 4. **It is observable** — sheds, respawns, and breaker transitions land
+//!    in the flight recorder.
+
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use orpheus::{Engine, FaultMode, Network};
+use orpheus_models::{build_model, ModelKind};
+use orpheus_serve::{BreakerState, Route, ServeError, Server, ServerConfig};
+use orpheus_tensor::Tensor;
+
+/// Injected panics are expected here; keep the default hook's per-panic
+/// stderr spam out of the test output while still reporting real panics.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|msg| msg.contains("injected panic"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn faulty_network(mode: FaultMode) -> Arc<Network> {
+    let engine = Engine::builder()
+        .fault_injection("pack")
+        .fault_mode(mode)
+        .build()
+        .expect("engine builds");
+    Arc::new(
+        engine
+            .load(build_model(ModelKind::TinyCnn))
+            .expect("model loads"),
+    )
+}
+
+fn input(k: usize) -> Tensor {
+    Tensor::from_fn(&[1, 3, 8, 8], move |i| ((i + k) % 13) as f32 * 0.1 - 0.5)
+}
+
+/// 1200 concurrent requests against flaky layers (30% failure per call):
+/// everything resolves, no panic escapes, trips and respawns are recorded.
+#[test]
+fn chaos_flaky_layers_thousand_concurrent_requests() {
+    quiet_injected_panics();
+    let network = faulty_network(FaultMode::Flaky {
+        per_mille: 300,
+        seed: 42,
+    });
+    let server = Arc::new(Server::start(
+        network,
+        ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    ));
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 150;
+    const TOTAL: usize = CLIENTS * PER_CLIENT;
+
+    #[derive(Default)]
+    struct Outcomes {
+        primary: usize,
+        reference: usize,
+        shed: usize,
+        faulted: usize,
+    }
+
+    let merged: Outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    let mut tally = Outcomes::default();
+                    for k in 0..PER_CLIENT {
+                        let outcome = match server.submit(input(c * 1009 + k)) {
+                            Ok(ticket) => ticket.wait(),
+                            Err(e) => Err(e),
+                        };
+                        match outcome {
+                            Ok(reply) => match reply.route {
+                                Route::Primary => tally.primary += 1,
+                                Route::Reference => tally.reference += 1,
+                            },
+                            Err(
+                                ServeError::Overloaded
+                                | ServeError::DeadlineExpired
+                                | ServeError::ShuttingDown,
+                            ) => tally.shed += 1,
+                            Err(ServeError::Faulted(_)) => tally.faulted += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().fold(Outcomes::default(), |mut acc, h| {
+            let t = h.join().expect("client thread never panics");
+            acc.primary += t.primary;
+            acc.reference += t.reference;
+            acc.shed += t.shed;
+            acc.faulted += t.faulted;
+            acc
+        })
+    });
+
+    let drain = server.shutdown();
+    let stats = server.stats();
+
+    // Every request resolved: completed, shed, or faulted.
+    assert_eq!(
+        merged.primary + merged.reference + merged.shed + merged.faulted,
+        TOTAL,
+        "every request must resolve"
+    );
+    // The reference retry rescues every primary failure (the reference
+    // twins bypass the fault wrappers), so nothing faults through.
+    assert_eq!(merged.faulted, 0, "reference rescue leaves no faults");
+    assert!(merged.reference > 0, "flaky layers force reference rescues");
+    assert!(merged.primary > 0, "healthy calls still serve primary");
+
+    // Faults actually fired and were isolated in place.
+    assert!(stats.panics_isolated > 0, "chaos must inject panics");
+    assert!(stats.respawns > 0, "isolated panics re-arm sessions");
+    assert!(stats.breaker_trips > 0, "threshold 1 must trip the breaker");
+
+    // No panic escaped a worker thread.
+    assert_eq!(drain.worker_panics, 0, "panic isolation must hold");
+    assert!(drain.clean, "drain must finish clean: {drain:?}");
+
+    // The chaos is visible in the flight recorder.
+    let events = orpheus_observe::flight_snapshot();
+    let respawns = events
+        .iter()
+        .filter(|e| e.category == "serve" && e.label == "worker.respawn")
+        .count();
+    let trips = events
+        .iter()
+        .filter(|e| e.category == "serve" && e.label == "breaker.open")
+        .count();
+    assert!(respawns > 0, "respawns must be flight-recorded");
+    assert!(trips > 0, "breaker trips must be flight-recorded");
+}
+
+/// Deterministic breaker lifecycle on a single worker: `PanicFirst(1)`
+/// layers each panic exactly once, so the breaker trips during the faulty
+/// prefix, half-open-probes with zero cooldown, and closes once every
+/// wrapped layer has healed.
+#[test]
+fn chaos_breaker_trips_then_half_open_recovers() {
+    quiet_injected_panics();
+    let network = faulty_network(FaultMode::PanicFirst(1));
+    let server = Server::start(
+        network,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut rescued = 0;
+    let mut primary = 0;
+    for k in 0..24 {
+        let reply = server.infer(input(k)).expect("every request completes");
+        match reply.route {
+            Route::Primary => primary += 1,
+            Route::Reference => rescued += 1,
+        }
+    }
+    let stats = server.stats();
+    assert!(rescued > 0, "the faulty prefix is rescued via reference");
+    assert!(primary > 0, "healed layers serve primary again");
+    assert!(stats.breaker_trips >= 1, "panics must trip the breaker");
+    assert!(
+        stats.breaker_closes >= 1,
+        "a half-open probe must close the breaker once layers heal: {stats:?}"
+    );
+    assert_eq!(
+        server.breaker_state(),
+        BreakerState::Closed,
+        "breaker ends closed"
+    );
+    let drain = server.shutdown();
+    assert_eq!(drain.worker_panics, 0);
+    assert!(drain.clean);
+}
+
+/// While the breaker is open (long cooldown), traffic bypasses the broken
+/// primary path entirely and is served by the reference session.
+#[test]
+fn chaos_open_breaker_routes_to_reference() {
+    quiet_injected_panics();
+    let network = faulty_network(FaultMode::Panic);
+    let server = Server::start(
+        network,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_secs(3600),
+            ..ServerConfig::default()
+        },
+    );
+
+    for k in 0..6 {
+        let reply = server.infer(input(k)).expect("reference path serves");
+        assert_eq!(reply.route, Route::Reference);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed_reference, 6);
+    assert_eq!(stats.completed_primary, 0);
+    assert_eq!(
+        stats.breaker_trips, 1,
+        "one trip, then open absorbs traffic"
+    );
+    assert_eq!(
+        stats.panics_isolated, 1,
+        "only the tripping request touches the broken primary"
+    );
+    assert_eq!(server.breaker_state(), BreakerState::Open);
+    let drain = server.shutdown();
+    assert_eq!(drain.worker_panics, 0);
+    assert!(drain.clean);
+}

@@ -68,4 +68,21 @@ if [ "$session_p50" -gt $((legacy_p50 * 3)) ]; then
   exit 1
 fi
 
+echo "== serve smoke (release: clean + fault-injected load-gen) =="
+# The serving core must shed-or-serve every request, keep every injected
+# panic isolated (worker panics: 0), and drain clean — both on a healthy
+# model and under 25% randomized layer faults. The binary itself exits
+# non-zero if any worker dies or a request never resolves.
+./target/release/orpheus-cli serve --model tiny_cnn --load-gen --hw 8 \
+  --requests 200 --clients 4 --workers 2 --queue-depth 16 \
+  | tee "$LINT_TMP/serve_clean.txt"
+grep -q "drain: clean" "$LINT_TMP/serve_clean.txt"
+grep -q "worker panics: 0" "$LINT_TMP/serve_clean.txt"
+./target/release/orpheus-cli serve --model tiny_cnn --load-gen --hw 8 \
+  --requests 300 --clients 6 --workers 3 --queue-depth 16 \
+  --fault pack --fault-mode flaky:250:7 \
+  | tee "$LINT_TMP/serve_faulted.txt"
+grep -q "drain: clean" "$LINT_TMP/serve_faulted.txt"
+grep -q "worker panics: 0" "$LINT_TMP/serve_faulted.txt"
+
 echo "all checks passed"
