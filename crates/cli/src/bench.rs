@@ -22,7 +22,8 @@
 //! `scripts/check.sh` runs `bench --quick --compare results/bench_baseline.json`
 //! as a smoke gate, and `reproduce_all.sh` emits the full artifact.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use orpheus::{Engine, EngineError};
 use orpheus_models::{build_model_with_input, ModelKind};
@@ -59,6 +60,12 @@ pub struct BenchConfig {
     /// Monotonic per-thread allocation counter, when the hosting binary
     /// installs a counting allocator. `None` skips allocation accounting.
     pub alloc_counter: Option<fn() -> u64>,
+    /// Largest batch bucket for the batched-latency rows; `1` skips the
+    /// batched pass entirely.
+    pub max_batch: usize,
+    /// Run the serve-path throughput probe (batched vs serial load-gen at
+    /// equal worker count). Skipped automatically when `max_batch` is 1.
+    pub serve_probe: bool,
 }
 
 impl Default for BenchConfig {
@@ -72,6 +79,8 @@ impl Default for BenchConfig {
             rounds: 3,
             git_sha: resolve_git_sha(),
             alloc_counter: None,
+            max_batch: 4,
+            serve_probe: true,
         }
     }
 }
@@ -114,6 +123,61 @@ pub fn bench_filename(git_sha: &str) -> String {
     format!("BENCH_{git_sha}.json")
 }
 
+/// Latency and plan size of one batch bucket (the dynamic-batching rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchBench {
+    /// Bucket batch size.
+    pub batch: u64,
+    /// Median latency of one bucketed run at this batch, µs.
+    pub p50_us: u64,
+    /// Arena bytes the bucket's static memory plan promises.
+    pub arena_planned_bytes: u64,
+}
+
+impl BatchBench {
+    /// Median per-input latency at this batch, µs — the batching win is
+    /// this dropping below the batch-1 row's value.
+    pub fn p50_per_input_us(&self) -> u64 {
+        self.p50_us / self.batch.max(1)
+    }
+}
+
+/// The serve-path throughput probe: the same closed-loop load-gen campaign
+/// run twice at equal worker count — once with dynamic batching on, once
+/// serial — so the artifact pins the coalescing win, not an anecdote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// Model the probe served.
+    pub model: String,
+    /// Requests per campaign.
+    pub requests: u64,
+    /// Closed-loop client threads.
+    pub clients: u64,
+    /// Worker threads (identical in both campaigns).
+    pub workers: u64,
+    /// `--max-batch` of the batched campaign (the serial one uses 1).
+    pub max_batch: u64,
+    /// Completed requests per second with dynamic batching.
+    pub batched_rps: f64,
+    /// Completed requests per second of the serial campaign.
+    pub serial_rps: f64,
+    /// Coalesced runs the batched campaign executed.
+    pub batched_runs: u64,
+    /// Requests those coalesced runs served.
+    pub batched_requests: u64,
+}
+
+impl ServeBench {
+    /// Batched-over-serial throughput ratio (0.0 when serial measured 0).
+    pub fn speedup(&self) -> f64 {
+        if self.serial_rps > 0.0 {
+            self.batched_rps / self.serial_rps
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything measured for one model.
 #[derive(Debug, Clone)]
 pub struct ModelBench {
@@ -140,6 +204,10 @@ pub struct ModelBench {
     pub steady_allocs_per_run: Option<u64>,
     /// Per-layer self/total time attribution from an instrumented pass.
     pub attribution: Vec<AttributionRow>,
+    /// Per-batch-bucket latency rows from a batched load of the same model;
+    /// empty when the campaign ran with `max_batch` 1 (and in baselines
+    /// written before the field existed).
+    pub batched: Vec<BatchBench>,
 }
 
 /// A full bench campaign's result.
@@ -161,6 +229,9 @@ pub struct BenchReport {
     pub rounds: u64,
     /// Per-model measurements.
     pub models: Vec<ModelBench>,
+    /// Serve-path batched-vs-serial throughput probe (`None` when the
+    /// campaign skipped it, and in baselines written before it existed).
+    pub serve: Option<ServeBench>,
 }
 
 /// Runs the campaign described by `config`.
@@ -181,11 +252,84 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, EngineError> {
         iters: config.iters as u64,
         rounds: config.rounds as u64,
         models: Vec::new(),
+        serve: None,
     };
     for &model in &config.models {
         report.models.push(bench_model(config, model)?);
     }
+    if config.serve_probe && config.max_batch > 1 {
+        report.serve = Some(bench_serve(config)?);
+    }
     Ok(report)
+}
+
+/// Drives the serve-path probe: TinyCNN behind the serving core, batched
+/// (`max_batch` 8) versus serial, everything else held equal.
+fn bench_serve(config: &BenchConfig) -> Result<ServeBench, EngineError> {
+    const MODEL: ModelKind = ModelKind::TinyCnn;
+    const MAX_BATCH: usize = 8;
+    const WORKERS: usize = 2;
+    // More clients than one full bucket, so the queue stays deep enough to
+    // feed every worker a full rung (fewer clients convoy onto one worker).
+    const CLIENTS: usize = 16;
+    // Fixed input size: batch-8 activations must stay cache-resident for
+    // coalescing to win — at TinyCNN's quick-scale 64x64 they spill and the
+    // probe would measure the cache cliff, not the batcher.
+    const HW: usize = 32;
+    let requests = (config.iters.max(1) * 40).clamp(160, 480);
+    let campaign = |max_batch: usize| -> Result<orpheus_serve::LoadGenReport, EngineError> {
+        let network = Arc::new(
+            Engine::builder()
+                .threads(config.threads)
+                .max_batch(max_batch)
+                .build()?
+                .load(build_model_with_input(MODEL, HW, HW))?,
+        );
+        Ok(orpheus_serve::run_load_gen(
+            network,
+            orpheus_serve::ServerConfig {
+                workers: WORKERS,
+                queue_depth: 64,
+                max_batch,
+                batch_max_wait: Duration::from_micros(200),
+                ..orpheus_serve::ServerConfig::default()
+            },
+            orpheus_serve::LoadGenConfig {
+                requests,
+                clients: CLIENTS,
+                deadline: None,
+            },
+        ))
+    };
+    // One discarded warm-up campaign (cold caches, first-touch faults),
+    // then interleaved best-of-two per mode: throughput jitters with CI
+    // neighbours, and interleaving keeps the comparison honest when the
+    // whole machine speeds up or slows down mid-probe.
+    let _ = campaign(MAX_BATCH)?;
+    let mut best_batched: Option<orpheus_serve::LoadGenReport> = None;
+    let mut serial_rps = 0.0f64;
+    for _ in 0..2 {
+        let batched = campaign(MAX_BATCH)?;
+        if best_batched
+            .as_ref()
+            .is_none_or(|b| batched.throughput_rps > b.throughput_rps)
+        {
+            best_batched = Some(batched);
+        }
+        serial_rps = serial_rps.max(campaign(1)?.throughput_rps);
+    }
+    let batched = best_batched.expect("two batched campaigns ran");
+    Ok(ServeBench {
+        model: MODEL.name().to_string(),
+        requests: requests as u64,
+        clients: CLIENTS as u64,
+        workers: WORKERS as u64,
+        max_batch: MAX_BATCH as u64,
+        batched_rps: batched.throughput_rps,
+        serial_rps,
+        batched_runs: batched.stats.batches,
+        batched_requests: batched.stats.batched_requests,
+    })
 }
 
 fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, EngineError> {
@@ -251,6 +395,39 @@ fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, Eng
     outcome?;
     let attribution = Attribution::from_trace(&trace, "layer");
 
+    // Batched pass: reload the model with a batch ladder and time one
+    // bucketed run per rung. A model the ladder rejects (vendor backend,
+    // batch-pinning ops) simply reports no rows.
+    let mut batched = Vec::new();
+    if config.max_batch > 1 {
+        if let Ok(batched_network) = Engine::builder()
+            .threads(config.threads)
+            .max_batch(config.max_batch)
+            .build()
+            .and_then(|engine| engine.load(build_model_with_input(model, hw, hw)))
+        {
+            let mut batched_session = batched_network.session();
+            for (batch, memory) in batched_network.bucket_memory_plans() {
+                let dims = [batch, model.input_dims()[1], hw, hw];
+                let batch_input = Tensor::full(&dims, 0.5);
+                for _ in 0..config.warmup.max(1) {
+                    batched_session.run(&batch_input)?;
+                }
+                let mut hist = Histogram::new();
+                for _ in 0..config.iters.max(1) {
+                    let start = Instant::now();
+                    batched_session.run(&batch_input)?;
+                    hist.record(start.elapsed().as_micros() as u64);
+                }
+                batched.push(BatchBench {
+                    batch: batch as u64,
+                    p50_us: hist.percentile(0.50),
+                    arena_planned_bytes: memory.arena_bytes() as u64,
+                });
+            }
+        }
+    }
+
     Ok(ModelBench {
         model: model.name().to_string(),
         input_hw: hw as u64,
@@ -263,6 +440,7 @@ fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, Eng
         arena_measured_bytes,
         steady_allocs_per_run,
         attribution: attribution.rows,
+        batched,
     })
 }
 
@@ -283,6 +461,21 @@ impl BenchReport {
             "  \"threads\": {},\n  \"warmup\": {},\n  \"iters\": {},\n  \"rounds\": {},\n",
             self.threads, self.warmup, self.iters, self.rounds
         ));
+        match &self.serve {
+            Some(s) => out.push_str(&format!(
+                "  \"serve\": {{\"model\": \"{}\", \"requests\": {}, \"clients\": {}, \"workers\": {}, \"max_batch\": {}, \"batched_rps\": {:.1}, \"serial_rps\": {:.1}, \"batched_runs\": {}, \"batched_requests\": {}}},\n",
+                escape(&s.model),
+                s.requests,
+                s.clients,
+                s.workers,
+                s.max_batch,
+                s.batched_rps,
+                s.serial_rps,
+                s.batched_runs,
+                s.batched_requests
+            )),
+            None => out.push_str("  \"serve\": null,\n"),
+        }
         out.push_str("  \"models\": [\n");
         for (i, m) in self.models.iter().enumerate() {
             out.push_str("    {\n");
@@ -308,6 +501,17 @@ impl BenchReport {
                 Some(n) => out.push_str(&format!("      \"steady_allocs_per_run\": {n},\n")),
                 None => out.push_str("      \"steady_allocs_per_run\": null,\n"),
             }
+            out.push_str("      \"batched\": [\n");
+            for (j, row) in m.batched.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"batch\": {}, \"p50_us\": {}, \"arena_planned_bytes\": {}}}{}\n",
+                    row.batch,
+                    row.p50_us,
+                    row.arena_planned_bytes,
+                    if j + 1 < m.batched.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ],\n");
             out.push_str("      \"attribution\": [\n");
             for (j, row) in m.attribution.iter().enumerate() {
                 out.push_str(&format!(
@@ -360,7 +564,28 @@ impl BenchReport {
             iters: req_u64(&v, "iters")?,
             rounds: req_u64(&v, "rounds")?,
             models: Vec::new(),
+            serve: None,
         };
+        // Lenient: pre-batching baselines have no "serve" key (or a null).
+        if let Some(s) = v.get("serve").filter(|s| s.get("model").is_some()) {
+            report.serve = Some(ServeBench {
+                model: req_str(s, "model")?,
+                requests: req_u64(s, "requests")?,
+                clients: req_u64(s, "clients")?,
+                workers: req_u64(s, "workers")?,
+                max_batch: req_u64(s, "max_batch")?,
+                batched_rps: s
+                    .get("batched_rps")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("missing serve batched_rps")?,
+                serial_rps: s
+                    .get("serial_rps")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("missing serve serial_rps")?,
+                batched_runs: req_u64(s, "batched_runs")?,
+                batched_requests: req_u64(s, "batched_requests")?,
+            });
+        }
         let models = v
             .get("models")
             .and_then(JsonValue::as_array)
@@ -395,7 +620,19 @@ impl BenchReport {
                 arena_measured_bytes: req_u64(m, "arena_measured_bytes")?,
                 steady_allocs_per_run: m.get("steady_allocs_per_run").and_then(JsonValue::as_u64),
                 attribution: Vec::new(),
+                batched: Vec::new(),
             };
+            // Lenient: baselines written before dynamic batching have no
+            // "batched" key and simply parse to an empty list.
+            if let Some(rows) = m.get("batched").and_then(JsonValue::as_array) {
+                for row in rows {
+                    bench.batched.push(BatchBench {
+                        batch: req_u64(row, "batch")?,
+                        p50_us: req_u64(row, "p50_us")?,
+                        arena_planned_bytes: req_u64(row, "arena_planned_bytes")?,
+                    });
+                }
+            }
             if let Some(rows) = m.get("attribution").and_then(JsonValue::as_array) {
                 for row in rows {
                     bench.attribution.push(AttributionRow {
@@ -451,6 +688,41 @@ impl BenchReport {
                 m.steady_allocs_per_run
                     .map(|n| n.to_string())
                     .unwrap_or_else(|| "-".to_string()),
+            ));
+        }
+        if self.models.iter().any(|m| !m.batched.is_empty()) {
+            out.push_str(&format!(
+                "batched buckets:\n{:<14} {:>5} {:>10} {:>14} {:>11}\n",
+                "model", "batch", "p50 (ms)", "per-input (ms)", "plan (KiB)"
+            ));
+            for m in &self.models {
+                for row in &m.batched {
+                    out.push_str(&format!(
+                        "{:<14} {:>5} {:>10.3} {:>14.3} {:>11.1}\n",
+                        orpheus_observe::truncate(&m.model, 14),
+                        row.batch,
+                        row.p50_us as f64 / 1e3,
+                        row.p50_per_input_us() as f64 / 1e3,
+                        row.arena_planned_bytes as f64 / 1024.0,
+                    ));
+                }
+            }
+        }
+        if let Some(s) = &self.serve {
+            out.push_str(&format!(
+                "serve probe ({}, {} requests, {} clients, {} workers): \
+                 batched (max {}) {:.1} req/s vs serial {:.1} req/s — {:.2}x, \
+                 {} coalesced run(s) served {} request(s)\n",
+                s.model,
+                s.requests,
+                s.clients,
+                s.workers,
+                s.max_batch,
+                s.batched_rps,
+                s.serial_rps,
+                s.speedup(),
+                s.batched_runs,
+                s.batched_requests
             ));
         }
         out
@@ -559,6 +831,35 @@ pub fn compare(
                 allowed: arena_allowed,
             });
         }
+        // Batched rows compare only where both sides measured the same
+        // bucket (new buckets are new work; missing ones mean the campaign
+        // ran with a smaller max batch, not a regression).
+        for base_row in &base.batched {
+            let Some(cur_row) = cur.batched.iter().find(|r| r.batch == base_row.batch) else {
+                continue;
+            };
+            let allowed = base_row.p50_us as f64 * (1.0 + budgets.latency_pct / 100.0);
+            if cur_row.p50_us as f64 > allowed {
+                regressions.push(Regression {
+                    model: base.model.clone(),
+                    metric: format!("batch{}_p50_us", base_row.batch),
+                    baseline: base_row.p50_us as f64,
+                    current: cur_row.p50_us as f64,
+                    allowed,
+                });
+            }
+            let arena_allowed =
+                base_row.arena_planned_bytes as f64 * (1.0 + budgets.arena_pct / 100.0);
+            if cur_row.arena_planned_bytes as f64 > arena_allowed {
+                regressions.push(Regression {
+                    model: base.model.clone(),
+                    metric: format!("batch{}_arena_planned_bytes", base_row.batch),
+                    baseline: base_row.arena_planned_bytes as f64,
+                    current: cur_row.arena_planned_bytes as f64,
+                    allowed: arena_allowed,
+                });
+            }
+        }
         if let (Some(cur_allocs), Some(base_allocs)) =
             (cur.steady_allocs_per_run, base.steady_allocs_per_run)
         {
@@ -588,9 +889,43 @@ mod tests {
             iters: 2,
             rounds: 2,
             git_sha: "testsha".into(),
+            serve_probe: false,
             ..BenchConfig::default()
         };
         run_bench(&config).unwrap()
+    }
+
+    #[test]
+    fn serve_probe_measures_and_round_trips() {
+        let config = BenchConfig {
+            models: vec![ModelKind::TinyCnn],
+            warmup: 1,
+            iters: 1,
+            rounds: 1,
+            git_sha: "testsha".into(),
+            ..BenchConfig::default()
+        };
+        let report = run_bench(&config).unwrap();
+        let serve = report.serve.as_ref().expect("probe must run by default");
+        assert_eq!(serve.model, "TinyCNN");
+        assert!(serve.batched_rps > 0.0 && serve.serial_rps > 0.0);
+        assert!(serve.batched_runs > 0, "batched campaign never coalesced");
+        assert!(serve.batched_requests >= serve.batched_runs);
+
+        let json = report.to_json();
+        let back = BenchReport::from_json(&json).unwrap();
+        let bs = back.serve.expect("serve block must round-trip");
+        assert_eq!(bs.model, serve.model);
+        assert_eq!(bs.batched_runs, serve.batched_runs);
+        assert!((bs.batched_rps - serve.batched_rps).abs() < 0.1);
+        assert!((bs.serial_rps - serve.serial_rps).abs() < 0.1);
+
+        // A baseline without the block parses to None and compares clean.
+        let legacy = json.replacen("  \"serve\": {", "  \"ignored\": {", 1);
+        let old = BenchReport::from_json(&legacy).unwrap();
+        assert!(old.serve.is_none());
+        assert!(compare(&report, &old, &CompareBudgets::default()).is_empty());
+        assert!(compare(&old, &report, &CompareBudgets::default()).is_empty());
     }
 
     #[test]
@@ -608,6 +943,14 @@ mod tests {
         assert!(!m.attribution.is_empty(), "layer attribution missing");
         assert!(m.attribution.iter().all(|r| r.total_us >= r.self_us));
 
+        assert_eq!(
+            m.batched.iter().map(|r| r.batch).collect::<Vec<_>>(),
+            vec![1, 2, 4],
+            "default max_batch 4 must produce the bucket ladder rows"
+        );
+        assert!(m.batched.iter().all(|r| r.p50_us > 0));
+        assert_eq!(m.batched[0].arena_planned_bytes, m.arena_planned_bytes);
+
         let json = report.to_json();
         assert!(json.contains("\"schema_version\": 1"));
         let back = BenchReport::from_json(&json).unwrap();
@@ -621,6 +964,38 @@ mod tests {
         assert_eq!(bm.latency.p99_us, m.latency.p99_us);
         assert_eq!(bm.attribution.len(), m.attribution.len());
         assert_eq!(bm.attribution[0].name, m.attribution[0].name);
+        assert_eq!(bm.batched, m.batched, "batched rows must round-trip");
+    }
+
+    #[test]
+    fn pre_batching_baselines_still_parse_and_compare() {
+        let report = tiny_report();
+        let json = report.to_json();
+        // Simulate a baseline written before the "batched" field existed.
+        let start = json.find("      \"batched\": [").unwrap();
+        let end = json[start..].find("],\n").unwrap() + start + 3;
+        let legacy = format!("{}{}", &json[..start], &json[end..]);
+        let back = BenchReport::from_json(&legacy).unwrap();
+        assert!(back.models[0].batched.is_empty());
+        // Asymmetric batched coverage is never a regression by itself.
+        assert!(compare(&report, &back, &CompareBudgets::default()).is_empty());
+        assert!(compare(&back, &report, &CompareBudgets::default()).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_batched_regressions_per_bucket() {
+        let baseline = tiny_report();
+        assert!(!baseline.models[0].batched.is_empty());
+        let mut current = baseline.clone();
+        current.models[0].batched[1].p50_us = baseline.models[0].batched[1].p50_us * 10 + 1000;
+        current.models[0].batched[1].arena_planned_bytes += 4096;
+        let regressions = compare(&current, &baseline, &CompareBudgets::default());
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"batch2_p50_us"), "{regressions:?}");
+        assert!(
+            metrics.contains(&"batch2_arena_planned_bytes"),
+            "{regressions:?}"
+        );
     }
 
     #[test]

@@ -1076,12 +1076,22 @@ pub fn run_fuzz(models: &[ModelKind], iters: u64, seed: u64) -> Result<String, E
 /// built, pushed through the verifier and dataflow analyses, and expected to
 /// come back with zero error-severity findings.
 pub fn run_lint_zoo(models: &[ModelKind], hw: Option<usize>) -> Vec<orpheus_verify::LintReport> {
+    run_lint_zoo_batched(models, hw, 1)
+}
+
+/// [`run_lint_zoo`] with per-batch-bucket arena predictions up to
+/// `max_batch` (the `lint --max-batch N` path); `1` reports no buckets.
+pub fn run_lint_zoo_batched(
+    models: &[ModelKind],
+    hw: Option<usize>,
+    max_batch: usize,
+) -> Vec<orpheus_verify::LintReport> {
     models
         .iter()
         .map(|&model| {
             let hw = hw.unwrap_or_else(|| InputScale::Quick.input_hw(model));
             let graph = build_model_with_input(model, hw, hw);
-            orpheus_verify::lint(&graph)
+            orpheus_verify::lint_with_batch(&graph, max_batch)
         })
         .collect()
 }

@@ -17,9 +17,10 @@
 //! orpheus-cli sweep [--channels a,b] [--hws a,b] [--k N] [--stride N]
 //! orpheus-cli policy --model M [--hw N] [--repeats N]
 //! orpheus-cli export --model M --out FILE.onnx
-//! orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--json]
+//! orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--max-batch N] [--json]
 //! orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
 //! orpheus-cli serve --model M [--load-gen] [--workers N] [--queue-depth N]
+//!                   [--max-batch N] [--batch-wait-us N]
 //!                   [--deadline-ms N] [--requests N] [--clients N]
 //!                   [--fault NEEDLE] [--fault-mode error|panic|panic-first:N|flaky:PERMILLE[:SEED]]
 //!                   [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-timeout-ms N]
@@ -109,7 +110,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  orpheus-cli bench [--quick] [--full] [--models a,b] [--threads N] [--iters N] [--warmup N] [--rounds N] [--out F] [--compare BASELINE.json] [--budget-pct X] [--arena-pct X] [--alloc-budget N]
+  orpheus-cli bench [--quick] [--full] [--models a,b] [--threads N] [--iters N] [--warmup N] [--rounds N] [--max-batch N] [--out F] [--compare BASELINE.json] [--budget-pct X] [--arena-pct X] [--alloc-budget N]
   orpheus-cli figure2 [--quick] [--repeats N] [--threads N] [--models a,b] [--include-darknet] [--csv] [--trace-out F] [--metrics-out F]
   orpheus-cli table1 [--measured]
   orpheus-cli profile --model M [--personality P] [--hw N] [--threads N] [--runs N] [--report] [--trace-out F] [--events-out F] [--metrics-out F] [--openmetrics-out F] [--flight-out F]
@@ -122,9 +123,9 @@ const USAGE: &str = "usage:
   orpheus-cli export --model M --out FILE.onnx
   orpheus-cli policy --model M [--hw N] [--repeats N]
   orpheus-cli validate (--model M | --onnx FILE) [--hw N]
-  orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--json]
+  orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--max-batch N] [--json]
   orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
-  orpheus-cli serve --model M [--load-gen] [--hw N] [--threads N] [--workers N] [--queue-depth N] [--deadline-ms N] [--requests N] [--clients N] [--fault NEEDLE] [--fault-mode error|panic|panic-first:N|flaky:PERMILLE[:SEED]] [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-timeout-ms N] [--openmetrics-out F] [--flight-out F] [--metrics-out F]";
+  orpheus-cli serve --model M [--load-gen] [--hw N] [--threads N] [--workers N] [--queue-depth N] [--max-batch N] [--batch-wait-us N] [--deadline-ms N] [--requests N] [--clients N] [--fault NEEDLE] [--fault-mode error|panic|panic-first:N|flaky:PERMILLE[:SEED]] [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-timeout-ms N] [--openmetrics-out F] [--flight-out F] [--metrics-out F]";
 
 /// Tiny `--flag value` argument scanner.
 struct Args<'a> {
@@ -190,6 +191,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             config.iters = args.usize_or("--iters", config.iters)?;
             config.warmup = args.usize_or("--warmup", config.warmup)?;
             config.rounds = args.usize_or("--rounds", config.rounds)?;
+            config.max_batch = args.usize_or("--max-batch", config.max_batch)?.max(1);
             config.alloc_counter = Some(alloc_count);
 
             let report = run_bench(&config).map_err(|e| e.to_string())?;
@@ -488,12 +490,13 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "lint" => {
             let json = args.flag("--json");
+            let max_batch = args.usize_or("--max-batch", 1)?.max(1);
             // Positional FILE.onnx, or --model M|all for in-tree zoo models.
             let path = args.args.first().filter(|a| !a.starts_with("--"));
             let reports = if let Some(path) = path {
                 let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
                 let graph = orpheus_onnx::import_model(&bytes).map_err(|e| e.to_string())?;
-                vec![orpheus_verify::lint(&graph)]
+                vec![orpheus_verify::lint_with_batch(&graph, max_batch)]
             } else {
                 let models = match args.value("--model") {
                     None => return Err("lint needs FILE.onnx or --model M|all".into()),
@@ -505,7 +508,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                     None => None,
                     Some(_) => Some(args.usize_or("--hw", 0)?),
                 };
-                orpheus_cli::run_lint_zoo(&models, hw)
+                orpheus_cli::run_lint_zoo_batched(&models, hw, max_batch)
             };
             let mut errors = 0;
             for report in &reports {
@@ -578,9 +581,18 @@ fn run(argv: &[String]) -> Result<(), String> {
                 drain_timeout: std::time::Duration::from_millis(
                     args.usize_or("--drain-timeout-ms", 5000)? as u64,
                 ),
+                max_batch: args.usize_or("--max-batch", 1)?,
+                batch_max_wait: std::time::Duration::from_micros(
+                    args.usize_or("--batch-wait-us", 200)? as u64,
+                ),
             };
+            if server_cfg.max_batch == 0 {
+                return Err("--max-batch must be at least 1".into());
+            }
 
-            let mut builder = orpheus::Engine::builder().threads(threads);
+            let mut builder = orpheus::Engine::builder()
+                .threads(threads)
+                .max_batch(server_cfg.max_batch);
             let mut injects_panics = false;
             if let Some(needle) = args.value("--fault") {
                 builder = builder.fault_injection(needle);
@@ -609,10 +621,11 @@ fn run(argv: &[String]) -> Result<(), String> {
                 deadline: server_cfg.default_deadline,
             };
             println!(
-                "serve: {model} at {hw}x{hw}, {} worker(s) x {} thread(s), queue depth {}, {} client(s) x {} request(s)",
+                "serve: {model} at {hw}x{hw}, {} worker(s) x {} thread(s), queue depth {}, max batch {}, {} client(s) x {} request(s)",
                 server_cfg.workers,
                 threads,
                 server_cfg.queue_depth,
+                server_cfg.max_batch,
                 load_cfg.clients,
                 load_cfg.requests
             );

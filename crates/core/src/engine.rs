@@ -57,6 +57,7 @@ pub struct EngineBuilder {
     vendor: Option<VendorBackend>,
     fault_injection: Option<String>,
     fault_mode: Option<FaultMode>,
+    max_batch: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -108,6 +109,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Largest batch size loaded networks serve from one plan (default 1 —
+    /// only the model's declared batch).
+    ///
+    /// Loading plans activation memory per power-of-two batch bucket up to
+    /// this bound (e.g. `max_batch(6)` over a batch-1 model yields buckets
+    /// 1, 2, 4, 6); a [`Session`] then picks the smallest covering bucket
+    /// at run time, padding the tail when the batch falls between rungs.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = Some(max_batch);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -120,6 +133,10 @@ impl EngineBuilder {
     pub fn build(self) -> Result<Engine, EngineError> {
         let personality = self.personality.unwrap_or(Personality::Orpheus);
         let threads = self.threads.unwrap_or(1);
+        let max_batch = self.max_batch.unwrap_or(1);
+        if max_batch == 0 {
+            return Err(EngineError::Config("max_batch must be at least 1".into()));
+        }
         let pool = ThreadPool::new(threads).map_err(|e| EngineError::Config(e.to_string()))?;
         if personality.thread_policy() == ThreadPolicy::MaxOnly {
             let max = ThreadPool::max_hardware().num_threads();
@@ -140,6 +157,7 @@ impl EngineBuilder {
             vendor: self.vendor,
             fault_injection: self.fault_injection,
             fault_mode: self.fault_mode.unwrap_or(FaultMode::Error),
+            max_batch,
         })
     }
 }
@@ -155,6 +173,7 @@ pub struct Engine {
     vendor: Option<VendorBackend>,
     fault_injection: Option<String>,
     fault_mode: FaultMode,
+    max_batch: usize,
 }
 
 impl Engine {
@@ -245,6 +264,12 @@ impl Engine {
         self.simplify
     }
 
+    /// The largest batch size loaded networks serve (see
+    /// [`EngineBuilder::max_batch`]).
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
     /// Loads a graph: simplify (per configuration), verify, select
     /// implementations, and lower to an executable network.
     ///
@@ -310,9 +335,22 @@ impl Engine {
                 })
                 .collect();
         }
-        // Plan activation memory once, after the step list is final: every
-        // session preallocates exactly these buffers.
-        plan.memory = Some(plan_memory(&plan));
+        // Plan activation memory once per batch bucket, after the step list
+        // is final: every session preallocates exactly these buffers. The
+        // base bucket's plan doubles as `plan.memory` for bucket-unaware
+        // call sites.
+        let bucket_memory: Vec<MemoryPlan> = plan
+            .buckets
+            .iter()
+            .map(|bucket| crate::plan::plan_memory_with(&plan, &bucket.slot_dims))
+            .collect();
+        for (bucket, memory) in plan.buckets.iter_mut().zip(bucket_memory) {
+            bucket.memory = Some(memory);
+        }
+        plan.memory = match plan.buckets.first() {
+            Some(base) => base.memory.clone(),
+            None => Some(plan_memory(&plan)),
+        };
         observe::flight_record(
             "engine",
             "load",
@@ -361,9 +399,20 @@ impl Network {
         self.plan.steps.len()
     }
 
-    /// The expected input dims.
+    /// The expected input dims (at the base batch).
     pub fn input_dims(&self) -> &[usize] {
         &self.plan.input_dims
+    }
+
+    /// The batch sizes this network serves from its single load, ascending
+    /// (always at least the model's declared batch).
+    pub fn batch_buckets(&self) -> Vec<usize> {
+        self.plan.bucket_batches()
+    }
+
+    /// The largest batch size a session accepts.
+    pub fn max_batch(&self) -> usize {
+        self.plan.max_bucket_batch()
     }
 
     /// Total FLOPs per inference (convolutions + dense layers).
@@ -386,12 +435,34 @@ impl Network {
         if let Some(memory) = &self.plan.memory {
             out.push_str(&format!("  {}\n", memory.summary()));
         }
+        if self.plan.buckets.len() > 1 {
+            for bucket in &self.plan.buckets {
+                if let Some(memory) = &bucket.memory {
+                    out.push_str(&format!(
+                        "  batch bucket {}: {} arena byte(s)\n",
+                        bucket.batch,
+                        memory.arena_bytes()
+                    ));
+                }
+            }
+        }
         out
     }
 
-    /// The static activation-memory plan computed at load time.
+    /// The static activation-memory plan computed at load time (for the
+    /// base batch bucket).
     pub fn memory_plan(&self) -> Option<&MemoryPlan> {
         self.plan.memory.as_ref()
+    }
+
+    /// The static activation-memory plan of every batch bucket, as
+    /// `(batch, plan)` pairs ascending by batch.
+    pub fn bucket_memory_plans(&self) -> Vec<(usize, &MemoryPlan)> {
+        self.plan
+            .buckets
+            .iter()
+            .filter_map(|b| b.memory.as_ref().map(|m| (b.batch, m)))
+            .collect()
     }
 
     /// Creates a reusable execution session with its own preallocated

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use orpheus_gemm::GemmKernel;
-use orpheus_graph::{infer_shapes, Graph, Node, OpKind};
+use orpheus_graph::{infer_shapes, infer_shapes_with_batch, Graph, Node, OpKind};
 use orpheus_ops::activation::Activation;
 use orpheus_ops::conv::{Conv2dParams, ConvAlgorithm};
 use orpheus_ops::pool::{Pool2dParams, PoolMode};
@@ -50,6 +50,21 @@ impl std::fmt::Debug for PlanStep {
     }
 }
 
+/// Per-batch-bucket shapes and memory: the symbolic leading dim made
+/// concrete at one batch size. `Plan::buckets[0]` is always the model's
+/// declared (base) batch; further entries double up to the engine's
+/// `max_batch`, each carrying its own slot dims and `MemoryPlan`.
+#[derive(Debug)]
+pub(crate) struct BucketPlan {
+    /// Absolute batch size this bucket serves.
+    pub batch: usize,
+    /// Inferred dims of each slot's value at this batch.
+    pub slot_dims: Vec<Vec<usize>>,
+    /// Static buffer-reuse plan for this bucket; populated by
+    /// `plan::plan_memory_with` after any fault-injection wrapping.
+    pub memory: Option<crate::plan::MemoryPlan>,
+}
+
 /// A lowered, executable network plan.
 #[derive(Debug)]
 pub(crate) struct Plan {
@@ -61,11 +76,64 @@ pub(crate) struct Plan {
     /// For each slot, the index of the last step reading it
     /// (`usize::MAX` = never read / graph output).
     pub last_use: Vec<usize>,
-    /// Inferred dims of each slot's value (from graph shape inference).
+    /// Inferred dims of each slot's value at the base batch (bucket 0).
     pub slot_dims: Vec<Vec<usize>>,
-    /// Static buffer-reuse plan; populated by `plan::plan_memory` after any
-    /// fault-injection wrapping, before the plan is frozen into a `Network`.
+    /// Static buffer-reuse plan for the base bucket; populated by
+    /// `plan::plan_memory` after any fault-injection wrapping, before the
+    /// plan is frozen into a `Network`. Mirrors `buckets[0].memory`.
     pub memory: Option<crate::plan::MemoryPlan>,
+    /// One entry per batch bucket, ascending by batch, starting at the base.
+    pub buckets: Vec<BucketPlan>,
+}
+
+impl Plan {
+    /// The batch ladder (ascending absolute batch sizes).
+    pub fn bucket_batches(&self) -> Vec<usize> {
+        self.buckets.iter().map(|b| b.batch).collect()
+    }
+
+    /// The largest batch any bucket serves.
+    pub fn max_bucket_batch(&self) -> usize {
+        self.buckets
+            .last()
+            .map(|b| b.batch)
+            .unwrap_or_else(|| self.input_dims.first().copied().unwrap_or(1))
+    }
+
+    /// Batch size bucket `idx` serves (base batch when out of range).
+    pub fn bucket_batch(&self, idx: usize) -> usize {
+        self.buckets
+            .get(idx)
+            .map(|b| b.batch)
+            .unwrap_or_else(|| self.input_dims.first().copied().unwrap_or(1))
+    }
+
+    /// Slot dims of bucket `idx`, falling back to the base dims.
+    pub fn bucket_slot_dims(&self, idx: usize) -> &[Vec<usize>] {
+        self.buckets
+            .get(idx)
+            .map(|b| b.slot_dims.as_slice())
+            .unwrap_or(self.slot_dims.as_slice())
+    }
+
+    /// Memory plan of bucket `idx`, falling back to the base plan.
+    pub fn bucket_memory(&self, idx: usize) -> &crate::plan::MemoryPlan {
+        self.buckets
+            .get(idx)
+            .and_then(|b| b.memory.as_ref())
+            .or(self.memory.as_ref())
+            .expect("Engine::load always attaches a memory plan")
+    }
+}
+
+/// The power-of-two batch ladder from `base` up to `max`: `base` doubling
+/// while below `max`, with `max` itself as the final rung (so a max of 6
+/// over base 1 yields `[1, 2, 4, 6]`). A `max` at or below `base` yields
+/// just `[base]`.
+pub(crate) fn batch_buckets(base: usize, max: usize) -> Vec<usize> {
+    // Shared with the lint report so `lint --max-batch` and the engine
+    // plan the identical ladder.
+    orpheus_verify::batch_buckets(base, max)
 }
 
 /// Lowers a validated graph into a plan under the engine's configuration.
@@ -151,6 +219,62 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
         })
         .collect();
 
+    // Batch buckets: re-infer the whole graph at each rung of the ladder so
+    // every bucket gets exact per-slot dims, and insist each slot scales
+    // linearly in the leading dim — anything else means the model pins its
+    // batch internally and cannot be served above it.
+    let base_batch = input_dims.first().copied().unwrap_or(1);
+    let ladder = batch_buckets(base_batch, engine.max_batch());
+    if ladder.len() > 1 && engine.vendor_backend().is_some() {
+        return Err(EngineError::Config(
+            "vendor backends pin their scratch to the load-time batch; \
+             max_batch > 1 requires the native backend"
+                .into(),
+        ));
+    }
+    let mut buckets: Vec<BucketPlan> = Vec::with_capacity(ladder.len());
+    for &batch in &ladder {
+        let dims = if batch == base_batch {
+            slot_dims.clone()
+        } else {
+            let batched = infer_shapes_with_batch(graph, batch).map_err(|e| {
+                EngineError::Config(format!("model cannot serve batch {batch}: {e}"))
+            })?;
+            let mut batched_input = input_dims.clone();
+            if let Some(lead) = batched_input.first_mut() {
+                *lead = batch;
+            }
+            let dims: Vec<Vec<usize>> = slot_names
+                .iter()
+                .map(|name| {
+                    batched
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| batched_input.clone())
+                })
+                .collect();
+            for (slot, (bucket_dims, base_dims)) in dims.iter().zip(&slot_dims).enumerate() {
+                let tails_match = bucket_dims.len() == base_dims.len()
+                    && bucket_dims.get(1..) == base_dims.get(1..);
+                let lead_scales = bucket_dims.first().copied().unwrap_or(1) * base_batch
+                    == base_dims.first().copied().unwrap_or(1) * batch;
+                if !tails_match || !lead_scales {
+                    return Err(EngineError::Config(format!(
+                        "value {:?} does not scale linearly with batch: \
+                         {bucket_dims:?} at batch {batch} vs {base_dims:?} at batch {base_batch}",
+                        slot_names[slot]
+                    )));
+                }
+            }
+            dims
+        };
+        buckets.push(BucketPlan {
+            batch,
+            slot_dims: dims,
+            memory: None,
+        });
+    }
+
     Ok(Plan {
         steps,
         num_slots,
@@ -160,6 +284,7 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
         last_use,
         slot_dims,
         memory: None,
+        buckets,
     })
 }
 

@@ -20,7 +20,7 @@ use crate::lower::Plan;
 const BYTES_PER_ELEMENT: usize = 4;
 
 /// The frozen buffer-reuse plan for one lowered network.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryPlan {
     /// For each slot, the arena buffer holding its value.
     pub(crate) buffer_of: Vec<usize>,
@@ -84,17 +84,25 @@ impl MemoryPlan {
     }
 }
 
-/// Computes the buffer-reuse plan for a lowered `Plan`.
+/// Computes the buffer-reuse plan for a lowered `Plan` at its base batch.
 ///
 /// Call this after fault-injection wrapping: wrapped layers clear the
 /// `viewable` flag, and aliasing decisions must match what actually runs.
 pub(crate) fn plan_memory(plan: &Plan) -> MemoryPlan {
+    plan_memory_with(plan, &plan.slot_dims)
+}
+
+/// Computes the buffer-reuse plan for a lowered `Plan` with an explicit set
+/// of per-slot dims — the per-batch-bucket entry point. Liveness (step
+/// order, last uses, viewability) is batch-independent; only the slot sizes
+/// change, so each bucket reuses the same intervals over different extents.
+pub(crate) fn plan_memory_with(plan: &Plan, slot_dims: &[Vec<usize>]) -> MemoryPlan {
     let n_slots = plan.num_slots;
     let elems_of = |slot: usize| -> usize {
-        plan.slot_dims[slot]
+        slot_dims[slot]
             .iter()
             .product::<usize>()
-            .max(usize::from(plan.slot_dims[slot].is_empty()))
+            .max(usize::from(slot_dims[slot].is_empty()))
     };
 
     // Slot definition step: the input exists before step 0; step i defines
@@ -232,6 +240,7 @@ mod tests {
             last_use: vec![0, 1, usize::MAX],
             slot_dims: vec![vec![1, 4], vec![1, 4], vec![1, 4]],
             memory: None,
+            buckets: Vec::new(),
         }
     }
 
@@ -277,6 +286,7 @@ mod tests {
             last_use: vec![0, 2, 2, usize::MAX],
             slot_dims: vec![vec![1, 4]; 4],
             memory: None,
+            buckets: Vec::new(),
         };
         let mp = plan_memory(&plan);
         assert!(!mp.view_move[1]);

@@ -29,11 +29,30 @@ use crate::plan::MemoryPlan;
 /// array; wider fan-in (absent from the model zoo) falls back to a `Vec`.
 const MAX_FAN_IN: usize = 16;
 
+/// Per-batch-bucket session storage: the arena, shape cache, and slot sizes
+/// for one rung of the plan's batch ladder.
+#[derive(Debug)]
+struct BucketState {
+    /// Free storage per planned buffer; empty `Vec` while lent to a slot.
+    arena: Vec<Vec<f32>>,
+    /// Per-slot `Shape` cache, round-tripped through
+    /// `Tensor::from_parts`/`into_parts` so shapes are built exactly once.
+    shapes: Vec<Option<Shape>>,
+    /// Element count of each slot's value at this bucket's batch.
+    slot_elems: Vec<usize>,
+}
+
 /// A reusable, preallocated execution context for one [`Network`].
 ///
 /// Not `Sync`: one session serves one inference at a time. Create several
 /// sessions from the same network to run concurrently — they share the plan
 /// (immutable) and thread pool but own private arenas.
+///
+/// When the network was loaded with `max_batch > 1`, one session serves
+/// every batch bucket: `run` picks the smallest bucket covering the input's
+/// leading dim, zero-pads the tail of a between-rung batch, and slices the
+/// padded rows back off the output. Each bucket keeps its own arena, so
+/// steady-state runs at any single bucket stay allocation-free.
 ///
 /// [`Network`]: crate::Network
 #[derive(Debug)]
@@ -43,13 +62,14 @@ pub struct Session {
     model: String,
     /// Current tensor per slot (`None` = value dead, storage in the arena).
     slots: Vec<Option<Tensor>>,
-    /// Free storage per planned buffer; empty `Vec` while lent to a slot.
-    arena: Vec<Vec<f32>>,
-    /// Per-slot `Shape` cache, round-tripped through
-    /// `Tensor::from_parts`/`into_parts` so shapes are built exactly once.
-    shapes: Vec<Option<Shape>>,
-    /// Element count of each slot's value.
-    slot_elems: Vec<usize>,
+    /// One storage state per batch bucket (`plan.buckets` order; a single
+    /// base entry when the plan carries no explicit buckets).
+    states: Vec<BucketState>,
+    /// Index of the bucket the slots/arena currently belong to.
+    active: usize,
+    /// Output scratch for padded (between-rung) runs; holds the sliced
+    /// tensor so `run` can hand out a reference, recycled run to run.
+    padded_output: Option<Tensor>,
     /// Per-step reference implementations; populated only for sessions
     /// created via [`Network::reference_session`](crate::Network::reference_session),
     /// where a `Some` entry replaces the step's selected layer. Empty for
@@ -66,30 +86,37 @@ impl Session {
         model: String,
         prefer_reference: bool,
     ) -> Session {
-        let mp = plan
-            .memory
-            .as_ref()
-            .expect("Engine::load always attaches a memory plan");
-        let arena: Vec<Vec<f32>> = mp
-            .buffer_elems
-            .iter()
-            .map(|&elems| Vec::with_capacity(elems))
-            .collect();
-        let shapes: Vec<Option<Shape>> = plan
-            .slot_dims
-            .iter()
-            .map(|dims| Some(Shape::new(dims)))
-            .collect();
-        let slot_elems: Vec<usize> = plan
-            .slot_dims
-            .iter()
-            .map(|dims| {
-                dims.iter()
-                    .product::<usize>()
-                    .max(usize::from(dims.is_empty()))
+        let buckets = plan.buckets.len().max(1);
+        let states: Vec<BucketState> = (0..buckets)
+            .map(|idx| {
+                let dims = plan.bucket_slot_dims(idx);
+                let mp = plan.bucket_memory(idx);
+                // The base bucket preallocates its planned capacity; larger
+                // buckets start empty and grow to plan on first use, so an
+                // 8-bucket session does not hold eight resident arenas for
+                // traffic that may never batch.
+                let arena: Vec<Vec<f32>> = if idx == 0 {
+                    mp.buffer_elems
+                        .iter()
+                        .map(|&elems| Vec::with_capacity(elems))
+                        .collect()
+                } else {
+                    mp.buffer_elems.iter().map(|_| Vec::new()).collect()
+                };
+                let shapes: Vec<Option<Shape>> = dims.iter().map(|d| Some(Shape::new(d))).collect();
+                let slot_elems: Vec<usize> = dims
+                    .iter()
+                    .map(|d| d.iter().product::<usize>().max(usize::from(d.is_empty())))
+                    .collect();
+                BucketState {
+                    arena,
+                    shapes,
+                    slot_elems,
+                }
             })
             .collect();
         if observe::enabled() {
+            let mp = plan.bucket_memory(0);
             observe::gauge_set("session.arena.bytes", mp.arena_bytes() as f64);
             observe::gauge_set("session.arena.buffers", mp.num_buffers() as f64);
             observe::gauge_set("session.arena.reuse_ratio", mp.reuse_ratio());
@@ -104,9 +131,9 @@ impl Session {
         };
         Session {
             slots: (0..plan.num_slots).map(|_| None).collect(),
-            arena,
-            shapes,
-            slot_elems,
+            states,
+            active: 0,
+            padded_output: None,
             reference,
             empty: Tensor::zeros(&[0]),
             plan,
@@ -121,35 +148,56 @@ impl Session {
         !self.reference.is_empty()
     }
 
-    /// The planned arena size in bytes (what `run` keeps resident).
+    /// The planned arena size in bytes of the active bucket (what `run`
+    /// keeps resident for the batch sizes it is currently serving).
     pub fn arena_bytes(&self) -> usize {
         self.memory_plan().arena_bytes()
     }
 
-    /// The expected input dims.
+    /// The expected input dims at the base batch. Inputs with any leading
+    /// dim up to [`Session::max_batch`] (same tail dims) are also accepted.
     pub fn input_dims(&self) -> &[usize] {
         &self.plan.input_dims
     }
 
-    /// The arena capacity actually resident right now, in bytes.
+    /// The batch sizes this session serves from its plan, ascending.
+    pub fn batch_buckets(&self) -> Vec<usize> {
+        let buckets = self.plan.bucket_batches();
+        if buckets.is_empty() {
+            vec![self.plan.input_dims.first().copied().unwrap_or(1)]
+        } else {
+            buckets
+        }
+    }
+
+    /// The largest batch size `run` accepts.
+    pub fn max_batch(&self) -> usize {
+        self.plan.max_bucket_batch()
+    }
+
+    /// The arena capacity actually resident in the active bucket, in bytes.
     ///
     /// Returns every live value (including the last output) to the arena
     /// first, so the sum covers all planned buffers. Tests use this to pin
-    /// the runtime footprint to the static [`MemoryPlan`] prediction.
+    /// the runtime footprint to the static [`MemoryPlan`] prediction,
+    /// bucket by bucket (run a batch first to make its bucket active).
     pub fn measured_arena_bytes(&mut self) -> usize {
         self.reset();
-        self.arena.iter().map(Vec::capacity).sum::<usize>() * std::mem::size_of::<f32>()
+        self.states[self.active]
+            .arena
+            .iter()
+            .map(Vec::capacity)
+            .sum::<usize>()
+            * std::mem::size_of::<f32>()
     }
 
     fn memory_plan(&self) -> &MemoryPlan {
-        self.plan
-            .memory
-            .as_ref()
-            .expect("Engine::load always attaches a memory plan")
+        self.plan.bucket_memory(self.active)
     }
 
     /// Re-arms the session after a fault without replanning: every live
-    /// slot's storage returns to the arena and its shape to the cache.
+    /// slot's storage returns to the active bucket's arena and its shape to
+    /// the cache.
     ///
     /// `run` calls this on entry, so ordinary error recovery is automatic.
     /// Call it explicitly after catching a panic that unwound through `run`
@@ -159,49 +207,179 @@ impl Session {
     /// re-growing at most the one lost buffer, never recomputing the plan.
     pub fn reset(&mut self) {
         let plan = Arc::clone(&self.plan);
-        let mp = plan.memory.as_ref().expect("memory plan");
+        let mp = plan.bucket_memory(self.active);
+        let state = &mut self.states[self.active];
         for slot in 0..plan.num_slots {
             if let Some(t) = self.slots[slot].take() {
                 let (shape, data) = t.into_parts();
-                self.shapes[slot] = Some(shape);
-                self.arena[mp.buffer_of[slot]] = data;
+                state.shapes[slot] = Some(shape);
+                state.arena[mp.buffer_of[slot]] = data;
             }
         }
     }
 
-    /// Takes the planned buffer for `slot` out of the arena, zeroed to the
-    /// slot's element count, together with its cached shape.
+    /// Makes bucket `idx` the active one, returning any live storage to the
+    /// previously active bucket's arena first. No-op when already active.
+    fn switch_bucket(&mut self, idx: usize) {
+        if idx != self.active {
+            self.reset();
+            self.active = idx;
+            self.provision_active_arena();
+        }
+    }
+
+    /// Grows the active bucket's arena buffers to their planned capacities.
+    ///
+    /// Lazily-created buckets start with empty buffers; letting `resize`
+    /// grow them would over-allocate (amortized doubling) whenever a shared
+    /// buffer serves a small slot before a large one. `reserve_exact` pins
+    /// resident capacity to the static plan, keeping `measured <= planned`
+    /// in every bucket. No-op (and allocation-free) once provisioned.
+    fn provision_active_arena(&mut self) {
+        let mp = self.plan.bucket_memory(self.active);
+        let state = &mut self.states[self.active];
+        for (data, &elems) in state.arena.iter_mut().zip(&mp.buffer_elems) {
+            if data.capacity() < elems {
+                data.reserve_exact(elems - data.len());
+            }
+        }
+    }
+
+    /// Picks the smallest bucket covering `dims`' leading extent.
+    ///
+    /// Returns `(bucket index, requested batch)`; the requested batch is
+    /// below the bucket's batch for between-rung inputs, which run padded.
+    /// The steady-state path allocates nothing — the error branch builds its
+    /// message only after a mismatch.
+    fn select_bucket(&self, dims: &[usize]) -> Result<(usize, usize), EngineError> {
+        let base = &self.plan.input_dims;
+        let tails_match = dims.len() == base.len() && dims.get(1..) == base.get(1..);
+        let batch = dims.first().copied().unwrap_or(0);
+        if tails_match && batch >= 1 {
+            if let Some(idx) = self
+                .plan
+                .buckets
+                .iter()
+                .position(|bucket| bucket.batch >= batch)
+            {
+                return Ok((idx, batch));
+            }
+            if self.plan.buckets.is_empty() && dims == base.as_slice() {
+                return Ok((0, batch));
+            }
+        }
+        Err(self.dims_error(dims))
+    }
+
+    /// The actionable dims-mismatch error: lists every accepted input shape
+    /// and the planned batch buckets, not just the base shape.
+    fn dims_error(&self, dims: &[usize]) -> EngineError {
+        let base = &self.plan.input_dims;
+        let buckets = self.batch_buckets();
+        let max = buckets.last().copied().unwrap_or(1);
+        let mut accepted = String::from("[N");
+        for d in base.iter().skip(1) {
+            accepted.push_str(&format!(", {d}"));
+        }
+        accepted.push(']');
+        EngineError::Execution(format!(
+            "input dims {dims:?} do not match model input {base:?}: accepted \
+             input shapes are {accepted} for batch N in 1..={max} (planned \
+             batch buckets {buckets:?}; batches between buckets run padded \
+             into the next bucket)"
+        ))
+    }
+
+    /// Takes the planned buffer for `slot` out of the active arena, zeroed
+    /// to the slot's element count, together with its cached shape.
     fn materialize(&mut self, slot: usize, buffer: usize) -> (Shape, Vec<f32>) {
-        let mut data = std::mem::take(&mut self.arena[buffer]);
+        let state = &mut self.states[self.active];
+        let mut data = std::mem::take(&mut state.arena[buffer]);
         data.clear();
-        data.resize(self.slot_elems[slot], 0.0);
-        let shape = self.shapes[slot]
+        data.resize(state.slot_elems[slot], 0.0);
+        let shape = state.shapes[slot]
             .take()
             // Only reachable when a prior failed run lost a shape to an
             // error path; rebuilding allocates, steady state never does.
-            .unwrap_or_else(|| Shape::new(&self.plan.slot_dims[slot]));
+            .unwrap_or_else(|| Shape::new(&self.plan.bucket_slot_dims(self.active)[slot]));
         (shape, data)
     }
 
     /// Runs one inference, returning a reference to the output tensor.
+    ///
+    /// The input's leading (batch) dim may be any value from 1 up to
+    /// [`Session::max_batch`]: the session activates the smallest covering
+    /// batch bucket, zero-pads the tail when the batch falls between
+    /// buckets, and slices the padded rows back off the output.
     ///
     /// The output stays valid (and its buffer stays out of the arena) until
     /// the next `run` on this session; clone it to keep it longer.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Execution`] if the input dims do not match the
-    /// loaded model, or if a layer fails and has no reference fallback.
+    /// Returns [`EngineError::Execution`] if the input dims match no batch
+    /// bucket of the loaded model (the message lists every accepted shape),
+    /// or if a layer fails and has no reference fallback.
     pub fn run(&mut self, input: &Tensor) -> Result<&Tensor, EngineError> {
+        let (bucket, batch) = match self.select_bucket(input.dims()) {
+            Ok(sel) => sel,
+            Err(e) => {
+                observe::flight_record("session", "run.error", format!("{}: {e}", self.model));
+                return Err(e);
+            }
+        };
+        self.switch_bucket(bucket);
         if let Err(e) = self.run_inner(input) {
             // Error paths are cold: stamp the flight recorder so a post-hoc
             // dump explains what the session was doing when it failed.
             observe::flight_record("session", "run.error", format!("{}: {e}", self.model));
             return Err(e);
         }
-        self.slots[self.plan.output_slot]
+        let bucket_batch = self.plan.bucket_batch(bucket);
+        if batch == bucket_batch {
+            return self.slots[self.plan.output_slot]
+                .as_ref()
+                .ok_or_else(|| EngineError::Execution("output slot empty after run".into()));
+        }
+        self.slice_padded_output(batch, bucket_batch)
+    }
+
+    /// Slices the first `batch` of `bucket_batch` served rows off the
+    /// (padded) output into the session's scratch output tensor.
+    fn slice_padded_output(
+        &mut self,
+        batch: usize,
+        bucket_batch: usize,
+    ) -> Result<&Tensor, EngineError> {
+        // Recycle the previous padded output's storage before borrowing the
+        // output slot.
+        let mut data = match self.padded_output.take() {
+            Some(t) => t.into_parts().1,
+            None => Vec::new(),
+        };
+        let full = self.slots[self.plan.output_slot]
             .as_ref()
-            .ok_or_else(|| EngineError::Execution("output slot empty after run".into()))
+            .ok_or_else(|| EngineError::Execution("output slot empty after run".into()))?;
+        let lead = full.dims().first().copied().unwrap_or(1);
+        if !(lead * batch).is_multiple_of(bucket_batch) {
+            return Err(EngineError::Execution(format!(
+                "cannot slice batch {batch} rows from output dims {:?} served \
+                 at bucket batch {bucket_batch}",
+                full.dims()
+            )));
+        }
+        let keep = full.len() / bucket_batch * batch;
+        let mut dims = full.dims().to_vec();
+        dims[0] = lead * batch / bucket_batch;
+        data.clear();
+        data.extend_from_slice(&full.as_slice()[..keep]);
+        let sliced =
+            Tensor::from_vec(data, &dims).map_err(|e| EngineError::Execution(e.to_string()))?;
+        self.padded_output = Some(sliced);
+        Ok(self
+            .padded_output
+            .as_ref()
+            .expect("padded output was just stored"))
     }
 
     /// Renders the process-wide flight recorder's recent events — loads,
@@ -216,41 +394,109 @@ impl Session {
 
     /// Runs every input through the session in order, cloning each output.
     ///
+    /// When the plan has batch buckets above the base batch and the inputs
+    /// are homogeneous base-batch tensors, consecutive inputs are coalesced
+    /// into bucketed runs (stack → one padded run → scatter) instead of the
+    /// serial input-at-a-time loop. An empty input slice yields an empty
+    /// output vec.
+    ///
     /// # Errors
     ///
-    /// See [`Session::run`]; the first failing input aborts the batch.
+    /// See [`Session::run`]; the first failing input aborts the batch, and
+    /// the error names that input's index (`input #i: ...`). Outputs
+    /// computed for earlier inputs are dropped with the abort.
     pub fn run_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, EngineError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base_dims = self.plan.input_dims.clone();
+        let base_batch = base_dims.first().copied().unwrap_or(1);
+        let per_chunk = (self.plan.max_bucket_batch() / base_batch.max(1)).max(1);
+        let homogeneous = inputs.iter().all(|t| t.dims() == base_dims.as_slice());
         let mut outputs = Vec::with_capacity(inputs.len());
-        for input in inputs {
-            outputs.push(self.run(input)?.clone());
+        if !homogeneous || per_chunk == 1 {
+            for (index, input) in inputs.iter().enumerate() {
+                let out = self
+                    .run(input)
+                    .map_err(|e| indexed_input_error(index, &e))?
+                    .clone();
+                outputs.push(out);
+            }
+            return Ok(outputs);
+        }
+        let out_dims = self.plan.slot_dims[self.plan.output_slot].clone();
+        let per_input: usize = base_dims.iter().product::<usize>().max(1);
+        let mut start = 0;
+        for chunk in inputs.chunks(per_chunk) {
+            if chunk.len() == 1 {
+                let out = self
+                    .run(&chunk[0])
+                    .map_err(|e| indexed_input_error(start, &e))?
+                    .clone();
+                outputs.push(out);
+            } else {
+                let mut data = Vec::with_capacity(chunk.len() * per_input);
+                for input in chunk {
+                    data.extend_from_slice(input.as_slice());
+                }
+                let mut dims = base_dims.clone();
+                dims[0] = base_batch * chunk.len();
+                let stacked = Tensor::from_vec(data, &dims)
+                    .map_err(|e| EngineError::Execution(e.to_string()))?;
+                match self.run(&stacked) {
+                    Ok(full) => {
+                        let per_output = full.len() / chunk.len();
+                        let served = full.as_slice();
+                        for j in 0..chunk.len() {
+                            let row = &served[j * per_output..(j + 1) * per_output];
+                            let out = Tensor::from_vec(row.to_vec(), &out_dims)
+                                .map_err(|e| EngineError::Execution(e.to_string()))?;
+                            outputs.push(out);
+                        }
+                    }
+                    Err(_) => {
+                        // The batched run cannot say which input poisoned
+                        // it; re-run the chunk serially so the failing index
+                        // is identified and healthy inputs still complete.
+                        for (j, input) in chunk.iter().enumerate() {
+                            let out = self
+                                .run(input)
+                                .map_err(|e| indexed_input_error(start + j, &e))?
+                                .clone();
+                            outputs.push(out);
+                        }
+                    }
+                }
+            }
+            start += chunk.len();
         }
         Ok(outputs)
     }
 
     fn run_inner(&mut self, input: &Tensor) -> Result<(), EngineError> {
         let plan = Arc::clone(&self.plan);
-        let mp = plan.memory.as_ref().expect("memory plan");
-        if input.dims() != plan.input_dims {
-            return Err(EngineError::Execution(format!(
-                "input dims {:?} do not match model input {:?}",
-                input.dims(),
-                plan.input_dims
-            )));
-        }
+        let mp = plan.bucket_memory(self.active);
         let mut run_span = observe::span("run", "session");
         run_span.attr("model", self.model.as_str());
         let start = Instant::now();
         self.reset();
 
-        // Materialize the input into its planned buffer.
+        // Materialize the input into its planned buffer; a between-rung
+        // batch fills only its own rows and the tail is zero-padded to the
+        // bucket's extent (batch rows are independent in every modeled op,
+        // so padded rows cannot bleed into real ones).
         {
             let slot = plan.input_slot;
-            let mut data = std::mem::take(&mut self.arena[mp.buffer_of[slot]]);
+            let state = &mut self.states[self.active];
+            let mut data = std::mem::take(&mut state.arena[mp.buffer_of[slot]]);
             data.clear();
             data.extend_from_slice(input.as_slice());
-            let shape = self.shapes[slot]
+            if data.len() < state.slot_elems[slot] {
+                data.resize(state.slot_elems[slot], 0.0);
+            }
+            let shape = state.shapes[slot]
                 .take()
-                .unwrap_or_else(|| Shape::new(&plan.input_dims));
+                .unwrap_or_else(|| Shape::new(&plan.bucket_slot_dims(self.active)[slot]));
             self.slots[slot] = Some(
                 Tensor::from_parts(shape, data)
                     .map_err(|e| EngineError::Execution(e.to_string()))?,
@@ -269,10 +515,11 @@ impl Session {
                     ))
                 })?;
                 let (shape_in, data) = src.into_parts();
-                self.shapes[step.inputs[0]] = Some(shape_in);
-                let shape_out = self.shapes[step.output]
-                    .take()
-                    .unwrap_or_else(|| Shape::new(&plan.slot_dims[step.output]));
+                let state = &mut self.states[self.active];
+                state.shapes[step.inputs[0]] = Some(shape_in);
+                let shape_out = state.shapes[step.output].take().unwrap_or_else(|| {
+                    Shape::new(&plan.bucket_slot_dims(self.active)[step.output])
+                });
                 self.slots[step.output] = Some(
                     Tensor::from_parts(shape_out, data)
                         .map_err(|e| EngineError::Execution(e.to_string()))?,
@@ -366,8 +613,9 @@ impl Session {
             for &slot in &mp.reclaim_at[step_idx] {
                 if let Some(t) = self.slots[slot].take() {
                     let (shape, data) = t.into_parts();
-                    self.shapes[slot] = Some(shape);
-                    self.arena[mp.buffer_of[slot]] = data;
+                    let state = &mut self.states[self.active];
+                    state.shapes[slot] = Some(shape);
+                    state.arena[mp.buffer_of[slot]] = data;
                 }
             }
         }
@@ -376,6 +624,12 @@ impl Session {
         drop(run_span);
         Ok(())
     }
+}
+
+/// Wraps a per-input failure with the input's position in the batch, so a
+/// `run_batch` caller knows exactly which input aborted it.
+fn indexed_input_error(index: usize, e: &EngineError) -> EngineError {
+    EngineError::Execution(format!("input #{index}: {e}"))
 }
 
 #[cfg(test)]
@@ -438,5 +692,130 @@ mod tests {
             session.arena_bytes(),
             network.memory_plan().map(|m| m.arena_bytes()).unwrap_or(0)
         );
+    }
+
+    fn batched_network(max_batch: usize) -> crate::Network {
+        Engine::builder()
+            .max_batch(max_batch)
+            .build()
+            .unwrap()
+            .load(build_model(ModelKind::TinyCnn))
+            .unwrap()
+    }
+
+    fn batch_input(n: usize, seed: usize) -> Tensor {
+        Tensor::from_fn(&[n, 3, 8, 8], move |i| ((i * 5 + seed) % 13) as f32 * 0.1)
+    }
+
+    #[test]
+    fn default_max_batch_keeps_a_single_bucket() {
+        let network = tiny_network();
+        assert_eq!(network.batch_buckets(), vec![1]);
+        assert_eq!(network.max_batch(), 1);
+    }
+
+    #[test]
+    fn bucket_ladder_doubles_and_caps_at_max() {
+        assert_eq!(batched_network(6).batch_buckets(), vec![1, 2, 4, 6]);
+        assert_eq!(batched_network(8).batch_buckets(), vec![1, 2, 4, 8]);
+        assert_eq!(batched_network(1).batch_buckets(), vec![1]);
+    }
+
+    #[test]
+    fn bucketed_outputs_bit_identical_to_per_input_runs() {
+        let network = batched_network(4);
+        let mut session = network.session();
+        let reference = tiny_network();
+        let mut ref_session = reference.session();
+        for n in 1..=4usize {
+            let input = batch_input(n, n * 31);
+            let got = session.run(&input).unwrap().clone();
+            assert_eq!(got.dims()[0], n, "output batch must match input batch");
+            let per_output = got.len() / n;
+            for row in 0..n {
+                let single =
+                    Tensor::from_fn(&[1, 3, 8, 8], |i| input.as_slice()[row * 3 * 8 * 8 + i]);
+                let want = ref_session.run(&single).unwrap();
+                assert_eq!(
+                    &got.as_slice()[row * per_output..(row + 1) * per_output],
+                    want.as_slice(),
+                    "batch {n} row {row} diverges from a per-input run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_above_max_bucket_lists_accepted_shapes() {
+        let network = batched_network(4);
+        let mut session = network.session();
+        let err = session.run(&batch_input(5, 0)).unwrap_err().to_string();
+        assert!(err.contains("[1, 2, 4]"), "buckets missing from: {err}");
+        assert!(err.contains("1..=4"), "accepted range missing from: {err}");
+        // The session stays usable after the rejection.
+        assert!(session.run(&batch_input(2, 1)).is_ok());
+    }
+
+    #[test]
+    fn wrong_tail_dims_error_lists_buckets() {
+        let network = batched_network(4);
+        let mut session = network.session();
+        let err = session
+            .run(&Tensor::ones(&[1, 3, 9, 9]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("do not match"), "{err}");
+        assert!(
+            err.contains("[N, 3, 8, 8]"),
+            "accepted shape missing: {err}"
+        );
+    }
+
+    #[test]
+    fn empty_run_batch_returns_empty() {
+        let network = batched_network(4);
+        let mut session = network.session();
+        assert_eq!(session.run_batch(&[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn run_batch_coalesces_into_buckets_and_matches_serial() {
+        let network = batched_network(4);
+        let inputs: Vec<Tensor> = (0..5).map(|k| batch_input(1, k * 7)).collect();
+        let mut session = network.session();
+        let batched = session.run_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), 5);
+        let reference = tiny_network();
+        let mut ref_session = reference.session();
+        for (input, got) in inputs.iter().zip(&batched) {
+            let want = ref_session.run(input).unwrap();
+            assert_eq!(got.dims(), want.dims());
+            assert_eq!(got.as_slice(), want.as_slice(), "coalesced run diverges");
+        }
+    }
+
+    #[test]
+    fn run_batch_error_names_the_failing_input() {
+        let network = batched_network(4);
+        let mut session = network.session();
+        let inputs = vec![
+            batch_input(1, 0),
+            Tensor::ones(&[1, 3, 9, 9]), // wrong tail dims
+            batch_input(1, 1),
+        ];
+        let err = session.run_batch(&inputs).unwrap_err().to_string();
+        assert!(err.contains("input #1"), "failing index missing: {err}");
+    }
+
+    #[test]
+    fn padded_run_then_exact_run_reuses_the_session() {
+        let network = batched_network(4);
+        let mut session = network.session();
+        // batch 3 pads into bucket 4; the next exact batch-4 run must not
+        // see any residue from the padding.
+        let padded = session.run(&batch_input(3, 5)).unwrap().clone();
+        assert_eq!(padded.dims()[0], 3);
+        let exact = session.run(&batch_input(4, 9)).unwrap();
+        assert_eq!(exact.dims()[0], 4);
     }
 }

@@ -79,6 +79,123 @@ fn runtime_arena_never_exceeds_static_prediction() {
     }
 }
 
+/// Loads `model` with a batch ladder up to `max_batch`.
+fn load_batched(model: ModelKind, max_batch: usize) -> orpheus::Network {
+    let hw = model.min_input_hw();
+    Engine::builder()
+        .personality(Personality::Orpheus)
+        .threads(1)
+        .max_batch(max_batch)
+        .build()
+        .unwrap()
+        .load(build_model_with_input(model, hw, hw))
+        .unwrap()
+}
+
+/// Tail-padding correctness across the zoo: for every model and every batch
+/// size up to the max bucket (including between-rung sizes that run
+/// padded), the batched output rows are bit-identical to per-input
+/// `Session::run` results.
+#[test]
+fn batched_outputs_bit_identical_to_per_input_runs_across_zoo() {
+    for model in ZOO {
+        let batched = load_batched(model, 4);
+        assert_eq!(batched.batch_buckets(), vec![1, 2, 4], "{model}");
+        let (reference, _) = load(model);
+        let mut ref_session = reference.session();
+        let mut session = batched.session();
+        let hw = model.min_input_hw();
+        let ch = model.input_dims()[1];
+        let per_input = ch * hw * hw;
+        for n in 1..=3usize {
+            let input = Tensor::from_fn(&[n, ch, hw, hw], |i| {
+                (((i * 37 + n) % 101) as f32 / 101.0) - 0.5
+            });
+            let got = session.run(&input).unwrap().clone();
+            assert_eq!(got.dims()[0], n, "{model}: batch {n} output batch");
+            let per_output = got.len() / n;
+            for row in 0..n {
+                let single =
+                    Tensor::from_fn(&[1, ch, hw, hw], |i| input.as_slice()[row * per_input + i]);
+                let want = ref_session.run(&single).unwrap();
+                assert_eq!(
+                    &got.as_slice()[row * per_output..(row + 1) * per_output],
+                    want.as_slice(),
+                    "{model}: batch {n} row {row} diverges from a per-input run"
+                );
+            }
+        }
+    }
+}
+
+/// The `measured <= static` pin must hold for *every* bucket, not just the
+/// base one: after running each bucket's exact batch, the resident arena of
+/// that bucket never exceeds its own static prediction.
+#[test]
+fn runtime_arena_never_exceeds_static_prediction_in_any_bucket() {
+    for model in [
+        ModelKind::TinyCnn,
+        ModelKind::LeNet5,
+        ModelKind::MobileNetV1,
+    ] {
+        let network = load_batched(model, 4);
+        let hw = model.min_input_hw();
+        let ch = model.input_dims()[1];
+        let plans: Vec<(usize, usize)> = network
+            .bucket_memory_plans()
+            .iter()
+            .map(|(batch, plan)| (*batch, plan.arena_bytes()))
+            .collect();
+        assert_eq!(plans.len(), 3, "{model}: expected buckets 1, 2, 4");
+        let mut session = network.session();
+        for (batch, predicted) in plans {
+            let input = Tensor::from_fn(&[batch, ch, hw, hw], |i| ((i % 23) as f32) * 0.04);
+            for _ in 0..2 {
+                session.run(&input).unwrap();
+            }
+            let measured = session.measured_arena_bytes();
+            assert!(
+                measured <= predicted,
+                "{model} bucket {batch}: resident arena {measured} B exceeds \
+                 static prediction {predicted} B"
+            );
+            assert!(predicted > 0, "{model} bucket {batch}: empty plan");
+        }
+    }
+}
+
+/// `lint --max-batch` and the engine plan the same bucket ladder with the
+/// same shared planner: rung for rung, the engine's per-bucket arena (which
+/// additionally aliases views) never exceeds the lint prediction, and the
+/// lint prediction never exceeds the no-reuse footprint.
+#[test]
+fn lint_bucket_arenas_agree_with_engine_bucket_plans() {
+    for model in [ModelKind::TinyCnn, ModelKind::LeNet5] {
+        let network = load_batched(model, 4);
+        let hw = model.min_input_hw();
+        let lint = orpheus_verify::lint_with_batch(&build_model_with_input(model, hw, hw), 4);
+        let lint_batches: Vec<usize> = lint.bucket_arenas.iter().map(|(b, _)| *b).collect();
+        assert_eq!(
+            lint_batches,
+            network.batch_buckets(),
+            "{model}: lint and engine must plan the same ladder"
+        );
+        for ((batch, engine_plan), (_, lint_arena)) in network
+            .bucket_memory_plans()
+            .iter()
+            .zip(&lint.bucket_arenas)
+        {
+            assert!(
+                engine_plan.arena_bytes() <= lint_arena.arena_bytes,
+                "{model} bucket {batch}: engine arena {} B exceeds lint prediction {} B",
+                engine_plan.arena_bytes(),
+                lint_arena.arena_bytes
+            );
+            assert!(engine_plan.arena_bytes() > 0, "{model} bucket {batch}");
+        }
+    }
+}
+
 #[test]
 fn describe_reports_the_memory_plan() {
     let (network, _) = load(ModelKind::TinyCnn);

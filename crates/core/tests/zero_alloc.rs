@@ -95,3 +95,58 @@ fn tiny_cnn_steady_state_is_allocation_free() {
 fn lenet5_steady_state_is_allocation_free() {
     assert_steady_state_zero_alloc(ModelKind::LeNet5);
 }
+
+/// The zero-alloc contract holds *per batch bucket*: once a bucket's arena
+/// has been grown and warmed, exact-batch runs in that bucket never touch
+/// the allocator — including after switching between buckets.
+#[test]
+fn every_batch_bucket_is_allocation_free_at_steady_state() {
+    let model = ModelKind::TinyCnn;
+    let hw = model.min_input_hw();
+    let engine = Engine::builder()
+        .personality(Personality::Orpheus)
+        .threads(1)
+        .max_batch(4)
+        .build()
+        .unwrap();
+    let network = engine.load(build_model_with_input(model, hw, hw)).unwrap();
+    assert_eq!(network.batch_buckets(), vec![1, 2, 4]);
+    let ch = model.input_dims()[1];
+
+    let mut session = network.session();
+    let inputs: Vec<Tensor> = network
+        .batch_buckets()
+        .into_iter()
+        .map(|n| Tensor::from_fn(&[n, ch, hw, hw], |i| ((i % 19) as f32) * 0.03 - 0.3))
+        .collect();
+
+    // Warm every bucket (arena growth, TLS scratch, implementation state),
+    // twice over so bucket *switches* are warmed too.
+    for _ in 0..2 {
+        for input in &inputs {
+            for _ in 0..3 {
+                session.run(input).unwrap();
+            }
+        }
+    }
+
+    for input in &inputs {
+        // Settle into this bucket before measuring (the switch itself only
+        // resets — but keep the measured window pure single-bucket).
+        session.run(input).unwrap();
+        let before = thread_allocs();
+        for _ in 0..5 {
+            let out = session.run(input).unwrap();
+            assert!(!out.as_slice().is_empty());
+        }
+        let after = thread_allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "bucket {}: steady-state runs must not allocate \
+             ({} allocation(s) over 5 runs)",
+            input.dims()[0],
+            after - before
+        );
+    }
+}

@@ -43,4 +43,4 @@ mod shape_infer;
 pub use attributes::{AttrValue, Attributes};
 pub use error::GraphError;
 pub use graph::{Graph, Node, OpKind, ValueInfo};
-pub use shape_infer::infer_shapes;
+pub use shape_infer::{infer_shapes, infer_shapes_with_batch};

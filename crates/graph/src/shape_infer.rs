@@ -1,8 +1,11 @@
 //! Static shape inference over the graph.
 //!
-//! Orpheus executes with fully static shapes (batch included), so shapes are
-//! inferred once — at model load — and reused by the lowering and memory
-//! planner in the core crate.
+//! Orpheus executes with static shapes, but the leading (batch) dimension is
+//! *symbolic*: [`infer_shapes`] infers at the graph's declared batch, and
+//! [`infer_shapes_with_batch`] re-infers the whole graph with the leading dim
+//! of every graph input overridden. The lowering and memory planner in the
+//! core crate call the latter once per batch bucket, so a single load serves
+//! a ladder of batch sizes.
 
 use std::collections::HashMap;
 
@@ -20,9 +23,55 @@ use crate::graph::{Graph, Node, OpKind};
 /// Returns [`GraphError::ShapeInference`] when an operator's inputs are
 /// inconsistent, or [`GraphError::Cycle`] for cyclic graphs.
 pub fn infer_shapes(graph: &Graph) -> Result<HashMap<String, Vec<usize>>, GraphError> {
+    infer_shapes_inner(graph, None)
+}
+
+/// Infers every value shape with the leading (batch) dimension of each graph
+/// input overridden to `batch`.
+///
+/// This is the symbolic-N entry point: the graph's declared input dims fix
+/// the per-image tail, and the batch extent is substituted before inference
+/// runs, so downstream ops (conv, pooling, gemm, concat, …) all see the
+/// requested batch. Models whose graphs pin the batch internally (e.g. a
+/// `Reshape` whose static spec hard-codes the declared batch) fail inference
+/// at any other batch — a clean "this model is not batchable" signal.
+///
+/// # Errors
+///
+/// Same failure modes as [`infer_shapes`], plus a [`GraphError::ShapeInference`]
+/// when `batch` is 0 or a graph input has rank 0 (no leading dim to rebind).
+pub fn infer_shapes_with_batch(
+    graph: &Graph,
+    batch: usize,
+) -> Result<HashMap<String, Vec<usize>>, GraphError> {
+    if batch == 0 {
+        return Err(GraphError::ShapeInference {
+            node: "<inputs>".into(),
+            reason: "batch size must be at least 1".into(),
+        });
+    }
+    infer_shapes_inner(graph, Some(batch))
+}
+
+fn infer_shapes_inner(
+    graph: &Graph,
+    batch: Option<usize>,
+) -> Result<HashMap<String, Vec<usize>>, GraphError> {
     let mut shapes: HashMap<String, Vec<usize>> = HashMap::new();
     for info in graph.inputs() {
-        shapes.insert(info.name.clone(), info.dims.clone());
+        let mut dims = info.dims.clone();
+        if let Some(n) = batch {
+            match dims.first_mut() {
+                Some(lead) => *lead = n,
+                None => {
+                    return Err(GraphError::ShapeInference {
+                        node: info.name.clone(),
+                        reason: "rank-0 input has no batch dimension".into(),
+                    });
+                }
+            }
+        }
+        shapes.insert(info.name.clone(), dims);
     }
     for (name, tensor) in graph.initializers() {
         shapes.insert(name.clone(), tensor.dims().to_vec());
@@ -497,6 +546,67 @@ mod tests {
     fn reshape_overflow_spec_errors() {
         let big = i64::MAX;
         assert!(resolve_reshape(&[big, big], 10).is_err());
+    }
+
+    #[test]
+    fn batched_inference_scales_the_leading_dim_through_the_graph() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 512, 7, 7]));
+        g.add_initializer("w", Tensor::zeros(&[1000, 512]));
+        g.add_node(Node::new("g", OpKind::GlobalAveragePool, &["x"], &["p"]));
+        g.add_node(Node::new("f", OpKind::Flatten, &["p"], &["flat"]));
+        g.add_node(Node::new("fc", OpKind::Gemm, &["flat", "w"], &["y"]));
+        g.add_output("y");
+        let shapes = infer_shapes_with_batch(&g, 4).unwrap();
+        assert_eq!(shapes["x"], vec![4, 512, 7, 7]);
+        assert_eq!(shapes["p"], vec![4, 512, 1, 1]);
+        assert_eq!(shapes["flat"], vec![4, 512]);
+        assert_eq!(shapes["y"], vec![4, 1000]);
+    }
+
+    #[test]
+    fn batched_inference_at_declared_batch_matches_unbatched() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 3, 8, 8]));
+        g.add_initializer("w", Tensor::zeros(&[4, 3, 3, 3]));
+        g.add_node(
+            Node::new("c", OpKind::Conv, &["x", "w"], &["y"]).with_attrs(conv_attrs(3, 1, 1)),
+        );
+        g.add_output("y");
+        assert_eq!(
+            infer_shapes(&g).unwrap(),
+            infer_shapes_with_batch(&g, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_zero_is_rejected() {
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 3]));
+        g.add_node(Node::new("r", OpKind::Relu, &["x"], &["y"]));
+        g.add_output("y");
+        assert!(matches!(
+            infer_shapes_with_batch(&g, 0),
+            Err(GraphError::ShapeInference { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_pinning_reshape_fails_cleanly_at_other_batches() {
+        // A static reshape spec that hard-codes the declared batch makes the
+        // model unbatchable: element counts stop matching at batch 2.
+        let mut g = Graph::new("t");
+        g.add_input(ValueInfo::new("x", &[1, 6]));
+        g.add_node(
+            Node::new("r", OpKind::Reshape, &["x"], &["y"])
+                .with_attrs(Attributes::new().with("shape", AttrValue::Ints(vec![1, 2, 3]))),
+        );
+        g.add_output("y");
+        assert!(infer_shapes(&g).is_ok());
+        assert!(matches!(
+            infer_shapes_with_batch(&g, 2),
+            Err(GraphError::ShapeInference { .. })
+        ));
     }
 
     #[test]

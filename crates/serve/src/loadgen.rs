@@ -118,6 +118,14 @@ impl LoadGenReport {
                 self.latency.max()
             ));
         }
+        if self.stats.batches > 0 {
+            out.push_str(&format!(
+                "  batched: {} coalesced run(s) served {} request(s) (mean occupancy {:.1})\n",
+                self.stats.batches,
+                self.stats.batched_requests,
+                self.stats.batched_requests as f64 / self.stats.batches as f64
+            ));
+        }
         out.push_str(&format!(
             "  faults isolated: {} panics, {} respawns; breaker: {} trips, {} closes\n",
             self.stats.panics_isolated,

@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Why a `try_push` was rejected; the item comes back to the caller.
 #[derive(Debug)]
@@ -99,6 +100,59 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues up to `max` items as one batch: blocks (like [`pop`]) for
+    /// the first item, then greedily takes whatever is already queued and —
+    /// if still under `max` — lingers up to `wait` for more to coalesce.
+    ///
+    /// The linger is bounded by `wait` from the moment the first item
+    /// arrived, so batching adds at most `wait` to a lone request's latency
+    /// and *nothing* to a full batch's. Returns an empty vec once the queue
+    /// is closed *and* drained — the consumer exit signal.
+    ///
+    /// [`pop`]: BoundedQueue::pop
+    pub fn pop_batch(&self, max: usize, wait: Duration) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut inner = self.lock();
+        // Block for the first item, exactly like `pop`.
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                out.push(item);
+                break;
+            }
+            if inner.closed {
+                return out;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if max <= 1 {
+            return out;
+        }
+        let deadline = Instant::now() + wait;
+        loop {
+            while out.len() < max {
+                match inner.items.pop_front() {
+                    Some(item) => out.push(item),
+                    None => break,
+                }
+            }
+            if out.len() >= max || inner.closed {
+                return out;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return out;
+            }
+            let (guard, _timed_out) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
     /// Closes intake: subsequent `try_push` calls are rejected, blocked
     /// `pop` callers wake, and consumers exit once the backlog drains.
     pub fn close(&self) {
@@ -172,6 +226,43 @@ mod tests {
         assert_eq!(q.capacity(), 1);
         q.try_push(1).unwrap();
         assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+
+    #[test]
+    fn pop_batch_takes_what_is_queued_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let batch = q.pop_batch(3, Duration::ZERO);
+        assert_eq!(batch, vec![0, 1, 2]);
+        let rest = q.pop_batch(8, Duration::ZERO);
+        assert_eq!(rest, vec![3, 4]);
+    }
+
+    #[test]
+    fn pop_batch_returns_empty_once_closed_and_drained() {
+        let q = BoundedQueue::<u32>::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![7]);
+        assert!(q.pop_batch(4, Duration::from_millis(50)).is_empty());
+    }
+
+    #[test]
+    fn pop_batch_lingers_for_late_arrivals() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                q.try_push(2).unwrap();
+            })
+        };
+        let batch = q.pop_batch(2, Duration::from_secs(2));
+        producer.join().unwrap();
+        assert_eq!(batch, vec![1, 2], "late arrival joins within the linger");
     }
 
     #[test]

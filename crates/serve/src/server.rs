@@ -17,6 +17,13 @@
 //!   half-open probe schedule restores the primary path when it recovers.
 //! * **Graceful drain** — [`Server::shutdown`] stops intake, finishes the
 //!   backlog within a drain timeout, and force-sheds whatever remains.
+//! * **Dynamic batching** — when the network was loaded with a batch
+//!   ladder, a worker coalesces up to [`ServerConfig::max_batch`] queued
+//!   requests into one bucketed session run (lingering at most
+//!   [`ServerConfig::batch_max_wait`] for stragglers) and scatters the
+//!   output rows back to the individual responders. A failed or panicked
+//!   batched run degrades to per-request serving, so coalescing never
+//!   weakens the isolation guarantees.
 //!
 //! Every shed, trip, respawn, and drain event lands in the always-on flight
 //! recorder and (when recording is enabled) the metrics registry, so the
@@ -53,6 +60,17 @@ pub struct ServerConfig {
     /// How long [`Server::shutdown`] waits for the backlog before
     /// force-shedding the remainder.
     pub drain_timeout: Duration,
+    /// Most requests a worker coalesces into one batched session run.
+    ///
+    /// Effective only when the network was loaded with a batch ladder
+    /// (`Engine::builder().max_batch(..)`); the server clamps this to what
+    /// the network can actually serve. `1` (the default) disables
+    /// coalescing entirely — every request runs alone, exactly as before.
+    pub max_batch: usize,
+    /// How long a worker lingers for more requests after picking up the
+    /// first one of a batch. Bounds the latency cost of coalescing: a lone
+    /// request waits at most this long, a full batch not at all.
+    pub batch_max_wait: Duration,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +82,8 @@ impl Default for ServerConfig {
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_millis(250),
             drain_timeout: Duration::from_secs(5),
+            max_batch: 1,
+            batch_max_wait: Duration::from_micros(200),
         }
     }
 }
@@ -148,6 +168,8 @@ pub struct ServerStats {
     respawns: AtomicU64,
     breaker_trips: AtomicU64,
     breaker_closes: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -176,6 +198,10 @@ pub struct StatsSnapshot {
     pub breaker_trips: u64,
     /// Circuit-breaker half-open probes that closed the breaker.
     pub breaker_closes: u64,
+    /// Coalesced session runs that served two or more requests at once.
+    pub batches: u64,
+    /// Requests served through a coalesced (multi-request) run.
+    pub batched_requests: u64,
 }
 
 impl StatsSnapshot {
@@ -209,6 +235,8 @@ impl ServerStats {
             respawns: self.respawns.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,11 +264,32 @@ struct Shared {
     stats: ServerStats,
     accepting: AtomicBool,
     in_flight: AtomicUsize,
+    /// Requests a worker may coalesce per run: `config.max_batch` clamped
+    /// to the network's planned batch headroom. 1 = no coalescing.
+    coalesce: usize,
+    /// The network's batch-bucket ladder in request units (bucket batch
+    /// over the per-request batch), ascending. Coalesced runs happen only
+    /// at these exact sizes — padding a half-full bucket wastes compute on
+    /// rows that are sliced away.
+    bucket_rungs: Vec<usize>,
+    batch_wait: Duration,
 }
 
 impl Shared {
     fn breaker_lock(&self) -> std::sync::MutexGuard<'_, CircuitBreaker> {
         self.breaker.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Largest coalescible run size (a planned rung) not exceeding
+    /// `pending` requests; 1 when no multi-request rung fits.
+    fn bucket_fit(&self, pending: usize) -> usize {
+        let cap = pending.min(self.coalesce);
+        self.bucket_rungs
+            .iter()
+            .rev()
+            .find(|&&rung| rung <= cap)
+            .copied()
+            .unwrap_or(1)
     }
 }
 
@@ -265,6 +314,23 @@ impl Server {
     /// its private session before intake opens (cold-start work happens
     /// here, not on the first request).
     pub fn start(network: Arc<Network>, config: ServerConfig) -> Server {
+        // How many base-shaped requests fit one planned bucket run: the
+        // network's max batch over its per-request batch, clamped by config.
+        let base_batch = network.input_dims().first().copied().unwrap_or(1).max(1);
+        let mut bucket_rungs: Vec<usize> = network
+            .batch_buckets()
+            .into_iter()
+            .filter(|b| b.is_multiple_of(base_batch))
+            .map(|b| b / base_batch)
+            .filter(|&rung| rung >= 1)
+            .collect();
+        if bucket_rungs.is_empty() {
+            bucket_rungs.push(1);
+        }
+        let coalesce = config
+            .max_batch
+            .max(1)
+            .min(bucket_rungs.last().copied().unwrap_or(1));
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
             breaker: Mutex::new(CircuitBreaker::new(
@@ -274,6 +340,9 @@ impl Server {
             stats: ServerStats::default(),
             accepting: AtomicBool::new(true),
             in_flight: AtomicUsize::new(0),
+            coalesce,
+            bucket_rungs,
+            batch_wait: config.batch_max_wait,
             network,
         });
         let workers = (0..config.workers.max(1))
@@ -289,10 +358,11 @@ impl Server {
             "serve",
             "start",
             format!(
-                "{}: {} worker(s), queue depth {}",
+                "{}: {} worker(s), queue depth {}, batch up to {} request(s)",
                 shared.network.name(),
                 config.workers.max(1),
-                shared.queue.capacity()
+                shared.queue.capacity(),
+                shared.coalesce
             ),
         );
         Server {
@@ -696,6 +766,173 @@ impl Worker<'_> {
         };
         let _ = request.responder.send(result);
     }
+
+    /// Serves a coalesced intake batch: compatible requests are stacked
+    /// into one bucketed session run and the output rows scattered back to
+    /// their responders; anything that cannot batch (mixed shapes, breaker
+    /// open, or a failed/panicked batched run) degrades to the per-request
+    /// [`serve_one`] path, so every coalesced request still resolves with
+    /// its own routing, rescue, and deadline handling.
+    ///
+    /// [`serve_one`]: Worker::serve_one
+    fn serve_batch(&mut self, mut batch: Vec<Request>) {
+        if batch.len() == 1 {
+            return self.serve_one(batch.pop().expect("len checked"));
+        }
+        let now = Instant::now();
+        // Expired requests are shed through `serve_one`'s dispatch-side
+        // check; only live ones are worth stacking.
+        let (mut live, expired): (Vec<Request>, Vec<Request>) = batch
+            .drain(..)
+            .partition(|r| r.deadline.is_none_or(|d| now < d));
+        for request in expired {
+            self.serve_one(request);
+        }
+        let base = self.shared.network.input_dims().to_vec();
+        let uniform = live.iter().all(|r| r.input.dims() == base.as_slice());
+        // Coalesced runs happen only at exact planned rungs: padding a
+        // half-full bucket run wastes compute on rows that are sliced
+        // away, so the intake batch is chunked into the largest rungs
+        // that fit and any tail is served serially below.
+        while uniform
+            && live.len() > 1
+            && self.shared.breaker_lock().route(Instant::now()) == Route::Primary
+        {
+            let n = self.shared.bucket_fit(live.len());
+            if n <= 1 {
+                break;
+            }
+            let chunk: Vec<Request> = live.drain(..n).collect();
+            self.run_coalesced(chunk, &base);
+        }
+        for request in live {
+            self.serve_one(request);
+        }
+    }
+
+    /// One stacked session run over `chunk` (all inputs base-shaped and
+    /// live, `chunk.len()` a planned bucket rung), scattering the output
+    /// rows back to their responders. A failed or panicked run degrades
+    /// every chunked request to [`serve_one`], so each still resolves
+    /// with its own routing, rescue, and deadline handling.
+    ///
+    /// [`serve_one`]: Worker::serve_one
+    fn run_coalesced(&mut self, live: Vec<Request>, base: &[usize]) {
+        let n = live.len();
+        let now = Instant::now();
+        let coalesce_started = now;
+        let mut dims = base.to_vec();
+        dims[0] *= n;
+        let mut data = Vec::with_capacity(dims.iter().product());
+        for request in &live {
+            data.extend_from_slice(request.input.as_slice());
+        }
+        let stacked = match Tensor::from_vec(data, &dims) {
+            Ok(t) => t,
+            Err(_) => {
+                // Unreachable with shape-checked inputs; degrade, don't drop.
+                for request in live {
+                    self.serve_one(request);
+                }
+                return;
+            }
+        };
+        observe::histogram_record("serve.batch.occupancy", n as u64);
+
+        match isolated_run(&mut self.session, &stacked) {
+            Attempt::Ok(output) => {
+                let transition = self.shared.breaker_lock().on_success();
+                if transition == Transition::Closed {
+                    self.shared
+                        .stats
+                        .breaker_closes
+                        .fetch_add(1, Ordering::Relaxed);
+                    observe::counter_add("serve.breaker_close", 1);
+                }
+                self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .batched_requests
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                observe::counter_add("serve.batch.runs", 1);
+                observe::counter_add("serve.batch.requests", n as u64);
+                observe::histogram_record(
+                    "serve.batch.run_us",
+                    coalesce_started.elapsed().as_micros() as u64,
+                );
+                let per_output = output.len() / n;
+                let mut out_dims = output.dims().to_vec();
+                out_dims[0] /= n;
+                for (i, request) in live.into_iter().enumerate() {
+                    let rows = output.as_slice()[i * per_output..(i + 1) * per_output].to_vec();
+                    let result = match Tensor::from_vec(rows, &out_dims) {
+                        Ok(slice) => {
+                            self.shared
+                                .stats
+                                .completed_primary
+                                .fetch_add(1, Ordering::Relaxed);
+                            let queue_wait = now.duration_since(request.enqueued);
+                            observe::histogram_record(
+                                "serve.queue_wait_us",
+                                queue_wait.as_micros() as u64,
+                            );
+                            let total = request.enqueued.elapsed();
+                            observe::histogram_record("serve.latency_us", total.as_micros() as u64);
+                            Ok(ServeReply {
+                                output: slice,
+                                route: Route::Primary,
+                                queue_wait,
+                                total,
+                            })
+                        }
+                        Err(e) => {
+                            self.shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                            Err(ServeError::Faulted(format!(
+                                "batched output scatter failed: {e:?}"
+                            )))
+                        }
+                    };
+                    let _ = request.responder.send(result);
+                }
+            }
+            Attempt::Error(e) => {
+                self.shared
+                    .stats
+                    .exec_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                self.breaker_failure();
+                observe::counter_add("serve.batch.fallback", 1);
+                observe::flight_record(
+                    "serve",
+                    "batch.fallback",
+                    format!(
+                        "{}: batched run of {n} failed ({}); serving serially",
+                        self.shared.network.name(),
+                        observe::truncate(&e, 120)
+                    ),
+                );
+                for request in live {
+                    self.serve_one(request);
+                }
+            }
+            Attempt::Panicked(msg) => {
+                self.respawn(Route::Primary, &msg);
+                self.breaker_failure();
+                observe::counter_add("serve.batch.fallback", 1);
+                observe::flight_record(
+                    "serve",
+                    "batch.fallback",
+                    format!(
+                        "{}: batched run of {n} panicked; serving serially",
+                        self.shared.network.name()
+                    ),
+                );
+                for request in live {
+                    self.serve_one(request);
+                }
+            }
+        }
+    }
 }
 
 fn worker_main(shared: &Shared, id: usize) {
@@ -705,10 +942,15 @@ fn worker_main(shared: &Shared, id: usize) {
         session: shared.network.session(),
         reference: None,
     };
-    while let Some(request) = shared.queue.pop() {
-        shared.in_flight.fetch_add(1, Ordering::AcqRel);
-        worker.serve_one(request);
-        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    loop {
+        let batch = shared.queue.pop_batch(shared.coalesce, shared.batch_wait);
+        if batch.is_empty() {
+            break;
+        }
+        shared.in_flight.fetch_add(batch.len(), Ordering::AcqRel);
+        let served = batch.len();
+        worker.serve_batch(batch);
+        shared.in_flight.fetch_sub(served, Ordering::AcqRel);
     }
 }
 
@@ -857,6 +1099,74 @@ mod tests {
             }
         }
         assert_eq!(shut, report.shed, "every forced shed resolved a ticket");
+    }
+
+    fn batched_network(max_batch: usize) -> Arc<Network> {
+        Arc::new(
+            Engine::builder()
+                .max_batch(max_batch)
+                .build()
+                .unwrap()
+                .load(build_model(ModelKind::TinyCnn))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn dynamic_batching_coalesces_and_matches_per_request_outputs() {
+        let network = batched_network(4);
+        let server = Server::start(
+            Arc::clone(&network),
+            ServerConfig {
+                workers: 1,
+                max_batch: 4,
+                batch_max_wait: Duration::from_millis(20),
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<(usize, Ticket)> = (0..16)
+            .map(|k| (k, server.submit(input(k)).unwrap()))
+            .collect();
+        for (k, ticket) in tickets {
+            let reply = ticket.wait().unwrap();
+            assert_eq!(reply.route, Route::Primary);
+            let expected = network.run(&input(k)).unwrap();
+            assert_eq!(reply.output.dims(), expected.dims());
+            assert_eq!(
+                reply.output.as_slice(),
+                expected.as_slice(),
+                "request {k}: batched output must be bit-identical to a solo run"
+            );
+        }
+        let stats = server.stats();
+        assert!(
+            stats.batches >= 1,
+            "16 requests vs 1 worker with a 20ms linger must coalesce: {stats:?}"
+        );
+        assert_eq!(stats.completed(), 16);
+        let report = server.shutdown();
+        assert!(report.clean, "{report:?}");
+    }
+
+    #[test]
+    fn max_batch_one_never_coalesces() {
+        let network = batched_network(4);
+        let server = Server::start(
+            network,
+            ServerConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..8).map(|k| server.submit(input(k)).unwrap()).collect();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.batched_requests, 0);
+        server.shutdown();
     }
 
     #[test]

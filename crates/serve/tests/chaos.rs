@@ -53,6 +53,20 @@ fn faulty_network(mode: FaultMode) -> Arc<Network> {
     )
 }
 
+fn faulty_batched_network(mode: FaultMode, max_batch: usize) -> Arc<Network> {
+    let engine = Engine::builder()
+        .fault_injection("pack")
+        .fault_mode(mode)
+        .max_batch(max_batch)
+        .build()
+        .expect("engine builds");
+    Arc::new(
+        engine
+            .load(build_model(ModelKind::TinyCnn))
+            .expect("model loads"),
+    )
+}
+
 fn input(k: usize) -> Tensor {
     Tensor::from_fn(&[1, 3, 8, 8], move |i| ((i + k) % 13) as f32 * 0.1 - 0.5)
 }
@@ -163,6 +177,94 @@ fn chaos_flaky_layers_thousand_concurrent_requests() {
         .count();
     assert!(respawns > 0, "respawns must be flight-recorded");
     assert!(trips > 0, "breaker trips must be flight-recorded");
+}
+
+/// Flaky faults striking mid-batch: with dynamic batching on, a failed or
+/// panicked coalesced run must degrade to per-request serving — every
+/// coalesced request still resolves individually (rescued on the reference
+/// path if its own retry also faults), no panic escapes, and the drain
+/// stays clean.
+#[test]
+fn chaos_flaky_faults_mid_batch_still_resolve_every_request() {
+    quiet_injected_panics();
+    let network = faulty_batched_network(
+        FaultMode::Flaky {
+            per_mille: 250,
+            seed: 7,
+        },
+        4,
+    );
+    let server = Arc::new(Server::start(
+        network,
+        ServerConfig {
+            workers: 2,
+            queue_depth: 64,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(1),
+            max_batch: 4,
+            batch_max_wait: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    ));
+
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 80;
+    const TOTAL: usize = CLIENTS * PER_CLIENT;
+
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|k| match server.submit(input(c * 977 + k)) {
+                            Ok(ticket) => ticket.wait(),
+                            Err(e) => Err(e),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread never panics"))
+            .collect()
+    });
+
+    let drain = server.shutdown();
+    let stats = server.stats();
+
+    assert_eq!(outcomes.len(), TOTAL, "every request must resolve");
+    let completed = outcomes.iter().filter(|o| o.is_ok()).count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                Err(ServeError::Overloaded
+                    | ServeError::ShuttingDown
+                    | ServeError::DeadlineExpired)
+            )
+        })
+        .count();
+    let faulted = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(ServeError::Faulted(_))))
+        .count();
+    assert_eq!(completed + shed + faulted, TOTAL);
+    // The per-request fallback retries each coalesced member on its own;
+    // the reference twins bypass the fault wrappers, so nothing faults
+    // through even when the fault hits mid-batch.
+    assert_eq!(faulted, 0, "serial fallback + reference rescue holds");
+    assert!(completed > 0);
+
+    assert!(
+        stats.batches > 0,
+        "6 clients vs 2 workers with a 5ms linger must coalesce: {stats:?}"
+    );
+    assert!(stats.panics_isolated > 0, "chaos must inject panics");
+    assert_eq!(drain.worker_panics, 0, "panic isolation must hold");
+    assert!(drain.clean, "drain must finish clean: {drain:?}");
 }
 
 /// Deterministic breaker lifecycle on a single worker: `PanicFirst(1)`

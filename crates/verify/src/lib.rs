@@ -46,7 +46,10 @@ mod verifier;
 
 pub use dataflow::{memory_report, DefUse, MemoryReport};
 pub use diagnostic::{has_errors, Code, Diagnostic, Severity};
-pub use plan::{arena_report, plan_buffers, ArenaReport, BufferPlan, SlotInterval};
-pub use report::{lint, LintReport};
+pub use plan::{
+    arena_report, arena_report_with_batch, batch_buckets, plan_buffers, ArenaReport, BufferPlan,
+    SlotInterval,
+};
+pub use report::{lint, lint_with_batch, LintReport};
 pub use sanitizer::{install_sanitizer, sanitized_standard_pipeline};
 pub use verifier::{verify_graph, Verifier};

@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use orpheus_graph::{infer_shapes, Graph, GraphError};
+use orpheus_graph::{infer_shapes, infer_shapes_with_batch, Graph, GraphError};
 
 /// Bytes per activation element (the engine executes in `f32`).
 const BYTES_PER_ELEMENT: usize = 4;
@@ -115,6 +115,23 @@ pub fn plan_buffers(intervals: &[SlotInterval]) -> BufferPlan {
     }
 }
 
+/// The canonical batch-bucket ladder shared by the engine's per-bucket
+/// memory planner and the lint report: powers of two from `base` (the
+/// model's declared batch), capped by a final rung at exactly `max`.
+///
+/// `batch_buckets(1, 6)` → `[1, 2, 4, 6]`; `max <= base` → `[base]`.
+pub fn batch_buckets(base: usize, max: usize) -> Vec<usize> {
+    let base = base.max(1);
+    let mut buckets = Vec::new();
+    let mut batch = base;
+    while batch < max {
+        buckets.push(batch);
+        batch = batch.saturating_mul(2);
+    }
+    buckets.push(max.max(base));
+    buckets
+}
+
 /// Arena summary for a graph: what the shared planner would allocate if the
 /// engine executed this graph as-is (one value per slot, no view aliasing).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,7 +193,28 @@ impl ArenaReport {
 ///
 /// Propagates cycle and shape-inference failures, like `memory_report`.
 pub fn arena_report(graph: &Graph) -> Result<ArenaReport, GraphError> {
-    let shapes = infer_shapes(graph)?;
+    arena_report_from_shapes(graph, infer_shapes(graph)?)
+}
+
+/// [`arena_report`] at an explicit leading (batch) dim: shapes are inferred
+/// with every graph input's batch overridden to `batch`, then planned with
+/// the identical liveness policy. This is the per-bucket lint entry point —
+/// what `lint --json` prints per batch bucket and what the engine plans at
+/// `Engine::load` for that bucket agree by construction.
+///
+/// # Errors
+///
+/// Everything [`arena_report`] propagates, plus shape-inference failures for
+/// graphs that pin the batch (e.g. a `Reshape` with a hard-coded leading
+/// extent) — such models are not batchable.
+pub fn arena_report_with_batch(graph: &Graph, batch: usize) -> Result<ArenaReport, GraphError> {
+    arena_report_from_shapes(graph, infer_shapes_with_batch(graph, batch)?)
+}
+
+fn arena_report_from_shapes(
+    graph: &Graph,
+    shapes: HashMap<String, Vec<usize>>,
+) -> Result<ArenaReport, GraphError> {
     let order = graph.topo_order()?;
     let value_elems = |name: &str| -> usize {
         shapes
@@ -316,6 +354,22 @@ mod tests {
         assert_eq!(report.arena_bytes, 128);
         assert!(report.arena_bytes <= peak);
         assert!((report.reuse_ratio() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_arena_report_scales_values_linearly() {
+        let mut g = Graph::new("chain");
+        g.add_input(ValueInfo::new("x", &[1, 16]));
+        g.add_node(Node::new("a", OpKind::Relu, &["x"], &["y"]));
+        g.add_node(Node::new("b", OpKind::Sigmoid, &["y"], &["z"]));
+        g.add_output("z");
+        let base = arena_report(&g).unwrap();
+        let at1 = arena_report_with_batch(&g, 1).unwrap();
+        assert_eq!(base, at1, "batch 1 must match the unbatched report");
+        let at4 = arena_report_with_batch(&g, 4).unwrap();
+        assert_eq!(at4.num_values, base.num_values);
+        assert_eq!(at4.total_value_bytes, base.total_value_bytes * 4);
+        assert_eq!(at4.arena_bytes, base.arena_bytes * 4);
     }
 
     #[test]

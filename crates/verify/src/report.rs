@@ -24,6 +24,10 @@ pub struct LintReport {
     /// Planned buffer-reuse arena (the shared planner's static prediction);
     /// `None` when errors prevent shape inference.
     pub arena: Option<ArenaReport>,
+    /// Per-batch-bucket arena predictions, `(batch, report)` in ladder
+    /// order. Empty unless the report was produced by [`lint_with_batch`]
+    /// with a max batch above the model's declared batch.
+    pub bucket_arenas: Vec<(usize, ArenaReport)>,
 }
 
 impl LintReport {
@@ -59,6 +63,15 @@ impl LintReport {
         }
         if let Some(arena) = &self.arena {
             out.push_str(&arena.render());
+        }
+        for (batch, arena) in &self.bucket_arenas {
+            out.push_str(&format!(
+                "  batch bucket {batch}: {} ({}) in {} buffer(s), reuse {:.2}x\n",
+                arena.arena_bytes,
+                crate::dataflow::human_bytes(arena.arena_bytes),
+                arena.num_buffers,
+                arena.reuse_ratio()
+            ));
         }
         out.push_str(&format!(
             "result: {} error(s), {} warning(s)\n",
@@ -97,7 +110,17 @@ impl LintReport {
             Some(arena) => out.push_str(&arena.to_json()),
             None => out.push_str("null"),
         }
-        out.push('}');
+        out.push_str(",\"bucket_arenas\":[");
+        for (i, (batch, arena)) in self.bucket_arenas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"batch\":{batch},\"arena\":{}}}",
+                arena.to_json()
+            ));
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -121,7 +144,39 @@ pub fn lint(graph: &Graph) -> LintReport {
         diagnostics,
         memory,
         arena,
+        bucket_arenas: Vec::new(),
     }
+}
+
+/// [`lint`], plus per-batch-bucket arena predictions up to `max_batch`.
+///
+/// The ladder is [`batch_buckets`](crate::batch_buckets) from the graph's
+/// declared input batch — the exact rungs the engine plans at
+/// `Engine::load` with the same `max_batch`, computed by the same shared
+/// planner, so `lint --json --max-batch N` and the runtime agree bucket by
+/// bucket. Rungs a model cannot serve (batch-pinning ops) are skipped
+/// rather than failing the whole report.
+pub fn lint_with_batch(graph: &Graph, max_batch: usize) -> LintReport {
+    let mut report = lint(graph);
+    if report.errors() > 0 {
+        return report;
+    }
+    let base = graph
+        .inputs()
+        .first()
+        .and_then(|info| info.dims.first())
+        .copied()
+        .unwrap_or(1);
+    let ladder = crate::plan::batch_buckets(base, max_batch);
+    if ladder.len() < 2 {
+        return report;
+    }
+    for batch in ladder {
+        if let Ok(arena) = plan::arena_report_with_batch(graph, batch) {
+            report.bucket_arenas.push((batch, arena));
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -146,6 +201,29 @@ mod tests {
         assert_eq!(memory.peak_bytes, 32);
         assert!(report.render().contains("0 error(s)"));
         assert!(report.to_json().contains("\"errors\":0"));
+    }
+
+    #[test]
+    fn batched_lint_reports_every_bucket() {
+        let report = lint_with_batch(&tiny(), 4);
+        let batches: Vec<usize> = report.bucket_arenas.iter().map(|(b, _)| *b).collect();
+        assert_eq!(batches, vec![1, 2, 4]);
+        let base = report.arena.as_ref().unwrap().arena_bytes;
+        for (batch, arena) in &report.bucket_arenas {
+            assert_eq!(arena.arena_bytes, base * batch, "bucket {batch}");
+        }
+        assert!(
+            report.render().contains("batch bucket 4:"),
+            "{}",
+            report.render()
+        );
+        assert!(report
+            .to_json()
+            .contains("\"bucket_arenas\":[{\"batch\":1,"));
+        // Plain lint stays bucket-free (and so does max_batch 1).
+        assert!(lint(&tiny()).bucket_arenas.is_empty());
+        assert!(lint_with_batch(&tiny(), 1).bucket_arenas.is_empty());
+        assert!(lint(&tiny()).to_json().contains("\"bucket_arenas\":[]"));
     }
 
     #[test]
