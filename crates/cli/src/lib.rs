@@ -8,6 +8,7 @@
 //! functions, so the CLI and the benches always agree on methodology.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bench;
 
@@ -1086,14 +1087,54 @@ pub fn run_lint_zoo_batched(
     hw: Option<usize>,
     max_batch: usize,
 ) -> Vec<orpheus_verify::LintReport> {
+    run_lint_zoo_checked(models, hw, max_batch, false)
+}
+
+/// [`run_lint_zoo_batched`], optionally lowering each model through the
+/// engine and proving every bucket's memory plan sound with the static plan
+/// checker (`lint --check-plan`). Verdicts land in
+/// [`LintReport::plan`](orpheus_verify::LintReport); a model the engine
+/// refuses to load gets an `ORV008` diagnostic instead of a verdict.
+pub fn run_lint_zoo_checked(
+    models: &[ModelKind],
+    hw: Option<usize>,
+    max_batch: usize,
+    check_plan: bool,
+) -> Vec<orpheus_verify::LintReport> {
     models
         .iter()
         .map(|&model| {
             let hw = hw.unwrap_or_else(|| InputScale::Quick.input_hw(model));
             let graph = build_model_with_input(model, hw, hw);
-            orpheus_verify::lint_with_batch(&graph, max_batch)
+            let mut report = orpheus_verify::lint_with_batch(&graph, max_batch);
+            if check_plan {
+                attach_plan_check(&mut report, &graph, max_batch);
+            }
+            report
         })
         .collect()
+}
+
+/// Lowers `graph` through the engine at `max_batch` and attaches the static
+/// execution-plan verdicts ([`check_plan`](orpheus_verify::check_plan), codes
+/// `ORV015`–`ORV022`) to the lint report. An unloadable model is reported as
+/// an `ORV008` diagnostic rather than a panic — lint keeps going.
+pub fn attach_plan_check(
+    report: &mut orpheus_verify::LintReport,
+    graph: &orpheus_graph::Graph,
+    max_batch: usize,
+) {
+    let loaded = Engine::builder()
+        .max_batch(max_batch)
+        .build()
+        .and_then(|engine| engine.load(graph.clone()));
+    match loaded {
+        Ok(network) => report.plan = Some(network.check_plan()),
+        Err(err) => report.diagnostics.push(orpheus_verify::Diagnostic::graph(
+            orpheus_verify::Code::ShapeInference,
+            format!("cannot lower for plan check: {err}"),
+        )),
+    }
 }
 
 #[cfg(test)]

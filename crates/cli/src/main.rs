@@ -17,7 +17,7 @@
 //! orpheus-cli sweep [--channels a,b] [--hws a,b] [--k N] [--stride N]
 //! orpheus-cli policy --model M [--hw N] [--repeats N]
 //! orpheus-cli export --model M --out FILE.onnx
-//! orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--max-batch N] [--json]
+//! orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--max-batch N] [--check-plan] [--json]
 //! orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
 //! orpheus-cli serve --model M [--load-gen] [--workers N] [--queue-depth N]
 //!                   [--max-batch N] [--batch-wait-us N]
@@ -123,7 +123,7 @@ const USAGE: &str = "usage:
   orpheus-cli export --model M --out FILE.onnx
   orpheus-cli policy --model M [--hw N] [--repeats N]
   orpheus-cli validate (--model M | --onnx FILE) [--hw N]
-  orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--max-batch N] [--json]
+  orpheus-cli lint (FILE.onnx | --model M|all) [--hw N] [--max-batch N] [--check-plan] [--json]
   orpheus-cli fuzz [--model M|all] [--iters N] [--seed N]
   orpheus-cli serve --model M [--load-gen] [--hw N] [--threads N] [--workers N] [--queue-depth N] [--max-batch N] [--batch-wait-us N] [--deadline-ms N] [--requests N] [--clients N] [--fault NEEDLE] [--fault-mode error|panic|panic-first:N|flaky:PERMILLE[:SEED]] [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-timeout-ms N] [--openmetrics-out F] [--flight-out F] [--metrics-out F]";
 
@@ -490,13 +490,18 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "lint" => {
             let json = args.flag("--json");
+            let check_plan = args.flag("--check-plan");
             let max_batch = args.usize_or("--max-batch", 1)?.max(1);
             // Positional FILE.onnx, or --model M|all for in-tree zoo models.
             let path = args.args.first().filter(|a| !a.starts_with("--"));
             let reports = if let Some(path) = path {
                 let bytes = std::fs::read(path).map_err(|e| format!("reading {path:?}: {e}"))?;
                 let graph = orpheus_onnx::import_model(&bytes).map_err(|e| e.to_string())?;
-                vec![orpheus_verify::lint_with_batch(&graph, max_batch)]
+                let mut report = orpheus_verify::lint_with_batch(&graph, max_batch);
+                if check_plan {
+                    orpheus_cli::attach_plan_check(&mut report, &graph, max_batch);
+                }
+                vec![report]
             } else {
                 let models = match args.value("--model") {
                     None => return Err("lint needs FILE.onnx or --model M|all".into()),
@@ -508,7 +513,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                     None => None,
                     Some(_) => Some(args.usize_or("--hw", 0)?),
                 };
-                orpheus_cli::run_lint_zoo_batched(&models, hw, max_batch)
+                orpheus_cli::run_lint_zoo_checked(&models, hw, max_batch, check_plan)
             };
             let mut errors = 0;
             for report in &reports {

@@ -58,6 +58,7 @@ pub struct EngineBuilder {
     fault_injection: Option<String>,
     fault_mode: Option<FaultMode>,
     max_batch: Option<usize>,
+    plan_corruption: Option<(orpheus_verify::PlanCorruption, usize)>,
 }
 
 impl EngineBuilder {
@@ -106,6 +107,21 @@ impl EngineBuilder {
     /// Only meaningful together with [`EngineBuilder::fault_injection`].
     pub fn fault_mode(mut self, mode: FaultMode) -> Self {
         self.fault_mode = Some(mode);
+        self
+    }
+
+    /// Test support: corrupts the plan description `bucket` feeds the plan
+    /// sanitizer at `Engine::load`, proving the sanitizer rejects an
+    /// unsound plan with the offending bucket and code attributed. Forces
+    /// the sanitizer on even in release builds. Never use outside tests —
+    /// a load configured this way is expected to fail.
+    #[doc(hidden)]
+    pub fn corrupt_plan(
+        mut self,
+        corruption: orpheus_verify::PlanCorruption,
+        bucket: usize,
+    ) -> Self {
+        self.plan_corruption = Some((corruption, bucket));
         self
     }
 
@@ -158,6 +174,7 @@ impl EngineBuilder {
             fault_injection: self.fault_injection,
             fault_mode: self.fault_mode.unwrap_or(FaultMode::Error),
             max_batch,
+            plan_corruption: self.plan_corruption,
         })
     }
 }
@@ -174,6 +191,7 @@ pub struct Engine {
     fault_injection: Option<String>,
     fault_mode: FaultMode,
     max_batch: usize,
+    plan_corruption: Option<(orpheus_verify::PlanCorruption, usize)>,
 }
 
 impl Engine {
@@ -351,6 +369,31 @@ impl Engine {
             Some(base) => base.memory.clone(),
             None => Some(plan_memory(&plan)),
         };
+        // Debug builds prove every bucket's memory plan sound (the plan
+        // sanitizer, mirroring the per-pass IR sanitizer above) before any
+        // session trusts it; release builds trust the planner. The
+        // test-support corruption hook forges a bad plan description and
+        // forces the check on, proving rejection attributes bucket + code.
+        if cfg!(debug_assertions) || self.plan_corruption.is_some() {
+            let mut spec = crate::plan::plan_spec(&graph.name, &plan);
+            if let Some((corruption, bucket)) = self.plan_corruption {
+                orpheus_verify::corrupt_plan(&mut spec, corruption, bucket);
+            }
+            let report = orpheus_verify::check_plan(&spec);
+            let first_violation = report
+                .buckets
+                .iter()
+                .find(|b| !b.diagnostics.is_empty())
+                .map(|b| (b.batch, &b.diagnostics[0]))
+                .or_else(|| report.ladder.first().map(|d| (0, d)));
+            if let Some((bucket, diagnostic)) = first_violation {
+                return Err(EngineError::PlanCheck {
+                    bucket,
+                    code: diagnostic.code.as_str(),
+                    message: diagnostic.message.clone(),
+                });
+            }
+        }
         observe::flight_record(
             "engine",
             "load",
@@ -463,6 +506,15 @@ impl Network {
             .iter()
             .filter_map(|b| b.memory.as_ref().map(|m| (b.batch, m)))
             .collect()
+    }
+
+    /// Re-proves every bucket's memory plan sound with the static plan
+    /// checker (`ORV015`–`ORV022`) and returns the per-bucket verdicts —
+    /// the `orpheus-cli lint --check-plan` path. Debug builds already ran
+    /// this as a sanitizer at load, so a loaded network verifies clean
+    /// there by construction.
+    pub fn check_plan(&self) -> orpheus_verify::PlanCheckReport {
+        orpheus_verify::check_plan(&crate::plan::plan_spec(&self.name, &self.plan))
     }
 
     /// Creates a reusable execution session with its own preallocated

@@ -27,6 +27,16 @@ pub enum EngineError {
     Config(String),
     /// Execution failed (bad input shape, missing feed...).
     Execution(String),
+    /// The plan sanitizer proved a lowered memory plan unsound before any
+    /// session could run it (debug builds verify every bucket at load).
+    PlanCheck {
+        /// Batch size of the offending bucket (0 = cross-bucket ladder).
+        bucket: usize,
+        /// The stable `ORV0xx` code of the first violation.
+        code: &'static str,
+        /// The first violation, verbatim.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -40,6 +50,16 @@ impl fmt::Display for EngineError {
             }
             EngineError::Config(msg) => write!(f, "engine configuration error: {msg}"),
             EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
+            EngineError::PlanCheck {
+                bucket,
+                code,
+                message,
+            } => {
+                write!(
+                    f,
+                    "unsound memory plan at batch bucket {bucket}: [{code}] {message}"
+                )
+            }
         }
     }
 }

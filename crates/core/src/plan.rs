@@ -13,7 +13,7 @@
 //! [`Session`](crate::Session) then preallocates the planned buffers and
 //! runs steady-state inference without touching the heap.
 
-use orpheus_verify::{plan_buffers, SlotInterval};
+use orpheus_verify::{plan_buffers, BucketSpec, PlanSpec, SlotInterval, StepSpec};
 
 use crate::lower::Plan;
 
@@ -188,6 +188,64 @@ pub(crate) fn plan_memory_with(plan: &Plan, slot_dims: &[Vec<usize>]) -> MemoryP
         reclaim_at,
         aliased_views,
         total_slot_bytes,
+    }
+}
+
+/// Projects a lowered `Plan` (plus its per-bucket memory plans) into the
+/// backend-neutral [`PlanSpec`] the static plan checker consumes. Layer
+/// boxes, dims, and fault wrappers are erased; only the slot wiring, element
+/// counts, and arena schedule survive — exactly what soundness depends on.
+pub(crate) fn plan_spec(model: &str, plan: &Plan) -> PlanSpec {
+    let elems = |dims: &[usize]| -> usize {
+        dims.iter()
+            .product::<usize>()
+            .max(usize::from(dims.is_empty()))
+    };
+    let steps: Vec<StepSpec> = plan
+        .steps
+        .iter()
+        .map(|s| StepSpec {
+            name: s.layer.name().to_string(),
+            inputs: s.inputs.clone(),
+            output: s.output,
+        })
+        .collect();
+
+    let bucket_spec = |batch: usize, slot_dims: &[Vec<usize>], memory: &MemoryPlan| BucketSpec {
+        batch,
+        slot_elems: slot_dims.iter().map(|d| elems(d)).collect(),
+        buffer_of: memory.buffer_of.clone(),
+        buffer_elems: memory.buffer_elems.clone(),
+        view_move: memory.view_move.clone(),
+        reclaim_at: memory.reclaim_at.clone(),
+    };
+
+    let mut buckets: Vec<BucketSpec> = plan
+        .buckets
+        .iter()
+        .filter_map(|b| {
+            b.memory
+                .as_ref()
+                .map(|m| bucket_spec(b.batch, &b.slot_dims, m))
+        })
+        .collect();
+    if buckets.is_empty() {
+        // Pre-bucket plans (or synthetic test plans) carry one memory plan
+        // at the base batch.
+        if let Some(m) = plan.memory.as_ref() {
+            let base = plan.input_dims.first().copied().unwrap_or(1).max(1);
+            buckets.push(bucket_spec(base, &plan.slot_dims, m));
+        }
+    }
+
+    PlanSpec {
+        model: model.to_string(),
+        num_slots: plan.num_slots,
+        input_slot: plan.input_slot,
+        output_slot: plan.output_slot,
+        steps,
+        last_use: plan.last_use.clone(),
+        buckets,
     }
 }
 

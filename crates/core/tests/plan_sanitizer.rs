@@ -1,0 +1,120 @@
+//! The load-time execution-plan sanitizer and its corruption hook:
+//!
+//! * **Rejection** — a plan corrupted between lowering and `Engine::load`'s
+//!   sanitizer (via the `#[doc(hidden)]` test hook) is refused with
+//!   [`EngineError::PlanCheck`], attributing the offending batch bucket and
+//!   the exact `ORV` code the corruption pins.
+//! * **Soundness** — every zoo model, lowered across the full batch-bucket
+//!   ladder, re-verifies clean through `Network::check_plan` (the same
+//!   checker `lint --check-plan` runs).
+
+use orpheus::{Engine, EngineError, Personality};
+use orpheus_models::{build_model_with_input, ModelKind};
+use orpheus_verify::PlanCorruption;
+
+fn load_corrupted(
+    corruption: PlanCorruption,
+    bucket: usize,
+    max_batch: usize,
+) -> Result<orpheus::Network, EngineError> {
+    let hw = ModelKind::TinyCnn.min_input_hw();
+    Engine::builder()
+        .personality(Personality::Orpheus)
+        .threads(1)
+        .max_batch(max_batch)
+        .corrupt_plan(corruption, bucket)
+        .build()
+        .expect("engine builds")
+        .load(build_model_with_input(ModelKind::TinyCnn, hw, hw))
+}
+
+#[test]
+fn every_corruption_is_rejected_with_its_pinned_code() {
+    for corruption in PlanCorruption::ALL {
+        // The sanitizer surfaces the *first* violation of the walk. On a
+        // real model a dropped reclaim leaves the buffer owned, so the next
+        // materialization into it aliases (ORV016) before the end-of-walk
+        // leak check (ORV021) runs; exact per-code pinning on minimal
+        // fixtures lives in orpheus-verify's plan_known_bad corpus.
+        let expected = [corruption.expected_code().as_str()];
+        let acceptable: &[&str] = match corruption {
+            PlanCorruption::DropReclaim => &["ORV021", "ORV016"],
+            _ => &expected,
+        };
+        match load_corrupted(corruption, 0, 2) {
+            Err(EngineError::PlanCheck { code, message, .. }) => {
+                assert!(
+                    acceptable.contains(&code),
+                    "{corruption}: wrong code {code} (message: {message})"
+                );
+            }
+            Err(other) => panic!("{corruption}: wrong error kind: {other}"),
+            Ok(_) => panic!("{corruption}: corrupted plan was accepted"),
+        }
+    }
+}
+
+#[test]
+fn rejection_names_the_corrupted_bucket() {
+    // Corrupt the second rung (batch 2): the first rung must stay clean and
+    // the error must attribute batch 2, not batch 1.
+    match load_corrupted(PlanCorruption::EarlyReclaim, 1, 4) {
+        Err(EngineError::PlanCheck {
+            bucket,
+            code,
+            message,
+        }) => {
+            assert_eq!(bucket, 2, "wrong bucket attributed: {message}");
+            assert_eq!(code, "ORV015");
+            let rendered = EngineError::PlanCheck {
+                bucket,
+                code,
+                message,
+            }
+            .to_string();
+            assert!(rendered.contains("batch bucket 2"), "{rendered}");
+            assert!(rendered.contains("ORV015"), "{rendered}");
+        }
+        other => panic!("expected PlanCheck rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn ladder_corruption_is_attributed_cross_bucket() {
+    // BreakLadder makes rung 0's arena larger than rung 1's — a cross-bucket
+    // inconsistency reported against the ladder (bucket sentinel 0).
+    match load_corrupted(PlanCorruption::BreakLadder, 0, 2) {
+        Err(EngineError::PlanCheck { bucket, code, .. }) => {
+            assert_eq!(bucket, 0, "ladder violations use the 0 sentinel");
+            assert_eq!(code, "ORV022");
+        }
+        other => panic!("expected ladder rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn zoo_plans_verify_clean_across_all_buckets() {
+    for model in ModelKind::FIGURE2 {
+        let hw = model.min_input_hw();
+        let engine = Engine::builder()
+            .personality(Personality::Orpheus)
+            .threads(1)
+            .max_batch(8)
+            .build()
+            .expect("engine builds");
+        let network = engine
+            .load(build_model_with_input(model, hw, hw))
+            .unwrap_or_else(|e| panic!("{model}: load failed: {e}"));
+        let report = network.check_plan();
+        assert!(
+            report.is_clean(),
+            "{model}: unsound plan:\n{}",
+            report.render()
+        );
+        assert_eq!(
+            report.buckets.iter().map(|b| b.batch).collect::<Vec<_>>(),
+            network.batch_buckets(),
+            "{model}: checker must see every planned bucket"
+        );
+    }
+}

@@ -59,6 +59,32 @@ pub enum Code {
     UnusedGraphInput,
     /// ORV014: the graph declares no outputs.
     NoGraphOutputs,
+    /// ORV015: a plan step reads a slot after its buffer was reclaimed (or
+    /// the reclaim is scheduled before the slot's final read).
+    PlanUseAfterReclaim,
+    /// ORV016: a plan materializes a slot into an arena buffer still owned
+    /// by another live slot.
+    PlanBufferAliasing,
+    /// ORV017: a view-move on a step whose input is not a dying
+    /// single-reader alias of the output.
+    PlanInvalidViewMove,
+    /// ORV018: a plan step reads a slot before any step writes it (or the
+    /// output slot is never produced).
+    PlanReadBeforeWrite,
+    /// ORV019: a slot is written more than once (or a step overwrites the
+    /// input slot) within one liveness interval.
+    PlanMultipleWriters,
+    /// ORV020: an arena buffer's extent is smaller than the footprint of a
+    /// slot it hosts (or a slot names a buffer the plan does not have).
+    PlanExtentOverflow,
+    /// ORV021: a reclaim is missing, duplicated, or targets a slot that is
+    /// not a dying live value — the buffer never returns to the arena
+    /// (or returns at the wrong time).
+    PlanReclaimLeak,
+    /// ORV022: the batch-bucket ladder is inconsistent — non-monotone arena
+    /// bytes, differing view-move/reclaim schedules, or malformed per-bucket
+    /// tables.
+    PlanBucketMismatch,
 }
 
 impl Code {
@@ -79,6 +105,14 @@ impl Code {
             Code::ImmutableOverwrite => "ORV012",
             Code::UnusedGraphInput => "ORV013",
             Code::NoGraphOutputs => "ORV014",
+            Code::PlanUseAfterReclaim => "ORV015",
+            Code::PlanBufferAliasing => "ORV016",
+            Code::PlanInvalidViewMove => "ORV017",
+            Code::PlanReadBeforeWrite => "ORV018",
+            Code::PlanMultipleWriters => "ORV019",
+            Code::PlanExtentOverflow => "ORV020",
+            Code::PlanReclaimLeak => "ORV021",
+            Code::PlanBucketMismatch => "ORV022",
         }
     }
 
@@ -108,11 +142,35 @@ impl Code {
             Code::ImmutableOverwrite => "node output overwrites an input or initializer",
             Code::UnusedGraphInput => "graph input is never read",
             Code::NoGraphOutputs => "graph declares no outputs",
+            Code::PlanUseAfterReclaim => "plan reads a slot after its buffer was reclaimed",
+            Code::PlanBufferAliasing => "plan maps two simultaneously-live slots to one buffer",
+            Code::PlanInvalidViewMove => "view-move input is not a dying single-reader alias",
+            Code::PlanReadBeforeWrite => "plan reads a slot before any step writes it",
+            Code::PlanMultipleWriters => "slot is written more than once per liveness interval",
+            Code::PlanExtentOverflow => "buffer extent is smaller than a hosted slot's footprint",
+            Code::PlanReclaimLeak => "buffer is never (or wrongly) returned to the arena",
+            Code::PlanBucketMismatch => "batch-bucket ladder is inconsistent across rungs",
         }
     }
 
+    /// Whether the code belongs to the execution-plan checker
+    /// (`ORV015`–`ORV022`) rather than the graph IR verifier.
+    pub fn is_plan_code(&self) -> bool {
+        matches!(
+            self,
+            Code::PlanUseAfterReclaim
+                | Code::PlanBufferAliasing
+                | Code::PlanInvalidViewMove
+                | Code::PlanReadBeforeWrite
+                | Code::PlanMultipleWriters
+                | Code::PlanExtentOverflow
+                | Code::PlanReclaimLeak
+                | Code::PlanBucketMismatch
+        )
+    }
+
     /// Every code, in numbering order (docs and legends iterate this).
-    pub const ALL: [Code; 14] = [
+    pub const ALL: [Code; 22] = [
         Code::DuplicateValue,
         Code::UndefinedValue,
         Code::MissingGraphOutput,
@@ -127,6 +185,14 @@ impl Code {
         Code::ImmutableOverwrite,
         Code::UnusedGraphInput,
         Code::NoGraphOutputs,
+        Code::PlanUseAfterReclaim,
+        Code::PlanBufferAliasing,
+        Code::PlanInvalidViewMove,
+        Code::PlanReadBeforeWrite,
+        Code::PlanMultipleWriters,
+        Code::PlanExtentOverflow,
+        Code::PlanReclaimLeak,
+        Code::PlanBucketMismatch,
     ];
 }
 

@@ -13,6 +13,11 @@
 //! * the [`dataflow`] module builds def-use chains and derives liveness —
 //!   yielding a static peak activation-memory estimate ([`MemoryReport`]) —
 //!   plus dead-node and unused-initializer detection;
+//! * the [`plan_check`] module proves lowered execution plans sound by
+//!   abstract interpretation — use-after-reclaim, buffer aliasing,
+//!   view-move legality, single-writer, buffer extents, and bucket-ladder
+//!   consistency, as stable `ORV015`–`ORV022` codes — with
+//!   [`corrupt_plan`] injectors that forge known-bad plans for tests;
 //! * [`install_sanitizer`] hooks the verifier into a
 //!   [`PassManager`](orpheus_graph::passes::PassManager) so every pass
 //!   application is checked and the first violation is attributed to the
@@ -40,6 +45,7 @@
 pub mod dataflow;
 mod diagnostic;
 pub mod plan;
+pub mod plan_check;
 mod report;
 mod sanitizer;
 mod verifier;
@@ -50,6 +56,10 @@ pub use plan::{
     arena_report, arena_report_with_batch, batch_buckets, plan_buffers, ArenaReport, BufferPlan,
     SlotInterval,
 };
-pub use report::{lint, lint_with_batch, LintReport};
+pub use plan_check::{
+    check_plan, corrupt_plan, BucketSpec, BucketVerdict, PlanCheckReport, PlanCorruption, PlanSpec,
+    StepSpec,
+};
+pub use report::{lint, lint_with_batch, LintReport, LINT_SCHEMA_VERSION};
 pub use sanitizer::{install_sanitizer, sanitized_standard_pipeline};
 pub use verifier::{verify_graph, Verifier};

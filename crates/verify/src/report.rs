@@ -6,7 +6,13 @@ use orpheus_observe::json;
 use crate::dataflow::{self, MemoryReport};
 use crate::diagnostic::{Diagnostic, Severity};
 use crate::plan::{self, ArenaReport};
+use crate::plan_check::PlanCheckReport;
 use crate::verifier::Verifier;
+
+/// Version of the lint `--json` schema. Bumped whenever a field is added,
+/// removed, or changes meaning, so downstream parsers can gate. Version 2
+/// added the field itself plus the `plan` execution-plan verdict object.
+pub const LINT_SCHEMA_VERSION: u32 = 2;
 
 /// Everything `orpheus-cli lint` reports for one model.
 #[derive(Debug, Clone)]
@@ -28,12 +34,17 @@ pub struct LintReport {
     /// order. Empty unless the report was produced by [`lint_with_batch`]
     /// with a max batch above the model's declared batch.
     pub bucket_arenas: Vec<(usize, ArenaReport)>,
+    /// Execution-plan soundness verdicts (`lint --check-plan`): the model
+    /// is lowered through the engine and every bucket's memory plan is
+    /// verified by [`check_plan`](crate::check_plan). `None` when the check
+    /// was not requested (or the model failed to load).
+    pub plan: Option<PlanCheckReport>,
 }
 
 impl LintReport {
-    /// Number of error-severity findings.
+    /// Number of error-severity findings (including plan-check verdicts).
     pub fn errors(&self) -> usize {
-        self.count(Severity::Error)
+        self.count(Severity::Error) + self.plan.as_ref().map_or(0, PlanCheckReport::errors)
     }
 
     /// Number of warning-severity findings.
@@ -73,6 +84,9 @@ impl LintReport {
                 arena.reuse_ratio()
             ));
         }
+        if let Some(plan) = &self.plan {
+            out.push_str(&plan.render());
+        }
         out.push_str(&format!(
             "result: {} error(s), {} warning(s)\n",
             self.errors(),
@@ -84,7 +98,9 @@ impl LintReport {
     /// One JSON object (no trailing newline), machine-readable.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
-        out.push_str("{\"model\":\"");
+        out.push_str(&format!(
+            "{{\"schema_version\":{LINT_SCHEMA_VERSION},\"model\":\""
+        ));
         json::escape_into(&mut out, &self.model);
         out.push_str(&format!(
             "\",\"nodes\":{},\"parameters\":{},\"errors\":{},\"warnings\":{},",
@@ -120,7 +136,12 @@ impl LintReport {
                 arena.to_json()
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"plan\":");
+        match &self.plan {
+            Some(plan) => out.push_str(&plan.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 }
@@ -128,7 +149,14 @@ impl LintReport {
 /// Lints a graph: full verification plus, when the graph is sound enough to
 /// infer shapes, the static memory report.
 pub fn lint(graph: &Graph) -> LintReport {
-    let diagnostics = Verifier::new().verify(graph);
+    lint_base(graph, 1)
+}
+
+/// Shared body of [`lint`] and [`lint_with_batch`]: verify (iterating the
+/// batch ladder up to `max_batch`), then derive the memory reports when the
+/// graph is sound.
+fn lint_base(graph: &Graph, max_batch: usize) -> LintReport {
+    let diagnostics = Verifier::new().with_max_batch(max_batch).verify(graph);
     let (memory, arena) = if crate::diagnostic::has_errors(&diagnostics) {
         (None, None)
     } else {
@@ -145,6 +173,7 @@ pub fn lint(graph: &Graph) -> LintReport {
         memory,
         arena,
         bucket_arenas: Vec::new(),
+        plan: None,
     }
 }
 
@@ -154,10 +183,11 @@ pub fn lint(graph: &Graph) -> LintReport {
 /// declared input batch — the exact rungs the engine plans at
 /// `Engine::load` with the same `max_batch`, computed by the same shared
 /// planner, so `lint --json --max-batch N` and the runtime agree bucket by
-/// bucket. Rungs a model cannot serve (batch-pinning ops) are skipped
-/// rather than failing the whole report.
+/// bucket. A rung the model cannot serve (batch-pinning ops, non-linear
+/// scaling) is an ORV008/ORV009 error — exactly the load the engine would
+/// reject with the same `max_batch` — and its arena prediction is skipped.
 pub fn lint_with_batch(graph: &Graph, max_batch: usize) -> LintReport {
-    let mut report = lint(graph);
+    let mut report = lint_base(graph, max_batch);
     if report.errors() > 0 {
         return report;
     }

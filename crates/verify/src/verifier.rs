@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use orpheus_graph::{infer_shapes, AttrValue, Graph, Node, OpKind};
+use orpheus_graph::{infer_shapes, infer_shapes_with_batch, AttrValue, Graph, Node, OpKind};
 use orpheus_observe as observe;
 
 use crate::dataflow;
@@ -20,6 +20,7 @@ use crate::diagnostic::{Code, Diagnostic};
 pub struct Verifier {
     baseline: Option<HashMap<String, Vec<usize>>>,
     structural_only: bool,
+    max_batch: usize,
 }
 
 impl Verifier {
@@ -38,6 +39,16 @@ impl Verifier {
     /// Skips shape inference (used on graphs already known shape-broken).
     pub fn structural_only(mut self) -> Self {
         self.structural_only = true;
+        self
+    }
+
+    /// Also re-runs shape inference at every batch bucket of the ladder up
+    /// to `max_batch` (the rungs the engine plans with the same bound), so
+    /// shape drift in a non-base rung surfaces at lint time instead of at
+    /// the first big-batch request. Values must scale linearly in the
+    /// leading dim — exactly the contract `Engine::load` enforces.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
         self
     }
 
@@ -194,6 +205,63 @@ impl Verifier {
                             ),
                         ));
                     }
+                }
+            }
+        }
+        self.check_bucket_shapes(graph, &shapes, out);
+    }
+
+    /// Re-infers every non-base rung of the batch ladder and insists each
+    /// value's shape scales linearly in the leading dim against the base —
+    /// the same check `Engine::load` applies when lowering with the same
+    /// `max_batch`, surfaced here as ORV008/ORV009 diagnostics.
+    fn check_bucket_shapes(
+        &self,
+        graph: &Graph,
+        base_shapes: &HashMap<String, Vec<usize>>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let base_batch = graph
+            .inputs()
+            .first()
+            .and_then(|info| info.dims.first())
+            .copied()
+            .unwrap_or(1);
+        for batch in crate::plan::batch_buckets(base_batch, self.max_batch) {
+            if batch == base_batch {
+                continue;
+            }
+            let bucket_shapes = match infer_shapes_with_batch(graph, batch) {
+                Ok(shapes) => shapes,
+                Err(err) => {
+                    out.push(Diagnostic::graph(
+                        Code::ShapeInference,
+                        format!("at batch bucket {batch}: {err}"),
+                    ));
+                    continue;
+                }
+            };
+            for (value, base_dims) in base_shapes {
+                // Weights are batch-invariant; only activation values (graph
+                // inputs and node outputs — the engine's slots) must scale.
+                if graph.initializers().contains_key(value) {
+                    continue;
+                }
+                let Some(bucket_dims) = bucket_shapes.get(value) else {
+                    continue;
+                };
+                let tails_match = bucket_dims.len() == base_dims.len()
+                    && bucket_dims.get(1..) == base_dims.get(1..);
+                let lead_scales = bucket_dims.first().copied().unwrap_or(1) * base_batch
+                    == base_dims.first().copied().unwrap_or(1) * batch;
+                if !tails_match || !lead_scales {
+                    out.push(Diagnostic::graph(
+                        Code::ShapeMismatch,
+                        format!(
+                            "value {value:?} does not scale linearly with batch: {bucket_dims:?} \
+                             at batch {batch} vs {base_dims:?} at batch {base_batch}"
+                        ),
+                    ));
                 }
             }
         }

@@ -183,9 +183,20 @@ fn orv014_no_graph_outputs() {
 
 #[test]
 fn corpus_covers_every_code() {
-    // Meta-test: the corpus above pins all 14 codes; if a code is added to
-    // `Code::ALL` without a corpus entry, this fails.
-    assert_eq!(Code::ALL.len(), 14);
+    // Meta-test: the graph corpus above pins ORV001–ORV014 and the plan
+    // corpus (`plan_known_bad.rs`) pins ORV015–ORV022; if a code is added
+    // to `Code::ALL` without a corpus entry, this fails.
+    assert_eq!(Code::ALL.len(), 22);
+    assert_eq!(
+        Code::ALL.iter().filter(|c| !c.is_plan_code()).count(),
+        14,
+        "graph-level codes pinned by this file"
+    );
+    assert_eq!(
+        Code::ALL.iter().filter(|c| c.is_plan_code()).count(),
+        8,
+        "plan-level codes pinned by plan_known_bad.rs"
+    );
 }
 
 #[test]

@@ -1,0 +1,226 @@
+//! The known-bad *plan* corpus: every `ORV015`–`ORV022` code pinned by a
+//! corrupted-plan fixture, forged from a valid spec via the
+//! [`corrupt_plan`] injectors.
+//!
+//! This is the contract test for plan-diagnostic stability, the plan-level
+//! sibling of `known_bad.rs`: each corruption mutates exactly one invariant
+//! of a sound plan, and the checker must answer with the corruption's
+//! pinned code at error severity. A second set of cases exercises
+//! violations the injectors cannot forge from this fixture (late reclaims,
+//! double reclaims, view-moves of reclaimed slots).
+
+use orpheus_verify::{
+    check_plan, corrupt_plan, BucketSpec, Code, PlanCorruption, PlanSpec, Severity, StepSpec,
+};
+
+/// input(0) -> conv(1) -> relu(2) -> flatten(3, view-move) -> dense(4):
+/// exercises compute steps, a view-move, buffer reuse, and reclaims, over a
+/// two-rung bucket ladder.
+fn valid_spec() -> PlanSpec {
+    let step = |name: &str, inputs: &[usize], output: usize| StepSpec {
+        name: name.to_string(),
+        inputs: inputs.to_vec(),
+        output,
+    };
+    let bucket = |batch: usize| BucketSpec {
+        batch,
+        slot_elems: vec![16 * batch, 32 * batch, 32 * batch, 32 * batch, 4 * batch],
+        // conv(1) gets buffer 1; relu(2) buffer 2; flatten(3) moves relu's
+        // buffer; dense(4) reuses the input's buffer 0.
+        buffer_of: vec![0, 1, 2, 2, 0],
+        buffer_elems: vec![16 * batch, 32 * batch, 32 * batch],
+        view_move: vec![false, false, true, false],
+        reclaim_at: vec![vec![0], vec![1], vec![], vec![3]],
+    };
+    PlanSpec {
+        model: "plan-fixture".to_string(),
+        num_slots: 5,
+        input_slot: 0,
+        output_slot: 4,
+        steps: vec![
+            step("conv", &[0], 1),
+            step("relu", &[1], 2),
+            step("flatten", &[2], 3),
+            step("dense", &[3], 4),
+        ],
+        last_use: vec![0, 1, 2, 3, usize::MAX],
+        buckets: vec![bucket(1), bucket(2)],
+    }
+}
+
+#[test]
+fn fixture_is_sound() {
+    let report = check_plan(&valid_spec());
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+/// Every injector forges a plan the checker must reject with the
+/// corruption's pinned code, at error severity, and the clean bucket stays
+/// clean for bucket-local corruptions.
+#[test]
+fn every_corruption_pins_its_code() {
+    for corruption in PlanCorruption::ALL {
+        let mut spec = valid_spec();
+        assert!(
+            corrupt_plan(&mut spec, corruption, 0),
+            "{corruption}: no mutation site in the fixture"
+        );
+        let report = check_plan(&spec);
+        let expected = corruption.expected_code();
+        let hit = report
+            .all_diagnostics()
+            .find(|d| d.code == expected)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{corruption} must pin {expected}, got:\n{}",
+                    report.render()
+                )
+            });
+        assert_eq!(hit.severity, Severity::Error, "{expected} severity");
+        assert_eq!(hit.code.as_str(), expected.as_str());
+    }
+}
+
+#[test]
+fn codes_cover_the_full_plan_range() {
+    let pinned: Vec<&str> = PlanCorruption::ALL
+        .iter()
+        .map(|c| c.expected_code().as_str())
+        .collect();
+    assert_eq!(
+        pinned,
+        vec!["ORV015", "ORV016", "ORV017", "ORV018", "ORV019", "ORV020", "ORV021", "ORV022"]
+    );
+}
+
+#[test]
+fn corruption_is_attributed_to_its_bucket() {
+    for corruption in [
+        PlanCorruption::EarlyReclaim,
+        PlanCorruption::AliasBuffers,
+        PlanCorruption::ShrinkExtent,
+        PlanCorruption::DropReclaim,
+    ] {
+        let mut spec = valid_spec();
+        assert!(corrupt_plan(&mut spec, corruption, 1), "{corruption}");
+        let report = check_plan(&spec);
+        assert!(
+            report.buckets[0].diagnostics.is_empty(),
+            "{corruption} leaked into the clean bucket:\n{}",
+            report.render()
+        );
+        assert!(
+            report.buckets[1]
+                .diagnostics
+                .iter()
+                .any(|d| d.code == corruption.expected_code()),
+            "{corruption} verdict missing from bucket 2:\n{}",
+            report.render()
+        );
+        assert!(
+            report.buckets[1].diagnostics[0]
+                .message
+                .contains("bucket 2"),
+            "bucket attribution missing: {}",
+            report.buckets[1].diagnostics[0].message
+        );
+    }
+}
+
+#[test]
+fn orv015_double_read_after_reclaim() {
+    // A hand-built (not injector-forged) case: the reclaim schedule honours
+    // last_use, but the step list reads the slot again afterwards.
+    let mut spec = valid_spec();
+    spec.steps[3].inputs = vec![1, 3]; // rereads conv output, reclaimed at step 1
+    let report = check_plan(&spec);
+    assert!(
+        report
+            .all_diagnostics()
+            .any(|d| d.code == Code::PlanUseAfterReclaim && d.message.contains("reclaimed")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn orv021_late_and_double_reclaims() {
+    // Late reclaim: slot 0 dies at step 0 but is returned after step 1.
+    let mut spec = valid_spec();
+    let slot = spec.buckets[0].reclaim_at[0]
+        .pop()
+        .expect("fixture reclaim");
+    spec.buckets[0].reclaim_at[1].push(slot);
+    let report = check_plan(&spec);
+    assert!(
+        report
+            .all_diagnostics()
+            .any(|d| d.code == Code::PlanReclaimLeak && d.message.contains("later than")),
+        "{}",
+        report.render()
+    );
+
+    // Double reclaim: slot 0 returned after step 0 and again after step 1.
+    let mut spec = valid_spec();
+    spec.buckets[0].reclaim_at[1].push(0);
+    let report = check_plan(&spec);
+    assert!(
+        report
+            .all_diagnostics()
+            .any(|d| d.code == Code::PlanReclaimLeak && d.message.contains("second time")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn orv017_view_move_of_live_input() {
+    // flatten's input (slot 2) is also read later: the move is illegal even
+    // though everything else about the step stays view-shaped.
+    let mut spec = valid_spec();
+    spec.steps[3].inputs = vec![2, 3];
+    spec.last_use[2] = 3;
+    let report = check_plan(&spec);
+    assert!(
+        report
+            .all_diagnostics()
+            .any(|d| d.code == Code::PlanInvalidViewMove && d.message.contains("does not die")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn orv022_ladder_schedule_drift() {
+    // Same arena bytes, but bucket 2 disagrees about which step is a move —
+    // liveness must be batch-independent.
+    let mut spec = valid_spec();
+    spec.buckets[1].view_move[2] = false;
+    spec.buckets[1].reclaim_at[2].push(2);
+    let report = check_plan(&spec);
+    assert!(
+        report
+            .ladder
+            .iter()
+            .any(|d| d.code == Code::PlanBucketMismatch && d.message.contains("view-move")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn malformed_spec_is_rejected_not_panicked() {
+    let mut spec = valid_spec();
+    spec.buckets[0].slot_elems.truncate(2);
+    let report = check_plan(&spec);
+    assert!(report
+        .all_diagnostics()
+        .any(|d| d.code == Code::PlanBucketMismatch));
+
+    let mut spec = valid_spec();
+    spec.buckets[0].buffer_of = vec![7; 5];
+    let report = check_plan(&spec);
+    assert!(report
+        .all_diagnostics()
+        .any(|d| d.code == Code::PlanExtentOverflow));
+}

@@ -34,6 +34,18 @@ trap 'rm -rf "$LINT_TMP"' EXIT
 ./target/release/orpheus-cli export --model wrn40_2 --out "$LINT_TMP/wrn40_2.onnx"
 ./target/release/orpheus-cli lint "$LINT_TMP/wrn40_2.onnx" --json > /dev/null
 
+echo "== plan soundness (release, all zoo models x full bucket ladder) =="
+# The static execution-plan checker (ORV015-ORV022) proves every model's
+# arena-reuse plan sound at every batch bucket up to 8: no use after
+# reclaim, no aliasing of live slots, valid view-moves, consistent ladder.
+./target/release/orpheus-cli lint --model all --max-batch 8 --check-plan
+
+echo "== plan sanitizer (debug assertions + corruption hook) =="
+# Debug builds re-prove plan soundness inside Engine::load; the corruption
+# hook injects one known-bad mutation per ORV code and the load must be
+# rejected with the offending bucket and code attributed.
+cargo test -q -p orpheus --test plan_sanitizer
+
 echo "== zero-allocation arena executor =="
 # Counting-allocator proof that steady-state Session::run never touches the
 # heap, plus zoo-wide bit-identity vs. the legacy executor and the
