@@ -189,6 +189,10 @@ pub struct ModelBench {
     pub layers: u64,
     /// Total FLOPs per inference.
     pub flops: u64,
+    /// GEMM ISA the plan executes on (`"avx2+fma"`, `"scalar"`, or
+    /// `"scalar (forced)"`); empty in baselines written before runtime
+    /// dispatch existed.
+    pub gemm_isa: String,
     /// Latency distribution over every timed run of every round.
     pub latency: LatencyStats,
     /// Median of the per-round median latencies — the noise-robust value
@@ -337,6 +341,9 @@ fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, Eng
     let engine = Engine::builder().threads(config.threads).build()?;
     let graph = build_model_with_input(model, hw, hw);
     let network = engine.load(graph)?;
+    // The read-only plan summary is the supported view of what the load
+    // produced — layer count, FLOPs, and which GEMM ISA dispatch selected.
+    let summary = network.plan_summary();
     let dims = [1, model.input_dims()[1], hw, hw];
     let input = Tensor::full(&dims, 0.5);
 
@@ -407,8 +414,8 @@ fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, Eng
             .and_then(|engine| engine.load(build_model_with_input(model, hw, hw)))
         {
             let mut batched_session = batched_network.session();
-            for (batch, memory) in batched_network.bucket_memory_plans() {
-                let dims = [batch, model.input_dims()[1], hw, hw];
+            for bucket in batched_network.plan_summary().batch_buckets {
+                let dims = [bucket.batch, model.input_dims()[1], hw, hw];
                 let batch_input = Tensor::full(&dims, 0.5);
                 for _ in 0..config.warmup.max(1) {
                     batched_session.run(&batch_input)?;
@@ -420,9 +427,9 @@ fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, Eng
                     hist.record(start.elapsed().as_micros() as u64);
                 }
                 batched.push(BatchBench {
-                    batch: batch as u64,
+                    batch: bucket.batch as u64,
                     p50_us: hist.percentile(0.50),
-                    arena_planned_bytes: memory.arena_bytes() as u64,
+                    arena_planned_bytes: bucket.arena_bytes as u64,
                 });
             }
         }
@@ -431,8 +438,9 @@ fn bench_model(config: &BenchConfig, model: ModelKind) -> Result<ModelBench, Eng
     Ok(ModelBench {
         model: model.name().to_string(),
         input_hw: hw as u64,
-        layers: network.num_layers() as u64,
-        flops: network.flops(),
+        layers: summary.layers.len() as u64,
+        flops: summary.flops,
+        gemm_isa: summary.gemm_isa.to_string(),
         latency: LatencyStats::from_histogram(&total),
         p50_median_us,
         round_p50s_us,
@@ -480,8 +488,8 @@ impl BenchReport {
         for (i, m) in self.models.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!(
-                "      \"model\": \"{}\",\n      \"input_hw\": {},\n      \"layers\": {},\n      \"flops\": {},\n",
-                escape(&m.model), m.input_hw, m.layers, m.flops
+                "      \"model\": \"{}\",\n      \"input_hw\": {},\n      \"layers\": {},\n      \"flops\": {},\n      \"gemm_isa\": \"{}\",\n",
+                escape(&m.model), m.input_hw, m.layers, m.flops, escape(&m.gemm_isa)
             ));
             out.push_str(&format!("      \"latency_us\": {},\n", m.latency.to_json()));
             out.push_str(&format!(
@@ -598,6 +606,13 @@ impl BenchReport {
                 input_hw: req_u64(m, "input_hw")?,
                 layers: req_u64(m, "layers")?,
                 flops: req_u64(m, "flops")?,
+                // Lenient: baselines written before runtime dispatch carry
+                // no ISA stamp and parse to an empty string.
+                gemm_isa: m
+                    .get("gemm_isa")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
                 latency: LatencyStats {
                     runs: lat_u64("runs")?,
                     min_us: lat_u64("min_us")?,
@@ -658,9 +673,15 @@ impl BenchReport {
 
     /// Renders the human summary table.
     pub fn render(&self) -> String {
+        let isa = self
+            .models
+            .iter()
+            .map(|m| m.gemm_isa.as_str())
+            .find(|isa| !isa.is_empty())
+            .unwrap_or("unknown");
         let mut out = format!(
-            "bench @ {} ({} scale, {} thread(s), {} warmup + {}x{} timed runs per model)\n",
-            self.git_sha, self.scale, self.threads, self.warmup, self.rounds, self.iters
+            "bench @ {} ({} scale, {} thread(s), {} warmup + {}x{} timed runs per model, gemm {})\n",
+            self.git_sha, self.scale, self.threads, self.warmup, self.rounds, self.iters, isa
         );
         out.push_str(&format!(
             "{:<14} {:>4} {:>6} {:>10} {:>10} {:>10} {:>11} {:>11} {:>7}\n",
@@ -935,6 +956,7 @@ mod tests {
         assert_eq!(report.models.len(), 1);
         let m = &report.models[0];
         assert_eq!(m.model, "TinyCNN");
+        assert_eq!(m.gemm_isa, orpheus_gemm::dispatch_name());
         assert!(m.latency.runs == 4, "2 rounds x 2 iters");
         assert!(m.p50_median_us > 0);
         assert_eq!(m.round_p50s_us.len(), 2);
@@ -958,6 +980,7 @@ mod tests {
         assert_eq!(back.models.len(), 1);
         let bm = &back.models[0];
         assert_eq!(bm.model, m.model);
+        assert_eq!(bm.gemm_isa, m.gemm_isa, "gemm_isa must round-trip");
         assert_eq!(bm.p50_median_us, m.p50_median_us);
         assert_eq!(bm.round_p50s_us, m.round_p50s_us);
         assert_eq!(bm.arena_planned_bytes, m.arena_planned_bytes);

@@ -58,6 +58,7 @@ pub struct EngineBuilder {
     fault_injection: Option<String>,
     fault_mode: Option<FaultMode>,
     max_batch: Option<usize>,
+    force_scalar: Option<bool>,
     plan_corruption: Option<(orpheus_verify::PlanCorruption, usize)>,
 }
 
@@ -137,6 +138,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Pins every runtime-dispatched GEMM tier to the scalar micro-kernel
+    /// (`packed-scalar` instead of `packed`), bypassing SIMD dispatch.
+    ///
+    /// This is the scalar differential lane: a force-scalar engine is
+    /// bit-identical to the pre-SIMD packed path, so comparing it against a
+    /// default engine bounds the SIMD numerical drift. Defaults to whatever
+    /// the process-wide dispatch decided — `false` on SIMD-capable hosts,
+    /// `true` when the host lacks AVX2+FMA or `ORPHEUS_FORCE_SCALAR=1` is
+    /// set (so the env lane flows through the builder automatically).
+    pub fn force_scalar(mut self, force: bool) -> Self {
+        self.force_scalar = Some(force);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -174,6 +189,9 @@ impl EngineBuilder {
             fault_injection: self.fault_injection,
             fault_mode: self.fault_mode.unwrap_or(FaultMode::Error),
             max_batch,
+            force_scalar: self
+                .force_scalar
+                .unwrap_or_else(|| !orpheus_gemm::active_is_simd()),
             plan_corruption: self.plan_corruption,
         })
     }
@@ -191,6 +209,7 @@ pub struct Engine {
     fault_injection: Option<String>,
     fault_mode: FaultMode,
     max_batch: usize,
+    force_scalar: bool,
     plan_corruption: Option<(orpheus_verify::PlanCorruption, usize)>,
 }
 
@@ -198,63 +217,6 @@ impl Engine {
     /// Starts configuring an engine.
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
-    }
-
-    /// Creates an engine with the Orpheus personality.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Config`] for a zero thread count.
-    #[deprecated(since = "0.2.0", note = "use `Engine::builder().threads(n).build()`")]
-    pub fn new(threads: usize) -> Result<Self, EngineError> {
-        Engine::builder().threads(threads).build()
-    }
-
-    /// Creates an engine configured as a framework personality.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Config`] for a zero thread count, or when the
-    /// personality's thread policy rejects `threads` — notably `tflite-sim`
-    /// only accepts the maximum hardware thread count, reproducing the
-    /// paper's reason for excluding TF-Lite from its single-thread Figure 2.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::builder().personality(p).threads(n).build()`"
-    )]
-    pub fn with_personality(personality: Personality, threads: usize) -> Result<Self, EngineError> {
-        Engine::builder()
-            .personality(personality)
-            .threads(threads)
-            .build()
-    }
-
-    /// Overrides the convolution selection policy.
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::policy`")]
-    pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Enables or disables graph simplification.
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::simplification`")]
-    pub fn with_simplification(mut self, simplify: bool) -> Self {
-        self.simplify = simplify;
-        self
-    }
-
-    /// Routes plain convolutions to a simulated vendor backend.
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::vendor_backend`")]
-    pub fn with_vendor_backend(mut self, vendor: VendorBackend) -> Self {
-        self.vendor = Some(vendor);
-        self
-    }
-
-    /// Injects a runtime fault into matching layers.
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::fault_injection`")]
-    pub fn with_fault_injection(mut self, needle: &str) -> Self {
-        self.fault_injection = Some(needle.to_string());
-        self
     }
 
     /// The engine's thread pool.
@@ -286,6 +248,12 @@ impl Engine {
     /// [`EngineBuilder::max_batch`]).
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// Whether lowering pins runtime-dispatched GEMM tiers to the scalar
+    /// micro-kernel (see [`EngineBuilder::force_scalar`]).
+    pub fn forces_scalar(&self) -> bool {
+        self.force_scalar
     }
 
     /// Loads a graph: simplify (per configuration), verify, select
@@ -399,6 +367,14 @@ impl Engine {
             "load",
             format!("{} ({} layers)", graph.name, plan.steps.len()),
         );
+        // Stamp which GEMM ISA this load's plans will execute on, so a
+        // post-hoc flight dump always answers "was that run SIMD or scalar?".
+        load_span.attr("gemm_isa", plan.gemm_isa);
+        observe::flight_record(
+            "engine",
+            "gemm.isa",
+            format!("{}: {}", graph.name, plan.gemm_isa),
+        );
         Ok(Network {
             name: graph.name.clone(),
             plan: Arc::new(plan),
@@ -492,6 +468,14 @@ impl Network {
         out
     }
 
+    /// A read-only, render-ready description of this network's execution
+    /// plan — per-layer implementation selections, the batch ladder with
+    /// planned arena sizes, and the GEMM ISA. The supported way for tools
+    /// (CLI, serving) to inspect a load; see [`crate::PlanSummary`].
+    pub fn plan_summary(&self) -> crate::PlanSummary {
+        crate::PlanSummary::from_plan(&self.name, &self.plan)
+    }
+
     /// The static activation-memory plan computed at load time (for the
     /// base batch bucket).
     pub fn memory_plan(&self) -> Option<&MemoryPlan> {
@@ -572,13 +556,17 @@ impl Network {
 
     /// Runs one inference on the legacy per-run-allocating executor.
     ///
-    /// Kept for differential testing against the planned arena path and as
-    /// the engine the profiler instruments; answers are bit-identical to
-    /// [`Network::run`].
+    /// Not part of the public 0.3.0 run surface ([`Session::run`],
+    /// [`Session::run_batch`], [`Session::run_into`] and their [`Network`]
+    /// wrappers): this is the differential-test reference path — the
+    /// executor the profiler instruments and the oracle the planned arena
+    /// path is proven bit-identical against. It only accepts the base-batch
+    /// input shape.
     ///
     /// # Errors
     ///
     /// See [`Network::run`].
+    #[doc(hidden)]
     pub fn run_unplanned(&self, input: &Tensor) -> Result<Tensor, EngineError> {
         self.execute(input, false).map(|(t, _)| t)
     }
@@ -599,11 +587,9 @@ impl Network {
         profiled: bool,
     ) -> Result<(Tensor, Option<Profile>), EngineError> {
         if input.dims() != self.plan.input_dims {
-            return Err(EngineError::Execution(format!(
-                "input dims {:?} do not match model input {:?}",
-                input.dims(),
-                self.plan.input_dims
-            )));
+            // Same error taxonomy as the session surface: one message shape
+            // for every run entry point (see `Plan::dims_error`).
+            return Err(self.plan.dims_error(input.dims()));
         }
         let mut run_span = observe::span("run", "engine");
         run_span.attr("model", self.name.as_str());
@@ -1079,28 +1065,6 @@ mod tests {
         let network = engine.load(build_model(ModelKind::TinyCnn)).unwrap();
         let out = network.run(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
         assert_eq!(out.dims(), &[1, 4]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        // The 0.1 API keeps working through the shims until removal.
-        let network = Engine::new(1)
-            .unwrap()
-            .with_simplification(false)
-            .load(build_model(ModelKind::TinyCnn))
-            .unwrap();
-        let legacy = network.run(&Tensor::ones(&[1, 3, 8, 8])).unwrap();
-        let modern = Engine::builder()
-            .simplification(false)
-            .build()
-            .unwrap()
-            .load(build_model(ModelKind::TinyCnn))
-            .unwrap()
-            .run(&Tensor::ones(&[1, 3, 8, 8]))
-            .unwrap();
-        assert_eq!(legacy.as_slice(), modern.as_slice());
-        assert!(Engine::with_personality(Personality::Orpheus, 1).is_ok());
     }
 
     #[test]

@@ -81,6 +81,7 @@ mod plan;
 mod profile;
 mod selection;
 mod session;
+mod summary;
 
 pub use engine::{Engine, EngineBuilder, Network, VendorBackend};
 pub use error::EngineError;
@@ -92,3 +93,4 @@ pub use plan::MemoryPlan;
 pub use profile::{LayerTiming, Profile};
 pub use selection::SelectionPolicy;
 pub use session::Session;
+pub use summary::{BucketSummary, LayerSummary, PlanSummary};

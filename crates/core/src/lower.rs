@@ -84,6 +84,10 @@ pub(crate) struct Plan {
     pub memory: Option<crate::plan::MemoryPlan>,
     /// One entry per batch bucket, ascending by batch, starting at the base.
     pub buckets: Vec<BucketPlan>,
+    /// The GEMM ISA this plan's kernels execute on, resolved at lowering:
+    /// `"avx2+fma"` or `"scalar"` from runtime dispatch, `"scalar (forced)"`
+    /// when the engine pinned the scalar tier on a SIMD-capable host.
+    pub gemm_isa: &'static str,
 }
 
 impl Plan {
@@ -123,6 +127,39 @@ impl Plan {
             .and_then(|b| b.memory.as_ref())
             .or(self.memory.as_ref())
             .expect("Engine::load always attaches a memory plan")
+    }
+
+    /// The batch sizes the run surface accepts, ascending (the bucket
+    /// ladder, or just the base batch for plans without explicit buckets).
+    pub fn accepted_batches(&self) -> Vec<usize> {
+        let buckets = self.bucket_batches();
+        if buckets.is_empty() {
+            vec![self.input_dims.first().copied().unwrap_or(1)]
+        } else {
+            buckets
+        }
+    }
+
+    /// The one dims-mismatch error every run surface shares
+    /// ([`Session::run`](crate::Session::run) and its batch/into variants,
+    /// [`Network::run`](crate::Network::run), the legacy unplanned path):
+    /// lists every accepted input shape and the planned batch buckets, not
+    /// just the base shape.
+    pub fn dims_error(&self, dims: &[usize]) -> EngineError {
+        let base = &self.input_dims;
+        let buckets = self.accepted_batches();
+        let max = buckets.last().copied().unwrap_or(1);
+        let mut accepted = String::from("[N");
+        for d in base.iter().skip(1) {
+            accepted.push_str(&format!(", {d}"));
+        }
+        accepted.push(']');
+        EngineError::Execution(format!(
+            "input dims {dims:?} do not match model input {base:?}: accepted \
+             input shapes are {accepted} for batch N in 1..={max} (planned \
+             batch buckets {buckets:?}; batches between buckets run padded \
+             into the next bucket)"
+        ))
     }
 }
 
@@ -285,6 +322,11 @@ pub(crate) fn lower(engine: &Engine, graph: &Graph) -> Result<Plan, EngineError>
         slot_dims,
         memory: None,
         buckets,
+        gemm_isa: if engine.forces_scalar() && orpheus_gemm::simd_available() {
+            "scalar (forced)"
+        } else {
+            orpheus_gemm::dispatch_name()
+        },
     })
 }
 
@@ -430,7 +472,7 @@ fn build_layer(
                 &node.name,
                 weight,
                 bias,
-                engine.personality().dense_kernel(),
+                force_scalar_kernel(engine, engine.personality().dense_kernel()),
                 fused_activation(node),
             )?)
         }
@@ -592,7 +634,7 @@ fn choose_conv_algorithm(
     h: usize,
     w: usize,
 ) -> ConvAlgorithm {
-    match engine.policy() {
+    let chosen = match engine.policy() {
         SelectionPolicy::Fixed(algo) => {
             if params.is_depthwise() && !engine.personality().depthwise_uses_generic_path() {
                 // Efficient frameworks route depthwise to the dedicated
@@ -607,5 +649,23 @@ fn choose_conv_algorithm(
             }
         }
         policy => policy.select(params, h, w, engine.pool()),
+    };
+    match chosen {
+        ConvAlgorithm::Im2colGemm(k) => ConvAlgorithm::Im2colGemm(force_scalar_kernel(engine, k)),
+        ConvAlgorithm::Im2colGemmEager(k) => {
+            ConvAlgorithm::Im2colGemmEager(force_scalar_kernel(engine, k))
+        }
+        other => other,
+    }
+}
+
+/// Substitutes the pinned-scalar twin for the runtime-dispatched `Packed`
+/// tier when the engine forces scalar execution (the differential lane and
+/// `ORPHEUS_FORCE_SCALAR` hosts). Other tiers are already scalar.
+fn force_scalar_kernel(engine: &Engine, kernel: GemmKernel) -> GemmKernel {
+    if engine.forces_scalar() && kernel == GemmKernel::Packed {
+        GemmKernel::PackedScalar
+    } else {
+        kernel
     }
 }

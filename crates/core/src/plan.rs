@@ -299,6 +299,7 @@ mod tests {
             slot_dims: vec![vec![1, 4], vec![1, 4], vec![1, 4]],
             memory: None,
             buckets: Vec::new(),
+            gemm_isa: "scalar",
         }
     }
 
@@ -345,6 +346,7 @@ mod tests {
             slot_dims: vec![vec![1, 4]; 4],
             memory: None,
             buckets: Vec::new(),
+            gemm_isa: "scalar",
         };
         let mp = plan_memory(&plan);
         assert!(!mp.view_move[1]);

@@ -99,14 +99,22 @@ fn heuristic(params: &Conv2dParams, _h: usize, _w: usize) -> ConvAlgorithm {
 }
 
 /// Candidate set for auto-tuning a given geometry.
+///
+/// On SIMD-capable hosts the pinned-scalar GEMM tier joins the runtime-
+/// dispatched one, so auto-tuning measures the vectorized micro-kernel
+/// against its scalar twin on the layer's real shape instead of assuming
+/// SIMD always wins.
 pub(crate) fn candidates(params: &Conv2dParams) -> Vec<ConvAlgorithm> {
     use orpheus_gemm::GemmKernel;
-    let all = [
-        ConvAlgorithm::Im2colGemm(GemmKernel::Packed),
+    let mut all = vec![ConvAlgorithm::Im2colGemm(GemmKernel::Packed)];
+    if orpheus_gemm::active_is_simd() {
+        all.push(ConvAlgorithm::Im2colGemm(GemmKernel::PackedScalar));
+    }
+    all.extend([
         ConvAlgorithm::SpatialPack,
         ConvAlgorithm::Winograd,
         ConvAlgorithm::DepthwiseDirect,
-    ];
+    ]);
     all.into_iter().filter(|a| a.supports(params)).collect()
 }
 

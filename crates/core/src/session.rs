@@ -162,12 +162,15 @@ impl Session {
 
     /// The batch sizes this session serves from its plan, ascending.
     pub fn batch_buckets(&self) -> Vec<usize> {
-        let buckets = self.plan.bucket_batches();
-        if buckets.is_empty() {
-            vec![self.plan.input_dims.first().copied().unwrap_or(1)]
-        } else {
-            buckets
-        }
+        self.plan.accepted_batches()
+    }
+
+    /// A read-only, render-ready description of the execution plan this
+    /// session runs: per-layer implementation selections, the batch ladder
+    /// with planned arena sizes, and the GEMM ISA — the supported way for
+    /// tools to inspect a load instead of reaching into plan internals.
+    pub fn plan_summary(&self) -> crate::PlanSummary {
+        crate::PlanSummary::from_plan(&self.model, &self.plan)
     }
 
     /// The largest batch size `run` accepts.
@@ -271,23 +274,11 @@ impl Session {
         Err(self.dims_error(dims))
     }
 
-    /// The actionable dims-mismatch error: lists every accepted input shape
+    /// The actionable dims-mismatch error, shared with every other run
+    /// surface (see [`Plan::dims_error`]): lists every accepted input shape
     /// and the planned batch buckets, not just the base shape.
     fn dims_error(&self, dims: &[usize]) -> EngineError {
-        let base = &self.plan.input_dims;
-        let buckets = self.batch_buckets();
-        let max = buckets.last().copied().unwrap_or(1);
-        let mut accepted = String::from("[N");
-        for d in base.iter().skip(1) {
-            accepted.push_str(&format!(", {d}"));
-        }
-        accepted.push(']');
-        EngineError::Execution(format!(
-            "input dims {dims:?} do not match model input {base:?}: accepted \
-             input shapes are {accepted} for batch N in 1..={max} (planned \
-             batch buckets {buckets:?}; batches between buckets run padded \
-             into the next bucket)"
-        ))
+        self.plan.dims_error(dims)
     }
 
     /// Takes the planned buffer for `slot` out of the active arena, zeroed
@@ -342,6 +333,30 @@ impl Session {
                 .ok_or_else(|| EngineError::Execution("output slot empty after run".into()));
         }
         self.slice_padded_output(batch, bucket_batch)
+    }
+
+    /// Runs one inference, copying the output into a caller-owned buffer and
+    /// returning the output dims.
+    ///
+    /// This completes the session run surface (`run` / `run_batch` /
+    /// `run_into`) for callers that own their output storage — a serving
+    /// loop can reuse one `Vec` across requests and stay allocation-free
+    /// once it has grown to the largest output. `out` is cleared first;
+    /// accepted inputs and the error taxonomy are exactly [`Session::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`]. On error `out` is left cleared.
+    pub fn run_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Vec<f32>,
+    ) -> Result<Vec<usize>, EngineError> {
+        out.clear();
+        let output = self.run(input)?;
+        let dims = output.dims().to_vec();
+        out.extend_from_slice(output.as_slice());
+        Ok(dims)
     }
 
     /// Slices the first `batch` of `bucket_batch` served rows off the

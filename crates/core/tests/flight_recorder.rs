@@ -57,6 +57,47 @@ fn fallback_rescue_leaves_a_flight_recorder_entry() {
 }
 
 #[test]
+fn load_stamps_the_gemm_isa() {
+    // Every load records which GEMM ISA its plans execute on, so a flight
+    // dump from the field always answers "was that run SIMD or scalar?".
+    let network = Engine::builder()
+        .build()
+        .unwrap()
+        .load(build_model(ModelKind::TinyCnn))
+        .unwrap();
+    let events = observe::flight_snapshot();
+    let isa_entries: Vec<_> = events
+        .iter()
+        .filter(|e| e.category == "engine" && e.label == "gemm.isa")
+        .collect();
+    assert!(
+        !isa_entries.is_empty(),
+        "load left no gemm.isa flight entry; ring: {}",
+        observe::flight_render(&events)
+    );
+    let expected = orpheus_gemm::dispatch_name();
+    assert!(
+        isa_entries.iter().any(|e| e.detail.contains(expected)),
+        "gemm.isa entries name the wrong ISA (want {expected}): {isa_entries:?}"
+    );
+    assert_eq!(network.plan_summary().gemm_isa, expected);
+
+    // A force-scalar engine on a SIMD host stamps the forced variant.
+    let forced = Engine::builder()
+        .force_scalar(true)
+        .build()
+        .unwrap()
+        .load(build_model(ModelKind::TinyCnn))
+        .unwrap();
+    let want = if orpheus_gemm::simd_available() {
+        "scalar (forced)"
+    } else {
+        "scalar"
+    };
+    assert_eq!(forced.plan_summary().gemm_isa, want);
+}
+
+#[test]
 fn legacy_executor_fallback_also_records_flight_events() {
     let network = Engine::builder()
         .fault_injection("pack")

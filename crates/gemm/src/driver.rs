@@ -6,6 +6,7 @@ use orpheus_threads::ThreadPool;
 
 use crate::kernels::{gemm_blocked, gemm_naive};
 use crate::packed::gemm_packed;
+use crate::simd::{active_is_simd, active_kernel, scalar_kernel, MicroKernel};
 
 /// Which GEMM implementation tier to run.
 ///
@@ -17,14 +18,24 @@ pub enum GemmKernel {
     Naive,
     /// Cache-blocked, autovectorized row updates.
     Blocked,
-    /// Packed panels with a register-tiled micro-kernel (fastest).
+    /// Packed panels with the runtime-dispatched micro-kernel (AVX2/FMA
+    /// where available, scalar otherwise — fastest).
     #[default]
     Packed,
+    /// Packed panels pinned to the scalar micro-kernel regardless of CPU
+    /// features: the reproducible reference arm for scalar-vs-SIMD
+    /// differential tests and per-layer auto-tuning.
+    PackedScalar,
 }
 
 impl GemmKernel {
     /// All kernel tiers, for sweeps.
-    pub const ALL: [GemmKernel; 3] = [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Packed];
+    pub const ALL: [GemmKernel; 4] = [
+        GemmKernel::Naive,
+        GemmKernel::Blocked,
+        GemmKernel::Packed,
+        GemmKernel::PackedScalar,
+    ];
 }
 
 impl fmt::Display for GemmKernel {
@@ -33,9 +44,41 @@ impl fmt::Display for GemmKernel {
             GemmKernel::Naive => "naive",
             GemmKernel::Blocked => "blocked",
             GemmKernel::Packed => "packed",
+            GemmKernel::PackedScalar => "packed-scalar",
         };
         f.write_str(name)
     }
+}
+
+/// Resolves a kernel tier to the micro-kernel it runs: `Packed` follows the
+/// runtime dispatch, `PackedScalar` pins the scalar path.
+pub(crate) fn micro_kernel_for(kernel: GemmKernel) -> &'static dyn MicroKernel {
+    match kernel {
+        GemmKernel::PackedScalar => scalar_kernel(),
+        _ => active_kernel(),
+    }
+}
+
+/// Bumps the `gemm.kernel.*` dispatch counter for one GEMM call. Inert (one
+/// atomic load) while the recorder is off, so the zero-steady-state-alloc
+/// invariant holds.
+pub(crate) fn count_dispatch(kernel: GemmKernel) {
+    if !orpheus_observe::enabled() {
+        return;
+    }
+    let name = match kernel {
+        GemmKernel::Naive => "gemm.kernel.naive",
+        GemmKernel::Blocked => "gemm.kernel.blocked",
+        GemmKernel::Packed => {
+            if active_is_simd() {
+                "gemm.kernel.avx2_fma"
+            } else {
+                "gemm.kernel.scalar"
+            }
+        }
+        GemmKernel::PackedScalar => "gemm.kernel.scalar",
+    };
+    orpheus_observe::counter_add(name, 1);
 }
 
 /// Single-threaded GEMM: `C = A·B + beta·C`.
@@ -65,17 +108,36 @@ pub fn gemm(
     if m == 0 || n == 0 {
         return;
     }
+    count_dispatch(kernel);
     // Narrow outputs (GEMV and late conv stages) defeat both the blocked
     // row update and the packed register tile; route them to the
-    // dot-product kernel. The naive tier stays pure as the reference.
+    // dot-product kernel. The naive tier stays pure as the reference, and
+    // the Blocked tier keeps the scalar dot so its behaviour class is
+    // unchanged by SIMD dispatch.
     if n < crate::packed::SMALL_N && kernel != GemmKernel::Naive {
-        crate::packed::gemm_small_n(m, n, k, a, lda, b, ldb, c, ldc, beta);
+        let mk = match kernel {
+            GemmKernel::Packed => active_kernel(),
+            _ => scalar_kernel(),
+        };
+        crate::packed::gemm_small_n(mk, m, n, k, a, lda, b, ldb, c, ldc, beta);
         return;
     }
     match kernel {
         GemmKernel::Naive => gemm_naive(m, n, k, a, lda, b, ldb, c, ldc, beta),
         GemmKernel::Blocked => gemm_blocked(m, n, k, a, lda, b, ldb, c, ldc, beta),
-        GemmKernel::Packed => gemm_packed(m, n, k, a, lda, b, ldb, c, ldc, beta),
+        GemmKernel::Packed | GemmKernel::PackedScalar => gemm_packed(
+            micro_kernel_for(kernel),
+            m,
+            n,
+            k,
+            a,
+            lda,
+            b,
+            ldb,
+            c,
+            ldc,
+            beta,
+        ),
     }
 }
 
@@ -178,7 +240,11 @@ mod tests {
             n,
             0.0,
         );
-        for kernel in [GemmKernel::Blocked, GemmKernel::Packed] {
+        for kernel in [
+            GemmKernel::Blocked,
+            GemmKernel::Packed,
+            GemmKernel::PackedScalar,
+        ] {
             let mut c = vec![0.0; m * n];
             gemm(kernel, m, n, k, &a, k, &b, n, &mut c, n, 0.0);
             for (x, y) in reference.iter().zip(&c) {
@@ -288,11 +354,41 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(GemmKernel::Packed.to_string(), "packed");
-        assert_eq!(GemmKernel::ALL.len(), 3);
+        assert_eq!(GemmKernel::PackedScalar.to_string(), "packed-scalar");
+        assert_eq!(GemmKernel::ALL.len(), 4);
     }
 
     #[test]
     fn default_is_packed() {
         assert_eq!(GemmKernel::default(), GemmKernel::Packed);
+    }
+
+    /// `PackedScalar` must agree with `Packed` to within FMA-reordering
+    /// tolerance on both the tiled and the narrow-output paths.
+    #[test]
+    fn packed_scalar_tracks_packed() {
+        for &(m, n, k) in &[(23usize, 31usize, 41usize), (9, 4, 300)] {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut simd = vec![0.0; m * n];
+            let mut scalar = vec![0.0; m * n];
+            gemm(GemmKernel::Packed, m, n, k, &a, k, &b, n, &mut simd, n, 0.0);
+            gemm(
+                GemmKernel::PackedScalar,
+                m,
+                n,
+                k,
+                &a,
+                k,
+                &b,
+                n,
+                &mut scalar,
+                n,
+                0.0,
+            );
+            for (x, y) in simd.iter().zip(&scalar) {
+                assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0), "{x} vs {y}");
+            }
+        }
     }
 }

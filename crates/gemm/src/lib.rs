@@ -10,10 +10,18 @@
 //! * [`GemmKernel::Blocked`] — cache-tiled `i-k-j` ordering that
 //!   autovectorizes across the output row.
 //! * [`GemmKernel::Packed`] — BLIS-style packed panels with a register-tiled
-//!   micro-kernel; the tier the `orpheus` personality uses.
+//!   micro-kernel dispatched at runtime (AVX2/FMA where the CPU supports it,
+//!   scalar otherwise); the tier the `orpheus` personality uses.
+//! * [`GemmKernel::PackedScalar`] — the packed tier pinned to the scalar
+//!   micro-kernel, the reproducible arm of scalar-vs-SIMD differential tests
+//!   and per-layer auto-tuning.
 //!
 //! All kernels compute `C = A·B + beta·C` over row-major `f32` buffers with
 //! explicit leading dimensions, so sub-matrices can be multiplied in place.
+//!
+//! Weights reused across runs can be packed once into [`PackedWeights`] and
+//! multiplied with [`gemm_prepacked_a`] / [`gemm_prepacked_b`], removing all
+//! weight-packing work (and allocation) from the steady-state run loop.
 //!
 //! [`im2col`] lowers a convolution input into the matrix consumed by GEMM
 //! convolution.
@@ -31,15 +39,26 @@
 //! assert_eq!(c, b);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid` so the one sanctioned unsafe island below can
+// opt back in; every other crate in the workspace keeps `forbid(unsafe_code)`.
+#![deny(unsafe_code)]
 
 mod driver;
 mod im2col;
 mod kernels;
 mod packed;
+// The only module in the workspace allowed to use `unsafe`: the
+// `std::arch` SIMD micro-kernels, with `deny(unsafe_op_in_unsafe_fn)` and
+// written Safety contracts inside.
+#[allow(unsafe_code)]
+mod simd;
 
 pub use driver::{gemm, gemm_parallel, GemmKernel};
 pub use im2col::{im2col, Im2colParams};
+pub use packed::{gemm_prepacked_a, gemm_prepacked_a_parallel, gemm_prepacked_b, PackedWeights};
+pub use simd::{
+    active_is_simd, active_kernel, dispatch_name, scalar_kernel, simd_available, MicroKernel,
+};
 
 /// Floating-point operations performed by an `m x n x k` GEMM
 /// (one multiply and one add per inner iteration).

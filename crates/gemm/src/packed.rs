@@ -2,13 +2,22 @@
 //!
 //! The matrix is processed in `MC x KC` panels of `A` and `KC x NC` panels of
 //! `B`, both repacked into micro-panel order so the micro-kernel streams
-//! through memory with unit stride. The micro-kernel computes an `MR x NR`
-//! block of `C` held entirely in local accumulators, which the compiler keeps
-//! in vector registers.
+//! through memory with unit stride. The micro-kernel itself is pluggable
+//! (scalar or AVX2/FMA, see the `simd` module); it computes an `MR x NR`
+//! block of `C` held entirely in registers.
+//!
+//! Weights that are reused across runs can be packed **once** into
+//! [`PackedWeights`] (at `Engine::load` time) and multiplied with
+//! [`gemm_prepacked_a`] / [`gemm_prepacked_b`], so the steady-state run loop
+//! packs only the activation operand and allocates nothing.
 
 use std::time::{Duration, Instant};
 
+use orpheus_threads::ThreadPool;
+
+use crate::driver::GemmKernel;
 use crate::kernels::scale_c;
+use crate::simd::MicroKernel;
 
 /// Rows of the register tile.
 pub(crate) const MR: usize = 4;
@@ -26,6 +35,7 @@ pub(crate) const SMALL_N: usize = 16;
 /// Packed-panel GEMM: `C = A·B + beta·C`.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub(crate) fn gemm_packed(
+    mk: &dyn MicroKernel,
     m: usize,
     n: usize,
     k: usize,
@@ -82,9 +92,9 @@ pub(crate) fn gemm_packed(
                     let mr = MR.min(mc - ir);
                     let a_panel = &a_pack[(ir / MR) * kc * MR..(ir / MR + 1) * kc * MR];
                     if mr == MR && nr == NR {
-                        micro_kernel_full(a_panel, b_panel, kc, c, ldc, i0 + ir, jr);
+                        mk.tile_full(a_panel, b_panel, kc, c, ldc, i0 + ir, jr);
                     } else {
-                        micro_kernel_edge(a_panel, b_panel, kc, c, ldc, i0 + ir, jr, mr, nr);
+                        mk.tile_edge(a_panel, b_panel, kc, c, ldc, i0 + ir, jr, mr, nr);
                     }
                 }
             }
@@ -100,6 +110,7 @@ pub(crate) fn gemm_packed(
         gemm_span.attr("m", m);
         gemm_span.attr("n", n);
         gemm_span.attr("k", k);
+        gemm_span.attr("isa", mk.name());
         gemm_span.attr("pack_us", pack_us);
         gemm_span.attr("compute_us", compute_us);
         orpheus_observe::counter_add("gemm.pack_us", pack_us as u64);
@@ -112,10 +123,11 @@ pub(crate) fn gemm_packed(
 /// have shrunk to a few pixels.
 ///
 /// Register tiles are useless here; instead `B` is transposed once into
-/// `n` contiguous rows of length `k`, and each output is a dot product that
-/// vectorizes along `k`.
+/// `n` contiguous rows of length `k`, and each output is a dot product
+/// delegated to the micro-kernel's [`MicroKernel::dot`].
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub(crate) fn gemm_small_n(
+    mk: &dyn MicroKernel,
     m: usize,
     n: usize,
     k: usize,
@@ -144,21 +156,348 @@ pub(crate) fn gemm_small_n(
         let c_row = &mut c[i * ldc..i * ldc + n];
         for (j, out) in c_row.iter_mut().enumerate() {
             let b_row = &bt[j * k..(j + 1) * k];
-            // Four independent partial sums so the reduction vectorizes.
-            let mut acc = [0.0f32; 4];
-            let chunks = k / 4;
-            for q in 0..chunks {
-                for l in 0..4 {
-                    acc[l] += a_row[q * 4 + l] * b_row[q * 4 + l];
-                }
-            }
-            let mut tail = 0.0f32;
-            for q in chunks * 4..k {
-                tail += a_row[q] * b_row[q];
-            }
-            *out += acc[0] + acc[1] + acc[2] + acc[3] + tail;
+            *out += mk.dot(a_row, b_row);
         }
     }
+}
+
+/// A weight operand packed once into micro-panel order, ready to be
+/// multiplied on every run without repacking.
+///
+/// Built at model-load time (`Engine::load`) and stored per layer alongside
+/// the memory plan; the steady-state run loop then packs only the
+/// activation operand into thread-local scratch, keeping the
+/// zero-steady-state-allocation invariant.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    side: PackedSide,
+    k: usize,
+    data: Vec<f32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PackedSide {
+    /// Weights are the left operand: `m x k`, packed in `MR`-row panels.
+    A { m: usize },
+    /// Weights are the right operand: `k x n`, packed in `NR`-column panels.
+    B { n: usize },
+}
+
+impl PackedWeights {
+    /// Packs an `m x k` left-hand weight matrix (leading dimension `lda`)
+    /// for [`gemm_prepacked_a`]. This is the convolution layout, where the
+    /// weight matrix multiplies the im2col activation matrix from the left.
+    pub fn pack_a(a: &[f32], m: usize, k: usize, lda: usize) -> Self {
+        assert!(lda >= k, "leading dimension too small");
+        assert!(
+            k == 0 || m == 0 || a.len() >= (m - 1) * lda + k,
+            "weight buffer too small"
+        );
+        let m_tiles = m.div_ceil(MR);
+        let mut data = vec![0.0f32; m_tiles * MR * k];
+        for p0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - p0);
+            let blk = m_tiles * MR * p0;
+            pack_a(
+                &mut data[blk..blk + m_tiles * MR * kc],
+                a,
+                lda,
+                0,
+                m,
+                p0,
+                kc,
+            );
+        }
+        PackedWeights {
+            side: PackedSide::A { m },
+            k,
+            data,
+        }
+    }
+
+    /// Packs the transpose of an `n x k` weight matrix (row-major, e.g. a
+    /// dense layer's `[out_features x in_features]` tensor) as the `k x n`
+    /// right operand for [`gemm_prepacked_b`], so `y = x·Wᵀ` runs as one
+    /// GEMM over the whole batch.
+    pub fn pack_b_transposed(w: &[f32], n: usize, k: usize) -> Self {
+        assert!(w.len() >= n * k, "weight buffer too small");
+        let n_tiles = n.div_ceil(NR);
+        let mut data = vec![0.0f32; n_tiles * NR * k];
+        for p0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - p0);
+            let blk = n_tiles * NR * p0;
+            for t in 0..n_tiles {
+                let base = blk + t * kc * NR;
+                let j0 = t * NR;
+                let cols = NR.min(n - j0);
+                for p in 0..kc {
+                    for (c, slot) in data[base + p * NR..base + p * NR + cols]
+                        .iter_mut()
+                        .enumerate()
+                    {
+                        *slot = w[(j0 + c) * k + p0 + p];
+                    }
+                }
+            }
+        }
+        PackedWeights {
+            side: PackedSide::B { n },
+            k,
+            data,
+        }
+    }
+
+    /// Shared (`k`) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output rows produced by an A-side pack (panics on a B-side pack).
+    pub fn out_rows(&self) -> usize {
+        match self.side {
+            PackedSide::A { m } => m,
+            PackedSide::B { .. } => panic!("B-side pack has no output rows"),
+        }
+    }
+
+    /// Output columns produced by a B-side pack (panics on an A-side pack).
+    pub fn out_cols(&self) -> usize {
+        match self.side {
+            PackedSide::B { n } => n,
+            PackedSide::A { .. } => panic!("A-side pack has no output columns"),
+        }
+    }
+
+    /// Heap bytes held by the packed panels (load-time cost accounting).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `C = packed_A·B + beta·C` where the `m x k` left operand was packed once
+/// with [`PackedWeights::pack_a`].
+///
+/// Unlike [`crate::gemm`], narrow outputs are handled by ragged register
+/// tiles rather than the dot-product path, so the packed panels are used
+/// for every shape.
+///
+/// # Panics
+///
+/// Panics if `weights` is not an A-side pack or any buffer is too small.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm_prepacked_a(
+    kernel: GemmKernel,
+    weights: &PackedWeights,
+    n: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    let m = weights.out_rows();
+    check_prepacked_bc(m, n, weights.k, b, ldb, c, ldc);
+    crate::driver::count_dispatch(kernel);
+    prepacked_a_band(
+        crate::driver::micro_kernel_for(kernel),
+        weights,
+        0,
+        m,
+        n,
+        b,
+        ldb,
+        c,
+        ldc,
+        beta,
+    );
+}
+
+/// Parallel [`gemm_prepacked_a`]: splits the rows of `C` into register-tile
+/// aligned bands across the pool's threads.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm_prepacked_a_parallel(
+    kernel: GemmKernel,
+    pool: &ThreadPool,
+    weights: &PackedWeights,
+    n: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    let m = weights.out_rows();
+    check_prepacked_bc(m, n, weights.k, b, ldb, c, ldc);
+    if pool.num_threads() == 1 || m <= MR || c.len() < m * ldc {
+        gemm_prepacked_a(kernel, weights, n, b, ldb, c, ldc, beta);
+        return;
+    }
+    crate::driver::count_dispatch(kernel);
+    let mk = crate::driver::micro_kernel_for(kernel);
+    // Bands must start on a register-tile boundary so band-local row indices
+    // map onto the globally packed A panels.
+    let min_rows = m.div_ceil(pool.num_threads()).max(1);
+    pool.parallel_for_rows_aligned(&mut c[..m * ldc], ldc, min_rows, MR, |row0, band| {
+        let rows = band.len() / ldc;
+        prepacked_a_band(mk, weights, row0, rows, n, b, ldb, band, ldc, beta);
+    });
+}
+
+/// Computes rows `row0..row0 + rows` of `C = packed_A·B + beta·C` into the
+/// band `c` (whose first row is global row `row0`; `row0 % MR == 0`).
+#[allow(clippy::too_many_arguments)]
+fn prepacked_a_band(
+    mk: &dyn MicroKernel,
+    weights: &PackedWeights,
+    row0: usize,
+    rows: usize,
+    n: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    debug_assert_eq!(row0 % MR, 0, "band must start on a register-tile row");
+    if rows == 0 || n == 0 {
+        return;
+    }
+    scale_c(rows, n, c, ldc, beta);
+    let k = weights.k;
+    if k == 0 {
+        return;
+    }
+    let m_tiles = weights.out_rows().div_ceil(MR);
+
+    let mut b_pack = orpheus_threads::take_scratch(KC * n.div_ceil(NR) * NR);
+
+    let tracing = orpheus_observe::enabled();
+    let mut gemm_span = orpheus_observe::span("gemm_prepacked", "gemm");
+    let mut pack_time = Duration::ZERO;
+    let mut compute_time = Duration::ZERO;
+
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        let t = tracing.then(Instant::now);
+        pack_b(&mut b_pack, b, ldb, p0, kc, n);
+        if let Some(t) = t {
+            pack_time += t.elapsed();
+        }
+        let blk = m_tiles * MR * p0;
+        let t = tracing.then(Instant::now);
+        for i0 in (0..rows).step_by(MC) {
+            let mc = MC.min(rows - i0);
+            for jr in (0..n).step_by(NR) {
+                let nr = NR.min(n - jr);
+                let b_panel = &b_pack[(jr / NR) * kc * NR..(jr / NR + 1) * kc * NR];
+                for ir in (0..mc).step_by(MR) {
+                    let mr = MR.min(mc - ir);
+                    let tile = (row0 + i0 + ir) / MR;
+                    let a_panel = &weights.data[blk + tile * kc * MR..blk + (tile + 1) * kc * MR];
+                    if mr == MR && nr == NR {
+                        mk.tile_full(a_panel, b_panel, kc, c, ldc, i0 + ir, jr);
+                    } else {
+                        mk.tile_edge(a_panel, b_panel, kc, c, ldc, i0 + ir, jr, mr, nr);
+                    }
+                }
+            }
+        }
+        if let Some(t) = t {
+            compute_time += t.elapsed();
+        }
+    }
+
+    if tracing {
+        let pack_us = pack_time.as_secs_f64() * 1e6;
+        let compute_us = compute_time.as_secs_f64() * 1e6;
+        gemm_span.attr("m", rows);
+        gemm_span.attr("n", n);
+        gemm_span.attr("k", k);
+        gemm_span.attr("isa", mk.name());
+        gemm_span.attr("pack_us", pack_us);
+        gemm_span.attr("compute_us", compute_us);
+        orpheus_observe::counter_add("gemm.pack_us", pack_us as u64);
+        orpheus_observe::counter_add("gemm.compute_us", compute_us as u64);
+    }
+}
+
+/// `C = A·packed_B + beta·C` where the `k x n` right operand was packed once
+/// with [`PackedWeights::pack_b_transposed`].
+///
+/// This is the dense-layer layout: `A` is the activation batch
+/// (`m = batch`), so the whole batch runs as one GEMM against the
+/// pre-packed transposed weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is not a B-side pack or any buffer is too small.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm_prepacked_b(
+    kernel: GemmKernel,
+    m: usize,
+    a: &[f32],
+    lda: usize,
+    weights: &PackedWeights,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    let n = weights.out_cols();
+    let k = weights.k;
+    if m == 0 {
+        return;
+    }
+    assert!(lda >= k && ldc >= n, "leading dims too small");
+    if k > 0 {
+        assert!(a.len() >= (m - 1) * lda + k, "A buffer too small");
+    }
+    assert!(c.len() >= (m - 1) * ldc + n, "C buffer too small");
+    if n == 0 {
+        return;
+    }
+    crate::driver::count_dispatch(kernel);
+    let mk = crate::driver::micro_kernel_for(kernel);
+    scale_c(m, n, c, ldc, beta);
+    if k == 0 {
+        return;
+    }
+    let n_tiles = n.div_ceil(NR);
+
+    let mut a_pack = orpheus_threads::take_scratch(MC * KC);
+
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        let blk = n_tiles * NR * p0;
+        for i0 in (0..m).step_by(MC) {
+            let mc = MC.min(m - i0);
+            pack_a(&mut a_pack, a, lda, i0, mc, p0, kc);
+            for jr in (0..n).step_by(NR) {
+                let nr = NR.min(n - jr);
+                let tile = jr / NR;
+                let b_panel = &weights.data[blk + tile * kc * NR..blk + (tile + 1) * kc * NR];
+                for ir in (0..mc).step_by(MR) {
+                    let mr = MR.min(mc - ir);
+                    let a_panel = &a_pack[(ir / MR) * kc * MR..(ir / MR + 1) * kc * MR];
+                    if mr == MR && nr == NR {
+                        mk.tile_full(a_panel, b_panel, kc, c, ldc, i0 + ir, jr);
+                    } else {
+                        mk.tile_edge(a_panel, b_panel, kc, c, ldc, i0 + ir, jr, mr, nr);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_prepacked_bc(m: usize, n: usize, k: usize, b: &[f32], ldb: usize, c: &[f32], ldc: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldb >= n && ldc >= n, "leading dims too small");
+    if k > 0 {
+        assert!(b.len() >= (k - 1) * ldb + n, "B buffer too small");
+    }
+    assert!(c.len() >= (m - 1) * ldc + n, "C buffer too small");
 }
 
 /// Packs an `mc x kc` panel of `A` into micro-panels of `MR` rows:
@@ -198,72 +537,11 @@ fn pack_b(dst: &mut [f32], b: &[f32], ldb: usize, p0: usize, kc: usize, n: usize
     }
 }
 
-/// Full `MR x NR` register tile: accumulators live in a fixed-size local
-/// array the compiler promotes to vector registers.
-fn micro_kernel_full(
-    a_panel: &[f32],
-    b_panel: &[f32],
-    kc: usize,
-    c: &mut [f32],
-    ldc: usize,
-    ci: usize,
-    cj: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kc {
-        let a_vals = &a_panel[p * MR..(p + 1) * MR];
-        let b_vals = &b_panel[p * NR..(p + 1) * NR];
-        for (r, row) in acc.iter_mut().enumerate() {
-            let ar = a_vals[r];
-            for (x, &bv) in row.iter_mut().zip(b_vals) {
-                *x += ar * bv;
-            }
-        }
-    }
-    for (r, row) in acc.iter().enumerate() {
-        let out = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + NR];
-        for (o, &x) in out.iter_mut().zip(row) {
-            *o += x;
-        }
-    }
-}
-
-/// Ragged edge tile: same math, bounds-checked write-back.
-#[allow(clippy::too_many_arguments)]
-fn micro_kernel_edge(
-    a_panel: &[f32],
-    b_panel: &[f32],
-    kc: usize,
-    c: &mut [f32],
-    ldc: usize,
-    ci: usize,
-    cj: usize,
-    mr: usize,
-    nr: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kc {
-        let a_vals = &a_panel[p * MR..(p + 1) * MR];
-        let b_vals = &b_panel[p * NR..(p + 1) * NR];
-        for (r, row) in acc.iter_mut().enumerate() {
-            let ar = a_vals[r];
-            for (x, &bv) in row.iter_mut().zip(b_vals) {
-                *x += ar * bv;
-            }
-        }
-    }
-    for r in 0..mr {
-        let out = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + nr];
-        for (o, &x) in out.iter_mut().zip(acc[r][..nr].iter()) {
-            *o += x;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kernels::gemm_naive;
+    use crate::simd::scalar_kernel;
 
     fn seq(n: usize, scale: f32) -> Vec<f32> {
         (0..n)
@@ -277,7 +555,7 @@ mod tests {
         let mut c1 = vec![0.5; m * n];
         let mut c2 = c1.clone();
         gemm_naive(m, n, k, &a, k, &b, n, &mut c1, n, 1.0);
-        gemm_packed(m, n, k, &a, k, &b, n, &mut c2, n, 1.0);
+        gemm_packed(scalar_kernel(), m, n, k, &a, k, &b, n, &mut c2, n, 1.0);
         for (i, (x, y)) in c1.iter().zip(&c2).enumerate() {
             assert!(
                 (x - y).abs() <= 1e-3 * x.abs().max(1.0),
@@ -303,15 +581,39 @@ mod tests {
     #[test]
     fn zero_k_only_scales() {
         let mut c = [3.0, 3.0];
-        gemm_packed(1, 2, 0, &[], 0, &[], 0, &mut c, 2, 0.5);
+        gemm_packed(scalar_kernel(), 1, 2, 0, &[], 0, &[], 0, &mut c, 2, 0.5);
         assert_eq!(c, [1.5, 1.5]);
     }
 
     #[test]
     fn zero_m_or_n_is_noop() {
         let mut c: Vec<f32> = Vec::new();
-        gemm_packed(0, 5, 3, &[0.0; 15], 3, &[0.0; 15], 5, &mut c, 5, 0.0);
-        gemm_packed(5, 0, 3, &[0.0; 15], 3, &[], 0, &mut c, 0, 0.0);
+        gemm_packed(
+            scalar_kernel(),
+            0,
+            5,
+            3,
+            &[0.0; 15],
+            3,
+            &[0.0; 15],
+            5,
+            &mut c,
+            5,
+            0.0,
+        );
+        gemm_packed(
+            scalar_kernel(),
+            5,
+            0,
+            3,
+            &[0.0; 15],
+            3,
+            &[],
+            0,
+            &mut c,
+            0,
+            0.0,
+        );
     }
 
     #[test]
@@ -336,9 +638,135 @@ mod tests {
 }
 
 #[cfg(test)]
+mod prepacked_tests {
+    use super::*;
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 29 % 23) as f32 - 11.0) * scale)
+            .collect()
+    }
+
+    /// Prepacked-A must be bit-identical to the on-the-fly packed kernel of
+    /// the same tier: the panels are the same bytes in the same order.
+    #[test]
+    fn prepacked_a_bit_identical_to_packed() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 3usize),
+            (MR, NR, 8),
+            (7, 19, 300),
+            (MC + 3, NR + 5, KC + 17),
+        ] {
+            let a = seq(m * k, 0.1);
+            let b = seq(k * n, 0.05);
+            let mut want = vec![0.25; m * n];
+            let mut got = want.clone();
+            gemm_packed(
+                crate::simd::active_kernel(),
+                m,
+                n,
+                k,
+                &a,
+                k,
+                &b,
+                n,
+                &mut want,
+                n,
+                1.0,
+            );
+            let pw = PackedWeights::pack_a(&a, m, k, k);
+            gemm_prepacked_a(GemmKernel::Packed, &pw, n, &b, n, &mut got, n, 1.0);
+            assert_eq!(want, got, "({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn prepacked_a_parallel_matches_serial() {
+        let (m, n, k) = (67, 33, 129);
+        let a = seq(m * k, 0.07);
+        let b = seq(k * n, 0.03);
+        let pw = PackedWeights::pack_a(&a, m, k, k);
+        let mut serial = vec![0.0; m * n];
+        gemm_prepacked_a(GemmKernel::PackedScalar, &pw, n, &b, n, &mut serial, n, 0.0);
+        for threads in [2, 3, 5, 8] {
+            let pool = ThreadPool::new(threads).unwrap();
+            let mut par = vec![0.0; m * n];
+            gemm_prepacked_a_parallel(
+                GemmKernel::PackedScalar,
+                &pool,
+                &pw,
+                n,
+                &b,
+                n,
+                &mut par,
+                n,
+                0.0,
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn prepacked_b_matches_naive_transposed() {
+        use crate::kernels::gemm_naive;
+        // y = x·Wᵀ with W stored [n x k] row-major.
+        for &(m, n, k) in &[(1usize, 4usize, 37usize), (5, 10, 64), (8, 33, 300)] {
+            let x = seq(m * k, 0.1);
+            let w = seq(n * k, 0.05);
+            // Materialize Wᵀ for the reference.
+            let mut wt = vec![0.0f32; k * n];
+            for j in 0..n {
+                for p in 0..k {
+                    wt[p * n + j] = w[j * k + p];
+                }
+            }
+            let mut want = vec![0.0; m * n];
+            gemm_naive(m, n, k, &x, k, &wt, n, &mut want, n, 0.0);
+            let pw = PackedWeights::pack_b_transposed(&w, n, k);
+            let mut got = vec![0.0; m * n];
+            gemm_prepacked_b(GemmKernel::PackedScalar, m, &x, k, &pw, &mut got, n, 0.0);
+            for (i, (x1, y1)) in want.iter().zip(&got).enumerate() {
+                assert!(
+                    (x1 - y1).abs() <= 1e-3 * x1.abs().max(1.0),
+                    "({m},{n},{k}) elem {i}: {x1} vs {y1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_weights_accessors() {
+        let a = seq(6, 1.0);
+        let pw = PackedWeights::pack_a(&a, 3, 2, 2);
+        assert_eq!(pw.out_rows(), 3);
+        assert_eq!(pw.k(), 2);
+        assert_eq!(pw.bytes(), MR * 2 * 4);
+        let pw = PackedWeights::pack_b_transposed(&a, 3, 2);
+        assert_eq!(pw.out_cols(), 3);
+        assert_eq!(pw.k(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no output columns")]
+    fn a_side_pack_rejects_cols_query() {
+        let pw = PackedWeights::pack_a(&[1.0, 2.0], 1, 2, 2);
+        let _ = pw.out_cols();
+    }
+
+    #[test]
+    fn zero_k_prepacked_scales_only() {
+        let pw = PackedWeights::pack_a(&[], 2, 0, 0);
+        let mut c = [2.0, 2.0, 2.0, 2.0];
+        gemm_prepacked_a(GemmKernel::Packed, &pw, 2, &[], 2, &mut c, 2, 0.5);
+        assert_eq!(c, [1.0, 1.0, 1.0, 1.0]);
+    }
+}
+
+#[cfg(test)]
 mod small_n_tests {
     use super::*;
     use crate::kernels::gemm_naive;
+    use crate::simd::scalar_kernel;
 
     #[test]
     fn small_n_matches_naive() {
@@ -357,7 +785,7 @@ mod small_n_tests {
             let mut want = vec![0.5; m * n];
             let mut got = want.clone();
             gemm_naive(m, n, k, &a, k, &b, n, &mut want, n, 1.0);
-            gemm_small_n(m, n, k, &a, k, &b, n, &mut got, n, 1.0);
+            gemm_small_n(scalar_kernel(), m, n, k, &a, k, &b, n, &mut got, n, 1.0);
             for (x, y) in want.iter().zip(&got) {
                 assert!(
                     (x - y).abs() <= 1e-4 * x.abs().max(1.0),
@@ -370,7 +798,7 @@ mod small_n_tests {
     #[test]
     fn small_n_zero_k_scales_only() {
         let mut c = [4.0, 4.0];
-        gemm_small_n(1, 2, 0, &[], 0, &[], 0, &mut c, 2, 0.25);
+        gemm_small_n(scalar_kernel(), 1, 2, 0, &[], 0, &[], 0, &mut c, 2, 0.25);
         assert_eq!(c, [1.0, 1.0]);
     }
 }

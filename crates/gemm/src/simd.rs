@@ -1,0 +1,535 @@
+//! The SIMD micro-kernel island: explicit AVX2/FMA kernels with runtime
+//! dispatch, behind the [`MicroKernel`] trait.
+//!
+//! This module is the **only** place in the workspace allowed to use
+//! `unsafe` (the crate root grants it `#[allow(unsafe_code)]`; every other
+//! crate keeps `#![forbid(unsafe_code)]`). Inside, `unsafe fn` bodies must
+//! wrap every unsafe operation in an explicit `unsafe {}` block
+//! (`deny(unsafe_op_in_unsafe_fn)`) with a written Safety contract.
+//!
+//! # Dispatch rules
+//!
+//! [`active_kernel`] picks the micro-kernel once per process:
+//!
+//! 1. If the `ORPHEUS_FORCE_SCALAR` environment variable is set to `1`,
+//!    `true`, or `yes` (read once, at first dispatch), the scalar kernel is
+//!    used regardless of CPU features.
+//! 2. Otherwise, if the CPU reports AVX2 **and** FMA at runtime
+//!    (`is_x86_feature_detected!`), the AVX2 kernel is used.
+//! 3. Otherwise — non-x86 targets or older x86 — the scalar kernel is used.
+//!
+//! The scalar kernel is always available and is bit-identical to the
+//! pre-SIMD packed kernel: callers who need reproducible-to-the-bit results
+//! (differential tests, the `GemmKernel::PackedScalar` tier) request it
+//! explicitly via [`scalar_kernel`].
+//!
+//! AVX2 results are **not** bit-identical to scalar results: FMA contracts
+//! the multiply-add into one rounding, and the 8-wide accumulators change
+//! the summation order. The divergence is bounded by reordering error
+//! (~`k · ε` relative), which the parity tests pin at `1e-5` relative
+//! tolerance.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::OnceLock;
+
+use crate::packed::{MR, NR};
+
+/// An `MR x NR` register-tiled GEMM micro-kernel plus the dot-product core
+/// used by the narrow-output path.
+///
+/// Implementations are stateless; [`active_kernel`] and [`scalar_kernel`]
+/// hand out `'static` references. Panel layouts are those produced by the
+/// packing routines in the `packed` module: `A` panels are `[p][r]` with
+/// `MR` rows interleaved per `k`-step, `B` panels are `[p][c]` with `NR`
+/// columns interleaved per `k`-step, both zero-padded on ragged tiles.
+pub trait MicroKernel: Send + Sync {
+    /// Short ISA name for dispatch reporting (`"scalar"`, `"avx2+fma"`).
+    fn name(&self) -> &'static str;
+
+    /// `C[ci..ci+MR][cj..cj+NR] += A_panel · B_panel` over `kc` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panels are shorter than `kc·MR` / `kc·NR` or if `c`
+    /// does not cover the full `MR x NR` tile at `(ci, cj)`.
+    #[allow(clippy::too_many_arguments)]
+    fn tile_full(
+        &self,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+    );
+
+    /// Ragged-edge tile: same math as [`MicroKernel::tile_full`] but only
+    /// the top-left `mr x nr` block of the register tile is written back.
+    #[allow(clippy::too_many_arguments)]
+    fn tile_edge(
+        &self,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+        mr: usize,
+        nr: usize,
+    );
+
+    /// Dot product of two equal-length vectors, the core of the
+    /// narrow-output (`n < SMALL_N`) GEMM path.
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+}
+
+/// Portable scalar micro-kernel: fixed-size local accumulator arrays the
+/// compiler autovectorizes. This is byte-for-byte the pre-SIMD packed
+/// kernel, kept as the always-available fallback and the reproducibility
+/// reference.
+#[derive(Debug)]
+pub(crate) struct ScalarKernel;
+
+impl MicroKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn tile_full(
+        &self,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for p in 0..kc {
+            let a_vals = &a_panel[p * MR..(p + 1) * MR];
+            let b_vals = &b_panel[p * NR..(p + 1) * NR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                let ar = a_vals[r];
+                for (x, &bv) in row.iter_mut().zip(b_vals) {
+                    *x += ar * bv;
+                }
+            }
+        }
+        for (r, row) in acc.iter().enumerate() {
+            let out = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + NR];
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+    }
+
+    fn tile_edge(
+        &self,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for p in 0..kc {
+            let a_vals = &a_panel[p * MR..(p + 1) * MR];
+            let b_vals = &b_panel[p * NR..(p + 1) * NR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                let ar = a_vals[r];
+                for (x, &bv) in row.iter_mut().zip(b_vals) {
+                    *x += ar * bv;
+                }
+            }
+        }
+        for r in 0..mr {
+            let out = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + nr];
+            for (o, &x) in out.iter_mut().zip(acc[r][..nr].iter()) {
+                *o += x;
+            }
+        }
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len().min(b.len());
+        // Four independent partial sums so the reduction vectorizes; the
+        // summation order (acc0+acc1+acc2+acc3+tail) is part of the
+        // bit-identity contract with the pre-SIMD small-n kernel.
+        let mut acc = [0.0f32; 4];
+        let chunks = k / 4;
+        for q in 0..chunks {
+            for l in 0..4 {
+                acc[l] += a[q * 4 + l] * b[q * 4 + l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for q in chunks * 4..k {
+            tail += a[q] * b[q];
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+}
+
+/// AVX2 + FMA micro-kernel: each register-tile row is two `__m256`
+/// accumulators updated with `vfmadd231ps` per `k`-step.
+///
+/// Not constructible outside this module: the only `'static` instance is
+/// handed out by [`active_kernel`] after runtime feature detection, which
+/// is what makes the `unsafe` `#[target_feature]` calls in the trait impl
+/// sound.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug)]
+pub(crate) struct Avx2Kernel {
+    _only_via_dispatch: (),
+}
+
+#[cfg(target_arch = "x86_64")]
+impl MicroKernel for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2+fma"
+    }
+
+    fn tile_full(
+        &self,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+    ) {
+        assert!(a_panel.len() >= kc * MR, "A panel too short");
+        assert!(b_panel.len() >= kc * NR, "B panel too short");
+        assert!(
+            ldc >= cj + NR && c.len() >= (ci + MR - 1) * ldc + cj + NR,
+            "C does not cover the register tile"
+        );
+        // SAFETY: `Avx2Kernel` instances only exist behind `active_kernel`,
+        // which requires `is_x86_feature_detected!("avx2") && ("fma")`; the
+        // asserts above establish the bounds contract of `avx2::tile_full`.
+        unsafe { avx2::tile_full(a_panel, b_panel, kc, c, ldc, ci, cj) }
+    }
+
+    fn tile_edge(
+        &self,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        assert!(a_panel.len() >= kc * MR, "A panel too short");
+        assert!(b_panel.len() >= kc * NR, "B panel too short");
+        assert!(mr <= MR && nr <= NR, "edge tile exceeds register tile");
+        // SAFETY: AVX2+FMA availability as in `tile_full`; the panel-length
+        // asserts establish the bounds contract. The `c` write-back inside
+        // is bounds-checked safe code.
+        unsafe { avx2::tile_edge(a_panel, b_panel, kc, c, ldc, ci, cj, mr, nr) }
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len().min(b.len());
+        // SAFETY: AVX2+FMA availability as in `tile_full`; `k` is clamped to
+        // both slice lengths, which is `avx2::dot`'s bounds contract.
+        unsafe { avx2::dot(&a[..k], &b[..k]) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The raw `#[target_feature]` bodies. Callers must guarantee AVX2 and
+    //! FMA are available on the running CPU.
+
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    use crate::packed::{MR, NR};
+
+    /// Accumulates the full `MR x NR` tile in `MR x 2` vector registers.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA. `a_panel` must hold at least
+    /// `kc * MR` elements, `b_panel` at least `kc * NR`, and `c` must cover
+    /// rows `ci..ci + MR` at columns `cj..cj + NR` under stride `ldc`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn tile_full(
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+    ) {
+        let ap = a_panel.as_ptr();
+        let bp = b_panel.as_ptr();
+        // SAFETY (all blocks below): the caller guarantees the panel and C
+        // bounds, so every pointer offset stays inside its slice; loadu /
+        // storeu have no alignment requirement.
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for p in 0..kc {
+            let (b0, b1) = unsafe {
+                (
+                    _mm256_loadu_ps(bp.add(p * NR)),
+                    _mm256_loadu_ps(bp.add(p * NR + 8)),
+                )
+            };
+            for (r, row) in acc.iter_mut().enumerate() {
+                let av = unsafe { _mm256_set1_ps(*ap.add(p * MR + r)) };
+                row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+            }
+        }
+        let cp = c.as_mut_ptr();
+        for (r, row) in acc.iter().enumerate() {
+            // SAFETY: caller guarantees row `ci + r`, cols `cj..cj + NR` are
+            // in bounds (`NR` == two 8-lane vectors).
+            unsafe {
+                let out0 = cp.add((ci + r) * ldc + cj);
+                let out1 = out0.add(8);
+                _mm256_storeu_ps(out0, _mm256_add_ps(_mm256_loadu_ps(out0), row[0]));
+                _mm256_storeu_ps(out1, _mm256_add_ps(_mm256_loadu_ps(out1), row[1]));
+            }
+        }
+    }
+
+    /// Ragged edge tile: accumulates the full register tile (panels are
+    /// zero-padded), spills it to a stack buffer, then write-back of the
+    /// valid `mr x nr` block is plain bounds-checked code.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA; `a_panel`/`b_panel` must hold at
+    /// least `kc * MR` / `kc * NR` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tile_edge(
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        ldc: usize,
+        ci: usize,
+        cj: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        let ap = a_panel.as_ptr();
+        let bp = b_panel.as_ptr();
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for p in 0..kc {
+            // SAFETY: panel bounds guaranteed by the caller.
+            let (b0, b1) = unsafe {
+                (
+                    _mm256_loadu_ps(bp.add(p * NR)),
+                    _mm256_loadu_ps(bp.add(p * NR + 8)),
+                )
+            };
+            for (r, row) in acc.iter_mut().enumerate() {
+                let av = unsafe { _mm256_set1_ps(*ap.add(p * MR + r)) };
+                row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+            }
+        }
+        let mut tmp = [0.0f32; MR * NR];
+        for (r, row) in acc.iter().enumerate() {
+            // SAFETY: `tmp` is exactly `MR * NR` elements.
+            unsafe {
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(r * NR), row[0]);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(r * NR + 8), row[1]);
+            }
+        }
+        for r in 0..mr {
+            let out = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + nr];
+            for (o, &x) in out.iter_mut().zip(&tmp[r * NR..r * NR + nr]) {
+                *o += x;
+            }
+        }
+    }
+
+    /// 32-lane FMA dot product with a scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA; `a` and `b` must be the same
+    /// length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let k = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc: [__m256; 4] = [_mm256_setzero_ps(); 4];
+        let chunks = k / 32;
+        for q in 0..chunks {
+            for (l, lane) in acc.iter_mut().enumerate() {
+                // SAFETY: `q * 32 + l * 8 + 8 <= chunks * 32 <= k`.
+                unsafe {
+                    let av = _mm256_loadu_ps(ap.add(q * 32 + l * 8));
+                    let bv = _mm256_loadu_ps(bp.add(q * 32 + l * 8));
+                    *lane = _mm256_fmadd_ps(av, bv, *lane);
+                }
+            }
+        }
+        let sum = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+        let mut lanes = [0.0f32; 8];
+        // SAFETY: `lanes` is exactly 8 elements.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), sum) };
+        let mut total: f32 = lanes.iter().sum();
+        for q in chunks * 32..k {
+            total += a[q] * b[q];
+        }
+        total
+    }
+}
+
+static SCALAR: ScalarKernel = ScalarKernel;
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Avx2Kernel = Avx2Kernel {
+    _only_via_dispatch: (),
+};
+
+#[derive(Debug, Clone, Copy)]
+struct Dispatch {
+    simd: bool,
+    forced_scalar: bool,
+}
+
+static DISPATCH: OnceLock<Dispatch> = OnceLock::new();
+
+fn dispatch() -> Dispatch {
+    *DISPATCH.get_or_init(|| {
+        let forced_scalar = std::env::var("ORPHEUS_FORCE_SCALAR")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("yes"))
+            .unwrap_or(false);
+        Dispatch {
+            simd: detect_simd(),
+            forced_scalar,
+        }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_simd() -> bool {
+    std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_simd() -> bool {
+    false
+}
+
+/// Whether the running CPU supports the SIMD micro-kernel (ignores the
+/// `ORPHEUS_FORCE_SCALAR` override).
+pub fn simd_available() -> bool {
+    dispatch().simd
+}
+
+/// Whether [`active_kernel`] currently resolves to a SIMD kernel.
+pub fn active_is_simd() -> bool {
+    let d = dispatch();
+    d.simd && !d.forced_scalar
+}
+
+/// The micro-kernel selected by the dispatch rules (see module docs).
+pub fn active_kernel() -> &'static dyn MicroKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active_is_simd() {
+            return &AVX2;
+        }
+    }
+    &SCALAR
+}
+
+/// The always-available scalar micro-kernel, bit-identical to the pre-SIMD
+/// packed path.
+pub fn scalar_kernel() -> &'static dyn MicroKernel {
+    &SCALAR
+}
+
+/// Name of the ISA the active kernel targets (`"scalar"` or `"avx2+fma"`),
+/// for flight recording and bench metadata.
+pub fn dispatch_name() -> &'static str {
+    active_kernel().name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available() {
+        assert_eq!(scalar_kernel().name(), "scalar");
+    }
+
+    #[test]
+    fn active_kernel_matches_report() {
+        let mk = active_kernel();
+        if active_is_simd() {
+            assert_eq!(mk.name(), "avx2+fma");
+        } else {
+            assert_eq!(mk.name(), "scalar");
+        }
+        assert_eq!(dispatch_name(), mk.name());
+    }
+
+    #[test]
+    fn scalar_dot_matches_reference_bitwise() {
+        // The exact chunked summation order is a compatibility contract.
+        let a: Vec<f32> = (0..37).map(|i| (i as f32) * 0.25 - 4.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| 1.5 - (i as f32) * 0.125).collect();
+        let k = a.len();
+        let mut acc = [0.0f32; 4];
+        for q in 0..k / 4 {
+            for l in 0..4 {
+                acc[l] += a[q * 4 + l] * b[q * 4 + l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for q in (k / 4) * 4..k {
+            tail += a[q] * b[q];
+        }
+        let want = acc[0] + acc[1] + acc[2] + acc[3] + tail;
+        assert_eq!(scalar_kernel().dot(&a, &b), want);
+    }
+
+    #[test]
+    fn simd_dot_close_to_scalar() {
+        if !simd_available() {
+            return;
+        }
+        let a: Vec<f32> = (0..301)
+            .map(|i| ((i * 7 % 13) as f32) * 0.3 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..301)
+            .map(|i| ((i * 5 % 11) as f32) * 0.2 - 0.9)
+            .collect();
+        let scalar = scalar_kernel().dot(&a, &b);
+        #[cfg(target_arch = "x86_64")]
+        {
+            let simd = MicroKernel::dot(&AVX2, &a, &b);
+            assert!(
+                (scalar - simd).abs() <= 1e-4 * scalar.abs().max(1.0),
+                "{scalar} vs {simd}"
+            );
+        }
+    }
+}

@@ -47,6 +47,54 @@ proptest! {
         }
     }
 
+    /// The runtime-dispatched packed tier tracks its pinned-scalar twin on
+    /// arbitrary shapes within the documented FMA-reassociation tolerance
+    /// (see `tests/simd_parity.rs` for the deterministic grid and the
+    /// tolerance derivation). On non-SIMD hosts both sides are the scalar
+    /// kernel and this is bit-exact.
+    #[test]
+    fn simd_tracks_scalar(m in 1usize..40, n in 1usize..40, k in 1usize..300, seed in any::<u64>()) {
+        let a = matrix(m * k, seed);
+        let b = matrix(k * n, seed ^ 0xf00d);
+        let mut simd = vec![0.0; m * n];
+        let mut scalar = vec![0.0; m * n];
+        gemm(GemmKernel::Packed, m, n, k, &a, k, &b, n, &mut simd, n, 0.0);
+        gemm(GemmKernel::PackedScalar, m, n, k, &a, k, &b, n, &mut scalar, n, 0.0);
+        for (i, (x, y)) in scalar.iter().zip(&simd).enumerate() {
+            prop_assert!((x - y).abs() <= 1e-6 + 1e-5 * x.abs().max(y.abs()),
+                "({m},{n},{k}) elem {i}: scalar {x} vs simd {y}");
+        }
+    }
+
+    /// Prepacked-A/B drivers agree with the ordinary packed path for any
+    /// shape (prepacking moves the pack, never the arithmetic). Outputs of
+    /// 16+ columns take the tile kernels on both sides, so there the match
+    /// is bitwise; the unpacked driver routes narrower outputs to the
+    /// dot-product path, whose different summation grouping bounds the
+    /// match at the usual reassociation tolerance instead.
+    #[test]
+    fn prepacked_equivalence(m in 1usize..24, n in 16usize..40, k in 1usize..120, seed in any::<u64>()) {
+        let a = matrix(m * k, seed);
+        let b = matrix(k * n, seed ^ 0xbeef);
+        let mut want = vec![0.0; m * n];
+        gemm(GemmKernel::PackedScalar, m, n, k, &a, k, &b, n, &mut want, n, 0.0);
+        let pa = orpheus_gemm::PackedWeights::pack_a(&a, m, k, k);
+        let mut got_a = vec![0.0; m * n];
+        orpheus_gemm::gemm_prepacked_a(GemmKernel::PackedScalar, &pa, n, &b, n, &mut got_a, n, 0.0);
+        prop_assert_eq!(&want, &got_a, "prepacked-A must be bit-identical to packed");
+        // B-side: w is [n, k] row-major, so transpose b into w layout first.
+        let mut w = vec![0.0; n * k];
+        for j in 0..n {
+            for p in 0..k {
+                w[j * k + p] = b[p * n + j];
+            }
+        }
+        let pb = orpheus_gemm::PackedWeights::pack_b_transposed(&w, n, k);
+        let mut got_b = vec![0.0; m * n];
+        orpheus_gemm::gemm_prepacked_b(GemmKernel::PackedScalar, m, &a, k, &pb, &mut got_b, n, 0.0);
+        prop_assert_eq!(&want, &got_b, "prepacked-B must be bit-identical to packed");
+    }
+
     /// The parallel driver is equivalent to the serial kernel for any thread
     /// count.
     #[test]

@@ -1,0 +1,225 @@
+//! Scalar-vs-SIMD differential parity: the runtime-dispatched `Packed`
+//! kernel must agree with its pinned-scalar twin on every shape class the
+//! model zoo produces — ragged tiles, strided C, prepacked operands.
+//!
+//! # Tolerance contract
+//!
+//! The AVX2 micro-kernel fuses multiply-add (`_mm256_fmadd_ps`) and splits
+//! the k-loop across 8 lanes, so its rounding differs from the scalar
+//! kernel's strict left-to-right accumulation: each output element is a
+//! length-k dot product with error bounded by ~k·ε per summand
+//! reassociation. For the depths exercised here (k ≤ 512) a relative
+//! tolerance of `1e-5` (with `1e-6` absolute floor for near-cancellation)
+//! holds with wide margin; it is the same bound `orpheus-ops` documents for
+//! conv/dense SIMD parity. The scalar tier itself is bit-exact against the
+//! pre-SIMD implementation (pinned in `simd::tests`), so this suite is what
+//! licenses dispatching `Packed` to AVX2 silently.
+//!
+//! On hosts without AVX2+FMA (or under `ORPHEUS_FORCE_SCALAR=1`) both tiers
+//! resolve to the scalar micro-kernel and the comparisons are trivially
+//! bit-exact — the suite stays green everywhere, it just only *proves*
+//! SIMD parity where SIMD runs.
+
+use orpheus_gemm::{gemm, GemmKernel, PackedWeights};
+
+const REL_TOL: f32 = 1e-5;
+const ABS_TOL: f32 = 1e-6;
+
+fn matrix(len: usize, seed: u64) -> Vec<f32> {
+    // Deterministic pseudo-random values in [-1, 1): sign-varied so
+    // cancellation paths are exercised, reproducible so failures replay.
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let tol = ABS_TOL + REL_TOL * w.abs().max(g.abs());
+        assert!(
+            (g - w).abs() <= tol,
+            "{what}: element {i} diverges: simd={g} scalar={w} (tol {tol})"
+        );
+    }
+}
+
+fn run(kernel: GemmKernel, m: usize, n: usize, k: usize, seed: u64) -> Vec<f32> {
+    let a = matrix(m * k, seed);
+    let b = matrix(k * n, seed ^ 0x5eed);
+    let mut c = vec![0.0; m * n];
+    gemm(kernel, m, n, k, &a, k, &b, n, &mut c, n, 0.0);
+    c
+}
+
+/// The deterministic shape grid: every combination straddles a different
+/// tile boundary of the MR=4 × NR=16 micro-kernel (full tiles, ragged rows,
+/// ragged cols, sub-tile shapes, deep k crossing multiple KC=256 blocks),
+/// plus the narrow-N shapes routed to the dot-product path.
+fn shape_grid() -> Vec<(usize, usize, usize)> {
+    let mut shapes = Vec::new();
+    for &m in &[1usize, 3, 4, 5, 8, 17] {
+        for &n in &[1usize, 7, 15, 16, 17, 33] {
+            for &k in &[1usize, 2, 64, 255, 256, 300, 512] {
+                shapes.push((m, n, k));
+            }
+        }
+    }
+    shapes
+}
+
+#[test]
+fn packed_matches_packed_scalar_on_the_shape_grid() {
+    for (m, n, k) in shape_grid() {
+        let seed = (m * 1_000_003 + n * 1_009 + k) as u64;
+        let simd = run(GemmKernel::Packed, m, n, k, seed);
+        let scalar = run(GemmKernel::PackedScalar, m, n, k, seed);
+        assert_close(&simd, &scalar, &format!("gemm {m}x{n}x{k}"));
+    }
+}
+
+#[test]
+fn packed_matches_scalar_with_strided_c_and_beta() {
+    // C wider than n (ldc > n) with beta=1 accumulation: the writeback path
+    // must respect the stride and the prior contents under both tiers.
+    let (m, n, k, ldc) = (9, 21, 130, 29);
+    let a = matrix(m * k, 42);
+    let b = matrix(k * n, 43);
+    let init = matrix(m * ldc, 44);
+    let mut simd = init.clone();
+    let mut scalar = init.clone();
+    gemm(
+        GemmKernel::Packed,
+        m,
+        n,
+        k,
+        &a,
+        k,
+        &b,
+        n,
+        &mut simd,
+        ldc,
+        1.0,
+    );
+    gemm(
+        GemmKernel::PackedScalar,
+        m,
+        n,
+        k,
+        &a,
+        k,
+        &b,
+        n,
+        &mut scalar,
+        ldc,
+        1.0,
+    );
+    // Untouched tail columns must be bit-identical to the initial contents.
+    for row in 0..m {
+        assert_eq!(
+            &simd[row * ldc + n..(row + 1) * ldc],
+            &init[row * ldc + n..(row + 1) * ldc],
+            "simd kernel wrote past n into the C stride"
+        );
+    }
+    assert_close(&simd, &scalar, "strided-C beta=1 gemm");
+}
+
+#[test]
+fn prepacked_a_parity_across_tiers() {
+    // The conv path: A (weights) prepacked at load, B streamed per run.
+    for (m, n, k) in [(4, 16, 64), (5, 17, 300), (13, 9, 256), (1, 33, 511)] {
+        let a = matrix(m * k, 7);
+        let b = matrix(k * n, 8);
+        let pw = PackedWeights::pack_a(&a, m, k, k);
+        let mut simd = vec![0.0; m * n];
+        let mut scalar = vec![0.0; m * n];
+        orpheus_gemm::gemm_prepacked_a(GemmKernel::Packed, &pw, n, &b, n, &mut simd, n, 0.0);
+        orpheus_gemm::gemm_prepacked_a(
+            GemmKernel::PackedScalar,
+            &pw,
+            n,
+            &b,
+            n,
+            &mut scalar,
+            n,
+            0.0,
+        );
+        assert_close(&simd, &scalar, &format!("prepacked-A {m}x{n}x{k}"));
+        // The prepacked scalar path is bit-identical to the unpacked scalar
+        // path wherever both take the tile kernels — prepacking only changes
+        // *when* panels are packed, never the arithmetic. Narrow outputs
+        // (n < 16) are the documented exception: the unpacked driver routes
+        // them to the dot-product path, whose summation grouping differs,
+        // while prepacked panels always run the tile kernels.
+        let mut unpacked = vec![0.0; m * n];
+        gemm(
+            GemmKernel::PackedScalar,
+            m,
+            n,
+            k,
+            &a,
+            k,
+            &b,
+            n,
+            &mut unpacked,
+            n,
+            0.0,
+        );
+        if n >= 16 {
+            assert_eq!(
+                scalar, unpacked,
+                "prepacked-A scalar diverges bitwise from unpacked scalar at {m}x{n}x{k}"
+            );
+        } else {
+            assert_close(
+                &scalar,
+                &unpacked,
+                &format!("prepacked-A small-n {m}x{n}x{k}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn prepacked_b_parity_across_tiers() {
+    // The dense path: Wᵀ prepacked at load (w is [n, k] row-major), the
+    // activation matrix streamed per run.
+    for (m, n, k) in [(1, 10, 64), (6, 32, 300), (9, 17, 256)] {
+        let x = matrix(m * k, 17);
+        let w = matrix(n * k, 18);
+        let pw = PackedWeights::pack_b_transposed(&w, n, k);
+        let mut simd = vec![0.0; m * n];
+        let mut scalar = vec![0.0; m * n];
+        orpheus_gemm::gemm_prepacked_b(GemmKernel::Packed, m, &x, k, &pw, &mut simd, n, 0.0);
+        orpheus_gemm::gemm_prepacked_b(
+            GemmKernel::PackedScalar,
+            m,
+            &x,
+            k,
+            &pw,
+            &mut scalar,
+            n,
+            0.0,
+        );
+        assert_close(&simd, &scalar, &format!("prepacked-B {m}x{n}x{k}"));
+    }
+}
+
+#[test]
+fn dispatch_report_is_consistent() {
+    // Whatever the host, the dispatch introspection must be coherent: SIMD
+    // active implies SIMD available, and the advertised name matches.
+    if orpheus_gemm::active_is_simd() {
+        assert!(orpheus_gemm::simd_available());
+        assert_eq!(orpheus_gemm::dispatch_name(), "avx2+fma");
+    } else {
+        assert_eq!(orpheus_gemm::dispatch_name(), "scalar");
+    }
+    assert_eq!(orpheus_gemm::scalar_kernel().name(), "scalar");
+}

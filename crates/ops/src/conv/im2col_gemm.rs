@@ -13,11 +13,25 @@
 //! observes in PyTorch's MobileNetV1 depthwise layers, which is why the
 //! `pytorch-sim` personality routes depthwise convolutions through here.
 
-use orpheus_gemm::{gemm_parallel, im2col, GemmKernel, Im2colParams};
+use orpheus_gemm::{
+    gemm_parallel, gemm_prepacked_a_parallel, im2col, GemmKernel, Im2colParams, PackedWeights,
+};
 use orpheus_tensor::Tensor;
 use orpheus_threads::ThreadPool;
 
 use super::Conv2dParams;
+
+/// Packs each group's `[cog x k]` weight matrix into GEMM micro-panels,
+/// once, at layer-construction time. The steady-state run then packs only
+/// the activation operand.
+pub(crate) fn prepack_weights(params: &Conv2dParams, weight: &Tensor) -> Vec<PackedWeights> {
+    let cog = params.out_channels / params.groups;
+    let k = (params.in_channels / params.groups) * params.kernel_h * params.kernel_w;
+    let w_data = weight.as_slice();
+    (0..params.groups)
+        .map(|g| PackedWeights::pack_a(&w_data[g * cog * k..(g + 1) * cog * k], cog, k, k))
+        .collect()
+}
 
 /// im2col+GEMM convolution into a pre-sized output tensor.
 ///
@@ -91,6 +105,75 @@ pub(crate) fn conv2d_im2col_into(
             gemm_parallel(
                 kernel, pool, cog, cols, k, w_group, k, b, cols, out_group, cols, 0.0,
             );
+        }
+    }
+}
+
+/// im2col+GEMM convolution whose weights were packed at construction by
+/// [`prepack_weights`]: the run loop never touches the raw weight tensor and
+/// never packs a weight panel.
+///
+/// Unlike [`conv2d_im2col_into`], narrow outputs run through ragged register
+/// tiles instead of the dot-product kernel — the pre-packed panels are used
+/// for every geometry.
+pub(crate) fn conv2d_im2col_prepacked_into(
+    params: &Conv2dParams,
+    input: &Tensor,
+    packed: &[PackedWeights],
+    output: &mut Tensor,
+    kernel: GemmKernel,
+    pool: &ThreadPool,
+) {
+    debug_assert_eq!(packed.len(), params.groups, "one pack per group");
+    let [n, ci, ih, iw] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = (params.out_h(ih), params.out_w(iw));
+    let co = params.out_channels;
+    let cig = ci / params.groups;
+    let cog = co / params.groups;
+    let im2col_params = Im2colParams {
+        channels: cig,
+        height: ih,
+        width: iw,
+        kernel_h: params.kernel_h,
+        kernel_w: params.kernel_w,
+        stride_h: params.stride_h,
+        stride_w: params.stride_w,
+        pad_h: params.pad_h,
+        pad_w: params.pad_w,
+        dilation_h: params.dilation_h,
+        dilation_w: params.dilation_w,
+    };
+    let k = im2col_params.matrix_rows(); // cig * kh * kw
+    let cols = oh * ow;
+    let pointwise = params.kernel_h == 1
+        && params.kernel_w == 1
+        && params.stride_h == 1
+        && params.stride_w == 1
+        && params.pad_h == 0
+        && params.pad_w == 0;
+    let mut col_buf = orpheus_threads::take_scratch(if pointwise { 0 } else { k * cols });
+
+    let in_data = input.as_slice();
+    let out_data = output.as_mut_slice();
+    let in_image = ci * ih * iw;
+    let out_image = co * oh * ow;
+
+    for img in 0..n {
+        for (g, pw) in packed.iter().enumerate() {
+            let group_input = &in_data[img * in_image + g * cig * ih * iw..][..cig * ih * iw];
+            let b: &[f32] = if pointwise {
+                group_input
+            } else {
+                im2col(&im2col_params, group_input, &mut col_buf);
+                &col_buf
+            };
+            let out_group = &mut out_data[img * out_image + g * cog * cols..][..cog * cols];
+            gemm_prepacked_a_parallel(kernel, pool, pw, cols, b, cols, out_group, cols, 0.0);
         }
     }
 }
@@ -210,6 +293,72 @@ mod tests {
             [1, 2, 8, 8],
             GemmKernel::Packed,
         );
+    }
+
+    /// The prepacked path (taken automatically for the Packed tier) must be
+    /// bit-identical across batch sizes: per image the group GEMM is the
+    /// same arithmetic in the same order.
+    #[test]
+    fn prepacked_bit_identical_across_batch() {
+        let params = Conv2dParams::square(3, 8, 3).with_padding(1, 1);
+        let wd = params.weight_dims();
+        let weight = Tensor::from_vec(pseudo(wd.iter().product(), 3), &wd).unwrap();
+        let conv = Conv2d::new(
+            params,
+            weight,
+            None,
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed),
+        )
+        .unwrap();
+        let pool = ThreadPool::single();
+        let batch = Tensor::from_vec(pseudo(4 * 3 * 8 * 8, 5), &[4, 3, 8, 8]).unwrap();
+        let batched = conv.run(&batch, &pool).unwrap();
+        let image = batch.len() / 4;
+        let out_image = batched.len() / 4;
+        for img in 0..4 {
+            let one = Tensor::from_vec(
+                batch.as_slice()[img * image..(img + 1) * image].to_vec(),
+                &[1, 3, 8, 8],
+            )
+            .unwrap();
+            let single = conv.run(&one, &pool).unwrap();
+            assert_eq!(
+                single.as_slice(),
+                &batched.as_slice()[img * out_image..(img + 1) * out_image],
+                "image {img} differs from its batched run"
+            );
+        }
+    }
+
+    /// Scalar-pinned prepacked output must match the eager unpacked path to
+    /// FMA-free tolerance (same panels, but narrow outputs use register
+    /// tiles instead of the dot kernel).
+    #[test]
+    fn prepacked_scalar_matches_unpacked() {
+        let params = Conv2dParams::square(4, 6, 3).with_stride(2, 2);
+        let wd = params.weight_dims();
+        let weight = Tensor::from_vec(pseudo(wd.iter().product(), 11), &wd).unwrap();
+        let input = Tensor::from_vec(pseudo(2 * 4 * 9 * 9, 13), &[2, 4, 9, 9]).unwrap();
+        let pool = ThreadPool::single();
+        let prepacked = Conv2d::new(
+            params,
+            weight.clone(),
+            None,
+            ConvAlgorithm::Im2colGemm(GemmKernel::PackedScalar),
+        )
+        .unwrap()
+        .run(&input, &pool)
+        .unwrap();
+        let eager = Conv2d::new(
+            params,
+            weight,
+            None,
+            ConvAlgorithm::Im2colGemmEager(GemmKernel::PackedScalar),
+        )
+        .unwrap()
+        .run(&input, &pool)
+        .unwrap();
+        assert!(allclose(&prepacked, &eager, 1e-5, 1e-6).ok);
     }
 
     #[test]

@@ -276,6 +276,12 @@ impl fmt::Display for ConvAlgorithm {
 enum Prepared {
     /// No preprocessing needed.
     Plain,
+    /// im2col-GEMM: each group's `[cog x k]` weight matrix packed into GEMM
+    /// micro-panels, so the run loop packs only the activation operand.
+    /// Built for the `Packed`/`PackedScalar` tiers; the eager variant and
+    /// the naive/blocked tiers keep the unpacked path to preserve the
+    /// framework behaviour class they model.
+    Gemm(Vec<orpheus_gemm::PackedWeights>),
     /// Spatial pack: weights repacked into `[co_tile][ci][ky][kx][VC]`.
     SpatialPack(spatial_pack::PackedWeights),
     /// Winograd: weights transformed into `U[16][co][ci]`.
@@ -335,6 +341,9 @@ impl Conv2d {
             )));
         }
         let prepared = match algorithm {
+            ConvAlgorithm::Im2colGemm(GemmKernel::Packed | GemmKernel::PackedScalar) => {
+                Prepared::Gemm(im2col_gemm::prepack_weights(&params, &weight))
+            }
             ConvAlgorithm::SpatialPack if !params.is_depthwise() => {
                 Prepared::SpatialPack(spatial_pack::pack_weights(&params, &weight))
             }
@@ -447,6 +456,16 @@ impl Conv2d {
         match (&self.algorithm, &self.prepared) {
             (ConvAlgorithm::Direct, _) => {
                 direct::conv2d_direct_into(&self.params, input, &self.weight, output, pool)
+            }
+            (ConvAlgorithm::Im2colGemm(kernel), Prepared::Gemm(packed)) => {
+                im2col_gemm::conv2d_im2col_prepacked_into(
+                    &self.params,
+                    input,
+                    packed,
+                    output,
+                    *kernel,
+                    pool,
+                )
             }
             (ConvAlgorithm::Im2colGemm(kernel), _) => im2col_gemm::conv2d_im2col_into(
                 &self.params,

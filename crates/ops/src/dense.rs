@@ -1,6 +1,6 @@
 //! Fully-connected (dense) layer.
 
-use orpheus_gemm::{gemm_parallel, GemmKernel};
+use orpheus_gemm::{gemm_parallel, gemm_prepacked_b, GemmKernel, PackedWeights};
 use orpheus_tensor::{ShapeError, Tensor};
 use orpheus_threads::ThreadPool;
 
@@ -34,6 +34,10 @@ pub struct Dense {
     bias: Option<Tensor>,
     activation: Option<Activation>,
     algorithm: DenseAlgorithm,
+    /// `Wᵀ` packed into GEMM micro-panels at construction, for the
+    /// `Packed`/`PackedScalar` tiers: `y = x·Wᵀ` then runs as one GEMM over
+    /// the whole batch with zero weight-packing work per run.
+    packed: Option<PackedWeights>,
     in_features: usize,
     out_features: usize,
 }
@@ -68,11 +72,18 @@ impl Dense {
                 .into());
             }
         }
+        let packed = match algorithm {
+            DenseAlgorithm::Gemm(GemmKernel::Packed | GemmKernel::PackedScalar) => Some(
+                PackedWeights::pack_b_transposed(weight.as_slice(), out_features, in_features),
+            ),
+            _ => None,
+        };
         Ok(Dense {
             weight,
             bias,
             activation: None,
             algorithm,
+            packed,
             in_features,
             out_features,
         })
@@ -147,11 +158,25 @@ impl Dense {
                 }
             }
             DenseAlgorithm::Gemm(kernel) => {
-                // y[batch, out] = x[batch, in] · Wᵀ. GEMM wants row-major
-                // operands, so compute yᵀ = W · xᵀ when batch == 1 (the
-                // common inference case) and fall back to per-row GEMV
-                // otherwise.
-                if batch == 1 {
+                // y[batch, out] = x[batch, in] · Wᵀ.
+                if let Some(pw) = &self.packed {
+                    // Wᵀ was packed at construction: one whole-batch GEMM,
+                    // no weight packing and no allocation in steady state.
+                    gemm_prepacked_b(
+                        kernel,
+                        batch,
+                        x,
+                        self.in_features,
+                        pw,
+                        y,
+                        self.out_features,
+                        0.0,
+                    );
+                } else if batch == 1 {
+                    // Unpacked tiers: GEMM wants row-major operands, so
+                    // compute yᵀ = W · xᵀ when batch == 1 (the common
+                    // inference case) and fall back to per-row GEMV
+                    // otherwise.
                     gemm_parallel(
                         kernel,
                         pool,
@@ -306,6 +331,27 @@ mod tests {
             .with_activation(Activation::Relu);
         let x = Tensor::ones(&[1, 1]);
         assert_eq!(d.run(&x, &pool1()).unwrap().as_slice(), &[0.0]);
+    }
+
+    /// The prepacked whole-batch GEMM must give each row exactly the result
+    /// a batch-of-one run gives: row accumulators are independent and the
+    /// `k` summation order does not depend on the batch size.
+    #[test]
+    fn prepacked_bit_identical_across_batch() {
+        let w = Tensor::from_fn(&[10, 37], |i| ((i * 7) % 13) as f32 * 0.1 - 0.6);
+        let d = Dense::new(w, None, DenseAlgorithm::Gemm(GemmKernel::Packed)).unwrap();
+        let x = Tensor::from_fn(&[5, 37], |i| ((i * 11) % 17) as f32 * 0.2 - 1.5);
+        let batched = d.run(&x, &pool1()).unwrap();
+        for b in 0..5 {
+            let one =
+                Tensor::from_vec(x.as_slice()[b * 37..(b + 1) * 37].to_vec(), &[1, 37]).unwrap();
+            let single = d.run(&one, &pool1()).unwrap();
+            assert_eq!(
+                single.as_slice(),
+                &batched.as_slice()[b * 10..(b + 1) * 10],
+                "row {b} differs from its batched run"
+            );
+        }
     }
 
     #[test]

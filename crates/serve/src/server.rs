@@ -316,10 +316,13 @@ impl Server {
     pub fn start(network: Arc<Network>, config: ServerConfig) -> Server {
         // How many base-shaped requests fit one planned bucket run: the
         // network's max batch over its per-request batch, clamped by config.
-        let base_batch = network.input_dims().first().copied().unwrap_or(1).max(1);
-        let mut bucket_rungs: Vec<usize> = network
-            .batch_buckets()
-            .into_iter()
+        // The read-only plan summary is the supported view of the ladder.
+        let summary = network.plan_summary();
+        let base_batch = summary.input_dims.first().copied().unwrap_or(1).max(1);
+        let mut bucket_rungs: Vec<usize> = summary
+            .batch_buckets
+            .iter()
+            .map(|bucket| bucket.batch)
             .filter(|b| b.is_multiple_of(base_batch))
             .map(|b| b / base_batch)
             .filter(|&rung| rung >= 1)
@@ -358,11 +361,12 @@ impl Server {
             "serve",
             "start",
             format!(
-                "{}: {} worker(s), queue depth {}, batch up to {} request(s)",
+                "{}: {} worker(s), queue depth {}, batch up to {} request(s), gemm {}",
                 shared.network.name(),
                 config.workers.max(1),
                 shared.queue.capacity(),
-                shared.coalesce
+                shared.coalesce,
+                summary.gemm_isa
             ),
         );
         Server {

@@ -215,6 +215,76 @@ impl ThreadPool {
         });
     }
 
+    /// Like [`ThreadPool::parallel_for_rows`], but every band starts on a
+    /// multiple of `align` rows (the final band absorbs the remainder).
+    ///
+    /// Kernels that index globally pre-packed tiles — the prepacked GEMM
+    /// path — need band boundaries that coincide with register-tile rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align == 0`, `row_len == 0`, or `data.len()` is not a
+    /// multiple of `row_len`.
+    pub fn parallel_for_rows_aligned<T, F>(
+        &self,
+        data: &mut [T],
+        row_len: usize,
+        min_rows: usize,
+        align: usize,
+        body: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(align > 0, "alignment must be positive");
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(
+            data.len() % row_len,
+            0,
+            "data length {} not a multiple of row length {row_len}",
+            data.len()
+        );
+        let rows = data.len() / row_len;
+        if rows == 0 {
+            return;
+        }
+        let n = self.num_chunks(rows, min_rows.max(1));
+        // Equal-split band size rounded up to the alignment; the last band
+        // takes whatever remains (at most `align - 1` rows short of a
+        // boundary).
+        let band = rows.div_ceil(n).div_ceil(align) * align;
+        if band >= rows {
+            body(0, data);
+            return;
+        }
+        let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(rows.div_ceil(band));
+        let mut rest = data;
+        let mut start = 0;
+        while start < rows {
+            let size = band.min(rows - start);
+            let (head, tail) = rest.split_at_mut(size * row_len);
+            pieces.push((start, head));
+            rest = tail;
+            start += size;
+        }
+        let parent = orpheus_observe::current_span_id();
+        std::thread::scope(|scope| {
+            let mut iter = pieces.into_iter();
+            let first = iter.next().expect("at least one chunk");
+            for (start, chunk) in iter {
+                let body = &body;
+                let rows = chunk.len() / row_len;
+                scope.spawn(move || {
+                    let _chunk = chunk_span(parent, start, start + rows);
+                    body(start, chunk)
+                });
+            }
+            let first_rows = first.1.len() / row_len;
+            let _chunk = chunk_span(parent, first.0, first.0 + first_rows);
+            body(first.0, first.1);
+        });
+    }
+
     /// How many chunks a range of `len` iterations would split into, without
     /// materializing the boundaries.
     fn num_chunks(&self, len: usize, min_chunk: usize) -> usize {
@@ -339,6 +409,28 @@ mod tests {
         });
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn parallel_for_rows_aligned_bands_start_on_alignment() {
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::new(threads).unwrap();
+            for rows in [1usize, 3, 4, 10, 67] {
+                let row_len = 5;
+                let align = 4;
+                let mut data = vec![0usize; rows * row_len];
+                pool.parallel_for_rows_aligned(&mut data, row_len, 1, align, |row0, band| {
+                    assert_eq!(row0 % align, 0, "band must start on the alignment");
+                    assert_eq!(band.len() % row_len, 0, "band must be whole rows");
+                    for (i, slot) in band.iter_mut().enumerate() {
+                        *slot = row0 * row_len + i;
+                    }
+                });
+                for (i, &v) in data.iter().enumerate() {
+                    assert_eq!(v, i, "threads={threads} rows={rows}");
+                }
+            }
         }
     }
 

@@ -13,6 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== forced-scalar differential lane (ORPHEUS_FORCE_SCALAR=1) =="
+# On SIMD hosts the runtime dispatcher selects the AVX2+FMA micro-kernel,
+# so the default test run proves SIMD correctness. This lane re-runs the
+# scalar-vs-SIMD differential suites with the dispatcher pinned to the
+# scalar micro-kernel (through EngineBuilder's force_scalar default), so
+# the scalar path keeps its own green proof on every host.
+ORPHEUS_FORCE_SCALAR=1 cargo test -q -p orpheus-gemm --test simd_parity
+ORPHEUS_FORCE_SCALAR=1 cargo test -q -p orpheus --test simd_differential
+
 echo "== pass-pipeline sanitizer (debug assertions) =="
 # Debug builds run the orpheus-verify sanitizer after every simplification
 # pass; this exercises it on the standard pipeline plus the broken-pass
